@@ -1,0 +1,84 @@
+// Ablation — the §IV-D loop optimization and §IV-C deterministic-loop
+// elision: CF_Log and runtime with each optimization toggled off, showing
+// where the savings in Figures 8/9 come from (the paper calls out
+// ultrasonic and syringe as the showcase apps).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using raptrack::u64;
+using raptrack::bench::kSeed;
+namespace apps = raptrack::apps;
+
+struct Variant {
+  const char* label;
+  bool loop_opt;
+  bool det_elision;
+};
+
+constexpr Variant kVariants[] = {
+    {"full", true, true},
+    {"no-loopopt", false, true},
+    {"no-detelide", true, false},
+    {"neither", false, false},
+};
+
+struct Measured {
+  u64 cflog = 0;
+  u64 cycles = 0;
+  u64 switches = 0;
+};
+
+Measured measure(const char* app_name, const Variant& variant) {
+  raptrack::rewrite::RewriteOptions options;
+  options.loop_optimization = variant.loop_opt;
+  options.deterministic_loop_elision = variant.det_elision;
+  const apps::PreparedApp prepared =
+      apps::prepare_app(apps::app_by_name(app_name), options);
+  raptrack::sim::MachineConfig config;
+  config.mtb_buffer_bytes = 1 << 22;
+  const auto run = apps::run_rap(prepared, kSeed, config);
+  return {run.attestation.metrics.cflog_bytes,
+          run.attestation.metrics.exec_cycles,
+          run.attestation.metrics.world_switches};
+}
+
+void print_table() {
+  std::printf("\n=== Ablation: loop optimization & deterministic elision ===\n");
+  std::printf("%-12s %-12s %12s %12s %10s\n", "app", "variant", "cflog[B]",
+              "cycles", "switches");
+  for (const char* name :
+       {"ultrasonic", "syringe", "crc32", "matmult", "gps"}) {
+    for (const auto& variant : kVariants) {
+      const Measured m = measure(name, variant);
+      std::printf("%-12s %-12s %12llu %12llu %10llu\n", name, variant.label,
+                  static_cast<unsigned long long>(m.cflog),
+                  static_cast<unsigned long long>(m.cycles),
+                  static_cast<unsigned long long>(m.switches));
+    }
+  }
+}
+
+void BM_LoopOpt(benchmark::State& state) {
+  const Variant& variant = kVariants[static_cast<size_t>(state.range(0))];
+  Measured m;
+  for (auto _ : state) {
+    m = measure("ultrasonic", variant);
+    benchmark::DoNotOptimize(m.cflog);
+  }
+  state.SetLabel(variant.label);
+  state.counters["cflog_B"] = static_cast<double>(m.cflog);
+  state.counters["cycles"] = static_cast<double>(m.cycles);
+}
+BENCHMARK(BM_LoopOpt)->DenseRange(0, 3)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

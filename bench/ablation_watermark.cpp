@@ -1,0 +1,60 @@
+// Ablation — MTB buffer size / watermark (§IV-E, §V-B): how many
+// partial-report pauses each method needs as the MTB shrinks, and what
+// they cost in cycles. The paper's point: with the 4KB MTB, naive logging
+// pauses constantly; RAP-Track usually sends one final report.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using raptrack::apps::PreparedApp;
+using raptrack::bench::kSeed;
+using raptrack::u32;
+
+void print_table() {
+  std::printf("\n=== Ablation: partial reports vs MTB buffer size ===\n");
+  std::printf("%-12s %8s | %10s %14s | %10s %14s\n", "app", "MTB[B]",
+              "naive#rep", "naive pause[cy]", "rap#rep", "rap pause[cy]");
+  for (const char* name : {"gps", "syringe", "fibcall", "prime"}) {
+    const PreparedApp prepared =
+        raptrack::apps::prepare_app(raptrack::apps::app_by_name(name));
+    for (const u32 size : {1024u, 4096u, 16384u}) {
+      raptrack::sim::MachineConfig config;
+      config.mtb_buffer_bytes = size;
+      const auto naive = raptrack::apps::run_naive(prepared, kSeed, config);
+      const auto rap = raptrack::apps::run_rap(prepared, kSeed, config);
+      std::printf("%-12s %8u | %10u %14llu | %10u %14llu\n", name, size,
+                  naive.attestation.metrics.partial_reports,
+                  static_cast<unsigned long long>(
+                      naive.attestation.metrics.pause_cycles),
+                  rap.attestation.metrics.partial_reports,
+                  static_cast<unsigned long long>(
+                      rap.attestation.metrics.pause_cycles));
+    }
+  }
+}
+
+void BM_Watermark(benchmark::State& state) {
+  const auto& app = raptrack::apps::app_registry()[4];  // gps
+  const PreparedApp prepared = raptrack::apps::prepare_app(app);
+  raptrack::sim::MachineConfig config;
+  config.mtb_buffer_bytes = static_cast<u32>(state.range(0));
+  u32 partials = 0;
+  for (auto _ : state) {
+    const auto run = raptrack::apps::run_naive(prepared, kSeed, config);
+    partials = run.attestation.metrics.partial_reports;
+    benchmark::DoNotOptimize(partials);
+  }
+  state.counters["partial_reports"] = partials;
+}
+BENCHMARK(BM_Watermark)->Arg(1024)->Arg(4096)->Arg(16384)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared machinery for the figure benches: run every method over every app
+// once (deterministic seed), cache the results, and print paper-style
+// tables. Each fig*_ binary reproduces one figure of the paper's
+// evaluation; see EXPERIMENTS.md for the paper-vs-measured record.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/runner.hpp"
+
+namespace raptrack::bench {
+
+inline constexpr u64 kSeed = 42;
+
+struct AppResults {
+  std::string name;
+  cfa::RunMetrics baseline;
+  cfa::RunMetrics naive;
+  cfa::RunMetrics rap;
+  cfa::RunMetrics traces;        ///< word-per-conditional encoding (default)
+  cfa::RunMetrics traces_packed; ///< 1-bit-packed conditionals (most compact)
+  u32 original_code_bytes = 0;
+  u32 rap_code_bytes = 0;
+  u32 traces_code_bytes = 0;
+};
+
+/// Run all four methods over one app with an effectively unbounded MTB (the
+/// figure benches measure volumes, not buffer effects; the watermark
+/// ablation measures those).
+inline AppResults measure_app(const apps::App& app, u64 seed = kSeed) {
+  const apps::PreparedApp prepared = apps::prepare_app(app);
+  sim::MachineConfig big;
+  big.mtb_buffer_bytes = 1 << 22;
+
+  AppResults results;
+  results.name = app.name;
+  results.baseline = apps::run_baseline(prepared, seed, big).attestation.metrics;
+  results.naive = apps::run_naive(prepared, seed, big).attestation.metrics;
+  results.rap = apps::run_rap(prepared, seed, big).attestation.metrics;
+  results.traces = apps::run_traces(prepared, seed, big).attestation.metrics;
+  cfa::SessionOptions packed;
+  packed.traces_bit_packed = true;
+  results.traces_packed =
+      apps::run_traces(prepared, seed, big, packed).attestation.metrics;
+  results.original_code_bytes = prepared.built.program.size();
+  results.rap_code_bytes = prepared.rap.rewritten_bytes;
+  results.traces_code_bytes = prepared.traces.rewritten_bytes;
+  return results;
+}
+
+inline const std::vector<AppResults>& all_results() {
+  static const std::vector<AppResults> results = [] {
+    std::vector<AppResults> out;
+    for (const auto& app : apps::app_registry()) {
+      out.push_back(measure_app(app));
+    }
+    return out;
+  }();
+  return results;
+}
+
+inline double ratio(double a, double b) { return b == 0 ? 0.0 : a / b; }
+
+inline double percent_over(double value, double base) {
+  return base == 0 ? 0.0 : (value - base) / base * 100.0;
+}
+
+}  // namespace raptrack::bench

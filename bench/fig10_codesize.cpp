@@ -1,0 +1,45 @@
+// Figure 10 — program-memory (code size) comparison: original APP vs
+// RAP-Track trampolines vs TRACES instrumentation. Shape to reproduce:
+// both grow the binary modestly; RAP-Track is usually slightly larger
+// (nop pads + loop trampolines).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using raptrack::bench::all_results;
+using raptrack::bench::percent_over;
+
+void print_figure10() {
+  std::printf("\n=== Figure 10: code size (bytes) per method ===\n");
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "app", "original",
+              "RAP-Track", "TRACES", "RAP+%", "TRACES+%");
+  for (const auto& r : all_results()) {
+    std::printf("%-12s %10u %10u %10u %9.1f%% %9.1f%%\n", r.name.c_str(),
+                r.original_code_bytes, r.rap_code_bytes, r.traces_code_bytes,
+                percent_over(r.rap_code_bytes, r.original_code_bytes),
+                percent_over(r.traces_code_bytes, r.original_code_bytes));
+  }
+}
+
+void BM_Fig10_CodeSize(benchmark::State& state) {
+  const auto& r = all_results()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.rap_code_bytes);
+  }
+  state.SetLabel(r.name);
+  state.counters["orig_B"] = r.original_code_bytes;
+  state.counters["rap_B"] = r.rap_code_bytes;
+  state.counters["traces_B"] = r.traces_code_bytes;
+}
+BENCHMARK(BM_Fig10_CodeSize)->DenseRange(0, 12)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure10();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

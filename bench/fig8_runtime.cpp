@@ -1,0 +1,68 @@
+// Figure 8 — runtime comparison (CPU cycles) across baseline, naive MTB,
+// RAP-Track, and TRACES. Shape to reproduce: naive == baseline; RAP-Track
+// adds 2-62% over naive; TRACES adds 7-1309%.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using raptrack::bench::all_results;
+using raptrack::bench::percent_over;
+
+void print_figure8() {
+  std::printf("\n=== Figure 8: runtime (CPU cycles) per method ===\n");
+  std::printf("%-12s %12s %12s %12s %12s %10s %10s\n", "app", "baseline",
+              "naiveMTB", "RAP-Track", "TRACES", "RAP+%", "TRACES+%");
+  double rap_min = 1e18, rap_max = -1e18, tr_min = 1e18, tr_max = -1e18;
+  for (const auto& r : all_results()) {
+    const double rap_pct = percent_over(static_cast<double>(r.rap.exec_cycles),
+                                        static_cast<double>(r.naive.exec_cycles));
+    const double tr_pct = percent_over(static_cast<double>(r.traces.exec_cycles),
+                                       static_cast<double>(r.naive.exec_cycles));
+    rap_min = std::min(rap_min, rap_pct);
+    rap_max = std::max(rap_max, rap_pct);
+    tr_min = std::min(tr_min, tr_pct);
+    tr_max = std::max(tr_max, tr_pct);
+    std::printf("%-12s %12llu %12llu %12llu %12llu %9.1f%% %9.1f%%\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.baseline.exec_cycles),
+                static_cast<unsigned long long>(r.naive.exec_cycles),
+                static_cast<unsigned long long>(r.rap.exec_cycles),
+                static_cast<unsigned long long>(r.traces.exec_cycles), rap_pct,
+                tr_pct);
+  }
+  std::printf("RAP-Track over naive MTB: %.1f%% to %.1f%% (paper: 2%% to 62%%)\n",
+              rap_min, rap_max);
+  std::printf("TRACES over naive MTB: %.1f%% to %.1f%% (paper: 7%% to 1309%%)\n",
+              tr_min, tr_max);
+  std::printf("\nWorld switches (context switches into the Secure World):\n");
+  std::printf("%-12s %12s %12s\n", "app", "RAP-Track", "TRACES");
+  for (const auto& r : all_results()) {
+    std::printf("%-12s %12llu %12llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.rap.world_switches),
+                static_cast<unsigned long long>(r.traces.world_switches));
+  }
+}
+
+void BM_Fig8_Runtime(benchmark::State& state) {
+  const auto& r = all_results()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.rap.exec_cycles);
+  }
+  state.SetLabel(r.name);
+  state.counters["baseline_cy"] = static_cast<double>(r.baseline.exec_cycles);
+  state.counters["naive_cy"] = static_cast<double>(r.naive.exec_cycles);
+  state.counters["rap_cy"] = static_cast<double>(r.rap.exec_cycles);
+  state.counters["traces_cy"] = static_cast<double>(r.traces.exec_cycles);
+}
+BENCHMARK(BM_Fig8_Runtime)->DenseRange(0, 12)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

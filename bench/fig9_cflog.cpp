@@ -1,0 +1,60 @@
+// Figure 9 — CF_Log size comparison: naive MTB vs RAP-Track vs TRACES.
+// Shape to reproduce: naive >> {RAP-Track ~ TRACES}; loop optimization
+// shines on ultrasonic/syringe.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using raptrack::bench::all_results;
+using raptrack::bench::ratio;
+
+void print_figure9() {
+  std::printf("\n=== Figure 9: CF_Log size (bytes) per method ===\n");
+  std::printf("%-12s %12s %12s %12s %12s %12s\n", "app", "naiveMTB",
+              "RAP-Track", "TRACES", "naive/RAP", "RAP/TRACES");
+  for (const auto& r : all_results()) {
+    std::printf("%-12s %12llu %12llu %12llu %11.1fx %11.2fx\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.naive.cflog_bytes),
+                static_cast<unsigned long long>(r.rap.cflog_bytes),
+                static_cast<unsigned long long>(r.traces.cflog_bytes),
+                ratio(static_cast<double>(r.naive.cflog_bytes),
+                      static_cast<double>(r.rap.cflog_bytes)),
+                ratio(static_cast<double>(r.rap.cflog_bytes),
+                      static_cast<double>(r.traces.cflog_bytes)));
+  }
+  std::printf("\n4KB-MTB feasibility (paper §V-B): apps whose whole RAP-Track "
+              "CF_Log fits one 4KB buffer:\n");
+  int fits = 0;
+  for (const auto& r : all_results()) {
+    const bool ok = r.rap.cflog_bytes <= 4096;
+    fits += ok;
+    std::printf("  %-12s %s (%llu bytes)\n", r.name.c_str(),
+                ok ? "fits" : "needs partial reports",
+                static_cast<unsigned long long>(r.rap.cflog_bytes));
+  }
+  std::printf("%d/%zu apps need only the single final transmission\n", fits,
+              all_results().size());
+}
+
+void BM_Fig9_CflogBytes(benchmark::State& state) {
+  const auto& r = all_results()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.rap.cflog_bytes);
+  }
+  state.SetLabel(r.name);
+  state.counters["naive_B"] = static_cast<double>(r.naive.cflog_bytes);
+  state.counters["rap_B"] = static_cast<double>(r.rap.cflog_bytes);
+  state.counters["traces_B"] = static_cast<double>(r.traces.cflog_bytes);
+}
+BENCHMARK(BM_Fig9_CflogBytes)->DenseRange(0, 12)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks of the infrastructure itself: simulator throughput,
+// assembler, offline rewriting passes, crypto primitives, and verifier
+// replay speed. These use google-benchmark's timing loop properly (the
+// fig* benches report simulated-cycle counters instead).
+#include <benchmark/benchmark.h>
+
+#include "apps/runner.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+namespace apps = raptrack::apps;
+using raptrack::u8;
+using raptrack::u64;
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const apps::PreparedApp prepared =
+      apps::prepare_app(apps::app_by_name("bubblesort"));
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const auto run = apps::run_baseline(prepared, 42);
+    instructions += run.attestation.metrics.instructions;
+  }
+  state.counters["sim_instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void BM_Assembler(benchmark::State& state) {
+  const auto& app = apps::app_by_name("gps");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::build_app(app));
+  }
+}
+BENCHMARK(BM_Assembler);
+
+void BM_RapRewrite(benchmark::State& state) {
+  const auto built = apps::build_app(apps::app_by_name("gps"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raptrack::rewrite::rewrite_for_rap_track(
+        built.program, built.entry, built.code_begin, built.code_end));
+  }
+}
+BENCHMARK(BM_RapRewrite);
+
+void BM_TracesRewrite(benchmark::State& state) {
+  const auto built = apps::build_app(apps::app_by_name("gps"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raptrack::instr::rewrite_for_traces(
+        built.program, built.entry, built.code_begin, built.code_end));
+  }
+}
+BENCHMARK(BM_TracesRewrite);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<u8> data(static_cast<size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raptrack::crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  std::vector<u8> key(32, 0x11);
+  std::vector<u8> data(static_cast<size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raptrack::crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(1024)->Arg(65536);
+
+void BM_EndToEndAttestation(benchmark::State& state) {
+  const apps::PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::run_rap(prepared, 42));
+  }
+}
+BENCHMARK(BM_EndToEndAttestation);
+
+void BM_VerifierReplay(benchmark::State& state) {
+  const apps::PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  raptrack::verify::Verifier verifier(apps::demo_key());
+  verifier.expect_rap(prepared.rap.program, prepared.rap.manifest,
+                      prepared.built.entry);
+  std::vector<raptrack::cfa::Challenge> chals;
+  std::vector<std::vector<raptrack::cfa::SignedReport>> report_sets;
+  for (int i = 0; i < 64; ++i) {
+    chals.push_back(verifier.fresh_challenge());
+    report_sets.push_back(
+        apps::run_rap(prepared, 42, {}, {}, chals.back()).attestation.reports);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i >= chals.size()) {
+      state.SkipWithError("challenge pool exhausted");
+      break;
+    }
+    benchmark::DoNotOptimize(verifier.verify(chals[i], report_sets[i]));
+    ++i;
+  }
+}
+BENCHMARK(BM_VerifierReplay)->Iterations(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

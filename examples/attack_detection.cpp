@@ -1,0 +1,121 @@
+// Attack detection: a stack-smashing ROP delivered through the syringe
+// pump's input channel analog — the exploit succeeds on the device, and the
+// Verifier's path reconstruction exposes the hijacked return (§IV-F).
+//
+//   $ ./attack_detection
+#include <cstdio>
+
+#include "apps/runner.hpp"
+#include "asm/assembler.hpp"
+#include "common/hex.hpp"
+
+using namespace raptrack;
+
+namespace {
+
+constexpr const char* kFirmware = R"asm(
+.equ UART_RX,   0x40000000
+.equ ADC,       0x40000010
+.equ ACTUATOR,  0x40000050
+.equ RES,       0x20200000
+
+_start:
+    bl receive_config
+    li r1, =RES
+    movi r0, #1            ; "configuration accepted"
+    str r0, [r1]
+    hlt
+
+; The target the attacker wants: unconditionally fires the actuator.
+dispense_full_dose:
+    li r1, =ACTUATOR
+    li r0, =0xd05e
+    str r0, [r1]
+    li r1, =RES
+    movi r0, #2            ; "dose dispensed"
+    str r0, [r1]
+    hlt
+
+; Vulnerable: copies `len` calibration words into an 8-byte stack buffer.
+receive_config:
+    push {r4, r5, r6, lr}
+    sub sp, sp, #8
+    li r4, =UART_RX
+    ldr r5, [r4]           ; attacker-controlled length
+    li r4, =ADC
+    movi r6, #0
+copy:
+    cmp r6, r5
+    bge out
+    ldr r0, [r4]
+    lsl r1, r6, #2
+    add r1, r1, sp
+    str r0, [r1]           ; no bounds check
+    addi r6, r6, #1
+    b copy
+out:
+    add sp, sp, #8
+    pop {r4, r5, r6, pc}
+__code_end:
+)asm";
+
+int attest_and_verify(const char* label, u8 length,
+                      std::vector<u32> payload) {
+  const Program original = assemble(kFirmware, apps::kAppBase);
+  const Address entry = *original.symbol("_start");
+  const auto rewritten = rewrite::rewrite_for_rap_track(
+      original, entry, original.base(), *original.symbol("__code_end"));
+
+  verify::Verifier verifier(apps::demo_key());
+  verifier.expect_rap(rewritten.program, rewritten.manifest, entry);
+  const cfa::Challenge chal = verifier.fresh_challenge();
+
+  sim::Machine machine;
+  auto periph = std::make_shared<apps::Peripherals>();
+  periph->uart_rx.push_back(length);
+  periph->adc_values = std::move(payload);
+  periph->attach(machine);
+
+  cfa::RapProver prover(rewritten.program, rewritten.manifest, entry,
+                        apps::demo_key());
+  const auto run = prover.attest(machine, chal);
+
+  std::printf("--- %s ---\n", label);
+  std::printf("device outcome: RES = %u, actuator writes = %zu\n",
+              machine.memory().raw_read32(0x2020'0000),
+              periph->actuator_writes.size());
+
+  const auto result = verifier.verify(chal, run.reports);
+  std::printf("verifier: authentic=%d memory=%d reconstruction=%d policy=%d"
+              " -> %s\n",
+              result.authentic, result.memory_ok, result.reconstruction_ok,
+              result.policy_ok,
+              result.accepted() ? "ACCEPTED" : "REJECTED");
+  for (const auto& finding : result.replay.findings) {
+    std::printf("  finding at %s: %s\n", hex32(finding.site).c_str(),
+                finding.description.c_str());
+  }
+  std::printf("\n");
+  return result.accepted() ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  const Program original = assemble(kFirmware, apps::kAppBase);
+  const Address gadget = *original.symbol("dispense_full_dose");
+
+  // Benign configuration: two calibration words, fits the buffer.
+  const int benign = attest_and_verify("benign configuration", 2, {7, 9});
+
+  // Exploit: overflow six words; the sixth lands on the saved return
+  // address and redirects the return into dispense_full_dose.
+  const int attacked = attest_and_verify(
+      "stack-smash exploit", 6, {7, 9, 0xaa, 0xbb, 0xcc, gadget});
+
+  // Expect: benign accepted (0), attack rejected (1).
+  const bool demo_ok = benign == 0 && attacked == 1;
+  std::printf("demo %s: benign run accepted, exploited run convicted\n",
+              demo_ok ? "OK" : "FAILED");
+  return demo_ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Evaluation workload framework. Each App carries its RT-ISA assembly
+// source (mirroring the control-flow structure of the paper's open-source
+// MCU applications and BEEBS kernels), a peripheral-stimulus setup, and a
+// golden-model functional check — so every rewriting pass can be validated
+// for semantic preservation, not just for log shape.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/peripherals.hpp"
+#include "asm/program.hpp"
+#include "sim/machine.hpp"
+
+namespace raptrack::apps {
+
+struct App {
+  std::string name;
+  std::string description;
+  std::string source;  ///< RT-ISA assembly
+
+  /// Attach and stimulate peripherals for a seeded run. The returned object
+  /// must outlive the machine run (MMIO handlers reference it).
+  std::function<std::shared_ptr<Peripherals>(sim::Machine&, u64 seed)> setup;
+
+  /// Golden-model check after the run: recompute expected results from the
+  /// same seed and compare against the app's RAM outputs.
+  std::function<bool(sim::Machine&, const Peripherals&, u64 seed)> check;
+};
+
+/// Common layout constants shared by all app sources.
+inline constexpr Address kAppBase = 0x0020'0000;       // NS flash
+inline constexpr Address kResultBase = 0x2020'0000;    // NS RAM results
+inline constexpr Address kScratchBase = 0x2020'1000;   // NS RAM scratch
+
+struct BuiltApp {
+  const App* app = nullptr;
+  Program program;
+  Address entry = 0;
+  Address code_begin = 0;
+  Address code_end = 0;
+};
+
+/// Assemble an app and resolve its `_start` / `__code_end` symbols.
+BuiltApp build_app(const App& app);
+
+/// The full evaluation suite (5 MCU applications + 5 BEEBS kernels,
+/// matching the paper's §I/§V workload list).
+const std::vector<App>& app_registry();
+
+/// Look up one app by name (throws if unknown).
+const App& app_by_name(const std::string& name);
+
+}  // namespace raptrack::apps

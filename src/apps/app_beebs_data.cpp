@@ -1,0 +1,251 @@
+// BEEBS kernels, part 2: bubblesort (data-dependent swap branches) and
+// matmult (nested fixed loops — the all-deterministic showcase).
+#include <utility>
+
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// bubblesort: sort a 32-word LCG array, count swaps, checksum the result.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBubbleSource = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_SUM,   0x20200000
+.equ RES_SWAPS, 0x20200004
+.equ ARR,       0x20201000
+
+_start:
+    li r0, =TICKS
+    ldr r5, [r0]           ; LCG state
+    li r10, =ARR
+    movi r1, #0
+fill_loop:
+    li r2, =1103515245
+    mul r5, r5, r2
+    li r2, =12345
+    add r5, r5, r2
+    lsr r3, r5, #16        ; keep values small and positive
+    str r3, [r10, r1, lsl #2]
+    addi r1, r1, #1
+    cmp r1, #32
+    blt fill_loop
+
+    movi r8, #0            ; swap count
+    movi r6, #0            ; outer index i
+outer_loop:
+    movi r7, #0            ; inner index j
+inner_loop:
+    ldr r0, [r10, r7, lsl #2]
+    addi r1, r7, #1
+    ldr r2, [r10, r1, lsl #2]
+    cmp r0, r2
+    ble no_swap
+    str r2, [r10, r7, lsl #2]
+    str r0, [r10, r1, lsl #2]
+    addi r8, r8, #1
+no_swap:
+    addi r7, r7, #1
+    cmp r7, #31
+    blt inner_loop
+    addi r6, r6, #1
+    cmp r6, #31
+    blt outer_loop
+
+    ; checksum = sum(arr[i] * (i+1))
+    movi r4, #0
+    movi r1, #0
+sum_loop:
+    ldr r0, [r10, r1, lsl #2]
+    addi r2, r1, #1
+    mul r0, r0, r2
+    add r4, r4, r0
+    addi r1, r1, #1
+    cmp r1, #32
+    blt sum_loop
+
+    li r1, =RES_SUM
+    str r4, [r1, #0]
+    str r8, [r1, #4]
+    hlt
+
+__code_end:
+)asm";
+
+struct BubbleGolden {
+  u32 checksum = 0;
+  u32 swaps = 0;
+};
+
+BubbleGolden bubble_golden(u32 lcg_seed) {
+  u32 state = lcg_seed;
+  u32 arr[32];
+  for (u32& v : arr) {
+    state = state * 1103515245u + 12345u;
+    v = state >> 16;
+  }
+  BubbleGolden golden;
+  for (u32 i = 0; i < 31; ++i) {
+    for (u32 j = 0; j < 31; ++j) {
+      if (static_cast<i32>(arr[j]) > static_cast<i32>(arr[j + 1])) {
+        std::swap(arr[j], arr[j + 1]);
+        ++golden.swaps;
+      }
+    }
+  }
+  for (u32 i = 0; i < 32; ++i) golden.checksum += arr[i] * (i + 1);
+  return golden;
+}
+
+// ---------------------------------------------------------------------------
+// matmult: 6x6 integer matrix product, fully fixed iteration structure.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kMatmultSource = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_SUM,   0x20200000
+.equ MATA,      0x20201000
+.equ MATB,      0x20201090   ; A + 36 words (filled by one 72-word pass)
+.equ MATC,      0x20201200
+
+_start:
+    li r0, =TICKS
+    ldr r5, [r0]           ; LCG state
+    ; fill A and B (72 words) with small values
+    li r10, =MATA
+    movi r1, #0
+fill_loop:
+    li r2, =1103515245
+    mul r5, r5, r2
+    li r2, =12345
+    add r5, r5, r2
+    lsr r3, r5, #24        ; 0..255
+    str r3, [r10, r1, lsl #2]
+    addi r1, r1, #1
+    cmp r1, #72
+    blt fill_loop
+
+    ; C = A * B, 6x6
+    li r9, =MATA
+    li r10, =MATB
+    li r11, =MATC
+    movi r6, #0            ; i
+row_loop:
+    movi r7, #0            ; j
+col_loop:
+    movi r4, #0            ; acc
+    movi r8, #0            ; k
+dot_loop:
+    ; acc += A[i*6+k] * B[k*6+j]
+    movi r0, #6
+    mul r0, r6, r0
+    add r0, r0, r8
+    ldr r1, [r9, r0, lsl #2]
+    movi r0, #6
+    mul r0, r8, r0
+    add r0, r0, r7
+    ldr r2, [r10, r0, lsl #2]
+    mul r1, r1, r2
+    add r4, r4, r1
+    addi r8, r8, #1
+    cmp r8, #6
+    blt dot_loop
+    ; C[i*6+j] = acc
+    movi r0, #6
+    mul r0, r6, r0
+    add r0, r0, r7
+    str r4, [r11, r0, lsl #2]
+    addi r7, r7, #1
+    cmp r7, #6
+    blt col_loop
+    addi r6, r6, #1
+    cmp r6, #6
+    blt row_loop
+
+    ; result = sum of C's diagonal
+    movi r4, #0
+    movi r1, #0
+diag_loop:
+    movi r0, #7            ; index stride for the diagonal (i*6+i = 7i)
+    mul r0, r1, r0
+    ldr r2, [r11, r0, lsl #2]
+    add r4, r4, r2
+    addi r1, r1, #1
+    cmp r1, #6
+    blt diag_loop
+
+    li r1, =RES_SUM
+    str r4, [r1]
+    hlt
+
+__code_end:
+)asm";
+
+u32 matmult_golden(u32 lcg_seed) {
+  u32 state = lcg_seed;
+  u32 mats[72];
+  for (u32& v : mats) {
+    state = state * 1103515245u + 12345u;
+    v = state >> 24;
+  }
+  const u32* a = mats;
+  const u32* b = mats + 36;
+  u32 c[36] = {};
+  for (u32 i = 0; i < 6; ++i) {
+    for (u32 j = 0; j < 6; ++j) {
+      u32 acc = 0;
+      for (u32 k = 0; k < 6; ++k) acc += a[i * 6 + k] * b[k * 6 + j];
+      c[i * 6 + j] = acc;
+    }
+  }
+  u32 trace = 0;
+  for (u32 i = 0; i < 6; ++i) trace += c[i * 6 + i];
+  return trace;
+}
+
+}  // namespace
+
+App make_bubblesort_app() {
+  App app;
+  app.name = "bubblesort";
+  app.description = "BEEBS bubblesort: data-dependent swap branches";
+  app.source = kBubbleSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->tick_step = static_cast<u32>(SplitMix64(seed ^ 0x62756262).next());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals& periph, u64 seed) {
+    (void)seed;
+    const BubbleGolden golden = bubble_golden(periph.tick_step);
+    const auto& mem = machine.memory();
+    return mem.raw_read32(kResultBase + 0) == golden.checksum &&
+           mem.raw_read32(kResultBase + 4) == golden.swaps;
+  };
+  return app;
+}
+
+App make_matmult_app() {
+  App app;
+  app.name = "matmult";
+  app.description = "BEEBS matmult: nested fixed loops (deterministic showcase)";
+  app.source = kMatmultSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->tick_step = static_cast<u32>(SplitMix64(seed ^ 0x6d61746d).next());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals& periph, u64 seed) {
+    (void)seed;
+    return machine.memory().raw_read32(kResultBase) ==
+           matmult_golden(periph.tick_step);
+  };
+  return app;
+}
+
+}  // namespace raptrack::apps

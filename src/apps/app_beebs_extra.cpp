@@ -1,0 +1,385 @@
+// BEEBS kernels, part 3 (extended suite): binsearch (data-dependent
+// bisection), fir (multiply-accumulate over fixed windows — deterministic
+// loops with a data-dependent saturation branch), and insertsort
+// (data-dependent inner while loops, the Fig 6 backward shape).
+#include <utility>
+
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// binsearch: look up 16 probe keys in a sorted 64-word table.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBinsearchSource = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_HITS,  0x20200000
+.equ RES_STEPS, 0x20200004
+.equ ARR,       0x20201000
+
+_start:
+    li r0, =TICKS
+    ldr r5, [r0]           ; LCG state
+    li r10, =ARR
+    ; sorted table: a[i] = a[i-1] + (rand & 15) + 1
+    movi r1, #0
+    movi r2, #0
+fill_loop:
+    li r3, =1103515245
+    mul r5, r5, r3
+    li r3, =12345
+    add r5, r5, r3
+    lsr r3, r5, #20
+    andi r3, r3, #15
+    addi r3, r3, #1
+    add r2, r2, r3
+    str r2, [r10, r1, lsl #2]
+    addi r1, r1, #1
+    cmp r1, #64
+    blt fill_loop
+
+    movi r8, #0            ; hits
+    movi r9, #0            ; total probe steps
+    movi r6, #0            ; probe index
+probe_loop:
+    ; probe key from the LCG (may or may not be present)
+    li r3, =1103515245
+    mul r5, r5, r3
+    li r3, =12345
+    add r5, r5, r3
+    lsr r0, r5, #22        ; key in approx table range
+    bl bsearch
+    add r8, r8, r0
+    addi r6, r6, #1
+    cmp r6, #16
+    blt probe_loop
+
+    li r1, =RES_HITS
+    str r8, [r1, #0]
+    str r9, [r1, #4]
+    hlt
+
+; bsearch(r0 = key) -> r0 = 1 if found else 0. Counts steps in r9.
+bsearch:
+    push {r4, r5, r6, r7, lr}
+    mov r7, r0             ; key
+    movi r4, #0            ; lo
+    movi r5, #63           ; hi
+bs_loop:
+    cmp r4, r5
+    bgt bs_miss
+    addi r9, r9, #1
+    add r6, r4, r5
+    lsr r6, r6, #1         ; mid
+    ldr r0, [r10, r6, lsl #2]
+    cmp r0, r7
+    beq bs_hit
+    blt bs_go_right
+    sub r5, r6, #1         ; hi = mid - 1
+    b bs_loop
+bs_go_right:
+    addi r4, r6, #1        ; lo = mid + 1
+    b bs_loop
+bs_hit:
+    movi r0, #1
+    pop {r4, r5, r6, r7, pc}
+bs_miss:
+    movi r0, #0
+    pop {r4, r5, r6, r7, pc}
+
+__code_end:
+)asm";
+
+struct BinsearchGolden {
+  u32 hits = 0;
+  u32 steps = 0;
+};
+
+BinsearchGolden binsearch_golden(u32 lcg_seed) {
+  u32 state = lcg_seed;
+  const auto next = [&] {
+    state = state * 1103515245u + 12345u;
+    return state;
+  };
+  u32 arr[64];
+  u32 acc = 0;
+  for (u32 i = 0; i < 64; ++i) {
+    acc += ((next() >> 20) & 15) + 1;
+    arr[i] = acc;
+  }
+  BinsearchGolden golden;
+  for (u32 p = 0; p < 16; ++p) {
+    const u32 key = next() >> 22;
+    i32 lo = 0, hi = 63;
+    while (lo <= hi) {
+      ++golden.steps;
+      const i32 mid = (lo + hi) >> 1;
+      if (arr[mid] == key) {
+        ++golden.hits;
+        break;
+      }
+      if (static_cast<i32>(arr[mid]) < static_cast<i32>(key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+  }
+  return golden;
+}
+
+// ---------------------------------------------------------------------------
+// fir: 8-tap FIR over 48 samples with output saturation.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kFirSource = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_SUM,   0x20200000
+.equ RES_SAT,   0x20200004
+.equ SAMPLES,   0x20201000
+.equ SAT_LIMIT, 30000
+
+_start:
+    li r0, =TICKS
+    ldr r5, [r0]
+    li r10, =SAMPLES
+    movi r1, #0
+fill_loop:
+    li r2, =1103515245
+    mul r5, r5, r2
+    li r2, =12345
+    add r5, r5, r2
+    lsr r3, r5, #22        ; 10-bit samples
+    str r3, [r10, r1, lsl #2]
+    addi r1, r1, #1
+    cmp r1, #56
+    blt fill_loop
+
+    li r11, =taps
+    movi r8, #0            ; output checksum
+    movi r9, #0            ; saturation count
+    movi r6, #0            ; output index
+out_loop:
+    movi r4, #0            ; accumulator
+    movi r7, #0            ; tap index (fixed 8 iterations: deterministic)
+mac_loop:
+    add r0, r6, r7
+    ldr r1, [r10, r0, lsl #2]
+    ldr r2, [r11, r7, lsl #2]
+    mul r1, r1, r2
+    add r4, r4, r1
+    addi r7, r7, #1
+    cmp r7, #8
+    blt mac_loop
+    ; saturate (data-dependent branch)
+    li r1, =SAT_LIMIT
+    cmp r4, r1
+    ble no_sat
+    mov r4, r1
+    addi r9, r9, #1
+no_sat:
+    add r8, r8, r4
+    addi r6, r6, #1
+    cmp r6, #48
+    blt out_loop
+
+    li r1, =RES_SUM
+    str r8, [r1, #0]
+    str r9, [r1, #4]
+    hlt
+
+__code_end:
+.align 4
+taps:
+    .word 1
+    .word 3
+    .word 7
+    .word 12
+    .word 12
+    .word 7
+    .word 3
+    .word 1
+)asm";
+
+struct FirGolden {
+  u32 checksum = 0;
+  u32 saturations = 0;
+};
+
+FirGolden fir_golden(u32 lcg_seed) {
+  static constexpr u32 kTaps[8] = {1, 3, 7, 12, 12, 7, 3, 1};
+  u32 state = lcg_seed;
+  u32 samples[56];
+  for (u32& s : samples) {
+    state = state * 1103515245u + 12345u;
+    s = state >> 22;
+  }
+  FirGolden golden;
+  for (u32 i = 0; i < 48; ++i) {
+    u32 acc = 0;
+    for (u32 t = 0; t < 8; ++t) acc += samples[i + t] * kTaps[t];
+    if (static_cast<i32>(acc) > 30000) {
+      acc = 30000;
+      ++golden.saturations;
+    }
+    golden.checksum += acc;
+  }
+  return golden;
+}
+
+// ---------------------------------------------------------------------------
+// insertsort: 24-word insertion sort (data-dependent inner while loops).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kInsertsortSource = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_SUM,   0x20200000
+.equ RES_MOVES, 0x20200004
+.equ ARR,       0x20201000
+
+_start:
+    li r0, =TICKS
+    ldr r5, [r0]
+    li r10, =ARR
+    movi r1, #0
+fill_loop:
+    li r2, =1103515245
+    mul r5, r5, r2
+    li r2, =12345
+    add r5, r5, r2
+    lsr r3, r5, #18
+    str r3, [r10, r1, lsl #2]
+    addi r1, r1, #1
+    cmp r1, #24
+    blt fill_loop
+
+    movi r9, #0            ; move count
+    movi r6, #1            ; i
+outer_loop:
+    ldr r4, [r10, r6, lsl #2]   ; key
+    sub r7, r6, #1              ; j
+inner_loop:
+    cmp r7, #0
+    blt insert
+    ldr r0, [r10, r7, lsl #2]
+    cmp r0, r4
+    ble insert
+    addi r1, r7, #1
+    str r0, [r10, r1, lsl #2]   ; shift right
+    addi r9, r9, #1
+    sub r7, r7, #1
+    b inner_loop
+insert:
+    addi r1, r7, #1
+    str r4, [r10, r1, lsl #2]
+    addi r6, r6, #1
+    cmp r6, #24
+    blt outer_loop
+
+    ; checksum = sum(arr[i] * (i+1))
+    movi r8, #0
+    movi r1, #0
+sum_loop:
+    ldr r0, [r10, r1, lsl #2]
+    addi r2, r1, #1
+    mul r0, r0, r2
+    add r8, r8, r0
+    addi r1, r1, #1
+    cmp r1, #24
+    blt sum_loop
+
+    li r1, =RES_SUM
+    str r8, [r1, #0]
+    str r9, [r1, #4]
+    hlt
+
+__code_end:
+)asm";
+
+struct InsertsortGolden {
+  u32 checksum = 0;
+  u32 moves = 0;
+};
+
+InsertsortGolden insertsort_golden(u32 lcg_seed) {
+  u32 state = lcg_seed;
+  u32 arr[24];
+  for (u32& v : arr) {
+    state = state * 1103515245u + 12345u;
+    v = state >> 18;
+  }
+  InsertsortGolden golden;
+  for (i32 i = 1; i < 24; ++i) {
+    const u32 key = arr[i];
+    i32 j = i - 1;
+    while (j >= 0 && static_cast<i32>(arr[j]) > static_cast<i32>(key)) {
+      arr[j + 1] = arr[j];
+      ++golden.moves;
+      --j;
+    }
+    arr[j + 1] = key;
+  }
+  for (u32 i = 0; i < 24; ++i) golden.checksum += arr[i] * (i + 1);
+  return golden;
+}
+
+App make_lcg_app(const char* name, const char* description, const char* source,
+                 u32 name_salt,
+                 std::function<bool(sim::Machine&, u32)> check_fn) {
+  App app;
+  app.name = name;
+  app.description = description;
+  app.source = source;
+  app.setup = [name_salt](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->tick_step = static_cast<u32>(SplitMix64(seed ^ name_salt).next());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [check_fn = std::move(check_fn)](
+                  sim::Machine& machine, const Peripherals& periph, u64 seed) {
+    (void)seed;
+    return check_fn(machine, periph.tick_step);
+  };
+  return app;
+}
+
+}  // namespace
+
+App make_binsearch_app() {
+  return make_lcg_app(
+      "binsearch", "BEEBS binarysearch: data-dependent bisection",
+      kBinsearchSource, 0x62736561, [](sim::Machine& machine, u32 lcg) {
+        const BinsearchGolden golden = binsearch_golden(lcg);
+        const auto& mem = machine.memory();
+        return mem.raw_read32(kResultBase + 0) == golden.hits &&
+               mem.raw_read32(kResultBase + 4) == golden.steps;
+      });
+}
+
+App make_fir_app() {
+  return make_lcg_app(
+      "fir", "BEEBS fir: 8-tap MAC windows with saturation", kFirSource,
+      0x66697200, [](sim::Machine& machine, u32 lcg) {
+        const FirGolden golden = fir_golden(lcg);
+        const auto& mem = machine.memory();
+        return mem.raw_read32(kResultBase + 0) == golden.checksum &&
+               mem.raw_read32(kResultBase + 4) == golden.saturations;
+      });
+}
+
+App make_insertsort_app() {
+  return make_lcg_app(
+      "insertsort", "BEEBS insertsort: data-dependent shifting loops",
+      kInsertsortSource, 0x696e7372, [](sim::Machine& machine, u32 lcg) {
+        const InsertsortGolden golden = insertsort_golden(lcg);
+        const auto& mem = machine.memory();
+        return mem.raw_read32(kResultBase + 0) == golden.checksum &&
+               mem.raw_read32(kResultBase + 4) == golden.moves;
+      });
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,267 @@
+// BEEBS kernels, part 1: prime (trial division — variable-count loops),
+// crc32 (fixed-bound bit loops — deterministic-loop showcase), and fibcall
+// (deep recursion — monitored POP-pc returns).
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// prime: count primes in [2, N], N = 150 + (ticks & 63).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kPrimeSource = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_COUNT, 0x20200000
+.equ RES_N,     0x20200004
+
+_start:
+    li r0, =TICKS
+    ldr r0, [r0]
+    andi r0, r0, #63
+    addi r8, r0, #150      ; N
+    movi r4, #0            ; prime count
+    movi r5, #2            ; candidate
+cand_loop:
+    cmp r5, r8
+    bgt done
+    mov r0, r5
+    bl is_prime
+    cmp r0, #0
+    beq next_cand
+    addi r4, r4, #1
+next_cand:
+    addi r5, r5, #1
+    b cand_loop
+done:
+    li r1, =RES_COUNT
+    str r4, [r1, #0]
+    str r8, [r1, #4]
+    hlt
+
+; is_prime(r0=n) -> r0 = 1/0. Uses trial division with d*d <= n.
+is_prime:
+    push {r4, r5, r6, lr}
+    mov r4, r0             ; n
+    cmp r4, #2
+    blt ip_no
+    beq ip_yes
+    movi r5, #2            ; divisor
+ip_loop:
+    mul r6, r5, r5
+    cmp r6, r4
+    bgt ip_yes             ; d*d > n: prime
+    udiv r6, r4, r5
+    mul r6, r6, r5
+    cmp r6, r4             ; n % d == 0 ?
+    beq ip_no
+    addi r5, r5, #1
+    b ip_loop
+ip_yes:
+    movi r0, #1
+    pop {r4, r5, r6, pc}
+ip_no:
+    movi r0, #0
+    pop {r4, r5, r6, pc}
+
+__code_end:
+)asm";
+
+u32 prime_golden(u32 n) {
+  u32 count = 0;
+  for (u32 candidate = 2; candidate <= n; ++candidate) {
+    bool prime = candidate >= 2;
+    for (u32 d = 2; d * d <= candidate; ++d) {
+      if (candidate % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// crc32 over a 64-word LCG-filled buffer; bitwise (8 fixed iterations).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCrc32Source = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_CRC,   0x20200000
+.equ BUF,       0x20201000
+
+_start:
+    ; fill 64 words from an LCG seeded by the tick register
+    li r0, =TICKS
+    ldr r5, [r0]           ; LCG state
+    li r10, =BUF
+    movi r1, #0
+fill_loop:
+    li r2, =1103515245
+    mul r5, r5, r2
+    li r2, =12345
+    add r5, r5, r2
+    str r5, [r10, r1, lsl #2]
+    addi r1, r1, #1
+    cmp r1, #64
+    blt fill_loop
+
+    ; crc32 (reflected, poly 0xEDB88320), one byte per word (low byte)
+    li r4, =0xFFFFFFFF     ; crc
+    li r9, =0xEDB88320
+    movi r6, #0            ; word index
+word_loop:
+    ldr r0, [r10, r6, lsl #2]
+    andi r0, r0, #255
+    eor r4, r4, r0
+    movi r7, #0            ; bit counter: fixed 8 iterations
+bit_loop:
+    andi r1, r4, #1
+    lsr r4, r4, #1
+    cmp r1, #0
+    beq no_poly
+    eor r4, r4, r9
+no_poly:
+    addi r7, r7, #1
+    cmp r7, #8
+    blt bit_loop
+    addi r6, r6, #1
+    cmp r6, #64
+    blt word_loop
+
+    mvn r4, r4
+    li r1, =RES_CRC
+    str r4, [r1]
+    hlt
+
+__code_end:
+)asm";
+
+u32 crc32_golden(u32 lcg_seed) {
+  u32 state = lcg_seed;
+  u32 crc = 0xffff'ffff;
+  for (u32 i = 0; i < 64; ++i) {
+    state = state * 1103515245u + 12345u;
+    u32 byte = state & 0xff;
+    crc ^= byte;
+    for (u32 bit = 0; bit < 8; ++bit) {
+      const bool lsb = (crc & 1) != 0;
+      crc >>= 1;
+      if (lsb) crc ^= 0xEDB88320u;
+    }
+  }
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// fibcall: recursive Fibonacci, n = 8 + (ticks & 7).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kFibSource = R"asm(
+.equ TICKS,     0x40000040
+.equ RES_FIB,   0x20200000
+.equ RES_N,     0x20200004
+
+_start:
+    li r0, =TICKS
+    ldr r0, [r0]
+    andi r0, r0, #7
+    addi r0, r0, #8        ; n in [8, 15]
+    mov r8, r0
+    bl fib
+    li r1, =RES_FIB
+    str r0, [r1, #0]
+    str r8, [r1, #4]
+    hlt
+
+; fib(r0=n) -> r0, classic double recursion (returns via POP {…,pc}).
+fib:
+    push {r4, r5, lr}
+    cmp r0, #2
+    blt fib_base
+    mov r4, r0
+    sub r0, r4, #1
+    bl fib
+    mov r5, r0
+    sub r0, r4, #2
+    bl fib
+    add r0, r5, r0
+    pop {r4, r5, pc}
+fib_base:
+    pop {r4, r5, pc}
+
+__code_end:
+)asm";
+
+u32 fib_golden(u32 n) {
+  if (n < 2) return n;
+  return fib_golden(n - 1) + fib_golden(n - 2);
+}
+
+}  // namespace
+
+App make_prime_app() {
+  App app;
+  app.name = "prime";
+  app.description = "BEEBS prime: trial-division prime counting";
+  app.source = kPrimeSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->tick_step = static_cast<u32>(SplitMix64(seed ^ 0x7072696d).next());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals& periph, u64 seed) {
+    (void)seed;
+    const u32 first_tick = periph.tick_step;  // first TICKS read returns this
+    const u32 n = 150 + (first_tick & 63);
+    const auto& mem = machine.memory();
+    return mem.raw_read32(kResultBase + 4) == n &&
+           mem.raw_read32(kResultBase + 0) == prime_golden(n);
+  };
+  return app;
+}
+
+App make_crc32_app() {
+  App app;
+  app.name = "crc32";
+  app.description = "BEEBS crc32: fixed-bound bit loops over an LCG buffer";
+  app.source = kCrc32Source;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->tick_step = static_cast<u32>(SplitMix64(seed ^ 0x63726332).next());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals& periph, u64 seed) {
+    (void)seed;
+    const u32 golden = crc32_golden(periph.tick_step);
+    return machine.memory().raw_read32(kResultBase) == golden;
+  };
+  return app;
+}
+
+App make_fibcall_app() {
+  App app;
+  app.name = "fibcall";
+  app.description = "BEEBS fibcall: recursive Fibonacci (monitored returns)";
+  app.source = kFibSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->tick_step = static_cast<u32>(SplitMix64(seed ^ 0x666962).next());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals& periph, u64 seed) {
+    (void)seed;
+    const u32 n = 8 + (periph.tick_step & 7);
+    const auto& mem = machine.memory();
+    return mem.raw_read32(kResultBase + 4) == n &&
+           mem.raw_read32(kResultBase + 0) == fib_golden(n);
+  };
+  return app;
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,117 @@
+// Geiger counter, modeled on ArduinoPocketGeiger: windowed pulse counting,
+// a severity lookup table in flash (data loads via register-offset
+// addressing), CPM statistics, and burst alerts.
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+constexpr const char* kGeigerSource = R"asm(
+.equ GEIGER,    0x40000030
+.equ ACTUATOR,  0x40000050
+.equ RES_TOTAL, 0x20200000
+.equ RES_BURST, 0x20200004
+.equ RES_SEV,   0x20200008
+
+_start:
+    li r9, =GEIGER
+    li r10, =severity_table
+    movi r4, #0            ; window index
+    movi r5, #0            ; total pulse count
+    movi r6, #0            ; burst count
+    movi r8, #0            ; severity sum
+window_loop:
+    ldr r0, [r9]           ; pulses in this window
+    add r5, r5, r0
+    ; severity = table[min(count >> 4, 7)]
+    lsr r1, r0, #4
+    cmp r1, #7
+    ble idx_ok
+    movi r1, #7
+idx_ok:
+    ldr r2, [r10, r1, lsl #2]
+    add r8, r8, r2
+    ; burst alert
+    cmp r0, #30
+    ble no_burst
+    addi r6, r6, #1
+    li r1, =ACTUATOR
+    str r0, [r1]
+no_burst:
+    addi r4, r4, #1
+    cmp r4, #24
+    blt window_loop
+
+    li r1, =RES_TOTAL
+    str r5, [r1, #0]
+    str r6, [r1, #4]
+    str r8, [r1, #8]
+    hlt
+
+__code_end:
+.align 4
+severity_table:
+    .word 0
+    .word 1
+    .word 2
+    .word 4
+    .word 6
+    .word 9
+    .word 13
+    .word 20
+)asm";
+
+constexpr u32 kWindows = 24;
+
+struct GeigerGolden {
+  u32 total = 0;
+  u32 bursts = 0;
+  u32 severity = 0;
+};
+
+GeigerGolden geiger_golden(const std::vector<u32>& counts) {
+  static constexpr u32 kTable[8] = {0, 1, 2, 4, 6, 9, 13, 20};
+  GeigerGolden golden;
+  size_t pos = 0;
+  const auto next = [&]() {
+    const u32 v = counts[pos];
+    if (pos + 1 < counts.size()) ++pos;
+    return v;
+  };
+  for (u32 i = 0; i < kWindows; ++i) {
+    const u32 count = next();
+    golden.total += count;
+    u32 idx = count >> 4;
+    if (static_cast<i32>(idx) > 7) idx = 7;
+    golden.severity += kTable[idx];
+    if (static_cast<i32>(count) > 30) ++golden.bursts;
+  }
+  return golden;
+}
+
+}  // namespace
+
+App make_geiger_app() {
+  App app;
+  app.name = "geiger";
+  app.description = "Pocket Geiger (windowed CPM, severity lookup, burst alerts)";
+  app.source = kGeigerSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->geiger_counts = make_geiger_counts(seed, kWindows);
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals&, u64 seed) {
+    const GeigerGolden golden =
+        geiger_golden(make_geiger_counts(seed, kWindows));
+    const auto& mem = machine.memory();
+    return mem.raw_read32(kResultBase + 0) == golden.total &&
+           mem.raw_read32(kResultBase + 4) == golden.bursts &&
+           mem.raw_read32(kResultBase + 8) == golden.severity;
+  };
+  return app;
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,210 @@
+// GPS NMEA parser, modeled on the TinyGPS++ workload of the paper: a
+// character-driven parser with a jump-table state machine (indirect jumps),
+// per-character checksum loops, and nested field parsing — the most
+// branch-dense app in the suite (it shows the largest naive-MTB blowup).
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+constexpr const char* kGpsSource = R"asm(
+.equ UART_RX,   0x40000000
+.equ RES_VALID, 0x20200000
+.equ RES_BAD,   0x20200004
+.equ RES_SUM,   0x20200008
+
+_start:
+    li r10, =UART_RX
+    movi r4, #0            ; valid-sentence count
+    movi r5, #0            ; checksum-failure count
+    movi r6, #0            ; sum of first-field values
+main_loop:
+    ldr r0, [r10]
+    cmp r0, #-1
+    beq done
+    cmp r0, #'$'
+    bne main_loop          ; hunt for sentence start
+    bl parse_sentence      ; r0 = 1/0 valid, r1 = first field value
+    cmp r0, #0
+    beq bad_sentence
+    addi r4, r4, #1
+    add r6, r6, r1
+    b main_loop
+bad_sentence:
+    addi r5, r5, #1
+    b main_loop
+done:
+    li r7, =RES_VALID
+    str r4, [r7, #0]
+    str r5, [r7, #4]
+    str r6, [r7, #8]
+    hlt
+
+; ---------------------------------------------------------------------------
+; parse_sentence: consumes chars after '$' through the checksum.
+;   returns r0 = 1 (checksum ok) / 0, r1 = value of the first numeric field.
+;   r4 = running xor, r5 = field value, r6 = parser state (0/1/2)
+; ---------------------------------------------------------------------------
+parse_sentence:
+    push {r4, r5, r6, r7, lr}
+    li r7, =UART_RX
+    movi r4, #0
+    movi r5, #0
+    movi r6, #0
+ps_loop:
+    ldr r0, [r7]
+    cmp r0, #-1
+    beq ps_fail
+    cmp r0, #'*'
+    beq ps_checksum
+    eor r4, r4, r0
+    li r2, =state_table    ; jump-table dispatch on parser state
+    ldr pc, [r2, r6, lsl #2]
+
+st_seek_comma:
+    cmp r0, #','
+    bne ps_loop
+    movi r6, #1
+    b ps_loop
+
+st_in_field:
+    cmp r0, #','
+    beq st_field_end
+    cmp r0, #'0'
+    blt ps_loop
+    cmp r0, #'9'
+    bgt ps_loop
+    movi r1, #10
+    mul r5, r5, r1
+    sub r0, r0, #'0'
+    add r5, r5, r0
+    b ps_loop
+
+st_field_end:
+    movi r6, #2
+    b ps_loop
+
+st_tail:
+    b ps_loop
+
+ps_checksum:
+    bl read_hex_digit
+    lsl r1, r0, #4
+    bl read_hex_digit
+    add r1, r1, r0
+    cmp r1, r4
+    bne ps_fail
+    movi r0, #1
+    b ps_end
+ps_fail:
+    movi r0, #0
+    movi r5, #0
+ps_end:
+    mov r1, r5
+    pop {r4, r5, r6, r7, pc}
+
+; read_hex_digit: leaf, consumes one uppercase-hex char -> r0 = value.
+read_hex_digit:
+    ldr r0, [r7]
+    cmp r0, #-1
+    beq rh_bad
+    cmp r0, #'9'
+    bgt rh_alpha
+    sub r0, r0, #'0'
+    bx lr
+rh_alpha:
+    sub r0, r0, #55        ; 'A' - 10
+    bx lr
+rh_bad:
+    movi r0, #0
+    bx lr
+
+__code_end:
+.align 4
+state_table:
+    .word st_seek_comma
+    .word st_in_field
+    .word st_tail
+)asm";
+
+struct GpsGolden {
+  u32 valid = 0;
+  u32 bad = 0;
+  u32 field_sum = 0;
+};
+
+/// Mirrors the assembly parser exactly (same state machine and checksum).
+GpsGolden gps_golden(const std::vector<u8>& stream) {
+  GpsGolden golden;
+  size_t i = 0;
+  const auto next = [&]() -> int {
+    return i < stream.size() ? stream[i++] : -1;
+  };
+  for (;;) {
+    int c = next();
+    if (c < 0) break;
+    if (c != '$') continue;
+    // parse_sentence
+    u32 checksum = 0, field = 0, state = 0;
+    bool ok = false;
+    bool ended = false;
+    for (;;) {
+      const int ch = next();
+      if (ch < 0) { ended = true; break; }
+      if (ch == '*') break;
+      checksum ^= static_cast<u32>(ch);
+      if (state == 0) {
+        if (ch == ',') state = 1;
+      } else if (state == 1) {
+        if (ch == ',') state = 2;
+        else if (ch >= '0' && ch <= '9') field = field * 10 + (ch - '0');
+      }
+    }
+    if (!ended) {
+      const auto hex_digit = [&]() -> u32 {
+        const int ch = next();
+        if (ch < 0) return 0;
+        return ch > '9' ? static_cast<u32>(ch - 55) : static_cast<u32>(ch - '0');
+      };
+      const u32 reported = (hex_digit() << 4) + hex_digit();
+      ok = reported == checksum;
+    }
+    if (ok) {
+      ++golden.valid;
+      golden.field_sum += field;
+    } else {
+      ++golden.bad;
+    }
+  }
+  return golden;
+}
+
+constexpr u32 kSentences = 24;
+
+}  // namespace
+
+App make_gps_app() {
+  App app;
+  app.name = "gps";
+  app.description = "TinyGPS-style NMEA parser (jump-table state machine)";
+  app.source = kGpsSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    const auto stream = make_nmea_stream(seed, kSentences);
+    periph->uart_rx.assign(stream.begin(), stream.end());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals&, u64 seed) {
+    const auto stream = make_nmea_stream(seed, kSentences);
+    const GpsGolden golden = gps_golden(stream);
+    const auto& mem = machine.memory();
+    return mem.raw_read32(kResultBase + 0) == golden.valid &&
+           mem.raw_read32(kResultBase + 4) == golden.bad &&
+           mem.raw_read32(kResultBase + 8) == golden.field_sum;
+  };
+  return app;
+}
+
+}  // namespace raptrack::apps

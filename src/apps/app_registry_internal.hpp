@@ -1,0 +1,22 @@
+// Internal: per-app factory declarations collected by the registry.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace raptrack::apps {
+
+App make_ultrasonic_app();
+App make_geiger_app();
+App make_syringe_app();
+App make_temperature_app();
+App make_gps_app();
+App make_prime_app();
+App make_crc32_app();
+App make_bubblesort_app();
+App make_fibcall_app();
+App make_matmult_app();
+App make_binsearch_app();
+App make_fir_app();
+App make_insertsort_app();
+
+}  // namespace raptrack::apps

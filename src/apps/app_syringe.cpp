@@ -1,0 +1,194 @@
+// Syringe pump controller, modeled on OpenSyringePump: a UART command
+// interpreter that dispatches through a function-pointer table (indirect
+// calls — the Fig 3 trampoline) and drives a stepper motor with
+// dose-dependent loops (variable iteration counts — §IV-D loop logging).
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+constexpr const char* kSyringeSource = R"asm(
+.equ UART_RX,   0x40000000
+.equ ACTUATOR,  0x40000050
+.equ RES_POS,   0x20200000
+.equ RES_STEPS, 0x20200004
+.equ RES_STAT,  0x20200008
+.equ MAX_POS,   960
+
+_start:
+    li r10, =UART_RX
+    movi r4, #0           ; plunger position
+    movi r5, #0           ; total steps executed
+    movi r6, #0           ; status-query count
+cmd_loop:
+    ldr r0, [r10]         ; opcode
+    cmp r0, #-1
+    beq done
+    ldr r1, [r10]         ; operand (dose / ignored)
+    cmp r1, #-1
+    beq done
+    cmp r0, #3
+    bgt cmd_loop          ; unknown opcode: skip
+    li r2, =cmd_table
+    ldr r3, [r2, r0, lsl #2]
+    blx r3                ; indirect call through the dispatch table
+    b cmd_loop
+done:
+    li r7, =RES_POS
+    str r4, [r7, #0]
+    str r5, [r7, #4]
+    str r6, [r7, #8]
+    hlt
+
+; cmd_push: advance plunger by r1 doses (8 steps per dose), clamped.
+cmd_push:
+    push {r2, r3, lr}
+    lsl r2, r1, #3        ; steps = dose * 8
+    li r3, =MAX_POS
+    add r0, r4, r2
+    cmp r0, r3
+    ble push_ok
+    sub r2, r3, r4        ; clamp to MAX_POS
+push_ok:
+    cmp r2, #0
+    beq push_done
+    bl step_motor
+push_done:
+    pop {r2, r3, pc}
+
+; cmd_pull: retract plunger by r1 doses, clamped at zero.
+cmd_pull:
+    push {r2, lr}
+    lsl r2, r1, #3
+    cmp r2, r4
+    ble pull_ok
+    mov r2, r4            ; clamp at zero
+pull_ok:
+    cmp r2, #0
+    beq pull_done
+    rsb r2, r2, #0        ; negative step count = retract
+    bl step_motor
+pull_done:
+    pop {r2, pc}
+
+; cmd_status: record a status query (writes position to the actuator port).
+cmd_status:
+    push {r0, lr}
+    li r0, =ACTUATOR
+    str r4, [r0]
+    addi r6, r6, #1
+    pop {r0, pc}
+
+; cmd_noop
+cmd_noop:
+    bx lr
+
+; step_motor(r2 = signed step count): pulses the actuator |r2| times.
+; Variable-count loop: each iteration is an attested event.
+step_motor:
+    push {r0, r1, r3, lr}
+    li r3, =ACTUATOR
+    cmp r2, #0
+    blt step_back
+    mov r1, r2
+step_fwd_loop:
+    cmp r1, #0
+    beq step_done
+    movi r0, #1
+    str r0, [r3]
+    addi r4, r4, #1       ; position++
+    addi r5, r5, #1       ; steps++
+    sub r1, r1, #1
+    b step_fwd_loop
+step_back:
+    rsb r1, r2, #0
+step_back_loop:
+    cmp r1, #0
+    beq step_done
+    movi r0, #2
+    str r0, [r3]
+    sub r4, r4, #1
+    addi r5, r5, #1
+    sub r1, r1, #1
+    b step_back_loop
+step_done:
+    pop {r0, r1, r3, pc}
+
+__code_end:
+.align 4
+cmd_table:
+    .word cmd_push
+    .word cmd_pull
+    .word cmd_status
+    .word cmd_noop
+)asm";
+
+struct PumpGolden {
+  u32 position = 0;
+  u32 steps = 0;
+  u32 status_queries = 0;
+};
+
+PumpGolden pump_golden(const std::vector<u8>& commands) {
+  PumpGolden golden;
+  constexpr u32 kMaxPos = 960;
+  size_t i = 0;
+  while (i + 1 < commands.size() || i < commands.size()) {
+    if (i >= commands.size()) break;
+    const u8 opcode = commands[i++];
+    if (i >= commands.size()) break;
+    const u8 operand = commands[i++];
+    if (opcode > 3) continue;
+    switch (opcode) {
+      case 0: {  // push
+        u32 steps = static_cast<u32>(operand) * 8;
+        if (golden.position + steps > kMaxPos) steps = kMaxPos - golden.position;
+        golden.position += steps;
+        golden.steps += steps;
+        break;
+      }
+      case 1: {  // pull
+        u32 steps = static_cast<u32>(operand) * 8;
+        if (steps > golden.position) steps = golden.position;
+        golden.position -= steps;
+        golden.steps += steps;
+        break;
+      }
+      case 2:
+        ++golden.status_queries;
+        break;
+      default:
+        break;
+    }
+  }
+  return golden;
+}
+
+constexpr u32 kCommands = 40;
+
+}  // namespace
+
+App make_syringe_app() {
+  App app;
+  app.name = "syringe";
+  app.description = "OpenSyringePump-style command interpreter (indirect calls)";
+  app.source = kSyringeSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    const auto commands = make_pump_commands(seed, kCommands);
+    periph->uart_rx.assign(commands.begin(), commands.end());
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals&, u64 seed) {
+    const PumpGolden golden = pump_golden(make_pump_commands(seed, kCommands));
+    const auto& mem = machine.memory();
+    return mem.raw_read32(kResultBase + 0) == golden.position &&
+           mem.raw_read32(kResultBase + 4) == golden.steps &&
+           mem.raw_read32(kResultBase + 8) == golden.status_queries;
+  };
+  return app;
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,139 @@
+// Temperature sensor, modeled on the Seeed Grove temperature workload:
+// ADC sampling, fixed-point calibration polynomial, exponential smoothing,
+// and a hysteresis alarm state machine (if/else chains — the Fig 5
+// non-loop conditional trampolines).
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+constexpr const char* kTemperatureSource = R"asm(
+.equ ADC,       0x40000010
+.equ ACTUATOR,  0x40000050
+.equ RES_AVG,   0x20200000
+.equ RES_ALARM, 0x20200004
+.equ RES_MAX,   0x20200008
+.equ HI_THRESH, 305
+.equ LO_THRESH, 295
+
+_start:
+    li r9, =ADC
+    movi r4, #0            ; sample index
+    movi r5, #0            ; alarm count
+    movi r6, #290          ; smoothed value (starts near ambient)
+    movi r8, #0            ; hysteresis state (0 = normal, 1 = alarmed)
+    movi r10, #0           ; max temperature seen
+sample_loop:
+    ldr r0, [r9]           ; raw 12-bit ADC sample
+    bl calibrate           ; r0 -> temperature (tenths of a degree / 10)
+    ; track maximum
+    cmp r0, r10
+    ble no_new_max
+    mov r10, r0
+no_new_max:
+    ; exponential smoothing: r6 += (r0 - r6) >> 3 (arithmetic)
+    sub r1, r0, r6
+    asr r1, r1, #3
+    add r6, r6, r1
+    ; hysteresis alarm state machine
+    cmp r8, #0
+    bne state_alarmed
+    li r1, =HI_THRESH
+    cmp r6, r1
+    ble state_done
+    movi r8, #1
+    addi r5, r5, #1
+    li r1, =ACTUATOR
+    movi r2, #1
+    str r2, [r1]
+    b state_done
+state_alarmed:
+    li r1, =LO_THRESH
+    cmp r6, r1
+    bge state_done
+    movi r8, #0
+    li r1, =ACTUATOR
+    movi r2, #0
+    str r2, [r1]
+state_done:
+    addi r4, r4, #1
+    cmp r4, #48
+    blt sample_loop
+
+    li r1, =RES_AVG
+    str r6, [r1, #0]
+    str r5, [r1, #4]
+    str r10, [r1, #8]
+    hlt
+
+; calibrate: raw ADC -> temperature. t = (x*x >> 14) + (x >> 4) + 20. Leaf.
+calibrate:
+    mul r1, r0, r0
+    lsr r1, r1, #14
+    lsr r2, r0, #4
+    add r0, r1, r2
+    add r0, r0, #20
+    bx lr
+
+__code_end:
+)asm";
+
+constexpr u32 kSamples = 48;
+
+struct TempGolden {
+  i32 avg = 290;
+  u32 alarms = 0;
+  i32 max_temp = 0;
+};
+
+TempGolden temp_golden(const std::vector<u32>& adc) {
+  TempGolden golden;
+  size_t pos = 0;
+  const auto next = [&]() {
+    const u32 v = adc[pos];
+    if (pos + 1 < adc.size()) ++pos;
+    return v;
+  };
+  u32 state = 0;
+  for (u32 i = 0; i < kSamples; ++i) {
+    const u32 x = next();
+    const i32 t = static_cast<i32>(((x * x) >> 14) + (x >> 4) + 20);
+    if (t > golden.max_temp) golden.max_temp = t;
+    golden.avg += (t - golden.avg) >> 3;  // arithmetic shift (C++20)
+    if (state == 0) {
+      if (golden.avg > 305) {
+        state = 1;
+        ++golden.alarms;
+      }
+    } else {
+      if (golden.avg < 295) state = 0;
+    }
+  }
+  return golden;
+}
+
+}  // namespace
+
+App make_temperature_app() {
+  App app;
+  app.name = "temperature";
+  app.description = "Grove temperature sensor (calibration, smoothing, hysteresis)";
+  app.source = kTemperatureSource;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->adc_values = make_adc_samples(seed, kSamples);
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals&, u64 seed) {
+    const TempGolden golden = temp_golden(make_adc_samples(seed, kSamples));
+    const auto& mem = machine.memory();
+    return static_cast<i32>(mem.raw_read32(kResultBase + 0)) == golden.avg &&
+           mem.raw_read32(kResultBase + 4) == golden.alarms &&
+           static_cast<i32>(mem.raw_read32(kResultBase + 8)) == golden.max_temp;
+  };
+  return app;
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,142 @@
+// Ultrasonic ranger, modeled on the Seeed Grove workload: trigger/echo
+// polling, distance conversion, an 8-sample moving-average window (a
+// statically deterministic fixed loop — no logging needed, §IV-C), and a
+// proximity alarm. A loop-optimization showcase, as in the paper's Fig 9
+// discussion.
+#include "apps/app_registry_internal.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+constexpr const char* kUltrasonicSource = R"asm(
+.equ ECHO,      0x40000020
+.equ TRIGGER,   0x40000054
+.equ ACTUATOR,  0x40000050
+.equ RES_AVG,   0x20200000
+.equ RES_ALARM, 0x20200004
+.equ RES_LAST,  0x20200008
+.equ WINDOW,    0x20201000   ; 8-entry circular buffer
+
+_start:
+    li r9, =ECHO
+    li r10, =WINDOW
+    movi r4, #0            ; measurement index
+    movi r5, #0            ; alarm count
+    movi r6, #0            ; last average
+    ; zero the window (fixed 8-iteration loop: statically deterministic)
+    movi r1, #0
+zero_loop:
+    movi r0, #0
+    str r0, [r10, r1, lsl #2]
+    addi r1, r1, #1
+    cmp r1, #8
+    blt zero_loop
+
+measure_loop:
+    ; trigger a ping, read the echo time (us)
+    li r0, =TRIGGER
+    movi r1, #1
+    str r1, [r0]
+    ldr r0, [r9]           ; echo microseconds
+    bl to_distance         ; r0 -> millimetres
+    ; store into circular window at index (r4 & 7)
+    and r1, r4, r7         ; r7 pre-loaded with 7 below; see init fixup
+    str r0, [r10, r1, lsl #2]
+    ; moving average over the window (fixed 8-iteration loop)
+    movi r2, #0            ; accumulator
+    movi r1, #0
+avg_loop:
+    ldr r3, [r10, r1, lsl #2]
+    add r2, r2, r3
+    addi r1, r1, #1
+    cmp r1, #8
+    blt avg_loop
+    lsr r6, r2, #3         ; average = sum / 8
+    ; proximity alarm
+    cmp r6, #100
+    bge no_alarm
+    addi r5, r5, #1
+    li r1, =ACTUATOR
+    movi r2, #1
+    str r2, [r1]
+no_alarm:
+    addi r4, r4, #1
+    cmp r4, #32
+    blt measure_loop
+
+    li r1, =RES_AVG
+    str r6, [r1, #0]
+    str r5, [r1, #4]
+    str r0, [r1, #8]
+    hlt
+
+; to_distance: echo time (us) -> distance (mm): d = us * 170 / 1000. Leaf.
+to_distance:
+    li r2, =170
+    mul r0, r0, r2
+    li r2, =1000
+    udiv r0, r0, r2
+    bx lr
+
+__code_end:
+)asm";
+
+constexpr u32 kMeasurements = 32;
+
+struct UltraGolden {
+  u32 avg = 0;
+  u32 alarms = 0;
+  u32 last_distance = 0;
+};
+
+UltraGolden ultra_golden(const std::vector<u32>& echoes) {
+  UltraGolden golden;
+  u32 window[8] = {};
+  size_t echo_pos = 0;
+  const auto next_echo = [&]() {
+    const u32 v = echoes[echo_pos];
+    if (echo_pos + 1 < echoes.size()) ++echo_pos;
+    return v;
+  };
+  for (u32 i = 0; i < kMeasurements; ++i) {
+    const u32 mm = next_echo() * 170 / 1000;
+    window[i & 7] = mm;
+    u32 sum = 0;
+    for (const u32 w : window) sum += w;
+    golden.avg = sum >> 3;
+    if (static_cast<i32>(golden.avg) < 100) ++golden.alarms;
+    golden.last_distance = mm;
+  }
+  return golden;
+}
+
+}  // namespace
+
+App make_ultrasonic_app() {
+  App app;
+  app.name = "ultrasonic";
+  app.description = "Seeed ultrasonic ranger (moving average, proximity alarm)";
+  // The window-index mask register (r7) is set up before the measure loop.
+  std::string source = kUltrasonicSource;
+  const std::string anchor = "measure_loop:";
+  source.insert(source.find(anchor), "movi r7, #7\n");
+  app.source = source;
+  app.setup = [](sim::Machine& machine, u64 seed) {
+    auto periph = std::make_shared<Peripherals>();
+    periph->echo_values = make_echo_samples(seed, kMeasurements);
+    periph->attach(machine);
+    return periph;
+  };
+  app.check = [](sim::Machine& machine, const Peripherals&, u64 seed) {
+    const UltraGolden golden =
+        ultra_golden(make_echo_samples(seed, kMeasurements));
+    const auto& mem = machine.memory();
+    return mem.raw_read32(kResultBase + 0) == golden.avg &&
+           mem.raw_read32(kResultBase + 4) == golden.alarms &&
+           mem.raw_read32(kResultBase + 8) == golden.last_distance;
+  };
+  return app;
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,132 @@
+#include "apps/peripherals.hpp"
+
+#include <cstdio>
+
+#include "sim/machine.hpp"
+
+namespace raptrack::apps {
+
+void Peripherals::attach(sim::Machine& machine) {
+  mem::MmioHandler handler;
+  handler.read = [this](Address offset, u32) { return read(offset); };
+  handler.write = [this](Address offset, u32 value, u32) { write(offset, value); };
+  machine.memory().add_mmio("periph", PeriphRegs::kBase, 0x1000,
+                            mem::Security::NonSecure, std::move(handler));
+}
+
+u32 Peripherals::read(u32 offset) {
+  switch (offset) {
+    case PeriphRegs::kUartRx: {
+      if (uart_rx.empty()) return 0xffff'ffff;
+      const u8 byte = uart_rx.front();
+      uart_rx.pop_front();
+      return byte;
+    }
+    case PeriphRegs::kUartCount:
+      return static_cast<u32>(uart_rx.size());
+    case PeriphRegs::kAdc:
+      return next_sample(adc_values, adc_pos_);
+    case PeriphRegs::kEcho:
+      return next_sample(echo_values, echo_pos_);
+    case PeriphRegs::kGeiger:
+      return next_sample(geiger_counts, geiger_pos_);
+    case PeriphRegs::kTicks:
+      ticks_ += tick_step;
+      return ticks_;
+    default:
+      return 0;
+  }
+}
+
+void Peripherals::write(u32 offset, u32 value) {
+  switch (offset) {
+    case PeriphRegs::kActuator:
+      actuator_writes.push_back(value);
+      break;
+    case PeriphRegs::kTrigger:
+      trigger_writes.push_back(value);
+      break;
+    default:
+      break;  // writes to read-only registers are ignored, as on real MMIO
+  }
+}
+
+std::vector<u8> make_nmea_stream(u64 seed, u32 count, u32 corrupt_one_in) {
+  Xoshiro256 rng(seed ^ 0x6e6d6561);  // "nmea"
+  std::vector<u8> stream;
+  for (u32 i = 0; i < count; ++i) {
+    const bool gga = rng.chance(1, 2);
+    const u32 value = static_cast<u32>(rng.next_below(100000));
+    const u32 extra = static_cast<u32>(rng.next_below(1000));
+    char body[64];
+    std::snprintf(body, sizeof body, "%s,%u,%u,N", gga ? "GPGGA" : "GPRMC",
+                  value, extra);
+    u8 checksum = 0;
+    for (const char* p = body; *p; ++p) checksum ^= static_cast<u8>(*p);
+    if (corrupt_one_in != 0 && rng.chance(1, corrupt_one_in)) {
+      checksum ^= 0x5a;  // corrupted sentence
+    }
+    stream.push_back('$');
+    for (const char* p = body; *p; ++p) stream.push_back(static_cast<u8>(*p));
+    stream.push_back('*');
+    const auto hex = [](u8 nibble) -> u8 {
+      return nibble < 10 ? static_cast<u8>('0' + nibble)
+                         : static_cast<u8>('A' + nibble - 10);
+    };
+    stream.push_back(hex(checksum >> 4));
+    stream.push_back(hex(checksum & 0xf));
+    stream.push_back('\r');
+    stream.push_back('\n');
+  }
+  return stream;
+}
+
+std::vector<u8> make_pump_commands(u64 seed, u32 count) {
+  Xoshiro256 rng(seed ^ 0x70756d70);  // "pump"
+  std::vector<u8> stream;
+  for (u32 i = 0; i < count; ++i) {
+    const u8 opcode = static_cast<u8>(rng.next_below(4));  // push/pull/status/noop
+    const u8 operand = static_cast<u8>(rng.next_range(1, 20));
+    stream.push_back(opcode);
+    stream.push_back(operand);
+  }
+  return stream;
+}
+
+std::vector<u32> make_adc_samples(u64 seed, u32 count) {
+  Xoshiro256 rng(seed ^ 0x61646300);  // "adc"
+  std::vector<u32> samples;
+  u32 level = 2000;
+  for (u32 i = 0; i < count; ++i) {
+    level = static_cast<u32>(
+        std::max<i64>(0, static_cast<i64>(level) + rng.next_range(-60, 60)));
+    samples.push_back(level & 0xfff);  // 12-bit ADC
+  }
+  return samples;
+}
+
+std::vector<u32> make_echo_samples(u64 seed, u32 count) {
+  Xoshiro256 rng(seed ^ 0x6563686f);  // "echo"
+  std::vector<u32> samples;
+  for (u32 i = 0; i < count; ++i) {
+    // Echo round-trip time in microseconds; occasional near-range object.
+    const bool near = rng.chance(1, 6);
+    samples.push_back(static_cast<u32>(
+        near ? rng.next_range(120, 580) : rng.next_range(600, 18000)));
+  }
+  return samples;
+}
+
+std::vector<u32> make_geiger_counts(u64 seed, u32 count) {
+  Xoshiro256 rng(seed ^ 0x67656967);  // "geig"
+  std::vector<u32> counts;
+  for (u32 i = 0; i < count; ++i) {
+    // Background with occasional bursts.
+    const bool burst = rng.chance(1, 8);
+    counts.push_back(static_cast<u32>(burst ? rng.next_range(40, 120)
+                                            : rng.next_range(0, 9)));
+  }
+  return counts;
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,81 @@
+// Synthetic MMIO peripherals standing in for the sensors/actuators of the
+// paper's evaluation applications (ultrasonic ranger, Geiger counter,
+// syringe pump, temperature sensor, GPS). Stimulus is generated from a
+// seed, so the application run and the Verifier-side golden model see the
+// same data without any shared state.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace raptrack::sim {
+class Machine;
+}
+
+namespace raptrack::apps {
+
+/// MMIO register map (offsets from kPeriphBase = 0x4000'0000).
+struct PeriphRegs {
+  static constexpr Address kBase = 0x4000'0000;
+  static constexpr u32 kUartRx = 0x00;     ///< read: next byte, 0xffffffff when empty
+  static constexpr u32 kUartCount = 0x04;  ///< read: bytes remaining
+  static constexpr u32 kAdc = 0x10;        ///< read: next ADC sample
+  static constexpr u32 kEcho = 0x20;       ///< read: next echo time (us)
+  static constexpr u32 kGeiger = 0x30;     ///< read: pulses since last read
+  static constexpr u32 kTicks = 0x40;      ///< read: free-running tick counter
+  static constexpr u32 kActuator = 0x50;   ///< write: actuator command (captured)
+  static constexpr u32 kTrigger = 0x54;    ///< write: sensor trigger (captured)
+};
+
+class Peripherals {
+ public:
+  /// Map the peripheral window into the machine's memory map. The
+  /// Peripherals object must outlive the machine run.
+  void attach(sim::Machine& machine);
+
+  // Stimulus (filled by app setup code).
+  std::deque<u8> uart_rx;
+  std::vector<u32> adc_values;
+  std::vector<u32> echo_values;
+  std::vector<u32> geiger_counts;
+  u32 tick_step = 1;
+
+  // Captured outputs.
+  std::vector<u32> actuator_writes;
+  std::vector<u32> trigger_writes;
+
+  u32 read(u32 offset);
+  void write(u32 offset, u32 value);
+
+ private:
+  template <typename T>
+  u32 next_sample(const std::vector<T>& values, size_t& pos) {
+    if (values.empty()) return 0;
+    const u32 v = values[pos];
+    if (pos + 1 < values.size()) ++pos;  // hold the last value
+    return v;
+  }
+
+  size_t adc_pos_ = 0;
+  size_t echo_pos_ = 0;
+  size_t geiger_pos_ = 0;
+  u32 ticks_ = 0;
+};
+
+// -- stimulus generators (shared between app setup and golden models) -------
+
+/// NMEA-like sentence stream: `count` sentences, ~1 in `corrupt_one_in`
+/// with a corrupted checksum. Returns the raw byte stream.
+std::vector<u8> make_nmea_stream(u64 seed, u32 count, u32 corrupt_one_in = 5);
+
+/// Syringe-pump command stream: (opcode, operand) byte pairs.
+std::vector<u8> make_pump_commands(u64 seed, u32 count);
+
+std::vector<u32> make_adc_samples(u64 seed, u32 count);
+std::vector<u32> make_echo_samples(u64 seed, u32 count);
+std::vector<u32> make_geiger_counts(u64 seed, u32 count);
+
+}  // namespace raptrack::apps

@@ -1,0 +1,50 @@
+#include "apps/app.hpp"
+#include "apps/app_registry_internal.hpp"
+#include "asm/assembler.hpp"
+
+namespace raptrack::apps {
+
+BuiltApp build_app(const App& app) {
+  BuiltApp built;
+  built.app = &app;
+  built.program = assemble(app.source, kAppBase);
+  const auto entry = built.program.symbol("_start");
+  const auto code_end = built.program.symbol("__code_end");
+  if (!entry || !code_end) {
+    throw Error("app '" + app.name + "' must define _start and __code_end");
+  }
+  built.entry = *entry;
+  built.code_begin = built.program.base();
+  built.code_end = *code_end;
+  return built;
+}
+
+const std::vector<App>& app_registry() {
+  static const std::vector<App> apps = [] {
+    std::vector<App> list;
+    list.push_back(make_ultrasonic_app());
+    list.push_back(make_geiger_app());
+    list.push_back(make_syringe_app());
+    list.push_back(make_temperature_app());
+    list.push_back(make_gps_app());
+    list.push_back(make_prime_app());
+    list.push_back(make_crc32_app());
+    list.push_back(make_bubblesort_app());
+    list.push_back(make_fibcall_app());
+    list.push_back(make_matmult_app());
+    list.push_back(make_binsearch_app());
+    list.push_back(make_fir_app());
+    list.push_back(make_insertsort_app());
+    return list;
+  }();
+  return apps;
+}
+
+const App& app_by_name(const std::string& name) {
+  for (const auto& app : app_registry()) {
+    if (app.name == name) return app;
+  }
+  throw Error("unknown app '" + name + "'");
+}
+
+}  // namespace raptrack::apps

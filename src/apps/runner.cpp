@@ -1,0 +1,91 @@
+#include "apps/runner.hpp"
+
+namespace raptrack::apps {
+
+PreparedApp prepare_app(const App& app,
+                        const rewrite::RewriteOptions& rap_options,
+                        const instr::TracesOptions& traces_options) {
+  PreparedApp prepared;
+  prepared.built = build_app(app);
+  prepared.rap = rewrite::rewrite_for_rap_track(
+      prepared.built.program, prepared.built.entry, prepared.built.code_begin,
+      prepared.built.code_end, rap_options);
+  prepared.traces = instr::rewrite_for_traces(
+      prepared.built.program, prepared.built.entry, prepared.built.code_begin,
+      prepared.built.code_end, traces_options);
+  return prepared;
+}
+
+crypto::Key demo_key() {
+  crypto::Key key(32);
+  SplitMix64 sm(0x6b65795f726f74ull);  // deterministic demo RoT key
+  for (size_t i = 0; i < key.size(); i += 8) {
+    const u64 word = sm.next();
+    for (size_t j = 0; j < 8 && i + j < key.size(); ++j) {
+      key[i + j] = static_cast<u8>(word >> (8 * j));
+    }
+  }
+  return key;
+}
+
+namespace {
+
+MethodRun finish(sim::Machine& machine, const PreparedApp& prepared, u64 seed,
+                 const std::shared_ptr<Peripherals>& periph,
+                 cfa::AttestationRun attestation) {
+  MethodRun run;
+  run.attestation = std::move(attestation);
+  run.oracle = machine.oracle().events();
+  run.functional_ok = prepared.built.app->check(machine, *periph, seed);
+  return run;
+}
+
+}  // namespace
+
+MethodRun run_baseline(const PreparedApp& prepared, u64 seed,
+                       const sim::MachineConfig& config) {
+  sim::Machine machine(config);
+  const auto periph = prepared.built.app->setup(machine, seed);
+  cfa::BaselineRunner runner(prepared.built.program, prepared.built.entry);
+  cfa::AttestationRun attestation;
+  attestation.metrics = runner.run(machine);
+  return finish(machine, prepared, seed, periph, std::move(attestation));
+}
+
+MethodRun run_naive(const PreparedApp& prepared, u64 seed,
+                    const sim::MachineConfig& config,
+                    const cfa::SessionOptions& options,
+                    const cfa::Challenge& chal) {
+  sim::Machine machine(config);
+  const auto periph = prepared.built.app->setup(machine, seed);
+  cfa::NaiveProver prover(prepared.built.program, prepared.built.entry,
+                          demo_key(), options);
+  auto attestation = prover.attest(machine, chal);
+  return finish(machine, prepared, seed, periph, std::move(attestation));
+}
+
+MethodRun run_rap(const PreparedApp& prepared, u64 seed,
+                  const sim::MachineConfig& config,
+                  const cfa::SessionOptions& options,
+                  const cfa::Challenge& chal) {
+  sim::Machine machine(config);
+  const auto periph = prepared.built.app->setup(machine, seed);
+  cfa::RapProver prover(prepared.rap.program, prepared.rap.manifest,
+                        prepared.built.entry, demo_key(), options);
+  auto attestation = prover.attest(machine, chal);
+  return finish(machine, prepared, seed, periph, std::move(attestation));
+}
+
+MethodRun run_traces(const PreparedApp& prepared, u64 seed,
+                     const sim::MachineConfig& config,
+                     const cfa::SessionOptions& options,
+                     const cfa::Challenge& chal) {
+  sim::Machine machine(config);
+  const auto periph = prepared.built.app->setup(machine, seed);
+  cfa::TracesProver prover(prepared.traces.program, prepared.traces.manifest,
+                           prepared.built.entry, demo_key(), options);
+  auto attestation = prover.attest(machine, chal);
+  return finish(machine, prepared, seed, periph, std::move(attestation));
+}
+
+}  // namespace raptrack::apps

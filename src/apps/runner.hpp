@@ -1,0 +1,50 @@
+// One-call orchestration of the four evaluation methods over an app: used
+// by the figure benches, the examples, and the integration/property tests.
+#pragma once
+
+#include "apps/app.hpp"
+#include "cfa/provers.hpp"
+#include "instr/traces_rewriter.hpp"
+#include "rewrite/rap_rewriter.hpp"
+#include "verify/verifier.hpp"
+
+namespace raptrack::apps {
+
+/// An app prepared for all methods: assembled once, rewritten for RAP-Track
+/// and for TRACES (offline phase).
+struct PreparedApp {
+  BuiltApp built;
+  rewrite::RewriteResult rap;
+  instr::TracesResult traces;
+};
+
+PreparedApp prepare_app(const App& app,
+                        const rewrite::RewriteOptions& rap_options = {},
+                        const instr::TracesOptions& traces_options = {});
+
+/// Outcome of one prover run.
+struct MethodRun {
+  cfa::AttestationRun attestation;  ///< empty reports for the baseline
+  std::vector<trace::OracleEvent> oracle;  ///< ground-truth branch history
+  bool functional_ok = false;       ///< golden-model post-condition held
+};
+
+/// The demo/test key shared between RoT and Verifier.
+crypto::Key demo_key();
+
+MethodRun run_baseline(const PreparedApp& prepared, u64 seed,
+                       const sim::MachineConfig& config = {});
+MethodRun run_naive(const PreparedApp& prepared, u64 seed,
+                    const sim::MachineConfig& config = {},
+                    const cfa::SessionOptions& options = {},
+                    const cfa::Challenge& chal = {});
+MethodRun run_rap(const PreparedApp& prepared, u64 seed,
+                  const sim::MachineConfig& config = {},
+                  const cfa::SessionOptions& options = {},
+                  const cfa::Challenge& chal = {});
+MethodRun run_traces(const PreparedApp& prepared, u64 seed,
+                     const sim::MachineConfig& config = {},
+                     const cfa::SessionOptions& options = {},
+                     const cfa::Challenge& chal = {});
+
+}  // namespace raptrack::apps

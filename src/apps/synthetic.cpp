@@ -1,0 +1,248 @@
+#include "apps/synthetic.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace raptrack::apps {
+
+namespace {
+
+/// Emits assembly with unique labels and a statement budget.
+class Generator {
+ public:
+  Generator(u64 seed, const SyntheticOptions& options)
+      : rng_(seed ^ 0x53594e54),  // "SYNT"
+        options_(options) {}
+
+  std::string run() {
+    emit(".equ TICKS,  0x40000040");
+    emit(".equ RESULT, 0x20200000");
+    emit("");
+    emit("_start:");
+    // Seed the data registers from the tick register (data-dependent paths).
+    emit("    li r6, =TICKS");
+    emit("    ldr r0, [r6]");
+    for (int r = 1; r <= 5; ++r) {
+      line("    eor r%d, r0, r%d", r, (r + 2) % 6);
+      line("    addi r%d, r%d, #%d", r, r, static_cast<int>(rng_.next_below(97)));
+    }
+    emit("    movi r7, #0");
+
+    // Body: a few top-level statements, then calls into helpers.
+    block(options_.max_depth);
+    for (u32 f = 0; f < options_.functions; ++f) {
+      if (rng_.chance(2, 3)) line("    bl fn_%u", f);
+    }
+    if (options_.allow_indirect_calls && options_.functions > 0) {
+      // Dispatch through the table with a data-dependent index.
+      line("    andi r0, r1, #%u", options_.functions - 1);
+      emit("    li r4, =fn_table");
+      emit("    ldr r3, [r4, r0, lsl #2]");
+      emit("    blx r3");
+    }
+
+    // Publish the result registers.
+    emit("    li r6, =RESULT");
+    for (int r = 0; r <= 5; ++r) line("    str r%d, [r6, #%d]", r, 4 * r);
+    emit("    str r7, [r6, #24]");
+    emit("    hlt");
+    emit("");
+
+    // Helper functions.
+    for (u32 f = 0; f < options_.functions; ++f) emit_function(f);
+    if (options_.allow_recursion) emit_recursive_function();
+
+    emit("__code_end:");
+    emit(".align 4");
+    if (options_.allow_indirect_calls && options_.functions > 0) {
+      emit("fn_table:");
+      for (u32 f = 0; f < options_.functions; ++f) line("    .word fn_%u", f);
+      // Pad the table to the next power of two so the andi mask is safe.
+      u32 size = options_.functions;
+      while ((size & (size - 1)) != 0) {
+        line("    .word fn_%u", static_cast<u32>(rng_.next_below(options_.functions)));
+        ++size;
+      }
+    }
+    return out_;
+  }
+
+ private:
+  void emit(const std::string& text) { out_ += text + "\n"; }
+
+  template <typename... Args>
+  void line(const char* format, Args... args) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer, format, args...);
+    emit(buffer);
+  }
+
+  u32 fresh_label() { return label_counter_++; }
+  int data_reg() { return static_cast<int>(rng_.next_below(6)); }  // r0-r5
+
+  /// One straight-line data operation on the r0-r5 pool.
+  void emit_op() {
+    const int rd = data_reg(), rn = data_reg(), rm = data_reg();
+    switch (rng_.next_below(7)) {
+      case 0: line("    add r%d, r%d, r%d", rd, rn, rm); break;
+      case 1: line("    sub r%d, r%d, r%d", rd, rn, rm); break;
+      case 2: line("    eor r%d, r%d, r%d", rd, rn, rm); break;
+      case 3: line("    mul r%d, r%d, r%d", rd, rn, rm); break;
+      case 4: line("    orr r%d, r%d, r%d", rd, rn, rm); break;
+      case 5: line("    lsr r%d, r%d, #%d", rd, rn,
+                   static_cast<int>(rng_.next_below(5) + 1)); break;
+      default: line("    addi r%d, r%d, #%d", rd, rn,
+                    static_cast<int>(rng_.next_below(61))); break;
+    }
+  }
+
+  const char* random_cond() {
+    static const char* conds[] = {"eq", "ne", "lt", "ge", "gt", "le", "hi", "ls"};
+    return conds[rng_.next_below(8)];
+  }
+
+  void emit_if_else(u32 depth) {
+    const u32 id = fresh_label();
+    const int rn = data_reg();
+    line("    cmp r%d, #%d", rn, static_cast<int>(rng_.next_below(128)));
+    line("    b%s else_%u", random_cond(), id);
+    block(depth - 1);
+    line("    b endif_%u", id);
+    line("else_%u:", id);
+    if (rng_.chance(2, 3)) block(depth - 1);
+    line("endif_%u:", id);
+  }
+
+  void emit_constant_loop(u32 depth) {
+    // Fig 6 shape with a MOVI init: statically deterministic when the body
+    // stays branch-free, trampolined otherwise. r7 is the (only) loop
+    // counter register, so loop bodies must not nest further loops.
+    const u32 id = fresh_label();
+    const int iterations = static_cast<int>(rng_.next_below(6) + 2);
+    const bool branchy_body = depth > 1 && rng_.chance(1, 3);
+    emit("    movi r7, #0");
+    line("loop_%u:", id);
+    in_loop_ = true;
+    if (branchy_body) {
+      emit_if_else(depth);
+    } else {
+      emit_op();
+    }
+    in_loop_ = false;
+    emit("    addi r7, r7, #1");
+    line("    cmp r7, #%d", iterations);
+    line("    blt loop_%u", id);
+  }
+
+  void emit_variable_loop(u32 depth) {
+    // Variable trip count from a data register (masked to stay small);
+    // forward-exit (Fig 7) or backward (Fig 6) shape.
+    const u32 id = fresh_label();
+    const int src = data_reg();
+    const bool forward = rng_.chance(1, 2);
+    line("    andi r7, r%d, #7", src);
+    in_loop_ = true;
+    if (forward) {
+      line("vloop_%u:", id);
+      emit("    cmp r7, #0");
+      line("    beq vdone_%u", id);
+      emit_op();
+      emit("    sub r7, r7, #1");
+      line("    b vloop_%u", id);
+      line("vdone_%u:", id);
+    } else {
+      emit("    addi r7, r7, #1");  // at least one iteration
+      line("vloop_%u:", id);
+      emit_op();
+      emit("    sub r7, r7, #1");
+      emit("    cmp r7, #0");
+      line("    bgt vloop_%u", id);
+    }
+    in_loop_ = false;
+    (void)depth;
+  }
+
+  void block(u32 depth) {
+    const u32 statements = 1 + static_cast<u32>(
+                                   rng_.next_below(options_.statements_per_block));
+    for (u32 s = 0; s < statements; ++s) {
+      if (depth == 0) {
+        emit_op();
+        continue;
+      }
+      switch (rng_.next_below(6)) {
+        case 0: emit_if_else(depth); break;
+        case 1:
+          if (!in_loop_) { emit_constant_loop(depth); break; }
+          [[fallthrough]];
+        case 2:
+          if (!in_loop_) { emit_variable_loop(depth); break; }
+          emit_op();
+          break;
+        case 3:
+          if (options_.allow_recursion) {
+            line("    andi r0, r%d, #7", data_reg());
+            emit("    bl recurse");
+            break;
+          }
+          [[fallthrough]];
+        default: emit_op(); break;
+      }
+    }
+  }
+
+  void emit_function(u32 index) {
+    line("fn_%u:", index);
+    const bool leaf = rng_.chance(1, 2) || index + 1 == options_.functions;
+    if (leaf) {
+      // Leaf: BX LR return (unmonitored, §IV-C.2).
+      emit_op();
+      if (rng_.chance(1, 2)) emit_if_else(1);
+      emit_op();
+      emit("    bx lr");
+    } else {
+      // Non-leaf: stack-saved return (monitored POP {…,pc}).
+      emit("    push {r6, lr}");
+      block(2);
+      line("    bl fn_%u", index + 1);
+      emit("    pop {r6, pc}");
+    }
+    emit("");
+  }
+
+  void emit_recursive_function() {
+    // recurse(r0): bounded double-recursion in the fibcall mold.
+    emit("recurse:");
+    emit("    push {r4, lr}");
+    emit("    cmp r0, #2");
+    emit("    blt rec_base");
+    emit("    mov r4, r0");
+    emit("    sub r0, r4, #1");
+    emit("    bl recurse");
+    emit("    add r1, r1, r0");
+    emit("    sub r0, r4, #2");
+    emit("    bl recurse");
+    emit("    pop {r4, pc}");
+    emit("rec_base:");
+    emit("    addi r1, r1, #1");
+    emit("    pop {r4, pc}");
+    emit("");
+  }
+
+  Xoshiro256 rng_;
+  SyntheticOptions options_;
+  std::string out_;
+  u32 label_counter_ = 0;
+  bool in_loop_ = false;  ///< loops share counter r7: no nesting
+};
+
+}  // namespace
+
+std::string generate_synthetic_program(u64 seed,
+                                       const SyntheticOptions& options) {
+  return Generator(seed, options).run();
+}
+
+}  // namespace raptrack::apps

@@ -1,0 +1,32 @@
+// Seeded random structured-program generator: produces RT-ISA applications
+// exercising every control-flow construct the offline phase handles —
+// nested if/else chains, constant- and variable-bound loops in both Fig 6
+// (backward) and Fig 7 (forward-exit) shapes, leaf and non-leaf calls,
+// bounded recursion, and function-pointer dispatch tables. Used by the
+// differential fuzz tests: for any seed, the rewritten binaries must
+// preserve semantics and the Verifier must reconstruct the path.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace raptrack::apps {
+
+struct SyntheticOptions {
+  u32 max_depth = 3;          ///< statement nesting bound
+  u32 functions = 4;          ///< callable helper functions
+  u32 statements_per_block = 4;
+  bool allow_recursion = true;
+  bool allow_indirect_calls = true;
+  bool allow_jump_tables = true;
+};
+
+/// Generate a complete RT-ISA program (with `_start` / `__code_end`). The
+/// program reads one word of entropy from the TICKS register, computes a
+/// seed-dependent result in r0-r7, stores r0-r7 to the result area, and
+/// halts. Always terminates (loop bounds and recursion depth are capped).
+std::string generate_synthetic_program(u64 seed,
+                                       const SyntheticOptions& options = {});
+
+}  // namespace raptrack::apps

@@ -1,0 +1,598 @@
+#include "asm/assembler.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/hex.hpp"
+#include "isa/instruction.hpp"
+
+namespace raptrack {
+namespace {
+
+using isa::Cond;
+using isa::Format;
+using isa::Instruction;
+using isa::Op;
+using isa::Reg;
+
+/// Register-immediate twin for ALU mnemonics ("add r0, r1, #2" -> ADDI).
+std::optional<Op> imm_twin(Op op) {
+  switch (op) {
+    case Op::ADD: return Op::ADDI;
+    case Op::SUB: return Op::SUBI;
+    case Op::RSB: return Op::RSBI;
+    case Op::AND: return Op::ANDI;
+    case Op::ORR: return Op::ORRI;
+    case Op::EOR: return Op::EORI;
+    case Op::LSL: return Op::LSLI;
+    case Op::LSR: return Op::LSRI;
+    case Op::ASR: return Op::ASRI;
+    case Op::CMP: return Op::CMPI;
+    case Op::TST: return Op::TSTI;
+    default: return std::nullopt;
+  }
+}
+
+struct Statement {
+  enum class Kind { Instr, Li, Word, Space, Asciz, Align } kind = Kind::Instr;
+  std::string mnemonic;                // Instr
+  std::vector<std::string> operands;   // raw operand strings
+  std::string text;                    // Asciz payload
+  u32 line = 0;
+  Address address = 0;
+  u32 byte_size = 0;
+};
+
+class Assembler {
+ public:
+  Assembler(std::string_view source, Address base) : source_(source), base_(base) {}
+
+  Program run() {
+    first_pass();
+    return second_pass();
+  }
+
+ private:
+  [[noreturn]] void fail(u32 line, const std::string& message) const {
+    throw Error("asm:" + std::to_string(line) + ": " + message);
+  }
+
+  // -- tokenizing helpers ---------------------------------------------------
+
+  static std::string_view strip(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+    return s;
+  }
+
+  static std::string_view strip_comment(std::string_view s) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == ';' || c == '@') return s.substr(0, i);
+      if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') return s.substr(0, i);
+      if (c == '"') {  // skip string literal
+        for (++i; i < s.size() && s[i] != '"'; ++i) {}
+      }
+    }
+    return s;
+  }
+
+  /// Split operands on top-level commas (commas inside {}, [], and char
+  /// literals like #',' are kept).
+  static std::vector<std::string> split_operands(std::string_view s) {
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string current;
+    for (size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '\'' && i + 2 < s.size() && s[i + 2] == '\'') {
+        current += s.substr(i, 3);  // char literal, comma included
+        i += 2;
+        continue;
+      }
+      if (c == '[' || c == '{') ++depth;
+      if (c == ']' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        out.emplace_back(strip(current));
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    if (!strip(current).empty()) out.emplace_back(strip(current));
+    return out;
+  }
+
+  // -- expression evaluation ------------------------------------------------
+
+  std::optional<i64> parse_number(std::string_view t) const {
+    if (t.empty()) return std::nullopt;
+    bool negative = false;
+    if (t.front() == '-') { negative = true; t.remove_prefix(1); }
+    if (t.empty()) return std::nullopt;
+    if (t.size() == 3 && t.front() == '\'' && t.back() == '\'') {
+      return negative ? -i64{t[1]} : i64{t[1]};
+    }
+    i64 value = 0;
+    int radix = 10;
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+      radix = 16; t.remove_prefix(2);
+    } else if (t.size() > 2 && t[0] == '0' && (t[1] == 'b' || t[1] == 'B')) {
+      radix = 2; t.remove_prefix(2);
+    }
+    if (t.empty()) return std::nullopt;
+    for (const char c : t) {
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else if (c == '_') continue;
+      else return std::nullopt;
+      if (digit >= radix) return std::nullopt;
+      value = value * radix + digit;
+    }
+    return negative ? -value : value;
+  }
+
+  /// expr := term (('+'|'-') term)*; term := number | symbol
+  i64 eval(std::string_view expr, u32 line) const {
+    expr = strip(expr);
+    if (expr.empty()) fail(line, "empty expression");
+    i64 total = 0;
+    int sign = 1;
+    size_t pos = 0;
+    bool expecting_term = true;
+    while (pos < expr.size()) {
+      while (pos < expr.size() && std::isspace(static_cast<unsigned char>(expr[pos]))) ++pos;
+      if (pos >= expr.size()) break;
+      if (!expecting_term && (expr[pos] == '+' || expr[pos] == '-')) {
+        sign = expr[pos] == '+' ? 1 : -1;
+        ++pos;
+        expecting_term = true;
+        continue;
+      }
+      size_t end = pos;
+      if (expr[pos] == '\'') {
+        end = pos + 3;
+      } else {
+        // Leading '-' belongs to a numeric literal.
+        if (expr[end] == '-') ++end;
+        while (end < expr.size() && expr[end] != '+' && expr[end] != '-' &&
+               !std::isspace(static_cast<unsigned char>(expr[end]))) {
+          ++end;
+        }
+      }
+      const std::string_view token = expr.substr(pos, end - pos);
+      i64 value;
+      if (const auto num = parse_number(token)) {
+        value = *num;
+      } else if (const auto eq = equ_.find(std::string(token)); eq != equ_.end()) {
+        value = eq->second;
+      } else if (const auto sym = labels_.find(std::string(token)); sym != labels_.end()) {
+        value = static_cast<i64>(sym->second);
+      } else {
+        fail(line, "undefined symbol '" + std::string(token) + "'");
+      }
+      total += sign * value;
+      sign = 1;
+      expecting_term = false;
+      pos = end;
+    }
+    return total;
+  }
+
+  // -- operand parsing ------------------------------------------------------
+
+  std::optional<Reg> parse_reg(std::string_view t) const {
+    t = strip(t);
+    for (u8 i = 0; i < isa::kNumRegs; ++i) {
+      if (t == isa::kRegNames[i]) return static_cast<Reg>(i);
+    }
+    if (t == "r13") return Reg::SP;
+    if (t == "r14") return Reg::LR;
+    if (t == "r15") return Reg::PC;
+    return std::nullopt;
+  }
+
+  Reg expect_reg(const std::string& t, u32 line) const {
+    const auto r = parse_reg(t);
+    if (!r) fail(line, "expected register, got '" + t + "'");
+    return *r;
+  }
+
+  bool is_immediate(std::string_view t) const { return !t.empty() && t.front() == '#'; }
+
+  i64 parse_immediate(std::string_view t, u32 line) const {
+    if (!is_immediate(t)) fail(line, "expected immediate, got '" + std::string(t) + "'");
+    return eval(t.substr(1), line);
+  }
+
+  u16 parse_reg_list(std::string_view t, u32 line) const {
+    t = strip(t);
+    if (t.size() < 2 || t.front() != '{' || t.back() != '}') {
+      fail(line, "expected register list, got '" + std::string(t) + "'");
+    }
+    u16 mask = 0;
+    std::stringstream ss{std::string(t.substr(1, t.size() - 2))};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const std::string_view entry = strip(item);
+      if (entry.empty()) fail(line, "empty register-list entry");
+      const size_t dash = entry.find('-');
+      if (dash != std::string_view::npos) {
+        const auto lo = parse_reg(entry.substr(0, dash));
+        const auto hi = parse_reg(entry.substr(dash + 1));
+        if (!lo || !hi || index(*lo) > index(*hi)) fail(line, "bad register range");
+        for (u8 i = index(*lo); i <= index(*hi); ++i) mask |= u16{1} << i;
+      } else {
+        const auto r = parse_reg(entry);
+        if (!r) fail(line, "bad register in list: '" + std::string(entry) + "'");
+        mask |= u16{1} << index(*r);
+      }
+    }
+    if (mask == 0) fail(line, "empty register list");
+    return mask;
+  }
+
+  // -- statement parsing (pass 1) -------------------------------------------
+
+  void first_pass() {
+    u32 line_number = 0;
+    Address pc = base_;
+    std::istringstream stream{std::string(source_)};
+    std::string raw;
+    while (std::getline(stream, raw)) {
+      ++line_number;
+      std::string_view line = strip(strip_comment(raw));
+      // Labels (there may be several on one line).
+      while (true) {
+        const size_t colon = line.find(':');
+        if (colon == std::string_view::npos) break;
+        const std::string_view candidate = strip(line.substr(0, colon));
+        if (candidate.empty() || candidate.find(' ') != std::string_view::npos ||
+            candidate.find('[') != std::string_view::npos) {
+          break;
+        }
+        if (labels_.count(std::string(candidate))) {
+          fail(line_number, "duplicate label '" + std::string(candidate) + "'");
+        }
+        labels_[std::string(candidate)] = pc;
+        line = strip(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      Statement st;
+      st.line = line_number;
+      st.address = pc;
+
+      const size_t space = line.find_first_of(" \t");
+      const std::string head = std::string(line.substr(0, space));
+      const std::string_view rest =
+          space == std::string_view::npos ? std::string_view{} : strip(line.substr(space));
+
+      if (head == ".equ") {
+        const auto ops = split_operands(rest);
+        if (ops.size() != 2) fail(line_number, ".equ needs NAME, expr");
+        equ_[ops[0]] = eval(ops[1], line_number);
+        continue;
+      }
+      if (head == ".word") {
+        st.kind = Statement::Kind::Word;
+        st.operands = split_operands(rest);
+        if (st.operands.empty()) fail(line_number, ".word needs at least one value");
+        st.byte_size = static_cast<u32>(st.operands.size()) * 4;
+      } else if (head == ".space") {
+        st.kind = Statement::Kind::Space;
+        st.byte_size = static_cast<u32>(eval(rest, line_number));
+      } else if (head == ".asciz" || head == ".ascii") {
+        st.kind = Statement::Kind::Asciz;
+        const std::string_view r = strip(rest);
+        if (r.size() < 2 || r.front() != '"' || r.back() != '"') {
+          fail(line_number, head + " needs a quoted string");
+        }
+        st.text = std::string(r.substr(1, r.size() - 2));
+        st.byte_size = static_cast<u32>(st.text.size()) + (head == ".asciz" ? 1 : 0);
+      } else if (head == ".align") {
+        st.kind = Statement::Kind::Align;
+        const u32 alignment = static_cast<u32>(eval(rest, line_number));
+        if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
+          fail(line_number, ".align needs a power of two");
+        }
+        st.byte_size = align_up(pc, alignment) - pc;
+      } else if (head == "li") {
+        st.kind = Statement::Kind::Li;
+        st.operands = split_operands(rest);
+        if (st.operands.size() != 2) fail(line_number, "li needs rd, =expr");
+        st.byte_size = 8;  // movi + movt, always two words for determinism
+      } else {
+        st.kind = Statement::Kind::Instr;
+        st.mnemonic = head;
+        st.operands = split_operands(rest);
+        st.byte_size = isa::kInstrBytes;
+      }
+      pc += st.byte_size;
+      statements_.push_back(std::move(st));
+    }
+    total_size_ = pc - base_;
+  }
+
+  // -- mnemonic resolution --------------------------------------------------
+
+  struct ResolvedMnemonic {
+    Op op;
+    Cond cond = Cond::AL;
+    bool set_flags = false;
+  };
+
+  ResolvedMnemonic resolve_mnemonic(const std::string& m, u32 line) const {
+    // Exact match first (covers "b", "bl", "blx", "bx", "bls" is NOT in the
+    // table so falls through to the condition-suffix path).
+    if (const auto info = isa::op_info(std::string_view{m})) {
+      return {info->op, Cond::AL, false};
+    }
+    // Conditional branch: 'b' + condition suffix.
+    if (m.size() >= 3 && m[0] == 'b') {
+      if (const auto c = isa::cond_from_suffix(std::string_view{m}.substr(1))) {
+        return {Op::BCC, *c, false};
+      }
+    }
+    // Flag-setting ALU: mnemonic + 's'.
+    if (m.size() >= 4 && m.back() == 's') {
+      const std::string bare = m.substr(0, m.size() - 1);
+      if (const auto info = isa::op_info(std::string_view{bare})) {
+        const Format f = isa::format_of(info->op);
+        if (f == Format::AluReg || f == Format::AluImm) {
+          return {info->op, Cond::AL, true};
+        }
+      }
+    }
+    fail(line, "unknown mnemonic '" + m + "'");
+  }
+
+  // -- instruction encoding (pass 2) ----------------------------------------
+
+  Instruction build_instruction(const Statement& st) {
+    const u32 line = st.line;
+    auto [op, cond, set_flags] = resolve_mnemonic(st.mnemonic, line);
+    Instruction in;
+    in.op = op;
+    in.cond = cond;
+    in.set_flags = set_flags;
+    const auto& ops = st.operands;
+    const auto need = [&](size_t n) {
+      if (ops.size() != n) {
+        fail(line, st.mnemonic + " needs " + std::to_string(n) + " operand(s), got " +
+                       std::to_string(ops.size()));
+      }
+    };
+
+    switch (isa::format_of(op)) {
+      case Format::Sys:
+        if (op == Op::SVC) {
+          need(1);
+          in.imm = static_cast<i32>(parse_immediate(ops[0], line));
+        } else if (!ops.empty()) {
+          fail(line, st.mnemonic + " takes no operands");
+        }
+        break;
+
+      case Format::Mov16:
+        need(2);
+        in.rd = expect_reg(ops[0], line);
+        in.imm = static_cast<i32>(parse_immediate(ops[1], line));
+        if (!fits_unsigned(static_cast<u64>(static_cast<u32>(in.imm)), 16)) {
+          fail(line, "imm16 out of range");
+        }
+        break;
+
+      case Format::AluReg: {
+        if (op == Op::MOV || op == Op::MVN) {
+          need(2);
+          in.rd = expect_reg(ops[0], line);
+          if (is_immediate(ops[1])) {
+            // mov rd, #imm -> MOVI when it fits.
+            const i64 value = parse_immediate(ops[1], line);
+            if (op == Op::MOV && value >= 0 && value < 0x10000) {
+              in.op = Op::MOVI;
+              in.imm = static_cast<i32>(value);
+              return in;
+            }
+            fail(line, "immediate does not fit mov; use li");
+          }
+          in.rm = expect_reg(ops[1], line);
+          return in;
+        }
+        if (isa::is_compare(op)) {
+          need(2);
+          in.rn = expect_reg(ops[0], line);
+          if (is_immediate(ops[1])) {
+            const auto twin = imm_twin(op);
+            if (!twin) fail(line, "no immediate form for " + st.mnemonic);
+            in.op = *twin;
+            in.imm = static_cast<i32>(parse_immediate(ops[1], line));
+            in.set_flags = true;
+            return in;
+          }
+          in.rm = expect_reg(ops[1], line);
+          return in;
+        }
+        need(3);
+        in.rd = expect_reg(ops[0], line);
+        in.rn = expect_reg(ops[1], line);
+        if (is_immediate(ops[2])) {
+          const auto twin = imm_twin(op);
+          if (!twin) fail(line, "no immediate form for " + st.mnemonic);
+          in.op = *twin;
+          in.imm = static_cast<i32>(parse_immediate(ops[2], line));
+          return in;
+        }
+        in.rm = expect_reg(ops[2], line);
+        return in;
+      }
+
+      case Format::AluImm:
+        // Explicit "addi"-style spelling.
+        if (isa::is_compare(op)) {
+          need(2);
+          in.rn = expect_reg(ops[0], line);
+          in.imm = static_cast<i32>(parse_immediate(ops[1], line));
+          in.set_flags = true;
+        } else {
+          need(3);
+          in.rd = expect_reg(ops[0], line);
+          in.rn = expect_reg(ops[1], line);
+          in.imm = static_cast<i32>(parse_immediate(ops[2], line));
+        }
+        break;
+
+      case Format::MemImm:
+      case Format::MemReg: {
+        need(2);
+        in.rd = expect_reg(ops[0], line);
+        std::string_view addr = strip(ops[1]);
+        if (addr.size() < 2 || addr.front() != '[' || addr.back() != ']') {
+          fail(line, "expected [rn, ...] addressing, got '" + ops[1] + "'");
+        }
+        const auto parts = split_operands(addr.substr(1, addr.size() - 2));
+        if (parts.empty() || parts.size() > 3) fail(line, "bad addressing mode");
+        in.rn = expect_reg(parts[0], line);
+        if (parts.size() == 1) {
+          in.imm = 0;
+        } else if (is_immediate(parts[1])) {
+          if (parts.size() != 2) fail(line, "bad addressing mode");
+          in.imm = static_cast<i32>(parse_immediate(parts[1], line));
+        } else {
+          // Register offset -> LDRR/STRR.
+          in.rm = expect_reg(parts[1], line);
+          in.shift = 0;
+          if (parts.size() == 3) {
+            std::string_view sh = strip(parts[2]);
+            if (sh.substr(0, 3) != "lsl") fail(line, "only lsl shifts supported");
+            in.shift = static_cast<u8>(parse_immediate(strip(sh.substr(3)), line));
+          }
+          if (isa::is_load(op)) {
+            if (op != Op::LDR && op != Op::LDRR) fail(line, "register offset only for ldr/str");
+            in.op = Op::LDRR;
+          } else {
+            if (op != Op::STR && op != Op::STRR) fail(line, "register offset only for ldr/str");
+            in.op = Op::STRR;
+          }
+        }
+        break;
+      }
+
+      case Format::RegList:
+        need(1);
+        in.reg_list = parse_reg_list(ops[0], line);
+        if (op == Op::PUSH && bit(in.reg_list, 15)) fail(line, "cannot push pc");
+        if (op == Op::POP && bit(in.reg_list, 14)) fail(line, "cannot pop lr directly");
+        break;
+
+      case Format::Branch:
+      case Format::CondBr: {
+        need(1);
+        const i64 target = eval(ops[0], line);
+        in.imm = isa::branch_offset(st.address, static_cast<Address>(target));
+        break;
+      }
+
+      case Format::RegBr:
+        need(1);
+        in.rm = expect_reg(ops[0], line);
+        break;
+    }
+    return in;
+  }
+
+  Program second_pass() {
+    Program program(base_, std::vector<u8>(total_size_, 0));
+    for (const auto& [name, addr] : labels_) program.add_symbol(name, addr);
+
+    for (const auto& st : statements_) {
+      switch (st.kind) {
+        case Statement::Kind::Instr:
+          try {
+            program.set_word(st.address, isa::encode(build_instruction(st)));
+          } catch (const Error& e) {
+            if (std::string_view(e.what()).starts_with("asm:")) throw;
+            fail(st.line, e.what());
+          }
+          break;
+        case Statement::Kind::Li: {
+          const Reg rd = expect_reg(st.operands[0], st.line);
+          std::string_view value = strip(st.operands[1]);
+          if (value.empty() || value.front() != '=') fail(st.line, "li needs =expr");
+          const u32 v = static_cast<u32>(eval(value.substr(1), st.line));
+          Instruction movi;
+          movi.op = Op::MOVI;
+          movi.rd = rd;
+          movi.imm = static_cast<i32>(v & 0xffffu);
+          Instruction movt;
+          movt.op = Op::MOVT;
+          movt.rd = rd;
+          movt.imm = static_cast<i32>(v >> 16);
+          program.set_word(st.address, isa::encode(movi));
+          program.set_word(st.address + 4, isa::encode(movt));
+          break;
+        }
+        case Statement::Kind::Word: {
+          Address addr = st.address;
+          for (const auto& expr : st.operands) {
+            program.set_word(addr, static_cast<u32>(eval(expr, st.line)));
+            addr += 4;
+          }
+          break;
+        }
+        case Statement::Kind::Space:
+        case Statement::Kind::Align:
+          break;  // already zero
+        case Statement::Kind::Asciz: {
+          auto& bytes = program.mutable_bytes();
+          for (size_t i = 0; i < st.text.size(); ++i) {
+            bytes[st.address - base_ + i] = static_cast<u8>(st.text[i]);
+          }
+          break;
+        }
+      }
+    }
+    return program;
+  }
+
+  std::string_view source_;
+  Address base_;
+  std::vector<Statement> statements_;
+  std::map<std::string, Address> labels_;
+  std::map<std::string, i64> equ_;
+  u32 total_size_ = 0;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source, Address base) {
+  if (base % 4 != 0) throw Error("assemble: base must be word-aligned");
+  return Assembler(source, base).run();
+}
+
+std::string disassemble(const Program& program) {
+  std::string out;
+  for (Address addr = program.base(); addr + 4 <= program.end(); addr += 4) {
+    const u32 word = program.word_at(addr);
+    char prefix[32];
+    std::snprintf(prefix, sizeof prefix, "%08x:  %08x  ", addr, word);
+    out += prefix;
+    if (const auto instr = isa::decode(word)) {
+      out += isa::to_string(*instr);
+    } else {
+      out += ".word";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace raptrack

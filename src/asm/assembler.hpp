@@ -1,0 +1,43 @@
+// Two-pass assembler for RT-ISA. The evaluation workloads (the paper's MCU
+// applications and BEEBS kernels) are written in this assembly dialect and
+// assembled into flash images that the offline rewriting passes then
+// transform — mirroring the paper's "operates directly on post-compiled
+// binaries" offline phase.
+//
+// Grammar (one statement per line, ';' '@' '//' comments):
+//   label:                       — define a symbol at the current address
+//   .equ NAME, expr              — named constant
+//   .word expr[, expr ...]       — literal data words
+//   .space N                     — N zero bytes
+//   .asciz "text"                — NUL-terminated string
+//   .align N                     — pad with zero bytes to an N-byte boundary
+//   li rd, =expr                 — pseudo: movi+movt, loads any 32-bit value
+//   <mnemonic> operands          — one RT-ISA instruction
+//
+// Operand conveniences:
+//   add r0, r1, #5               — immediate forms auto-select (ADD -> ADDI)
+//   adds/subs/...                — trailing 's' sets flags
+//   beq/bne/bhi/...              — condition suffix selects BCC
+//   mov r0, #123                 — maps to MOVI when the value fits 16 bits
+//   push {r4-r7, lr}             — register ranges in lists
+//   ldr r0, [r1]                 — offset defaults to #0
+//   ldr r0, [r1, r2, lsl #2]     — register-offset form (LDRR)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "asm/program.hpp"
+#include "common/types.hpp"
+
+namespace raptrack {
+
+/// Assemble `source` into an image based at `base`. Throws Error with a
+/// line-numbered message on any syntax or range problem.
+Program assemble(std::string_view source, Address base);
+
+/// Disassemble the whole image into an address-annotated listing (one line
+/// per word; data words that do not decode are shown as .word).
+std::string disassemble(const Program& program);
+
+}  // namespace raptrack

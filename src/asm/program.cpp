@@ -1,0 +1,56 @@
+#include "asm/program.hpp"
+
+#include "common/hex.hpp"
+
+namespace raptrack {
+
+void Program::check_word_access(Address addr) const {
+  if (addr % 4 != 0) throw Error("Program: unaligned word access " + hex32(addr));
+  if (!contains(addr) || addr + 4 > end()) {
+    throw Error("Program: word access out of range " + hex32(addr));
+  }
+}
+
+u32 Program::word_at(Address addr) const {
+  check_word_access(addr);
+  const size_t i = addr - base_;
+  return static_cast<u32>(bytes_[i]) | (static_cast<u32>(bytes_[i + 1]) << 8) |
+         (static_cast<u32>(bytes_[i + 2]) << 16) |
+         (static_cast<u32>(bytes_[i + 3]) << 24);
+}
+
+void Program::set_word(Address addr, u32 value) {
+  check_word_access(addr);
+  const size_t i = addr - base_;
+  bytes_[i] = static_cast<u8>(value);
+  bytes_[i + 1] = static_cast<u8>(value >> 8);
+  bytes_[i + 2] = static_cast<u8>(value >> 16);
+  bytes_[i + 3] = static_cast<u8>(value >> 24);
+}
+
+std::optional<isa::Instruction> Program::instruction_at(Address addr) const {
+  return isa::decode(word_at(addr));
+}
+
+void Program::set_instruction(Address addr, const isa::Instruction& instr) {
+  set_word(addr, isa::encode(instr));
+}
+
+Address Program::append_words(std::span<const u32> words) {
+  const Address start = end();
+  for (const u32 w : words) {
+    bytes_.push_back(static_cast<u8>(w));
+    bytes_.push_back(static_cast<u8>(w >> 8));
+    bytes_.push_back(static_cast<u8>(w >> 16));
+    bytes_.push_back(static_cast<u8>(w >> 24));
+  }
+  return start;
+}
+
+std::optional<Address> Program::symbol(const std::string& name) const {
+  const auto it = symbols_.find(name);
+  if (it == symbols_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace raptrack

@@ -1,0 +1,60 @@
+// A fully linked program image: base address, raw bytes, and the symbol
+// table produced by the assembler. This is what gets loaded into simulated
+// flash and what the offline rewriting passes transform.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace raptrack {
+
+class Program {
+ public:
+  Program() = default;
+  Program(Address base, std::vector<u8> bytes)
+      : base_(base), bytes_(std::move(bytes)) {}
+
+  Address base() const { return base_; }
+  Address end() const { return base_ + static_cast<Address>(bytes_.size()); }
+  u32 size() const { return static_cast<u32>(bytes_.size()); }
+  std::span<const u8> bytes() const { return bytes_; }
+  std::vector<u8>& mutable_bytes() { return bytes_; }
+
+  bool contains(Address addr) const { return addr >= base_ && addr < end(); }
+
+  /// Little-endian word access (addr must be word-aligned and in range).
+  u32 word_at(Address addr) const;
+  void set_word(Address addr, u32 value);
+
+  /// Decode the instruction at `addr`; nullopt when the word is not a valid
+  /// instruction (e.g. a data word in a literal table).
+  std::optional<isa::Instruction> instruction_at(Address addr) const;
+
+  /// Replace the instruction at `addr` (encodes in place).
+  void set_instruction(Address addr, const isa::Instruction& instr);
+
+  /// Append raw words at the end of the image (used by rewriters to grow the
+  /// image with trampoline slots). Returns the address of the first appended
+  /// word.
+  Address append_words(std::span<const u32> words);
+
+  // Symbols.
+  void add_symbol(const std::string& name, Address addr) { symbols_[name] = addr; }
+  std::optional<Address> symbol(const std::string& name) const;
+  const std::map<std::string, Address>& symbols() const { return symbols_; }
+
+ private:
+  void check_word_access(Address addr) const;
+
+  Address base_ = 0;
+  std::vector<u8> bytes_;
+  std::map<std::string, Address> symbols_;
+};
+
+}  // namespace raptrack

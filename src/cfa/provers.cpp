@@ -1,0 +1,290 @@
+#include "cfa/provers.hpp"
+
+#include "common/hex.hpp"
+
+namespace raptrack::cfa {
+
+Cycles ProverBase::lock_and_measure(sim::Machine& machine, Address image_base,
+                                    u32 image_bytes,
+                                    crypto::Digest& h_mem_out) const {
+  // §IV-A: make APP's binary non-writable from the Non-Secure world and
+  // lock the NS-MPU so the configuration cannot be undone.
+  auto& mpu = machine.bus().ns_mpu();
+  mpu.configure(0, {.enabled = true,
+                    .base = image_base,
+                    .limit = image_base + image_bytes - 1,
+                    .allow_read = true,
+                    .allow_write = false,
+                    .allow_execute = true});
+  mpu.lock();
+
+  // Hash the deployed image exactly as it sits in flash.
+  const auto bytes = machine.memory().dump(image_base, image_bytes);
+  h_mem_out = crypto::Sha256::hash(bytes);
+  const auto& costs = machine.monitor().costs();
+  return static_cast<Cycles>(image_bytes) * costs.hash_per_byte + 200;
+}
+
+SignedReport ProverBase::make_report(const Challenge& chal,
+                                     const crypto::Digest& h_mem, u32 sequence,
+                                     bool final_report, PayloadType type,
+                                     std::vector<u8> payload) const {
+  SignedReport report;
+  report.chal = chal;
+  report.h_mem = h_mem;
+  report.sequence = sequence;
+  report.final_report = final_report;
+  report.type = type;
+  report.payload = std::move(payload);
+  report.sign(key_);
+  return report;
+}
+
+Cycles ProverBase::report_cost(const sim::Machine& machine,
+                               size_t payload_bytes) const {
+  const auto& costs = machine.monitor().costs();
+  return costs.report_overhead + costs.sign_fixed +
+         static_cast<Cycles>(payload_bytes) *
+             (costs.hash_per_byte + costs.transmit_per_byte);
+}
+
+// ---------------------------------------------------------------------------
+// RAP-Track
+// ---------------------------------------------------------------------------
+
+RapProver::RapProver(const Program& program, const rewrite::Manifest& manifest,
+                     Address entry, crypto::Key key, SessionOptions options)
+    : ProverBase(std::move(key), options),
+      program_(&program),
+      manifest_(&manifest),
+      entry_(entry) {}
+
+AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
+  AttestationRun run;
+  machine.load_program(*program_);
+  run.metrics.code_bytes = program_->size();
+
+  crypto::Digest h_mem;
+  run.metrics.attest_setup_cycles =
+      lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+
+  // Configure DWT range gating (§IV-B) and the MTB.
+  machine.dwt().configure_rap_track(manifest_->mtbar_base,
+                                    manifest_->mtbar_limit,
+                                    manifest_->mtbdr_base,
+                                    manifest_->mtbdr_limit);
+  auto& mtb = machine.mtb();
+  mtb.set_enabled(true);
+  const u32 watermark = options_.watermark_bytes != 0 ? options_.watermark_bytes
+                                                      : mtb.buffer_bytes();
+  mtb.set_watermark(watermark);
+
+  u32 sequence = 0;
+  mtb.set_watermark_handler([&] {
+    // §IV-E: generate and transmit a partial report, reset the head pointer,
+    // and resume APP over the same buffer memory. With a provisioned
+    // sub-path dictionary the chunk travels in the speculated encoding.
+    const auto packets = mtb.read_log();
+    auto report =
+        options_.speculation != nullptr
+            ? make_report(chal, h_mem, sequence++, false,
+                          PayloadType::RapSpecPackets,
+                          encode_speculated(packets, *options_.speculation))
+            : make_report(chal, h_mem, sequence++, false,
+                          PayloadType::RapPackets, encode_packets(packets));
+    const Cycles pause = report_cost(machine, report.payload.size());
+    machine.cpu().add_cycles(pause);
+    run.metrics.pause_cycles += pause;
+    ++run.metrics.partial_reports;
+    run.reports.push_back(std::move(report));
+    mtb.reset_position();
+  });
+
+  // Loop-condition logging service (§IV-D).
+  std::vector<u32> loop_values;
+  machine.monitor().register_service(
+      tz::Service::kRapLogLoopCondition, [&](cpu::CpuState& state) -> Cycles {
+        const Address svc_addr = state.pc() - 4;
+        const auto* veneer = manifest_->veneer_at_svc(svc_addr);
+        if (!veneer) {
+          throw Error("RapProver: loop SVC with no veneer at " + hex32(svc_addr));
+        }
+        loop_values.push_back(state.reg(veneer->loop.iterator));
+        return machine.monitor().costs().loop_cond_log;
+      });
+
+  machine.reset_cpu(entry_);
+  run.metrics.halt = machine.run(options_.max_instructions);
+  run.metrics.fault = machine.cpu().fault();
+  run.metrics.exec_cycles = machine.cpu().cycles();
+  run.metrics.instructions = machine.cpu().instructions_retired();
+  run.metrics.world_switches = machine.monitor().world_switches();
+
+  // Final report: remaining packets + the loop-condition stream.
+  cfa::SignedReport final_report;
+  if (options_.speculation != nullptr) {
+    SpecFinalPayload payload{mtb.read_log(), loop_values};
+    final_report =
+        make_report(chal, h_mem, sequence, true, PayloadType::RapSpecFinal,
+                    encode_spec_final(payload, *options_.speculation));
+  } else {
+    RapFinalPayload payload{mtb.read_log(), loop_values};
+    final_report = make_report(chal, h_mem, sequence, true,
+                               PayloadType::RapFinal,
+                               encode_rap_final(payload));
+  }
+  run.metrics.final_report_cycles =
+      report_cost(machine, final_report.payload.size());
+  run.reports.push_back(std::move(final_report));
+
+  run.metrics.cflog_bytes =
+      mtb.total_bytes_written() + loop_values.size() * 4;
+  for (const auto& report : run.reports) {
+    run.metrics.transmitted_evidence_bytes += report.payload.size();
+  }
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Naive MTB
+// ---------------------------------------------------------------------------
+
+NaiveProver::NaiveProver(const Program& program, Address entry, crypto::Key key,
+                         SessionOptions options)
+    : ProverBase(std::move(key), options), program_(&program), entry_(entry) {}
+
+AttestationRun NaiveProver::attest(sim::Machine& machine,
+                                   const Challenge& chal) {
+  AttestationRun run;
+  machine.load_program(*program_);
+  run.metrics.code_bytes = program_->size();
+
+  crypto::Digest h_mem;
+  run.metrics.attest_setup_cycles =
+      lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+
+  auto& mtb = machine.mtb();
+  mtb.set_enabled(true);
+  mtb.set_tstart_enable(true);  // record every non-sequential transfer
+  const u32 watermark = options_.watermark_bytes != 0 ? options_.watermark_bytes
+                                                      : mtb.buffer_bytes();
+  mtb.set_watermark(watermark);
+
+  u32 sequence = 0;
+  mtb.set_watermark_handler([&] {
+    const auto packets = mtb.read_log();
+    auto report = make_report(chal, h_mem, sequence++, false,
+                              PayloadType::NaivePackets,
+                              encode_packets(packets));
+    const Cycles pause = report_cost(machine, report.payload.size());
+    machine.cpu().add_cycles(pause);
+    run.metrics.pause_cycles += pause;
+    ++run.metrics.partial_reports;
+    run.reports.push_back(std::move(report));
+    mtb.reset_position();
+  });
+
+  machine.reset_cpu(entry_);
+  run.metrics.halt = machine.run(options_.max_instructions);
+  run.metrics.fault = machine.cpu().fault();
+  run.metrics.exec_cycles = machine.cpu().cycles();
+  run.metrics.instructions = machine.cpu().instructions_retired();
+  run.metrics.world_switches = machine.monitor().world_switches();
+
+  auto final = make_report(chal, h_mem, sequence, true,
+                           PayloadType::NaivePackets,
+                           encode_packets(mtb.read_log()));
+  run.metrics.final_report_cycles = report_cost(machine, final.payload.size());
+  run.reports.push_back(std::move(final));
+
+  run.metrics.cflog_bytes = mtb.total_bytes_written();
+  for (const auto& report : run.reports) {
+    run.metrics.transmitted_evidence_bytes += report.payload.size();
+  }
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// TRACES-style instrumentation
+// ---------------------------------------------------------------------------
+
+TracesProver::TracesProver(const Program& program,
+                           const instr::TracesManifest& manifest, Address entry,
+                           crypto::Key key, SessionOptions options)
+    : ProverBase(std::move(key), options),
+      program_(&program),
+      manifest_(&manifest),
+      entry_(entry) {}
+
+AttestationRun TracesProver::attest(sim::Machine& machine,
+                                    const Challenge& chal) {
+  AttestationRun run;
+  machine.load_program(*program_);
+  run.metrics.code_bytes = program_->size();
+
+  crypto::Digest h_mem;
+  run.metrics.attest_setup_cycles =
+      lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+
+  instr::TracesEngine engine(*program_, *manifest_, machine.memory(),
+                             options_.traces_capacity_bytes,
+                             options_.traces_bit_packed);
+  engine.attach(machine.monitor());
+
+  // Partial reports: each capacity flush is signed and transmitted, pausing
+  // the application (the instrumentation analogue of §IV-E).
+  u32 sequence = 0;
+  engine.set_flush_handler([&](const instr::TracesLog& window) {
+    TracesChunkPayload payload{window.direction_bits, window.indirect_targets,
+                               window.loop_conditions};
+    auto report = make_report(chal, h_mem, sequence++, false,
+                              PayloadType::TracesChunk,
+                              encode_traces_chunk(payload));
+    const Cycles pause = report_cost(machine, report.payload.size());
+    machine.cpu().add_cycles(pause);
+    run.metrics.pause_cycles += pause;
+    ++run.metrics.partial_reports;
+    run.reports.push_back(std::move(report));
+  });
+
+  machine.reset_cpu(entry_);
+  run.metrics.halt = machine.run(options_.max_instructions);
+  run.metrics.fault = machine.cpu().fault();
+  run.metrics.instructions = machine.cpu().instructions_retired();
+  run.metrics.world_switches = machine.monitor().world_switches();
+  run.metrics.exec_cycles = machine.cpu().cycles();
+
+  const instr::TracesLog window = engine.window();
+  TracesChunkPayload payload{window.direction_bits, window.indirect_targets,
+                             window.loop_conditions};
+  auto final = make_report(chal, h_mem, sequence, true,
+                           PayloadType::TracesChunk,
+                           encode_traces_chunk(payload));
+  run.metrics.final_report_cycles = report_cost(machine, final.payload.size());
+  run.reports.push_back(std::move(final));
+
+  run.metrics.cflog_bytes = engine.total_log_bytes();
+  for (const auto& report : run.reports) {
+    run.metrics.transmitted_evidence_bytes += report.payload.size();
+  }
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Uninstrumented baseline
+// ---------------------------------------------------------------------------
+
+RunMetrics BaselineRunner::run(sim::Machine& machine,
+                               u64 max_instructions) const {
+  RunMetrics metrics;
+  machine.load_program(*program_);
+  metrics.code_bytes = program_->size();
+  machine.reset_cpu(entry_);
+  metrics.halt = machine.run(max_instructions);
+  metrics.fault = machine.cpu().fault();
+  metrics.exec_cycles = machine.cpu().cycles();
+  metrics.instructions = machine.cpu().instructions_retired();
+  return metrics;
+}
+
+}  // namespace raptrack::cfa

@@ -1,0 +1,134 @@
+// Prover-side attestation sessions for the four methods the paper compares:
+//   * RapProver      — RAP-Track: DWT-gated MTB tracing of the rewritten
+//                      binary, loop-condition SVCs, partial reports (§IV).
+//   * NaiveProver    — naive MTB: TSTARTEN always-on over the unmodified
+//                      binary (the Figure 1 baseline).
+//   * TracesProver   — TRACES-style instrumentation with Secure-World
+//                      logging on every non-deterministic branch.
+//   * BaselineRunner — the unmodified application with no CFA at all
+//                      (runtime baseline of Figure 8).
+//
+// Each session drives a Machine through the §II-C protocol: receive Chal,
+// lock APP memory via the NS-MPU, measure H_MEM, configure tracing, run,
+// and emit signed (partial + final) reports.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cfa/report.hpp"
+#include "cfa/speculation.hpp"
+#include "instr/traces_engine.hpp"
+#include "rewrite/manifest.hpp"
+#include "sim/machine.hpp"
+
+namespace raptrack::cfa {
+
+struct RunMetrics {
+  Cycles exec_cycles = 0;          ///< app run incl. instrumentation + SVCs
+  Cycles attest_setup_cycles = 0;  ///< H_MEM hashing + MPU/trace configuration
+  Cycles pause_cycles = 0;         ///< partial-report generation + transmission
+  Cycles final_report_cycles = 0;
+  u64 cflog_bytes = 0;             ///< method-specific CF_Log volume
+  u32 partial_reports = 0;
+  u64 world_switches = 0;
+  u64 instructions = 0;
+  u32 code_bytes = 0;              ///< deployed image size
+  u64 transmitted_evidence_bytes = 0;  ///< total report payload volume
+  cpu::HaltReason halt = cpu::HaltReason::Halted;
+  std::optional<mem::Fault> fault;
+};
+
+struct AttestationRun {
+  std::vector<SignedReport> reports;  ///< partials in order, then the final
+  RunMetrics metrics;
+};
+
+struct SessionOptions {
+  /// MTB watermark in bytes (RAP/naive). 0 = whole buffer (one flush per
+  /// fill); must be packet-aligned.
+  u32 watermark_bytes = 0;
+  /// TRACES Secure-World log capacity in bytes; 0 = unbounded.
+  u32 traces_capacity_bytes = 0;
+  /// TRACES conditional-outcome encoding: word-per-event (default) or the
+  /// aggressive 1-bit packing.
+  bool traces_bit_packed = false;
+  /// SpecCFA-style sub-path dictionary (RAP-Track only). When set, packet
+  /// payloads are transmitted in the speculated encoding. Must outlive the
+  /// session and match the Verifier's provisioned dictionary.
+  const SpeculationDict* speculation = nullptr;
+  u64 max_instructions = 200'000'000;
+};
+
+/// Shared protocol mechanics (memory lock, H_MEM, report signing).
+class ProverBase {
+ public:
+  ProverBase(crypto::Key key, SessionOptions options)
+      : key_(std::move(key)), options_(options) {}
+
+ protected:
+  Cycles lock_and_measure(sim::Machine& machine, Address image_base,
+                          u32 image_bytes, crypto::Digest& h_mem_out) const;
+  SignedReport make_report(const Challenge& chal, const crypto::Digest& h_mem,
+                           u32 sequence, bool final_report, PayloadType type,
+                           std::vector<u8> payload) const;
+  Cycles report_cost(const sim::Machine& machine, size_t payload_bytes) const;
+
+  crypto::Key key_;
+  SessionOptions options_;
+};
+
+class RapProver : public ProverBase {
+ public:
+  RapProver(const Program& program, const rewrite::Manifest& manifest,
+            Address entry, crypto::Key key, SessionOptions options = {});
+
+  /// Run the full CFA session on `machine` (program gets loaded here).
+  AttestationRun attest(sim::Machine& machine, const Challenge& chal);
+
+ private:
+  const Program* program_;
+  const rewrite::Manifest* manifest_;
+  Address entry_;
+};
+
+class NaiveProver : public ProverBase {
+ public:
+  NaiveProver(const Program& program, Address entry, crypto::Key key,
+              SessionOptions options = {});
+
+  AttestationRun attest(sim::Machine& machine, const Challenge& chal);
+
+ private:
+  const Program* program_;
+  Address entry_;
+};
+
+class TracesProver : public ProverBase {
+ public:
+  TracesProver(const Program& program, const instr::TracesManifest& manifest,
+               Address entry, crypto::Key key, SessionOptions options = {});
+
+  AttestationRun attest(sim::Machine& machine, const Challenge& chal);
+
+ private:
+  const Program* program_;
+  const instr::TracesManifest* manifest_;
+  Address entry_;
+};
+
+/// No CFA: loads and runs the unmodified application, reporting cycles only.
+class BaselineRunner {
+ public:
+  BaselineRunner(const Program& program, Address entry)
+      : program_(&program), entry_(entry) {}
+
+  RunMetrics run(sim::Machine& machine,
+                 u64 max_instructions = 200'000'000) const;
+
+ private:
+  const Program* program_;
+  Address entry_;
+};
+
+}  // namespace raptrack::cfa

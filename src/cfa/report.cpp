@@ -1,0 +1,145 @@
+#include "cfa/report.hpp"
+
+namespace raptrack::cfa {
+
+namespace {
+
+void put_u32(std::vector<u8>& out, u32 value) {
+  out.push_back(static_cast<u8>(value));
+  out.push_back(static_cast<u8>(value >> 8));
+  out.push_back(static_cast<u8>(value >> 16));
+  out.push_back(static_cast<u8>(value >> 24));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> data) : data_(data) {}
+
+  u32 u32_value() {
+    if (pos_ + 4 > data_.size()) throw Error("report payload truncated");
+    const u32 v = static_cast<u32>(data_[pos_]) |
+                  (static_cast<u32>(data_[pos_ + 1]) << 8) |
+                  (static_cast<u32>(data_[pos_ + 2]) << 16) |
+                  (static_cast<u32>(data_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const u8> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<u8> SignedReport::mac_input() const {
+  std::vector<u8> out;
+  out.reserve(chal.size() + h_mem.size() + 16 + payload.size());
+  out.insert(out.end(), chal.begin(), chal.end());
+  out.insert(out.end(), h_mem.begin(), h_mem.end());
+  put_u32(out, sequence);
+  out.push_back(final_report ? 1 : 0);
+  out.push_back(static_cast<u8>(type));
+  put_u32(out, static_cast<u32>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void SignedReport::sign(std::span<const u8> key) {
+  mac = crypto::hmac_sha256(key, mac_input());
+}
+
+bool SignedReport::verify(std::span<const u8> key) const {
+  return crypto::digest_equal(mac, crypto::hmac_sha256(key, mac_input()));
+}
+
+std::vector<u8> encode_packets(const trace::PacketLog& packets) {
+  std::vector<u8> out;
+  put_u32(out, static_cast<u32>(packets.size()));
+  for (const auto& packet : packets) {
+    put_u32(out, packet.source_word());
+    put_u32(out, packet.destination_word());
+  }
+  return out;
+}
+
+trace::PacketLog decode_packets(std::span<const u8> payload) {
+  Reader reader(payload);
+  const u32 count = reader.u32_value();
+  trace::PacketLog packets;
+  packets.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const u32 src = reader.u32_value();
+    const u32 dst = reader.u32_value();
+    packets.push_back(trace::BranchPacket::from_words(src, dst));
+  }
+  if (!reader.done()) throw Error("packet payload has trailing bytes");
+  return packets;
+}
+
+std::vector<u8> encode_rap_final(const RapFinalPayload& payload) {
+  std::vector<u8> out = encode_packets(payload.packets);
+  put_u32(out, static_cast<u32>(payload.loop_values.size()));
+  for (const u32 value : payload.loop_values) put_u32(out, value);
+  return out;
+}
+
+RapFinalPayload decode_rap_final(std::span<const u8> payload) {
+  Reader reader(payload);
+  RapFinalPayload result;
+  const u32 packet_count = reader.u32_value();
+  for (u32 i = 0; i < packet_count; ++i) {
+    const u32 src = reader.u32_value();
+    const u32 dst = reader.u32_value();
+    result.packets.push_back(trace::BranchPacket::from_words(src, dst));
+  }
+  const u32 loop_count = reader.u32_value();
+  for (u32 i = 0; i < loop_count; ++i) {
+    result.loop_values.push_back(reader.u32_value());
+  }
+  if (!reader.done()) throw Error("rap-final payload has trailing bytes");
+  return result;
+}
+
+std::vector<u8> encode_traces_chunk(const TracesChunkPayload& payload) {
+  std::vector<u8> out;
+  put_u32(out, static_cast<u32>(payload.direction_bits.size()));
+  u32 word = 0;
+  for (size_t i = 0; i < payload.direction_bits.size(); ++i) {
+    if (payload.direction_bits[i]) word |= 1u << (i % 32);
+    if (i % 32 == 31 || i + 1 == payload.direction_bits.size()) {
+      put_u32(out, word);
+      word = 0;
+    }
+  }
+  put_u32(out, static_cast<u32>(payload.indirect_targets.size()));
+  for (const Address target : payload.indirect_targets) put_u32(out, target);
+  put_u32(out, static_cast<u32>(payload.loop_values.size()));
+  for (const u32 value : payload.loop_values) put_u32(out, value);
+  return out;
+}
+
+TracesChunkPayload decode_traces_chunk(std::span<const u8> payload) {
+  Reader reader(payload);
+  TracesChunkPayload result;
+  const u32 bit_count = reader.u32_value();
+  u32 word = 0;
+  for (u32 i = 0; i < bit_count; ++i) {
+    if (i % 32 == 0) word = reader.u32_value();
+    result.direction_bits.push_back(((word >> (i % 32)) & 1u) != 0);
+  }
+  const u32 addr_count = reader.u32_value();
+  for (u32 i = 0; i < addr_count; ++i) {
+    result.indirect_targets.push_back(reader.u32_value());
+  }
+  const u32 loop_count = reader.u32_value();
+  for (u32 i = 0; i < loop_count; ++i) {
+    result.loop_values.push_back(reader.u32_value());
+  }
+  if (!reader.done()) throw Error("traces payload has trailing bytes");
+  return result;
+}
+
+}  // namespace raptrack::cfa

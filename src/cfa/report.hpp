@@ -1,0 +1,65 @@
+// CFA report format and serialization. A report binds the Verifier's
+// challenge, the measured program memory (H_MEM), a sequence number (for
+// partial reports, §IV-E), and the CF_Log payload under an HMAC-SHA256
+// computed with the RoT key (§II-C/D protocol).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/hmac.hpp"
+#include "trace/branch_packet.hpp"
+
+namespace raptrack::cfa {
+
+using Challenge = std::array<u8, 16>;
+
+/// Payload discriminator, bound under the MAC.
+enum class PayloadType : u8 {
+  RapPackets = 1,   ///< partial report: MTB packet chunk
+  RapFinal = 2,     ///< final report: packet chunk + loop-condition values
+  NaivePackets = 3, ///< naive-MTB chunk (partial or final)
+  TracesChunk = 4,  ///< TRACES stream chunk (bits / targets / loop values)
+  RapSpecPackets = 5,  ///< partial chunk, SpecCFA-style speculated encoding
+  RapSpecFinal = 6,    ///< final report, speculated packets + loop values
+};
+
+struct SignedReport {
+  Challenge chal{};
+  crypto::Digest h_mem{};
+  u32 sequence = 0;
+  bool final_report = false;
+  PayloadType type = PayloadType::RapPackets;
+  std::vector<u8> payload;
+  crypto::Digest mac{};
+
+  /// Canonical byte string the MAC covers.
+  std::vector<u8> mac_input() const;
+  void sign(std::span<const u8> key);
+  bool verify(std::span<const u8> key) const;
+};
+
+// -- payload codecs ---------------------------------------------------------
+
+std::vector<u8> encode_packets(const trace::PacketLog& packets);
+trace::PacketLog decode_packets(std::span<const u8> payload);
+
+struct RapFinalPayload {
+  trace::PacketLog packets;
+  std::vector<u32> loop_values;
+};
+std::vector<u8> encode_rap_final(const RapFinalPayload& payload);
+RapFinalPayload decode_rap_final(std::span<const u8> payload);
+
+struct TracesChunkPayload {
+  std::vector<bool> direction_bits;
+  std::vector<Address> indirect_targets;
+  std::vector<u32> loop_values;
+};
+std::vector<u8> encode_traces_chunk(const TracesChunkPayload& payload);
+TracesChunkPayload decode_traces_chunk(std::span<const u8> payload);
+
+}  // namespace raptrack::cfa

@@ -1,0 +1,253 @@
+#include "cfa/speculation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace raptrack::cfa {
+
+namespace {
+
+constexpr u8 kLiteralTag = 0x00;
+constexpr u8 kReferenceTag = 0x01;
+
+using PacketKey = std::pair<u32, u32>;
+
+PacketKey key_of(const trace::BranchPacket& packet) {
+  // The A-bit is a hardware artifact of trace restarts, not control-flow
+  // information; speculation matches on (source, destination) only and the
+  // decoder re-synthesizes packets with the A-bit cleared. The replayer
+  // never consults the bit.
+  return {packet.source, packet.destination};
+}
+
+std::vector<PacketKey> keys_of(const trace::PacketLog& packets) {
+  std::vector<PacketKey> keys;
+  keys.reserve(packets.size());
+  for (const auto& packet : packets) keys.push_back(key_of(packet));
+  return keys;
+}
+
+}  // namespace
+
+SpeculationDict mine_subpaths(const trace::PacketLog& profile,
+                              const MiningOptions& options) {
+  SpeculationDict dict;
+  if (profile.size() < options.min_length) return dict;
+  const std::vector<PacketKey> keys = keys_of(profile);
+
+  // Greedy longest-first mining: for each candidate length (descending),
+  // count every window; keep windows that occur often enough and don't
+  // overlap material already claimed by a longer selection.
+  std::vector<bool> claimed(keys.size(), false);
+  const u32 max_len = std::min<u32>(options.max_length,
+                                    static_cast<u32>(keys.size()));
+  for (u32 length = max_len; length >= options.min_length; --length) {
+    std::map<std::vector<PacketKey>, std::vector<size_t>> windows;
+    for (size_t start = 0; start + length <= keys.size(); ++start) {
+      bool free = true;
+      for (size_t i = start; i < start + length && free; ++i) {
+        free = !claimed[i];
+      }
+      if (!free) continue;
+      windows[{keys.begin() + static_cast<long>(start),
+               keys.begin() + static_cast<long>(start + length)}]
+          .push_back(start);
+    }
+    // Deterministic order: std::map iterates keys lexicographically.
+    for (const auto& [window, starts] : windows) {
+      if (dict.entries.size() >= options.max_entries) return dict;
+      // Count non-overlapping occurrences.
+      std::vector<size_t> selected;
+      size_t last_end = 0;
+      for (const size_t start : starts) {
+        if (start >= last_end) {
+          selected.push_back(start);
+          last_end = start + length;
+        }
+      }
+      if (selected.size() < options.min_occurrences) continue;
+      SubPath sub_path;
+      for (const auto& [src, dst] : window) {
+        sub_path.packets.push_back({src, dst, false});
+      }
+      dict.entries.push_back(std::move(sub_path));
+      for (const size_t start : selected) {
+        for (size_t i = start; i < start + length; ++i) claimed[i] = true;
+      }
+    }
+  }
+  return dict;
+}
+
+std::vector<u8> encode_speculated(const trace::PacketLog& packets,
+                                  const SpeculationDict& dict) {
+  if (dict.entries.size() > 255) throw Error("speculation: dictionary too large");
+  const std::vector<PacketKey> keys = keys_of(packets);
+
+  // Pre-compute dictionary keys, longest entries first for greedy matching.
+  std::vector<std::pair<std::vector<PacketKey>, u8>> entries;
+  for (size_t id = 0; id < dict.entries.size(); ++id) {
+    entries.emplace_back(keys_of(dict.entries[id].packets),
+                         static_cast<u8>(id));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.size() > b.first.size();
+            });
+
+  std::vector<u8> out;
+  const auto put_u32 = [&](u32 v) {
+    out.push_back(static_cast<u8>(v));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 24));
+  };
+
+  size_t pos = 0;
+  while (pos < keys.size()) {
+    bool matched = false;
+    for (const auto& [entry_keys, id] : entries) {
+      if (entry_keys.empty() || pos + entry_keys.size() > keys.size()) continue;
+      if (std::equal(entry_keys.begin(), entry_keys.end(),
+                     keys.begin() + static_cast<long>(pos))) {
+        out.push_back(kReferenceTag);
+        out.push_back(id);
+        pos += entry_keys.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back(kLiteralTag);
+      put_u32(packets[pos].source_word());
+      put_u32(packets[pos].destination_word());
+      ++pos;
+    }
+  }
+  return out;
+}
+
+trace::PacketLog decode_speculated(std::span<const u8> bytes,
+                                   const SpeculationDict& dict) {
+  trace::PacketLog out;
+  size_t pos = 0;
+  const auto get_u32 = [&]() -> u32 {
+    if (pos + 4 > bytes.size()) throw Error("speculation: truncated stream");
+    const u32 v = static_cast<u32>(bytes[pos]) |
+                  (static_cast<u32>(bytes[pos + 1]) << 8) |
+                  (static_cast<u32>(bytes[pos + 2]) << 16) |
+                  (static_cast<u32>(bytes[pos + 3]) << 24);
+    pos += 4;
+    return v;
+  };
+  while (pos < bytes.size()) {
+    const u8 tag = bytes[pos++];
+    if (tag == kLiteralTag) {
+      const u32 src = get_u32();
+      const u32 dst = get_u32();
+      out.push_back(trace::BranchPacket::from_words(src, dst));
+    } else if (tag == kReferenceTag) {
+      if (pos >= bytes.size()) throw Error("speculation: truncated reference");
+      const u8 id = bytes[pos++];
+      if (id >= dict.entries.size()) {
+        throw Error("speculation: reference out of range");
+      }
+      const auto& packets = dict.entries[id].packets;
+      out.insert(out.end(), packets.begin(), packets.end());
+    } else {
+      throw Error("speculation: unknown token tag");
+    }
+  }
+  return out;
+}
+
+std::vector<u8> serialize_dict(const SpeculationDict& dict) {
+  std::vector<u8> out;
+  const auto put_u32 = [&](u32 v) {
+    out.push_back(static_cast<u8>(v));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 24));
+  };
+  put_u32(0x53504543);  // "SPEC"
+  put_u32(static_cast<u32>(dict.entries.size()));
+  for (const auto& entry : dict.entries) {
+    put_u32(static_cast<u32>(entry.packets.size()));
+    for (const auto& packet : entry.packets) {
+      put_u32(packet.source_word());
+      put_u32(packet.destination_word());
+    }
+  }
+  return out;
+}
+
+SpeculationDict deserialize_dict(std::span<const u8> bytes) {
+  size_t pos = 0;
+  const auto get_u32 = [&]() -> u32 {
+    if (pos + 4 > bytes.size()) throw Error("speculation dict: truncated");
+    const u32 v = static_cast<u32>(bytes[pos]) |
+                  (static_cast<u32>(bytes[pos + 1]) << 8) |
+                  (static_cast<u32>(bytes[pos + 2]) << 16) |
+                  (static_cast<u32>(bytes[pos + 3]) << 24);
+    pos += 4;
+    return v;
+  };
+  if (get_u32() != 0x53504543) throw Error("speculation dict: bad magic");
+  SpeculationDict dict;
+  const u32 count = get_u32();
+  for (u32 i = 0; i < count; ++i) {
+    SubPath entry;
+    const u32 length = get_u32();
+    for (u32 j = 0; j < length; ++j) {
+      const u32 src = get_u32();
+      const u32 dst = get_u32();
+      entry.packets.push_back(trace::BranchPacket::from_words(src, dst));
+    }
+    dict.entries.push_back(std::move(entry));
+  }
+  if (pos != bytes.size()) throw Error("speculation dict: trailing bytes");
+  return dict;
+}
+
+std::vector<u8> encode_spec_final(const SpecFinalPayload& payload,
+                                  const SpeculationDict& dict) {
+  const std::vector<u8> encoded = encode_speculated(payload.packets, dict);
+  std::vector<u8> out;
+  const auto put_u32 = [&](u32 v) {
+    out.push_back(static_cast<u8>(v));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 24));
+  };
+  put_u32(static_cast<u32>(encoded.size()));
+  out.insert(out.end(), encoded.begin(), encoded.end());
+  put_u32(static_cast<u32>(payload.loop_values.size()));
+  for (const u32 value : payload.loop_values) put_u32(value);
+  return out;
+}
+
+SpecFinalPayload decode_spec_final(std::span<const u8> bytes,
+                                   const SpeculationDict& dict) {
+  size_t pos = 0;
+  const auto get_u32 = [&]() -> u32 {
+    if (pos + 4 > bytes.size()) throw Error("spec-final: truncated");
+    const u32 v = static_cast<u32>(bytes[pos]) |
+                  (static_cast<u32>(bytes[pos + 1]) << 8) |
+                  (static_cast<u32>(bytes[pos + 2]) << 16) |
+                  (static_cast<u32>(bytes[pos + 3]) << 24);
+    pos += 4;
+    return v;
+  };
+  SpecFinalPayload payload;
+  const u32 encoded_length = get_u32();
+  if (pos + encoded_length > bytes.size()) throw Error("spec-final: truncated");
+  payload.packets =
+      decode_speculated(bytes.subspan(pos, encoded_length), dict);
+  pos += encoded_length;
+  const u32 loop_count = get_u32();
+  for (u32 i = 0; i < loop_count; ++i) payload.loop_values.push_back(get_u32());
+  if (pos != bytes.size()) throw Error("spec-final: trailing bytes");
+  return payload;
+}
+
+}  // namespace raptrack::cfa

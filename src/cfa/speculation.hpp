@@ -1,0 +1,74 @@
+// SpecCFA-style sub-path speculation (the paper's §V-B points at CF_Log
+// transmission as the system bottleneck and cites SpecCFA [57] as the
+// application-aware answer). The Verifier mines frequent packet
+// sub-sequences from a profiling run and provisions them to the RoT; at
+// report time the Secure World replaces each occurrence with a one-byte
+// dictionary reference, shrinking the transmitted log without losing any
+// information (the Verifier expands before reconstruction, so losslessness
+// and all attack checks are untouched).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/branch_packet.hpp"
+
+namespace raptrack::cfa {
+
+/// One speculated sub-path: an exact packet sequence both sides agree on.
+struct SubPath {
+  trace::PacketLog packets;
+
+  friend bool operator==(const SubPath&, const SubPath&) = default;
+};
+
+/// Dictionary of speculated sub-paths (index = reference id, at most 255
+/// entries so references fit one byte).
+struct SpeculationDict {
+  std::vector<SubPath> entries;
+
+  bool empty() const { return entries.empty(); }
+};
+
+struct MiningOptions {
+  u32 min_length = 3;    ///< shortest sub-path worth a reference
+  u32 max_length = 32;   ///< longest candidate window
+  u32 min_occurrences = 3;
+  u32 max_entries = 64;  ///< dictionary capacity
+};
+
+/// Mine a dictionary from a profiling run's packet log: greedy selection of
+/// the highest-saving frequent sub-sequences (longest-first, non-nested).
+/// Deterministic for a given log.
+SpeculationDict mine_subpaths(const trace::PacketLog& profile,
+                              const MiningOptions& options = {});
+
+/// Encode a packet log with the dictionary. Wire format per token:
+///   0x00, src:u32, dst:u32        — literal packet
+///   0x01, id:u8                   — dictionary reference
+std::vector<u8> encode_speculated(const trace::PacketLog& packets,
+                                  const SpeculationDict& dict);
+
+/// Expand an encoded stream back to the exact packet sequence. Throws Error
+/// on malformed input or out-of-range references.
+trace::PacketLog decode_speculated(std::span<const u8> bytes,
+                                   const SpeculationDict& dict);
+
+/// Serialize/parse a dictionary (provisioning artifact, like the manifest).
+std::vector<u8> serialize_dict(const SpeculationDict& dict);
+SpeculationDict deserialize_dict(std::span<const u8> bytes);
+
+// -- report payload codecs for speculated evidence ---------------------------
+
+struct SpecFinalPayload {
+  trace::PacketLog packets;
+  std::vector<u32> loop_values;
+};
+
+std::vector<u8> encode_spec_final(const SpecFinalPayload& payload,
+                                  const SpeculationDict& dict);
+SpecFinalPayload decode_spec_final(std::span<const u8> bytes,
+                                   const SpeculationDict& dict);
+
+}  // namespace raptrack::cfa

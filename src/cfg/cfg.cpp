@@ -1,0 +1,289 @@
+#include "cfg/cfg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/hex.hpp"
+
+namespace raptrack::cfg {
+
+using isa::BranchKind;
+using isa::Instruction;
+
+Cfg::Cfg(const Program& program, Address entry, Address code_begin,
+         Address code_end, const std::vector<Address>& extra_roots)
+    : program_(&program),
+      entry_(entry),
+      code_begin_(code_begin),
+      code_end_(code_end) {
+  if (code_begin % 4 != 0 || code_end % 4 != 0 || code_end < code_begin) {
+    throw Error("Cfg: bad code range");
+  }
+  if (entry < code_begin || entry >= code_end) {
+    throw Error("Cfg: entry outside code range");
+  }
+  discover_roots(extra_roots);
+  form_blocks();
+  connect_blocks();
+  mark_reachable();
+  compute_dominators();
+}
+
+void Cfg::discover_roots(const std::vector<Address>& extra_roots) {
+  roots_.push_back(entry_);
+  for (const Address root : extra_roots) {
+    if (root >= code_begin_ && root < code_end_) roots_.push_back(root);
+  }
+  // Direct-call targets are function entries: calls are not followed
+  // intraprocedurally, so every callee forms its own CFG root.
+  for (Address addr = code_begin_; addr < code_end_; addr += 4) {
+    const auto instr = program_->instruction_at(addr);
+    if (!instr) continue;
+    if (isa::branch_kind(*instr) == isa::BranchKind::DirectCall) {
+      const Address target = isa::branch_target(*instr, addr);
+      if (target >= code_begin_ && target < code_end_) roots_.push_back(target);
+    }
+  }
+  // Scan the data tail for words that look like code pointers — dispatch
+  // tables (function-pointer arrays, switch jump tables) live there.
+  for (Address addr = code_end_; addr + 4 <= program_->end(); addr += 4) {
+    const u32 word = program_->word_at(addr);
+    if (word >= code_begin_ && word < code_end_ && word % 4 == 0) {
+      roots_.push_back(word);
+    }
+  }
+  std::sort(roots_.begin(), roots_.end());
+  roots_.erase(std::unique(roots_.begin(), roots_.end()), roots_.end());
+}
+
+std::vector<Address> Cfg::instruction_addresses() const {
+  std::vector<Address> out;
+  out.reserve((code_end_ - code_begin_) / 4);
+  for (Address a = code_begin_; a < code_end_; a += 4) out.push_back(a);
+  return out;
+}
+
+void Cfg::form_blocks() {
+  std::set<Address> leaders;
+  for (const Address root : roots_) leaders.insert(root);
+  leaders.insert(code_begin_);
+
+  for (Address addr = code_begin_; addr < code_end_; addr += 4) {
+    const auto instr = program_->instruction_at(addr);
+    if (!instr) continue;  // data interleaved in code range: treated as fall-through
+    const BranchKind kind = isa::branch_kind(*instr);
+    if (kind == BranchKind::None) continue;
+    // The instruction after any control transfer starts a block.
+    if (addr + 4 < code_end_) leaders.insert(addr + 4);
+    // Static targets start blocks.
+    if (kind == BranchKind::Direct || kind == BranchKind::DirectCall ||
+        kind == BranchKind::Conditional) {
+      const Address target = isa::branch_target(*instr, addr);
+      if (target >= code_begin_ && target < code_end_) leaders.insert(target);
+    }
+  }
+
+  auto it = leaders.begin();
+  while (it != leaders.end()) {
+    const Address begin = *it;
+    ++it;
+    const Address end = (it != leaders.end()) ? *it : code_end_;
+    BasicBlock block;
+    block.begin = begin;
+    block.end = end;
+    blocks_[begin] = block;
+  }
+}
+
+void Cfg::connect_blocks() {
+  for (auto& [begin, block] : blocks_) {
+    const Address last = block.last_instr();
+    const auto instr = program_->instruction_at(last);
+    const BranchKind kind = instr ? isa::branch_kind(*instr) : BranchKind::None;
+    block.terminator = kind;
+
+    const auto add_edge = [&](Address target) {
+      if (target < code_begin_ || target >= code_end_) return;
+      const auto target_it = blocks_.find(target);
+      if (target_it == blocks_.end()) return;  // mid-block target: malformed
+      block.successors.push_back(target);
+      target_it->second.predecessors.push_back(begin);
+    };
+
+    switch (kind) {
+      case BranchKind::None:
+        if (block.end < code_end_) add_edge(block.end);
+        break;
+      case BranchKind::Direct:
+        add_edge(isa::branch_target(*instr, last));
+        break;
+      case BranchKind::DirectCall:
+        // Interprocedural edge is not followed; the call returns to the
+        // fall-through (standard CFG-for-rewriting treatment).
+        if (block.end < code_end_) add_edge(block.end);
+        break;
+      case BranchKind::Conditional:
+        add_edge(isa::branch_target(*instr, last));
+        if (block.end < code_end_) add_edge(block.end);
+        break;
+      case BranchKind::IndirectCall:
+        if (block.end < code_end_) add_edge(block.end);
+        break;
+      case BranchKind::IndirectJump:
+      case BranchKind::Return:
+      case BranchKind::Halt:
+        break;  // no static successors
+    }
+  }
+}
+
+void Cfg::mark_reachable() {
+  std::deque<Address> worklist(roots_.begin(), roots_.end());
+  while (!worklist.empty()) {
+    const Address begin = worklist.front();
+    worklist.pop_front();
+    const auto it = blocks_.find(begin);
+    if (it == blocks_.end() || it->second.reachable) continue;
+    it->second.reachable = true;
+    for (const Address succ : it->second.successors) worklist.push_back(succ);
+  }
+}
+
+void Cfg::compute_dominators() {
+  // Iterative dataflow over reachable blocks in reverse post-order, with a
+  // virtual super-root so multiple entry points are handled uniformly.
+  std::vector<Address> order;
+  std::set<Address> visited;
+  // Post-order DFS from each root.
+  std::vector<std::pair<Address, size_t>> stack;
+  for (const Address root : roots_) {
+    if (visited.count(root) || !blocks_.count(root)) continue;
+    stack.emplace_back(root, 0);
+    visited.insert(root);
+    while (!stack.empty()) {
+      auto& [block, next_succ] = stack.back();
+      const auto& successors = blocks_.at(block).successors;
+      if (next_succ < successors.size()) {
+        const Address succ = successors[next_succ++];
+        if (!visited.count(succ)) {
+          visited.insert(succ);
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        order.push_back(block);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());  // reverse post-order
+
+  std::map<Address, size_t> rpo_index;
+  for (size_t i = 0; i < order.size(); ++i) rpo_index[order[i]] = i;
+
+  constexpr Address kSuperRoot = 0xffff'fffc;
+  idom_.clear();
+  for (const Address root : roots_) {
+    if (blocks_.count(root)) idom_[root] = kSuperRoot;
+  }
+
+  const auto up = [&](Address block) -> Address {
+    const auto it = idom_.find(block);
+    return it == idom_.end() ? kSuperRoot : it->second;
+  };
+  const auto intersect = [&](Address a, Address b) {
+    while (a != b) {
+      // Chains from different roots meet only at the virtual super-root.
+      if (a == kSuperRoot || b == kSuperRoot) return kSuperRoot;
+      if (!rpo_index.count(a) || !rpo_index.count(b)) return kSuperRoot;
+      if (rpo_index.at(a) > rpo_index.at(b)) {
+        a = up(a);
+      } else {
+        b = up(b);
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Address block : order) {
+      std::optional<Address> new_idom;
+      for (const Address pred : blocks_.at(block).predecessors) {
+        if (!idom_.count(pred)) continue;  // pred not yet processed/unreachable
+        new_idom = new_idom ? intersect(*new_idom, pred) : pred;
+      }
+      // Roots keep the super-root as idom even if they have predecessors
+      // (a root reached by a loop back edge is still an entry).
+      if (std::find(roots_.begin(), roots_.end(), block) != roots_.end()) {
+        new_idom = kSuperRoot;
+      }
+      if (!new_idom) continue;
+      const auto it = idom_.find(block);
+      if (it == idom_.end() || it->second != *new_idom) {
+        idom_[block] = *new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+const BasicBlock& Cfg::block_at(Address begin) const {
+  const auto it = blocks_.find(begin);
+  if (it == blocks_.end()) throw Error("Cfg: no block at " + hex32(begin));
+  return it->second;
+}
+
+const BasicBlock& Cfg::block_containing(Address addr) const {
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) throw Error("Cfg: address below code " + hex32(addr));
+  --it;
+  if (!it->second.contains(addr)) throw Error("Cfg: address outside blocks " + hex32(addr));
+  return it->second;
+}
+
+std::optional<Address> Cfg::idom(Address block) const {
+  const auto it = idom_.find(block);
+  if (it == idom_.end() || it->second == 0xffff'fffc) return std::nullopt;
+  return it->second;
+}
+
+bool Cfg::dominates(Address a, Address b) const {
+  Address current = b;
+  for (;;) {
+    if (current == a) return true;
+    const auto up = idom_.find(current);
+    if (up == idom_.end() || up->second == 0xffff'fffc) return false;
+    current = up->second;
+  }
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg) {
+  std::vector<NaturalLoop> loops;
+  for (const auto& [begin, block] : cfg.blocks()) {
+    if (!block.reachable) continue;
+    for (const Address succ : block.successors) {
+      if (!cfg.block_at(succ).reachable) continue;
+      if (!cfg.dominates(succ, begin)) continue;  // not a back edge
+      NaturalLoop loop;
+      loop.header = succ;
+      loop.latch = begin;
+      loop.blocks.insert(succ);
+      // Reverse DFS from the latch, stopping at the header.
+      std::vector<Address> worklist{begin};
+      while (!worklist.empty()) {
+        const Address current = worklist.back();
+        worklist.pop_back();
+        if (loop.blocks.count(current)) continue;
+        loop.blocks.insert(current);
+        for (const Address pred : cfg.block_at(current).predecessors) {
+          worklist.push_back(pred);
+        }
+      }
+      loops.push_back(std::move(loop));
+    }
+  }
+  return loops;
+}
+
+}  // namespace raptrack::cfg

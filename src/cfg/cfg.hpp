@@ -1,0 +1,96 @@
+// Control-flow graph construction over a decoded program image. The
+// RAP-Track offline phase (rewrite/) and the Verifier's policy checks
+// (verify/) are CFG consumers: branch classification, natural-loop
+// detection, and the "simple loop" analysis of §IV-D all live on top of
+// this module.
+//
+// Blocks are formed by linear sweep over [code_begin, code_end); indirect
+// branch targets are unknown statically, so dispatch-table roots are
+// discovered by scanning the data section for words that point into the
+// code range (exactly what the paper's binary-level static analysis must do).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace raptrack::cfg {
+
+struct BasicBlock {
+  Address begin = 0;
+  Address end = 0;  ///< exclusive; last instruction at end-4
+
+  Address last_instr() const { return end - isa::kInstrBytes; }
+  bool contains(Address addr) const { return addr >= begin && addr < end; }
+
+  std::vector<Address> successors;   ///< block begin addresses
+  std::vector<Address> predecessors;
+  isa::BranchKind terminator = isa::BranchKind::None;
+  bool reachable = false;  ///< from entry or a discovered root
+};
+
+class Cfg {
+ public:
+  /// Build the CFG. `entry` is APP's entry point; `code_begin`/`code_end`
+  /// bound the executable instructions (data follows at code_end).
+  /// `extra_roots` adds known indirect-call targets; data words pointing
+  /// into the code range are additionally auto-discovered as roots.
+  Cfg(const Program& program, Address entry, Address code_begin,
+      Address code_end, const std::vector<Address>& extra_roots = {});
+
+  const Program& program() const { return *program_; }
+  Address entry() const { return entry_; }
+  Address code_begin() const { return code_begin_; }
+  Address code_end() const { return code_end_; }
+
+  const std::map<Address, BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block_at(Address begin) const;
+  /// Block containing address `addr` (blocks partition the code range).
+  const BasicBlock& block_containing(Address addr) const;
+
+  const std::vector<Address>& roots() const { return roots_; }
+
+  /// Immediate dominator of a reachable block (nullopt for roots).
+  std::optional<Address> idom(Address block) const;
+  /// Does block `a` dominate block `b`? (Both must be reachable.)
+  bool dominates(Address a, Address b) const;
+
+  /// Every instruction address in the code range, in order.
+  std::vector<Address> instruction_addresses() const;
+
+ private:
+  void discover_roots(const std::vector<Address>& extra_roots);
+  void form_blocks();
+  void connect_blocks();
+  void mark_reachable();
+  void compute_dominators();
+
+  const Program* program_;
+  Address entry_;
+  Address code_begin_;
+  Address code_end_;
+  std::vector<Address> roots_;
+  std::map<Address, BasicBlock> blocks_;
+  std::map<Address, Address> idom_;  // block -> immediate dominator
+};
+
+/// A natural loop: back edge latch->header where header dominates latch.
+struct NaturalLoop {
+  Address header = 0;
+  Address latch = 0;              ///< block whose terminator is the back edge
+  std::set<Address> blocks;       ///< block begin addresses in the loop body
+
+  bool contains_block(Address block_begin) const {
+    return blocks.count(block_begin) != 0;
+  }
+};
+
+/// All natural loops of the reachable CFG (one per back edge).
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg);
+
+}  // namespace raptrack::cfg

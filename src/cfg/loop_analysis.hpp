@@ -1,0 +1,65 @@
+// Loop classification for the RAP-Track offline phase (§IV-C.3 and §IV-D).
+//
+// Every conditional branch (Bcc) gets a *role* that decides its trampoline:
+//   - LogTaken      : non-loop and backward-loop branches (Figs 5, 6) —
+//                     retarget the taken edge through an MTBAR slot.
+//   - LogNotTaken   : forward loop-exit branches (Fig 7) — displace the
+//                     first fall-through instruction through an MTBAR slot
+//                     so each iteration is recorded.
+//   - Deterministic : the controlling branch of a *simple loop with a
+//                     constant initial value* — fully reconstructible
+//                     statically, no logging at all.
+//   - LoopCondition : the controlling branch of a simple loop with a
+//                     variable initial value — one Secure-World call before
+//                     the loop logs the condition (§IV-D), no per-iteration
+//                     logging.
+//
+// "Simple loop" per the paper: comparison against a fixed constant,
+// iterator updated by register-only (immediate) arithmetic, and all internal
+// branches deterministic.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "isa/condition.hpp"
+#include "isa/registers.hpp"
+
+namespace raptrack::cfg {
+
+enum class BccRole : u8 {
+  LogTaken,
+  LogNotTaken,
+  Deterministic,
+  LoopCondition,
+};
+
+/// Analysis result for a simple loop (§IV-D).
+struct SimpleLoop {
+  Address header = 0;
+  Address bcc_site = 0;          ///< the controlling conditional branch
+  bool forward_exit = false;     ///< true: taken edge exits (Fig 7 shape)
+  isa::Reg iterator = isa::Reg::R0;
+  i32 step = 0;                  ///< per-iteration delta (signed)
+  i32 bound = 0;                 ///< the CMPI constant
+  isa::Cond cond = isa::Cond::AL;
+  Address preheader_instr = 0;   ///< instruction displaced for the veneer
+  std::optional<i32> constant_init;  ///< set when MOVI-initialized (deterministic)
+};
+
+struct LoopAnalysis {
+  /// Role of every conditional branch in the code range, keyed by address.
+  std::map<Address, BccRole> bcc_roles;
+  /// Simple loops keyed by their controlling branch address. Present for
+  /// both Deterministic and LoopCondition roles.
+  std::map<Address, SimpleLoop> simple_loops;
+  /// All natural loops (for diagnostics/benches).
+  std::vector<NaturalLoop> loops;
+};
+
+/// Run the full loop/branch-role analysis.
+LoopAnalysis analyze_loops(const Cfg& cfg);
+
+}  // namespace raptrack::cfg

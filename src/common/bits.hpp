@@ -1,0 +1,49 @@
+// Bit-field extraction/insertion helpers used by the ISA encoder/decoder and
+// the trace-unit register models.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace raptrack {
+
+/// Extract bits [hi:lo] (inclusive) of `value`.
+constexpr u32 bits(u32 value, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  const u32 mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+  return (value >> lo) & mask;
+}
+
+/// Insert `field` into bits [hi:lo] of `value` and return the result.
+constexpr u32 set_bits(u32 value, unsigned hi, unsigned lo, u32 field) {
+  const unsigned width = hi - lo + 1;
+  const u32 mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+  return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/// Test a single bit.
+constexpr bool bit(u32 value, unsigned index) { return ((value >> index) & 1u) != 0; }
+
+/// Sign-extend the low `width` bits of `value` to 32 bits.
+constexpr i32 sign_extend(u32 value, unsigned width) {
+  const u32 shift = 32 - width;
+  return static_cast<i32>(value << shift) >> shift;
+}
+
+/// True when `value` fits in a signed field of `width` bits.
+constexpr bool fits_signed(i64 value, unsigned width) {
+  const i64 lo = -(i64{1} << (width - 1));
+  const i64 hi = (i64{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True when `value` fits in an unsigned field of `width` bits.
+constexpr bool fits_unsigned(u64 value, unsigned width) {
+  return width >= 64 || value < (u64{1} << width);
+}
+
+/// Align `value` up to a power-of-two boundary.
+constexpr u32 align_up(u32 value, u32 alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace raptrack

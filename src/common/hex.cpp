@@ -1,0 +1,35 @@
+#include "common/hex.hpp"
+
+#include <cstdio>
+
+namespace raptrack {
+
+std::string hex32(u32 value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%04x_%04x", value >> 16, value & 0xffffu);
+  return buf;
+}
+
+std::string hex_bytes(std::span<const u8> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 5);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%s0x%02x", i ? " " : "", bytes[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string hex_digest(std::span<const u8> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const u8 b : bytes) {
+    char buf[4];
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace raptrack

@@ -1,0 +1,22 @@
+// Small formatting helpers (hex addresses, byte dumps) used by the
+// disassembler, fault messages, and report pretty-printers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace raptrack {
+
+/// "0x0020_01a4"-style address rendering (underscore for readability).
+std::string hex32(u32 value);
+
+/// "0xab" per byte, space-separated.
+std::string hex_bytes(std::span<const u8> bytes);
+
+/// Lowercase hex string without prefix (digests).
+std::string hex_digest(std::span<const u8> bytes);
+
+}  // namespace raptrack

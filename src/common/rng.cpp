@@ -1,0 +1,44 @@
+#include "common/rng.hpp"
+
+namespace raptrack {
+
+namespace {
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(u64 seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.next();
+}
+
+u64 Xoshiro256::next() {
+  const u64 result = rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+u64 Xoshiro256::next_below(u64 bound) {
+  // Rejection sampling to avoid modulo bias.
+  const u64 threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const u64 value = next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+i64 Xoshiro256::next_range(i64 lo, i64 hi) {
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(next_below(span));
+}
+
+bool Xoshiro256::chance(u32 numerator, u32 denominator) {
+  return next_below(denominator) < numerator;
+}
+
+}  // namespace raptrack

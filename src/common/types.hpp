@@ -1,0 +1,47 @@
+// Fundamental fixed-width aliases and small utilities shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace raptrack {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Byte address in the simulated 32-bit physical address space.
+using Address = u32;
+
+/// Machine word (registers, bus transfers).
+using Word = u32;
+
+/// Cycle count. 64-bit: long app runs overflow 32 bits easily.
+using Cycles = u64;
+
+/// Narrowing cast that throws when the value does not round-trip.
+template <typename To, typename From>
+constexpr To checked_narrow(From value) {
+  const auto result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      ((result < To{}) != (value < From{}))) {
+    throw std::out_of_range("checked_narrow: value does not fit");
+  }
+  return result;
+}
+
+/// Error thrown on malformed input to assemblers/decoders/verifiers.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace raptrack

@@ -1,0 +1,28 @@
+// Architectural state of the simulated core.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "isa/registers.hpp"
+#include "mem/memory_map.hpp"
+
+namespace raptrack::cpu {
+
+struct CpuState {
+  std::array<Word, isa::kNumRegs> regs{};
+  isa::Flags flags;
+  mem::WorldSide world = mem::WorldSide::NonSecure;
+
+  Word reg(isa::Reg r) const { return regs[isa::index(r)]; }
+  void set_reg(isa::Reg r, Word value) { regs[isa::index(r)] = value; }
+
+  Word pc() const { return reg(isa::Reg::PC); }
+  void set_pc(Word value) { set_reg(isa::Reg::PC, value); }
+  Word sp() const { return reg(isa::Reg::SP); }
+  void set_sp(Word value) { set_reg(isa::Reg::SP, value); }
+  Word lr() const { return reg(isa::Reg::LR); }
+  void set_lr(Word value) { set_reg(isa::Reg::LR, value); }
+};
+
+}  // namespace raptrack::cpu

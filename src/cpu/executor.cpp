@@ -1,0 +1,357 @@
+#include "cpu/executor.hpp"
+
+#include <bit>
+
+#include "common/bits.hpp"
+#include "common/hex.hpp"
+
+namespace raptrack::cpu {
+
+using isa::BranchKind;
+using isa::Instruction;
+using isa::Op;
+using isa::Reg;
+
+void Executor::reset(Address entry, Address stack_top) {
+  state_ = CpuState{};
+  state_.set_pc(entry);
+  state_.set_sp(stack_top);
+  state_.set_lr(0xffff'ffff);  // sentinel: returning to reset LR is a bug
+  cycles_ = 0;
+  instructions_ = 0;
+  fault_ = std::nullopt;
+  halted_ = false;
+}
+
+void Executor::set_nz(Word result) {
+  state_.flags.n = (result >> 31) != 0;
+  state_.flags.z = result == 0;
+}
+
+Word Executor::alu_add(Word a, Word b, bool set_flags) {
+  const u64 wide = static_cast<u64>(a) + b;
+  const Word result = static_cast<Word>(wide);
+  if (set_flags) {
+    set_nz(result);
+    state_.flags.c = (wide >> 32) != 0;
+    state_.flags.v = (~(a ^ b) & (a ^ result) & 0x8000'0000u) != 0;
+  }
+  return result;
+}
+
+Word Executor::alu_sub(Word a, Word b, bool set_flags) {
+  const Word result = a - b;
+  if (set_flags) {
+    set_nz(result);
+    state_.flags.c = a >= b;  // no borrow
+    state_.flags.v = ((a ^ b) & (a ^ result) & 0x8000'0000u) != 0;
+  }
+  return result;
+}
+
+Word Executor::read_operand(Reg r, Address pc) const {
+  // Reading PC as an operand yields the next instruction's address,
+  // matching the Thumb convention closely enough for address arithmetic.
+  if (r == Reg::PC) return pc + 4;
+  return state_.reg(r);
+}
+
+void Executor::branch_to(Address source, Address destination, BranchKind kind) {
+  if (destination % 4 != 0) {
+    throw mem::FaultException({mem::FaultType::Unaligned, destination, source,
+                               "branch to unaligned address " + hex32(destination)});
+  }
+  state_.set_pc(destination);
+  for (auto* sink : sinks_) sink->on_branch(source, destination, kind);
+}
+
+std::optional<HaltReason> Executor::step() {
+  if (halted_) return HaltReason::Halted;
+  const Address pc = state_.pc();
+  try {
+    const u32 word = bus_->fetch(pc, state_.world);
+    const auto decoded = isa::decode(word);
+    if (!decoded) {
+      throw mem::FaultException({mem::FaultType::UndefinedInstr, pc, pc,
+                                 "undefined instruction word " + hex32(word)});
+    }
+    for (auto* sink : sinks_) sink->on_instruction(pc);
+    ++instructions_;
+    execute(*decoded, pc);
+    if (halted_) {
+      return decoded->op == Op::BKPT ? HaltReason::Breakpoint : HaltReason::Halted;
+    }
+    return std::nullopt;
+  } catch (const mem::FaultException& e) {
+    fault_ = e.fault();
+    halted_ = true;
+    return HaltReason::Fault;
+  }
+}
+
+HaltReason Executor::run(u64 max_instructions) {
+  const u64 limit = instructions_ + max_instructions;
+  while (instructions_ < limit) {
+    if (const auto reason = step()) return *reason;
+  }
+  halted_ = true;
+  return HaltReason::InstrBudget;
+}
+
+void Executor::execute(const Instruction& in, Address pc) {
+  const auto& world = state_.world;
+  Address next = pc + 4;
+  bool taken = true;  // for cycle accounting of BCC
+
+  switch (in.op) {
+    case Op::NOP:
+      break;
+    case Op::HLT:
+    case Op::BKPT:
+      halted_ = true;
+      break;
+    case Op::SVC: {
+      if (!svc_handler_) {
+        throw mem::FaultException({mem::FaultType::UndefinedInstr, pc, pc,
+                                   "SVC with no Secure World installed"});
+      }
+      // Cost of the trap itself is in the cycle model; the handler returns
+      // the cycles spent inside the Secure World (context switch + service).
+      state_.set_pc(next);  // handler may override (e.g. partial-report resume)
+      cycles_ += svc_handler_(static_cast<u8>(in.imm), state_);
+      cycles_ += cycle_model_.cost(in, true);
+      return;  // PC already set
+    }
+
+    case Op::MOVI:
+      state_.set_reg(in.rd, static_cast<Word>(in.imm));
+      break;
+    case Op::MOVT:
+      state_.set_reg(in.rd, (state_.reg(in.rd) & 0xffffu) |
+                                (static_cast<Word>(in.imm) << 16));
+      break;
+    case Op::MOV: {
+      const Word value = read_operand(in.rm, pc);
+      state_.set_reg(in.rd, value);
+      if (in.set_flags) set_nz(value);
+      break;
+    }
+    case Op::MVN: {
+      const Word value = ~read_operand(in.rm, pc);
+      state_.set_reg(in.rd, value);
+      if (in.set_flags) set_nz(value);
+      break;
+    }
+
+    case Op::ADD:
+    case Op::ADDI: {
+      const Word a = read_operand(in.rn, pc);
+      const Word b = in.op == Op::ADD ? read_operand(in.rm, pc)
+                                      : static_cast<Word>(in.imm);
+      state_.set_reg(in.rd, alu_add(a, b, in.set_flags));
+      break;
+    }
+    case Op::SUB:
+    case Op::SUBI: {
+      const Word a = read_operand(in.rn, pc);
+      const Word b = in.op == Op::SUB ? read_operand(in.rm, pc)
+                                      : static_cast<Word>(in.imm);
+      state_.set_reg(in.rd, alu_sub(a, b, in.set_flags));
+      break;
+    }
+    case Op::RSB:
+    case Op::RSBI: {
+      const Word a = read_operand(in.rn, pc);
+      const Word b = in.op == Op::RSB ? read_operand(in.rm, pc)
+                                      : static_cast<Word>(in.imm);
+      state_.set_reg(in.rd, alu_sub(b, a, in.set_flags));
+      break;
+    }
+    case Op::MUL: {
+      const Word result = read_operand(in.rn, pc) * read_operand(in.rm, pc);
+      state_.set_reg(in.rd, result);
+      if (in.set_flags) set_nz(result);
+      break;
+    }
+    case Op::UDIV: {
+      const Word d = read_operand(in.rm, pc);
+      // ARM semantics: divide by zero yields 0 (no trap by default).
+      state_.set_reg(in.rd, d == 0 ? 0 : read_operand(in.rn, pc) / d);
+      break;
+    }
+    case Op::SDIV: {
+      const i32 d = static_cast<i32>(read_operand(in.rm, pc));
+      const i32 n = static_cast<i32>(read_operand(in.rn, pc));
+      i32 q = 0;
+      if (d != 0) {
+        // INT_MIN / -1 overflows; ARM wraps to INT_MIN.
+        q = (n == INT32_MIN && d == -1) ? INT32_MIN : n / d;
+      }
+      state_.set_reg(in.rd, static_cast<Word>(q));
+      break;
+    }
+
+    case Op::AND: case Op::ANDI:
+    case Op::ORR: case Op::ORRI:
+    case Op::EOR: case Op::EORI: {
+      const Word a = read_operand(in.rn, pc);
+      const Word b = (isa::format_of(in.op) == isa::Format::AluReg)
+                         ? read_operand(in.rm, pc)
+                         : static_cast<Word>(in.imm);
+      Word result = 0;
+      switch (in.op) {
+        case Op::AND: case Op::ANDI: result = a & b; break;
+        case Op::ORR: case Op::ORRI: result = a | b; break;
+        default: result = a ^ b; break;
+      }
+      state_.set_reg(in.rd, result);
+      if (in.set_flags) set_nz(result);
+      break;
+    }
+
+    case Op::LSL: case Op::LSLI:
+    case Op::LSR: case Op::LSRI:
+    case Op::ASR: case Op::ASRI: {
+      const Word a = read_operand(in.rn, pc);
+      const Word amount_raw = (isa::format_of(in.op) == isa::Format::AluReg)
+                                  ? read_operand(in.rm, pc)
+                                  : static_cast<Word>(in.imm);
+      const Word amount = amount_raw & 0xff;  // ARM uses bottom byte
+      Word result;
+      if (in.op == Op::LSL || in.op == Op::LSLI) {
+        result = amount >= 32 ? 0 : (a << amount);
+      } else if (in.op == Op::LSR || in.op == Op::LSRI) {
+        result = amount >= 32 ? 0 : (amount == 0 ? a : a >> amount);
+      } else {
+        const i32 sa = static_cast<i32>(a);
+        result = static_cast<Word>(amount >= 32 ? (sa >> 31) : (sa >> amount));
+      }
+      state_.set_reg(in.rd, result);
+      if (in.set_flags) set_nz(result);
+      break;
+    }
+
+    case Op::CMP: case Op::CMPI:
+      alu_sub(read_operand(in.rn, pc),
+              in.op == Op::CMP ? read_operand(in.rm, pc) : static_cast<Word>(in.imm),
+              true);
+      break;
+    case Op::CMN:
+      alu_add(read_operand(in.rn, pc), read_operand(in.rm, pc), true);
+      break;
+    case Op::TST: case Op::TSTI:
+      set_nz(read_operand(in.rn, pc) &
+             (in.op == Op::TST ? read_operand(in.rm, pc) : static_cast<Word>(in.imm)));
+      break;
+
+    case Op::LDR: case Op::LDRB: case Op::LDRH: {
+      const Address addr = read_operand(in.rn, pc) + static_cast<Word>(in.imm);
+      const u32 size = in.op == Op::LDR ? 4 : (in.op == Op::LDRH ? 2 : 1);
+      const Word value = bus_->read(addr, size, world, pc);
+      if (in.rd == Reg::PC) {
+        cycles_ += cycle_model_.cost(in, true);
+        branch_to(pc, value, BranchKind::IndirectJump);
+        return;
+      }
+      state_.set_reg(in.rd, value);
+      break;
+    }
+    case Op::LDRR: {
+      const Address addr =
+          read_operand(in.rn, pc) + (read_operand(in.rm, pc) << in.shift);
+      const Word value = bus_->read(addr, 4, world, pc);
+      if (in.rd == Reg::PC) {
+        cycles_ += cycle_model_.cost(in, true);
+        branch_to(pc, value, BranchKind::IndirectJump);
+        return;
+      }
+      state_.set_reg(in.rd, value);
+      break;
+    }
+    case Op::STR: case Op::STRB: case Op::STRH: {
+      const Address addr = read_operand(in.rn, pc) + static_cast<Word>(in.imm);
+      const u32 size = in.op == Op::STR ? 4 : (in.op == Op::STRH ? 2 : 1);
+      bus_->write(addr, read_operand(in.rd, pc), size, world, pc);
+      break;
+    }
+    case Op::STRR: {
+      const Address addr =
+          read_operand(in.rn, pc) + (read_operand(in.rm, pc) << in.shift);
+      bus_->write(addr, read_operand(in.rd, pc), 4, world, pc);
+      break;
+    }
+
+    case Op::PUSH: {
+      const unsigned count = static_cast<unsigned>(std::popcount(in.reg_list));
+      Address sp = state_.sp() - 4 * count;
+      state_.set_sp(sp);
+      for (unsigned i = 0; i < 16; ++i) {
+        if (!bit(in.reg_list, i)) continue;
+        bus_->write(sp, state_.reg(static_cast<Reg>(i)), 4, world, pc);
+        sp += 4;
+      }
+      break;
+    }
+    case Op::POP: {
+      Address sp = state_.sp();
+      Word new_pc = 0;
+      bool branches = false;
+      for (unsigned i = 0; i < 16; ++i) {
+        if (!bit(in.reg_list, i)) continue;
+        const Word value = bus_->read(sp, 4, world, pc);
+        sp += 4;
+        if (i == 15) {
+          new_pc = value;
+          branches = true;
+        } else {
+          state_.set_reg(static_cast<Reg>(i), value);
+        }
+      }
+      state_.set_sp(sp);
+      if (branches) {
+        cycles_ += cycle_model_.cost(in, true);
+        branch_to(pc, new_pc, BranchKind::Return);
+        return;
+      }
+      break;
+    }
+
+    case Op::B:
+      cycles_ += cycle_model_.cost(in, true);
+      branch_to(pc, isa::branch_target(in, pc), BranchKind::Direct);
+      return;
+    case Op::BL:
+      state_.set_lr(pc + 4);
+      cycles_ += cycle_model_.cost(in, true);
+      branch_to(pc, isa::branch_target(in, pc), BranchKind::DirectCall);
+      return;
+    case Op::BCC:
+      taken = isa::evaluate(in.cond, state_.flags);
+      cycles_ += cycle_model_.cost(in, taken);
+      if (taken) {
+        branch_to(pc, isa::branch_target(in, pc), BranchKind::Conditional);
+        return;
+      }
+      state_.set_pc(next);
+      return;
+    case Op::BX: {
+      const Word target = read_operand(in.rm, pc);
+      cycles_ += cycle_model_.cost(in, true);
+      branch_to(pc, target,
+                in.rm == Reg::LR ? BranchKind::Return : BranchKind::IndirectJump);
+      return;
+    }
+    case Op::BLX: {
+      const Word target = read_operand(in.rm, pc);
+      state_.set_lr(pc + 4);
+      cycles_ += cycle_model_.cost(in, true);
+      branch_to(pc, target, BranchKind::IndirectCall);
+      return;
+    }
+  }
+
+  cycles_ += cycle_model_.cost(in, taken);
+  state_.set_pc(next);
+}
+
+}  // namespace raptrack::cpu

@@ -1,0 +1,91 @@
+// The instruction executor: fetch/decode/execute loop with cycle accounting,
+// fault delivery, SVC (Secure-World gateway) dispatch, and a trace-sink bus
+// that feeds the DWT/MTB models and the ground-truth oracle tracer.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/cpu_state.hpp"
+#include "isa/cycle_model.hpp"
+#include "isa/instruction.hpp"
+#include "mem/bus.hpp"
+
+namespace raptrack::cpu {
+
+/// Observer of the retired-instruction stream. The DWT watches PCs, the MTB
+/// (gated by the DWT) records branches, and tests attach an oracle tracer.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Called before each instruction executes, with its address.
+  virtual void on_instruction(Address pc) { (void)pc; }
+  /// Called after a non-sequential PC change (any taken branch).
+  virtual void on_branch(Address source, Address destination,
+                         isa::BranchKind kind) {
+    (void)source; (void)destination; (void)kind;
+  }
+};
+
+/// Why run() returned.
+enum class HaltReason : u8 {
+  Halted,         ///< HLT retired
+  Breakpoint,     ///< BKPT retired
+  Fault,          ///< a fault was delivered (see Executor::fault())
+  InstrBudget,    ///< max-instruction budget exhausted (likely runaway)
+};
+
+/// SVC handler: services a Secure-World call. Receives the SVC immediate and
+/// the mutable CPU state; returns the number of cycles the Secure World
+/// spent (added to the cycle counter — context switch + RoT service time).
+using SvcHandler = std::function<Cycles(u8 code, CpuState& state)>;
+
+class Executor {
+ public:
+  Executor(mem::Bus& bus, isa::CycleModel model = {})
+      : bus_(&bus), cycle_model_(model) {}
+
+  CpuState& state() { return state_; }
+  const CpuState& state() const { return state_; }
+  Cycles cycles() const { return cycles_; }
+  void add_cycles(Cycles c) { cycles_ += c; }
+  u64 instructions_retired() const { return instructions_; }
+  const std::optional<mem::Fault>& fault() const { return fault_; }
+  const isa::CycleModel& cycle_model() const { return cycle_model_; }
+
+  void add_sink(TraceSink* sink) { sinks_.push_back(sink); }
+  void set_svc_handler(SvcHandler handler) { svc_handler_ = std::move(handler); }
+
+  /// Reset registers/cycles (memory untouched) and start at `entry` with the
+  /// stack at `stack_top`.
+  void reset(Address entry, Address stack_top);
+
+  /// Execute a single instruction. Returns nullopt while running, or the
+  /// halt reason once the core stops.
+  std::optional<HaltReason> step();
+
+  /// Run until halt/fault or until `max_instructions` retire.
+  HaltReason run(u64 max_instructions = 200'000'000);
+
+ private:
+  void execute(const isa::Instruction& instr, Address pc);
+  void branch_to(Address source, Address destination, isa::BranchKind kind);
+  void set_nz(Word result);
+  Word alu_add(Word a, Word b, bool set_flags);
+  Word alu_sub(Word a, Word b, bool set_flags);
+  Word read_operand(isa::Reg r, Address pc) const;
+
+  mem::Bus* bus_;
+  isa::CycleModel cycle_model_;
+  CpuState state_;
+  Cycles cycles_ = 0;
+  u64 instructions_ = 0;
+  std::optional<mem::Fault> fault_;
+  std::vector<TraceSink*> sinks_;
+  SvcHandler svc_handler_;
+  bool halted_ = false;
+};
+
+}  // namespace raptrack::cpu

@@ -1,0 +1,42 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace raptrack::crypto {
+
+Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message) {
+  constexpr size_t kBlock = 64;
+  std::array<u8, kBlock> key_block{};
+  if (key.size() > kBlock) {
+    const Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<u8, kBlock> ipad{};
+  std::array<u8, kBlock> opad{};
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+bool digest_equal(const Digest& a, const Digest& b) {
+  u8 difference = 0;
+  for (size_t i = 0; i < a.size(); ++i) difference |= a[i] ^ b[i];
+  return difference == 0;
+}
+
+}  // namespace raptrack::crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104). Used by the RoT to authenticate CFA reports in
+// the symmetric setting ("a MAC, in the symmetric setting" — §IV-F), with
+// the key provisioned to the Secure World and shared with the Verifier.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace raptrack::crypto {
+
+/// MAC key. 32 bytes is the natural size for HMAC-SHA256; other lengths are
+/// handled per RFC 2104 (hashed when longer than the block size).
+using Key = std::vector<u8>;
+
+Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message);
+
+/// Constant-time digest comparison (the Verifier must not leak via timing).
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace raptrack::crypto

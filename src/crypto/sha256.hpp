@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for the RoT: the CFA engine
+// hashes APP memory (H_MEM) and authenticates reports with HMAC-SHA256.
+// Tested against the FIPS examples and RFC 4231 HMAC vectors.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace raptrack::crypto {
+
+using Digest = std::array<u8, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const u8> data);
+  void update(std::string_view text);
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const u8> data);
+  static Digest hash(std::string_view text);
+
+ private:
+  void process_block(const u8* block);
+
+  std::array<u32, 8> state_{};
+  std::array<u8, 64> buffer_{};
+  u64 total_bytes_ = 0;
+  u32 buffered_ = 0;
+};
+
+}  // namespace raptrack::crypto

@@ -1,0 +1,81 @@
+// ARM-style condition codes and their evaluation against NZCV flags.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "isa/registers.hpp"
+
+namespace raptrack::isa {
+
+enum class Cond : u8 {
+  EQ = 0x0,  ///< Z == 1
+  NE = 0x1,  ///< Z == 0
+  CS = 0x2,  ///< C == 1 (unsigned >=)
+  CC = 0x3,  ///< C == 0 (unsigned <)
+  MI = 0x4,  ///< N == 1
+  PL = 0x5,  ///< N == 0
+  VS = 0x6,  ///< V == 1
+  VC = 0x7,  ///< V == 0
+  HI = 0x8,  ///< C && !Z (unsigned >)
+  LS = 0x9,  ///< !C || Z (unsigned <=)
+  GE = 0xa,  ///< N == V
+  LT = 0xb,  ///< N != V
+  GT = 0xc,  ///< !Z && N == V
+  LE = 0xd,  ///< Z || N != V
+  AL = 0xe,  ///< always
+};
+
+constexpr bool evaluate(Cond cond, const Flags& f) {
+  switch (cond) {
+    case Cond::EQ: return f.z;
+    case Cond::NE: return !f.z;
+    case Cond::CS: return f.c;
+    case Cond::CC: return !f.c;
+    case Cond::MI: return f.n;
+    case Cond::PL: return !f.n;
+    case Cond::VS: return f.v;
+    case Cond::VC: return !f.v;
+    case Cond::HI: return f.c && !f.z;
+    case Cond::LS: return !f.c || f.z;
+    case Cond::GE: return f.n == f.v;
+    case Cond::LT: return f.n != f.v;
+    case Cond::GT: return !f.z && f.n == f.v;
+    case Cond::LE: return f.z || f.n != f.v;
+    case Cond::AL: return true;
+  }
+  return false;
+}
+
+/// Logical inverse (EQ<->NE, ...). AL has no inverse; returns AL.
+constexpr Cond invert(Cond cond) {
+  if (cond == Cond::AL) return Cond::AL;
+  return static_cast<Cond>(static_cast<u8>(cond) ^ 1u);
+}
+
+constexpr std::string_view suffix(Cond cond) {
+  switch (cond) {
+    case Cond::EQ: return "eq";
+    case Cond::NE: return "ne";
+    case Cond::CS: return "cs";
+    case Cond::CC: return "cc";
+    case Cond::MI: return "mi";
+    case Cond::PL: return "pl";
+    case Cond::VS: return "vs";
+    case Cond::VC: return "vc";
+    case Cond::HI: return "hi";
+    case Cond::LS: return "ls";
+    case Cond::GE: return "ge";
+    case Cond::LT: return "lt";
+    case Cond::GT: return "gt";
+    case Cond::LE: return "le";
+    case Cond::AL: return "";
+  }
+  return "";
+}
+
+/// Parse a two-letter condition suffix; nullopt when not a condition.
+std::optional<Cond> cond_from_suffix(std::string_view s);
+
+}  // namespace raptrack::isa

@@ -1,0 +1,55 @@
+#include "isa/cycle_model.hpp"
+
+#include <bit>
+
+namespace raptrack::isa {
+
+Cycles CycleModel::cost(const Instruction& in, bool taken) const {
+  switch (in.op) {
+    case Op::NOP:
+      return nop;
+    case Op::HLT:
+    case Op::BKPT:
+      return nop;
+    case Op::SVC:
+      return svc_trap;
+    case Op::MUL:
+      return mul;
+    case Op::UDIV:
+    case Op::SDIV:
+      return divide;
+    case Op::LDR:
+    case Op::LDRB:
+    case Op::LDRH:
+    case Op::LDRR: {
+      Cycles c = load;
+      if (in.rd == Reg::PC) c += branch_taken;  // indirect jump via load
+      return c;
+    }
+    case Op::STR:
+    case Op::STRB:
+    case Op::STRH:
+    case Op::STRR:
+      return store;
+    case Op::PUSH:
+    case Op::POP: {
+      const auto regs = static_cast<Cycles>(std::popcount(in.reg_list));
+      Cycles c = stack_base + stack_per_reg * regs;
+      if (in.op == Op::POP && (in.reg_list & 0x8000u)) c += pop_pc_extra;
+      return c;
+    }
+    case Op::B:
+      return branch_taken;
+    case Op::BCC:
+      return taken ? branch_taken : branch_not_taken;
+    case Op::BL:
+    case Op::BLX:
+      return call;
+    case Op::BX:
+      return branch_taken;
+    default:
+      return alu;
+  }
+}
+
+}  // namespace raptrack::isa

@@ -1,0 +1,33 @@
+// Cortex-M33-style cycle cost model. The absolute values approximate the
+// ARMv8-M TRM figures (3-stage pipeline: most ALU ops 1 cycle, loads/stores
+// 2, taken branches pay a pipeline refill); the comparisons in the paper's
+// figures depend only on the relative costs of instruction classes and of
+// Secure-World transitions, both of which are explicit here.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace raptrack::isa {
+
+struct CycleModel {
+  Cycles alu = 1;             ///< data processing, moves, compares
+  Cycles mul = 1;             ///< single-cycle multiplier (M33)
+  Cycles divide = 6;          ///< UDIV/SDIV: 2-11 on M33, mid-point
+  Cycles load = 2;            ///< LDR* (zero-wait-state SRAM/flash)
+  Cycles store = 2;           ///< STR*
+  Cycles stack_base = 1;      ///< PUSH/POP base cost ...
+  Cycles stack_per_reg = 1;   ///< ... plus one per transferred register
+  Cycles branch_taken = 3;    ///< pipeline refill on any taken branch
+  Cycles branch_not_taken = 1;
+  Cycles call = 4;            ///< BL/BLX: branch + LR write
+  Cycles pop_pc_extra = 2;    ///< extra refill when POP writes PC
+  Cycles nop = 1;
+  Cycles svc_trap = 12;       ///< exception entry (stacking) before monitor cost
+
+  /// Cycles for one executed instruction. `taken` applies to branches
+  /// (conditional or otherwise); callers pass true for unconditional ones.
+  Cycles cost(const Instruction& instr, bool taken) const;
+};
+
+}  // namespace raptrack::isa

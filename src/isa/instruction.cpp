@@ -1,0 +1,363 @@
+#include "isa/instruction.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "common/hex.hpp"
+
+namespace raptrack::isa {
+
+namespace {
+
+constexpr std::array<OpInfo, 49> kOpTable = {{
+    {Op::NOP, "nop", Format::Sys},
+    {Op::HLT, "hlt", Format::Sys},
+    {Op::BKPT, "bkpt", Format::Sys},
+    {Op::SVC, "svc", Format::Sys},
+    {Op::MOVI, "movi", Format::Mov16},
+    {Op::MOVT, "movt", Format::Mov16},
+    {Op::MOV, "mov", Format::AluReg},
+    {Op::MVN, "mvn", Format::AluReg},
+    {Op::ADD, "add", Format::AluReg},
+    {Op::SUB, "sub", Format::AluReg},
+    {Op::RSB, "rsb", Format::AluReg},
+    {Op::MUL, "mul", Format::AluReg},
+    {Op::UDIV, "udiv", Format::AluReg},
+    {Op::SDIV, "sdiv", Format::AluReg},
+    {Op::AND, "and", Format::AluReg},
+    {Op::ORR, "orr", Format::AluReg},
+    {Op::EOR, "eor", Format::AluReg},
+    {Op::LSL, "lsl", Format::AluReg},
+    {Op::LSR, "lsr", Format::AluReg},
+    {Op::ASR, "asr", Format::AluReg},
+    {Op::ADDI, "addi", Format::AluImm},
+    {Op::SUBI, "subi", Format::AluImm},
+    {Op::RSBI, "rsbi", Format::AluImm},
+    {Op::ANDI, "andi", Format::AluImm},
+    {Op::ORRI, "orri", Format::AluImm},
+    {Op::EORI, "eori", Format::AluImm},
+    {Op::LSLI, "lsli", Format::AluImm},
+    {Op::LSRI, "lsri", Format::AluImm},
+    {Op::ASRI, "asri", Format::AluImm},
+    {Op::CMP, "cmp", Format::AluReg},
+    {Op::CMPI, "cmpi", Format::AluImm},
+    {Op::CMN, "cmn", Format::AluReg},
+    {Op::TST, "tst", Format::AluReg},
+    {Op::TSTI, "tsti", Format::AluImm},
+    {Op::LDR, "ldr", Format::MemImm},
+    {Op::STR, "str", Format::MemImm},
+    {Op::LDRB, "ldrb", Format::MemImm},
+    {Op::STRB, "strb", Format::MemImm},
+    {Op::LDRH, "ldrh", Format::MemImm},
+    {Op::STRH, "strh", Format::MemImm},
+    {Op::LDRR, "ldrr", Format::MemReg},
+    {Op::STRR, "strr", Format::MemReg},
+    {Op::PUSH, "push", Format::RegList},
+    {Op::POP, "pop", Format::RegList},
+    {Op::B, "b", Format::Branch},
+    {Op::BCC, "bcc", Format::CondBr},
+    {Op::BL, "bl", Format::Branch},
+    {Op::BX, "bx", Format::RegBr},
+    {Op::BLX, "blx", Format::RegBr},
+}};
+
+}  // namespace
+
+std::optional<OpInfo> op_info(u8 opcode_byte) {
+  for (const auto& info : kOpTable) {
+    if (static_cast<u8>(info.op) == opcode_byte) return info;
+  }
+  return std::nullopt;
+}
+
+std::optional<OpInfo> op_info(std::string_view mnemonic) {
+  for (const auto& info : kOpTable) {
+    if (info.mnemonic == mnemonic) return info;
+  }
+  return std::nullopt;
+}
+
+std::optional<Cond> cond_from_suffix(std::string_view s) {
+  for (u8 c = 0; c <= static_cast<u8>(Cond::LE); ++c) {
+    if (suffix(static_cast<Cond>(c)) == s) return static_cast<Cond>(c);
+  }
+  if (s == "al") return Cond::AL;
+  return std::nullopt;
+}
+
+u32 encode(const Instruction& in) {
+  u32 word = static_cast<u32>(in.op) << 24;
+  const auto require = [&](bool ok, const char* what) {
+    if (!ok) throw Error(std::string("encode: field out of range: ") + what);
+  };
+  switch (format_of(in.op)) {
+    case Format::Sys:
+      require(fits_unsigned(static_cast<u32>(in.imm), 8), "imm8");
+      word = set_bits(word, 7, 0, static_cast<u32>(in.imm));
+      break;
+    case Format::Mov16:
+      require(fits_unsigned(static_cast<u32>(in.imm), 16), "imm16");
+      word = set_bits(word, 23, 20, index(in.rd));
+      word = set_bits(word, 15, 0, static_cast<u32>(in.imm));
+      break;
+    case Format::AluReg:
+      word = set_bits(word, 23, 20, index(in.rd));
+      word = set_bits(word, 19, 16, index(in.rn));
+      word = set_bits(word, 15, 12, index(in.rm));
+      word = set_bits(word, 0, 0, in.set_flags ? 1 : 0);
+      break;
+    case Format::AluImm:
+      require(fits_signed(in.imm, 12), "imm12");
+      word = set_bits(word, 23, 20, index(in.rd));
+      word = set_bits(word, 19, 16, index(in.rn));
+      word = set_bits(word, 12, 12, in.set_flags ? 1 : 0);
+      word = set_bits(word, 11, 0, static_cast<u32>(in.imm));
+      break;
+    case Format::MemImm:
+      require(fits_signed(in.imm, 12), "mem imm12");
+      word = set_bits(word, 23, 20, index(in.rd));
+      word = set_bits(word, 19, 16, index(in.rn));
+      word = set_bits(word, 11, 0, static_cast<u32>(in.imm));
+      break;
+    case Format::MemReg:
+      require(in.shift <= 3, "shift");
+      word = set_bits(word, 23, 20, index(in.rd));
+      word = set_bits(word, 19, 16, index(in.rn));
+      word = set_bits(word, 15, 12, index(in.rm));
+      word = set_bits(word, 11, 8, in.shift);
+      break;
+    case Format::RegList:
+      word = set_bits(word, 15, 0, in.reg_list);
+      break;
+    case Format::Branch: {
+      require(in.imm % 4 == 0, "branch alignment");
+      const i32 words = in.imm / 4;
+      require(fits_signed(words, 24), "branch offset");
+      word = set_bits(word, 23, 0, static_cast<u32>(words));
+      break;
+    }
+    case Format::CondBr: {
+      require(in.imm % 4 == 0, "branch alignment");
+      const i32 words = in.imm / 4;
+      require(fits_signed(words, 20), "cond branch offset");
+      word = set_bits(word, 23, 20, static_cast<u8>(in.cond));
+      word = set_bits(word, 19, 0, static_cast<u32>(words));
+      break;
+    }
+    case Format::RegBr:
+      word = set_bits(word, 15, 12, index(in.rm));
+      break;
+  }
+  return word;
+}
+
+std::optional<Instruction> decode(u32 word) {
+  const auto info = op_info(static_cast<u8>(word >> 24));
+  if (!info) return std::nullopt;
+  Instruction in;
+  in.op = info->op;
+  switch (info->format) {
+    case Format::Sys:
+      in.imm = static_cast<i32>(bits(word, 7, 0));
+      break;
+    case Format::Mov16:
+      in.rd = reg_from_index(static_cast<u8>(bits(word, 23, 20)));
+      in.imm = static_cast<i32>(bits(word, 15, 0));
+      break;
+    case Format::AluReg:
+      in.rd = reg_from_index(static_cast<u8>(bits(word, 23, 20)));
+      in.rn = reg_from_index(static_cast<u8>(bits(word, 19, 16)));
+      in.rm = reg_from_index(static_cast<u8>(bits(word, 15, 12)));
+      in.set_flags = bit(word, 0);
+      break;
+    case Format::AluImm:
+      in.rd = reg_from_index(static_cast<u8>(bits(word, 23, 20)));
+      in.rn = reg_from_index(static_cast<u8>(bits(word, 19, 16)));
+      in.set_flags = bit(word, 12);
+      in.imm = sign_extend(bits(word, 11, 0), 12);
+      break;
+    case Format::MemImm:
+      in.rd = reg_from_index(static_cast<u8>(bits(word, 23, 20)));
+      in.rn = reg_from_index(static_cast<u8>(bits(word, 19, 16)));
+      in.imm = sign_extend(bits(word, 11, 0), 12);
+      break;
+    case Format::MemReg:
+      in.rd = reg_from_index(static_cast<u8>(bits(word, 23, 20)));
+      in.rn = reg_from_index(static_cast<u8>(bits(word, 19, 16)));
+      in.rm = reg_from_index(static_cast<u8>(bits(word, 15, 12)));
+      in.shift = static_cast<u8>(bits(word, 11, 8));
+      break;
+    case Format::RegList:
+      in.reg_list = static_cast<u16>(bits(word, 15, 0));
+      break;
+    case Format::Branch:
+      in.imm = sign_extend(bits(word, 23, 0), 24) * 4;
+      break;
+    case Format::CondBr:
+      in.cond = static_cast<Cond>(bits(word, 23, 20));
+      in.imm = sign_extend(bits(word, 19, 0), 20) * 4;
+      break;
+    case Format::RegBr:
+      in.rm = reg_from_index(static_cast<u8>(bits(word, 15, 12)));
+      break;
+  }
+  // Compares always set flags regardless of encoding bit.
+  if (is_compare(in.op)) in.set_flags = true;
+  return in;
+}
+
+BranchKind branch_kind(const Instruction& in) {
+  switch (in.op) {
+    case Op::B: return BranchKind::Direct;
+    case Op::BL: return BranchKind::DirectCall;
+    case Op::BCC: return BranchKind::Conditional;
+    case Op::BLX: return BranchKind::IndirectCall;
+    case Op::BX:
+      return in.rm == Reg::LR ? BranchKind::Return : BranchKind::IndirectJump;
+    case Op::POP:
+      return bit(in.reg_list, 15) ? BranchKind::Return : BranchKind::None;
+    case Op::LDR:
+    case Op::LDRR:
+      return in.rd == Reg::PC ? BranchKind::IndirectJump : BranchKind::None;
+    case Op::HLT:
+    case Op::BKPT:
+      return BranchKind::Halt;
+    default:
+      return BranchKind::None;
+  }
+}
+
+bool is_nondeterministic(BranchKind kind) {
+  switch (kind) {
+    case BranchKind::Conditional:
+    case BranchKind::IndirectCall:
+    case BranchKind::IndirectJump:
+    case BranchKind::Return:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Address branch_target(const Instruction& in, Address address) {
+  return address + 4 + static_cast<u32>(in.imm);
+}
+
+Instruction make_nop() { return Instruction{}; }
+
+Instruction make_branch(Op op, i32 byte_offset) {
+  Instruction in;
+  in.op = op;
+  in.imm = byte_offset;
+  return in;
+}
+
+Instruction make_cond_branch(Cond cond, i32 byte_offset) {
+  Instruction in;
+  in.op = Op::BCC;
+  in.cond = cond;
+  in.imm = byte_offset;
+  return in;
+}
+
+Instruction make_reg_branch(Op op, Reg rm) {
+  Instruction in;
+  in.op = op;
+  in.rm = rm;
+  return in;
+}
+
+Instruction make_svc(u8 code) {
+  Instruction in;
+  in.op = Op::SVC;
+  in.imm = code;
+  return in;
+}
+
+i32 branch_offset(Address from, Address to) {
+  return static_cast<i32>(to) - static_cast<i32>(from) - 4;
+}
+
+std::string to_string(const Instruction& in) {
+  const auto info = op_info(static_cast<u8>(in.op));
+  std::string out(info ? info->mnemonic : "???");
+  char buf[64];
+  switch (format_of(in.op)) {
+    case Format::Sys:
+      if (in.op == Op::SVC) {
+        std::snprintf(buf, sizeof buf, " #%d", in.imm);
+        out += buf;
+      }
+      break;
+    case Format::Mov16:
+      std::snprintf(buf, sizeof buf, " %s, #0x%x", name(in.rd).data(),
+                    static_cast<u32>(in.imm));
+      out += buf;
+      break;
+    case Format::AluReg:
+      if (in.set_flags && !is_compare(in.op)) out += 's';
+      if (in.op == Op::MOV || in.op == Op::MVN) {
+        std::snprintf(buf, sizeof buf, " %s, %s", name(in.rd).data(),
+                      name(in.rm).data());
+      } else if (is_compare(in.op)) {
+        std::snprintf(buf, sizeof buf, " %s, %s", name(in.rn).data(),
+                      name(in.rm).data());
+      } else {
+        std::snprintf(buf, sizeof buf, " %s, %s, %s", name(in.rd).data(),
+                      name(in.rn).data(), name(in.rm).data());
+      }
+      out += buf;
+      break;
+    case Format::AluImm:
+      if (in.set_flags && !is_compare(in.op)) out += 's';
+      if (is_compare(in.op)) {
+        std::snprintf(buf, sizeof buf, " %s, #%d", name(in.rn).data(), in.imm);
+      } else {
+        std::snprintf(buf, sizeof buf, " %s, %s, #%d", name(in.rd).data(),
+                      name(in.rn).data(), in.imm);
+      }
+      out += buf;
+      break;
+    case Format::MemImm:
+      std::snprintf(buf, sizeof buf, " %s, [%s, #%d]", name(in.rd).data(),
+                    name(in.rn).data(), in.imm);
+      out += buf;
+      break;
+    case Format::MemReg:
+      std::snprintf(buf, sizeof buf, " %s, [%s, %s, lsl #%u]",
+                    name(in.rd).data(), name(in.rn).data(), name(in.rm).data(),
+                    in.shift);
+      out += buf;
+      break;
+    case Format::RegList: {
+      out += " {";
+      bool first = true;
+      for (unsigned i = 0; i < 16; ++i) {
+        if (!bit(in.reg_list, i)) continue;
+        if (!first) out += ", ";
+        out += name(static_cast<Reg>(i));
+        first = false;
+      }
+      out += '}';
+      break;
+    }
+    case Format::Branch:
+      std::snprintf(buf, sizeof buf, " .%+d", in.imm);
+      out += buf;
+      break;
+    case Format::CondBr:
+      out = "b";
+      out += suffix(in.cond);
+      std::snprintf(buf, sizeof buf, " .%+d", in.imm);
+      out += buf;
+      break;
+    case Format::RegBr:
+      std::snprintf(buf, sizeof buf, " %s", name(in.rm).data());
+      out += buf;
+      break;
+  }
+  return out;
+}
+
+}  // namespace raptrack::isa

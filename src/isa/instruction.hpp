@@ -1,0 +1,82 @@
+// Decoded instruction representation plus the encoder/decoder between the
+// 32-bit RT-ISA word format and this struct. The rewriting passes
+// (RAP-Track trampolines, TRACES instrumentation) operate on decoded
+// instructions and re-encode, exactly like the paper's offline phase operates
+// on post-compiled binaries.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/condition.hpp"
+#include "isa/opcodes.hpp"
+#include "isa/registers.hpp"
+
+namespace raptrack::isa {
+
+struct Instruction {
+  Op op = Op::NOP;
+  Reg rd = Reg::R0;
+  Reg rn = Reg::R0;
+  Reg rm = Reg::R0;
+  Cond cond = Cond::AL;   ///< BCC only
+  bool set_flags = false; ///< ALU ops: update NZCV ("s" suffix)
+  i32 imm = 0;            ///< imm8/imm12/imm16/branch byte offset (signed)
+  u8 shift = 0;           ///< MemReg scale (offset = rm << shift)
+  u16 reg_list = 0;       ///< PUSH/POP mask (bit14 = LR, bit15 = PC)
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Encode to the 32-bit word format. Throws Error when a field is out of
+/// range (e.g. branch offset too large).
+u32 encode(const Instruction& instr);
+
+/// Decode a 32-bit word. Returns nullopt for invalid opcodes.
+std::optional<Instruction> decode(u32 word);
+
+// ---------------------------------------------------------------------------
+// Control-flow classification — the vocabulary of the RAP-Track offline phase.
+// ---------------------------------------------------------------------------
+
+/// How an instruction can redirect control flow.
+enum class BranchKind : u8 {
+  None,            ///< not a control-flow instruction
+  Direct,          ///< B — statically fixed target
+  DirectCall,      ///< BL — statically fixed target, writes LR
+  Conditional,     ///< BCC — two static targets, data-dependent choice
+  IndirectCall,    ///< BLX rm
+  IndirectJump,    ///< BX rm (rm != LR), LDR pc, LDRR pc
+  Return,          ///< BX LR or POP {...,pc}
+  Halt,            ///< HLT / BKPT
+};
+
+/// Classify the decoded instruction. `POP {…,pc}` and `LDR pc, …` are
+/// returns / indirect jumps per §IV-C of the paper.
+BranchKind branch_kind(const Instruction& instr);
+
+/// True for kinds whose *destination* is not statically known (the paper's
+/// "non-deterministic branches": indirect jumps/calls, returns, conditional
+/// branches). Direct branches and calls are deterministic.
+bool is_nondeterministic(BranchKind kind);
+
+/// Static target of a direct/conditional branch located at `address`.
+/// (Branch offsets are relative to address+4, the next instruction.)
+Address branch_target(const Instruction& instr, Address address);
+
+/// Build common instructions (used by rewriters and tests).
+Instruction make_nop();
+Instruction make_branch(Op op, i32 byte_offset);                 // B/BL
+Instruction make_cond_branch(Cond cond, i32 byte_offset);        // BCC
+Instruction make_reg_branch(Op op, Reg rm);                      // BX/BLX
+Instruction make_svc(u8 code);
+
+/// Byte offset for a branch at `from` targeting `to`.
+i32 branch_offset(Address from, Address to);
+
+/// Render one instruction as assembly text (round-trips through the
+/// assembler; labels are rendered as numeric offsets).
+std::string to_string(const Instruction& instr);
+
+}  // namespace raptrack::isa

@@ -1,0 +1,41 @@
+// Register file definition for RT-ISA, the ARMv8-M-flavoured instruction set
+// used by the simulator. Mirrors the Cortex-M register model: R0-R12 general
+// purpose, R13=SP, R14=LR (link register), R15=PC.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace raptrack::isa {
+
+enum class Reg : u8 {
+  R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12,
+  SP = 13,
+  LR = 14,
+  PC = 15,
+};
+
+constexpr unsigned kNumRegs = 16;
+
+constexpr u8 index(Reg r) { return static_cast<u8>(r); }
+constexpr Reg reg_from_index(u8 i) { return static_cast<Reg>(i & 0xf); }
+
+constexpr std::array<std::string_view, kNumRegs> kRegNames = {
+    "r0", "r1", "r2", "r3", "r4",  "r5",  "r6",  "r7",
+    "r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc"};
+
+constexpr std::string_view name(Reg r) { return kRegNames[index(r)]; }
+
+/// Condition flags (APSR.NZCV).
+struct Flags {
+  bool n = false;  ///< negative
+  bool z = false;  ///< zero
+  bool c = false;  ///< carry / not-borrow
+  bool v = false;  ///< signed overflow
+
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+}  // namespace raptrack::isa

@@ -1,0 +1,42 @@
+// The CPU-facing bus: stacks the NS-MPU permission check on top of the
+// memory map's security attribution. The Secure world bypasses the NS-MPU
+// (it has its own bank, which the RoT never restricts against itself).
+#pragma once
+
+#include "common/types.hpp"
+#include "mem/memory_map.hpp"
+#include "mem/mpu.hpp"
+
+namespace raptrack::mem {
+
+class Bus {
+ public:
+  explicit Bus(MemoryMap& map) : map_(&map) {}
+
+  Mpu& ns_mpu() { return ns_mpu_; }
+  const Mpu& ns_mpu() const { return ns_mpu_; }
+  MemoryMap& map() { return *map_; }
+  const MemoryMap& map() const { return *map_; }
+
+  u32 read(Address addr, u32 size, WorldSide world, Address pc) {
+    if (world == WorldSide::NonSecure) ns_mpu_.check(addr, AccessType::Read, pc);
+    return map_->read(addr, size, world, pc);
+  }
+
+  void write(Address addr, u32 value, u32 size, WorldSide world, Address pc) {
+    if (world == WorldSide::NonSecure) ns_mpu_.check(addr, AccessType::Write, pc);
+    map_->write(addr, value, size, world, pc);
+  }
+
+  u32 fetch(Address addr, WorldSide world) {
+    if (world == WorldSide::NonSecure) ns_mpu_.check(addr, AccessType::Execute, addr);
+    map_->check_execute(addr, world);
+    return map_->read(addr, 4, world, addr);
+  }
+
+ private:
+  MemoryMap* map_;
+  Mpu ns_mpu_;
+};
+
+}  // namespace raptrack::mem

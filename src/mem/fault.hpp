@@ -1,0 +1,43 @@
+// Memory and execution fault model. Faults abort the attested run and are
+// surfaced in the CFA report (the paper's CFA engine locks APP memory via
+// the NS-MPU; "any changes trigger a memory fault, invalidating the report").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace raptrack::mem {
+
+enum class FaultType : u8 {
+  None,
+  BusError,        ///< access to unmapped address
+  MpuViolation,    ///< MPU permission denied
+  SecurityFault,   ///< Non-Secure access to Secure memory
+  Unaligned,       ///< misaligned word/halfword access
+  UndefinedInstr,  ///< fetch decoded to an invalid opcode
+  DivideByZero,
+};
+
+struct Fault {
+  FaultType type = FaultType::None;
+  Address address = 0;   ///< faulting data address or PC
+  Address pc = 0;        ///< PC of the faulting instruction
+  std::string detail;
+};
+
+const char* fault_name(FaultType type);
+
+/// Thrown by the bus/MPU; caught by the executor which converts it into a
+/// delivered fault (halting the Non-Secure run).
+class FaultException {
+ public:
+  explicit FaultException(Fault fault) : fault_(std::move(fault)) {}
+  const Fault& fault() const { return fault_; }
+
+ private:
+  Fault fault_;
+};
+
+}  // namespace raptrack::mem

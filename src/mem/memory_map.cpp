@@ -1,0 +1,203 @@
+#include "mem/memory_map.hpp"
+
+#include <algorithm>
+
+#include "common/hex.hpp"
+
+namespace raptrack::mem {
+
+const char* fault_name(FaultType type) {
+  switch (type) {
+    case FaultType::None: return "none";
+    case FaultType::BusError: return "bus-error";
+    case FaultType::MpuViolation: return "mpu-violation";
+    case FaultType::SecurityFault: return "security-fault";
+    case FaultType::Unaligned: return "unaligned";
+    case FaultType::UndefinedInstr: return "undefined-instruction";
+    case FaultType::DivideByZero: return "divide-by-zero";
+  }
+  return "?";
+}
+
+MemoryMap MemoryMap::make_default() {
+  MemoryMap map;
+  map.add_region({.name = "ns-flash",
+                  .base = MapLayout::kNsFlashBase,
+                  .size = MapLayout::kNsFlashSize,
+                  .security = Security::NonSecure,
+                  .writable = true,  // until the CFA engine locks it via MPU
+                  .executable = true,
+                  .backing = std::vector<u8>(MapLayout::kNsFlashSize, 0)});
+  map.add_region({.name = "ns-ram",
+                  .base = MapLayout::kNsRamBase,
+                  .size = MapLayout::kNsRamSize,
+                  .security = Security::NonSecure,
+                  .writable = true,
+                  .executable = false,
+                  .backing = std::vector<u8>(MapLayout::kNsRamSize, 0)});
+  map.add_region({.name = "s-flash",
+                  .base = MapLayout::kSFlashBase,
+                  .size = MapLayout::kSFlashSize,
+                  .security = Security::Secure,
+                  .writable = false,
+                  .executable = true,
+                  .backing = std::vector<u8>(MapLayout::kSFlashSize, 0)});
+  map.add_region({.name = "s-ram",
+                  .base = MapLayout::kSRamBase,
+                  .size = MapLayout::kSRamSize,
+                  .security = Security::Secure,
+                  .writable = true,
+                  .executable = false,
+                  .backing = std::vector<u8>(MapLayout::kSRamSize, 0)});
+  map.add_region({.name = "mtb-sram",
+                  .base = MapLayout::kMtbSramBase,
+                  .size = MapLayout::kMtbSramSize,
+                  .security = Security::Secure,
+                  .writable = true,
+                  .executable = false,
+                  .backing = std::vector<u8>(MapLayout::kMtbSramSize, 0)});
+  return map;
+}
+
+Region& MemoryMap::add_region(Region region) {
+  for (const auto& existing : regions_) {
+    if (region.base < existing.end() && existing.base < region.end()) {
+      throw Error("MemoryMap: region '" + region.name + "' overlaps '" +
+                  existing.name + "'");
+    }
+  }
+  regions_.push_back(std::move(region));
+  return regions_.back();
+}
+
+Region& MemoryMap::add_mmio(const std::string& name, Address base, u32 size,
+                            Security security, MmioHandler handler) {
+  Region region;
+  region.name = name;
+  region.base = base;
+  region.size = size;
+  region.security = security;
+  region.writable = true;
+  region.executable = false;
+  region.mmio = std::make_shared<MmioHandler>(std::move(handler));
+  return add_region(std::move(region));
+}
+
+const Region* MemoryMap::find(Address addr) const {
+  for (const auto& region : regions_) {
+    if (region.contains(addr)) return &region;
+  }
+  return nullptr;
+}
+
+Region* MemoryMap::find(Address addr) {
+  return const_cast<Region*>(static_cast<const MemoryMap*>(this)->find(addr));
+}
+
+namespace {
+[[noreturn]] void bus_error(Address addr, Address pc, const std::string& what) {
+  throw FaultException(
+      {FaultType::BusError, addr, pc, what + " at " + hex32(addr)});
+}
+}  // namespace
+
+u8 MemoryMap::raw_read8(Address addr) const {
+  const Region* region = find(addr);
+  if (!region || region->mmio) bus_error(addr, 0, "raw_read8 unmapped");
+  return region->backing[addr - region->base];
+}
+
+void MemoryMap::raw_write8(Address addr, u8 value) {
+  Region* region = find(addr);
+  if (!region || region->mmio) bus_error(addr, 0, "raw_write8 unmapped");
+  region->backing[addr - region->base] = value;
+}
+
+u32 MemoryMap::raw_read32(Address addr) const {
+  u32 value = 0;
+  for (u32 i = 0; i < 4; ++i) value |= static_cast<u32>(raw_read8(addr + i)) << (8 * i);
+  return value;
+}
+
+void MemoryMap::raw_write32(Address addr, u32 value) {
+  for (u32 i = 0; i < 4; ++i) raw_write8(addr + i, static_cast<u8>(value >> (8 * i)));
+}
+
+void MemoryMap::check_security(const Region& region, Address addr,
+                               WorldSide world, AccessType type,
+                               Address pc) const {
+  if (region.security == Security::Secure && world == WorldSide::NonSecure) {
+    throw FaultException({FaultType::SecurityFault, addr, pc,
+                          "NS " + std::string(type == AccessType::Read ? "read" :
+                                              type == AccessType::Write ? "write" : "exec") +
+                              " of secure region '" + region.name + "'"});
+  }
+}
+
+u32 MemoryMap::read(Address addr, u32 size, WorldSide world, Address pc) {
+  if (size != 1 && size != 2 && size != 4) throw Error("MemoryMap::read: bad size");
+  if (addr % size != 0) {
+    throw FaultException({FaultType::Unaligned, addr, pc, "unaligned read"});
+  }
+  Region* region = find(addr);
+  if (!region || addr + size > region->end()) bus_error(addr, pc, "read");
+  check_security(*region, addr, world, AccessType::Read, pc);
+  if (region->mmio) return region->mmio->read(addr - region->base, size);
+  u32 value = 0;
+  for (u32 i = 0; i < size; ++i) {
+    value |= static_cast<u32>(region->backing[addr - region->base + i]) << (8 * i);
+  }
+  return value;
+}
+
+void MemoryMap::write(Address addr, u32 value, u32 size, WorldSide world,
+                      Address pc) {
+  if (size != 1 && size != 2 && size != 4) throw Error("MemoryMap::write: bad size");
+  if (addr % size != 0) {
+    throw FaultException({FaultType::Unaligned, addr, pc, "unaligned write"});
+  }
+  Region* region = find(addr);
+  if (!region || addr + size > region->end()) bus_error(addr, pc, "write");
+  check_security(*region, addr, world, AccessType::Write, pc);
+  if (!region->writable) {
+    throw FaultException({FaultType::MpuViolation, addr, pc,
+                          "write to read-only region '" + region->name + "'"});
+  }
+  if (region->mmio) {
+    region->mmio->write(addr - region->base, value, size);
+    return;
+  }
+  for (u32 i = 0; i < size; ++i) {
+    region->backing[addr - region->base + i] = static_cast<u8>(value >> (8 * i));
+  }
+}
+
+void MemoryMap::check_execute(Address addr, WorldSide world) const {
+  const Region* region = find(addr);
+  if (!region) bus_error(addr, addr, "fetch");
+  check_security(*region, addr, world, AccessType::Execute, addr);
+  if (!region->executable) {
+    throw FaultException({FaultType::MpuViolation, addr, addr,
+                          "fetch from non-executable region '" + region->name + "'"});
+  }
+}
+
+void MemoryMap::load(Address base, std::span<const u8> bytes) {
+  Region* region = find(base);
+  if (!region || region->mmio || base + bytes.size() > region->end()) {
+    throw Error("MemoryMap::load: image does not fit a backed region at " +
+                hex32(base));
+  }
+  std::copy(bytes.begin(), bytes.end(), region->backing.begin() + (base - region->base));
+}
+
+std::vector<u8> MemoryMap::dump(Address base, u32 size) const {
+  const Region* region = find(base);
+  if (!region || region->mmio || base + size > region->end()) {
+    throw Error("MemoryMap::dump: range not backed at " + hex32(base));
+  }
+  const auto first = region->backing.begin() + (base - region->base);
+  return std::vector<u8>(first, first + size);
+}
+
+}  // namespace raptrack::mem

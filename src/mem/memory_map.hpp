@@ -1,0 +1,110 @@
+// Physical memory map of the simulated device, modeled after the AN505
+// Cortex-M33 image used by the paper's prototype: Non-Secure flash and SRAM,
+// Secure flash/SRAM (holding RoT state and the MTB trace buffer), and an
+// MMIO peripheral window. Each region carries a security attribution
+// (TrustZone IDAU/SAU equivalent) checked on every access.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/fault.hpp"
+
+namespace raptrack::mem {
+
+/// TrustZone security attribution of a region.
+enum class Security : u8 { NonSecure, Secure };
+
+/// Which world issued the access.
+enum class WorldSide : u8 { NonSecure, Secure };
+
+enum class AccessType : u8 { Read, Write, Execute };
+
+/// MMIO handlers: word-granular; peripherals narrower than a word handle
+/// sub-word sizes themselves via the `size` parameter (1, 2, or 4 bytes).
+struct MmioHandler {
+  std::function<u32(Address offset, u32 size)> read;
+  std::function<void(Address offset, u32 value, u32 size)> write;
+};
+
+struct Region {
+  std::string name;
+  Address base = 0;
+  u32 size = 0;
+  Security security = Security::NonSecure;
+  bool writable = true;
+  bool executable = false;
+  std::vector<u8> backing;              // empty for MMIO regions
+  std::shared_ptr<MmioHandler> mmio;    // set for peripheral regions
+
+  Address end() const { return base + size; }
+  bool contains(Address addr) const { return addr >= base && addr < end(); }
+};
+
+/// Default map constants (see DESIGN.md §2). Mirrors AN505 spacing.
+struct MapLayout {
+  static constexpr Address kNsFlashBase = 0x0020'0000;
+  static constexpr u32 kNsFlashSize = 512 * 1024;
+  static constexpr Address kNsRamBase = 0x2020'0000;
+  static constexpr u32 kNsRamSize = 256 * 1024;
+  static constexpr Address kSFlashBase = 0x1000'0000;
+  static constexpr u32 kSFlashSize = 128 * 1024;
+  static constexpr Address kSRamBase = 0x3000'0000;
+  static constexpr u32 kSRamSize = 64 * 1024;
+  static constexpr Address kPeriphBase = 0x4000'0000;
+  static constexpr u32 kPeriphSize = 64 * 1024;
+  /// The MTB SRAM (CF_Log lives here); Secure so the Non-Secure world cannot
+  /// tamper with the log (§IV-F).
+  static constexpr Address kMtbSramBase = 0x3400'0000;
+  static constexpr u32 kMtbSramSize = 16 * 1024;
+};
+
+class MemoryMap {
+ public:
+  MemoryMap() = default;
+
+  /// Build the default device map described above.
+  static MemoryMap make_default();
+
+  Region& add_region(Region region);
+  Region& add_mmio(const std::string& name, Address base, u32 size,
+                   Security security, MmioHandler handler);
+
+  /// Raw access (no security/MPU checks) — used by the trusted RoT and by
+  /// test fixtures. Throws FaultException only for unmapped addresses.
+  u8 raw_read8(Address addr) const;
+  void raw_write8(Address addr, u8 value);
+  u32 raw_read32(Address addr) const;
+  void raw_write32(Address addr, u32 value);
+
+  /// Checked access on behalf of `world` (security attribution only; the
+  /// MPU check layers on top in the Bus class).
+  u32 read(Address addr, u32 size, WorldSide world, Address pc);
+  void write(Address addr, u32 value, u32 size, WorldSide world, Address pc);
+
+  /// Fetch check: region must be executable and visible to `world`.
+  void check_execute(Address addr, WorldSide world) const;
+
+  const Region* find(Address addr) const;
+  Region* find(Address addr);
+
+  /// Load a byte image at `base` (must fall inside one backed region).
+  void load(Address base, std::span<const u8> bytes);
+
+  /// Copy out `size` bytes starting at `base` (backed regions only).
+  std::vector<u8> dump(Address base, u32 size) const;
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  void check_security(const Region& region, Address addr, WorldSide world,
+                      AccessType type, Address pc) const;
+
+  std::vector<Region> regions_;
+};
+
+}  // namespace raptrack::mem

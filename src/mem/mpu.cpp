@@ -1,0 +1,42 @@
+#include "mem/mpu.hpp"
+
+#include "common/hex.hpp"
+
+namespace raptrack::mem {
+
+void Mpu::configure(unsigned index, const MpuRegion& region) {
+  if (index >= kNumRegions) throw Error("Mpu: region index out of range");
+  if (locked_) throw Error("Mpu: bank is locked");
+  if (region.limit < region.base) throw Error("Mpu: limit below base");
+  regions_[index] = region;
+}
+
+void Mpu::clear(unsigned index) {
+  if (index >= kNumRegions) throw Error("Mpu: region index out of range");
+  if (locked_) throw Error("Mpu: bank is locked");
+  regions_[index] = MpuRegion{};
+}
+
+void Mpu::reset() {
+  regions_ = {};
+  locked_ = false;
+}
+
+void Mpu::check(Address addr, AccessType type, Address pc) const {
+  for (const auto& region : regions_) {
+    if (!region.contains(addr)) continue;
+    const bool allowed = (type == AccessType::Read && region.allow_read) ||
+                         (type == AccessType::Write && region.allow_write) ||
+                         (type == AccessType::Execute && region.allow_execute);
+    if (!allowed) {
+      throw FaultException({FaultType::MpuViolation, addr, pc,
+                            std::string("MPU denies ") +
+                                (type == AccessType::Read ? "read" :
+                                 type == AccessType::Write ? "write" : "exec") +
+                                " at " + hex32(addr)});
+    }
+    return;  // first matching region decides
+  }
+}
+
+}  // namespace raptrack::mem

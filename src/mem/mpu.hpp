@@ -1,0 +1,62 @@
+// Memory Protection Unit model (ARMv8-M, split into Secure and Non-Secure
+// banks under TrustZone). The CFA engine programs the NS-MPU to make the
+// attested application's binary non-writable and then *locks* the NS bank so
+// the Non-Secure world cannot undo the protection (§IV-A of the paper).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "mem/fault.hpp"
+#include "mem/memory_map.hpp"
+
+namespace raptrack::mem {
+
+struct MpuRegion {
+  bool enabled = false;
+  Address base = 0;
+  Address limit = 0;  ///< inclusive upper bound
+  bool allow_read = true;
+  bool allow_write = true;
+  bool allow_execute = true;
+
+  bool contains(Address addr) const {
+    return enabled && addr >= base && addr <= limit;
+  }
+};
+
+/// One MPU bank (8 regions, as on Cortex-M33). When no region matches, the
+/// background policy applies (allow; the security attribution in MemoryMap
+/// still governs S/NS visibility).
+class Mpu {
+ public:
+  static constexpr unsigned kNumRegions = 8;
+
+  /// Configure region `index`. Throws Error when the bank is locked or the
+  /// index is out of range.
+  void configure(unsigned index, const MpuRegion& region);
+
+  /// Disable region `index` (also refused when locked).
+  void clear(unsigned index);
+
+  /// Lock the bank: all further configure/clear calls throw. Only a device
+  /// reset (reset()) unlocks — the Non-Secure world has no such capability.
+  void lock() { locked_ = true; }
+  bool locked() const { return locked_; }
+
+  /// Full reset (Secure-World privilege / power cycle).
+  void reset();
+
+  /// Permission check; throws FaultException on violation.
+  void check(Address addr, AccessType type, Address pc) const;
+
+  const std::array<MpuRegion, kNumRegions>& regions() const { return regions_; }
+
+ private:
+  std::array<MpuRegion, kNumRegions> regions_{};
+  bool locked_ = false;
+};
+
+}  // namespace raptrack::mem

@@ -1,0 +1,22 @@
+// Manifest (de)serialization: the offline phase runs once at deployment
+// time and its outputs — the rewritten image and this manifest — are what
+// the Verifier stores for every provisioned device. The byte format is
+// little-endian, versioned, and self-checking (magic + length framing), so
+// a manifest written by one toolchain build verifies reports from another.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rewrite/manifest.hpp"
+
+namespace raptrack::rewrite {
+
+/// Serialize a manifest to its canonical byte form.
+std::vector<u8> serialize_manifest(const Manifest& manifest);
+
+/// Parse a serialized manifest. Throws Error on framing/version problems
+/// or trailing bytes.
+Manifest deserialize_manifest(std::span<const u8> bytes);
+
+}  // namespace raptrack::rewrite

@@ -1,0 +1,50 @@
+// The RAP-Track offline phase (§IV): partitions the post-compiled binary
+// into MTBAR and MTBDR, installs the five trampoline shapes of Figs 3-7,
+// and applies the loop optimization of §IV-D. The transformation is
+// strictly in place for surviving code — every rewritten site keeps its
+// address and the original instruction moves into an appended MTBAR slot
+// (or MTBDR loop veneer), so no relocation of unrelated code is needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "cfg/cfg.hpp"
+#include "rewrite/manifest.hpp"
+
+namespace raptrack::rewrite {
+
+struct RewriteOptions {
+  /// nop padding at the head of each MTBAR slot, covering the MTB's
+  /// activation latency (§V-C). Must be >= the hardware latency or packets
+  /// are silently lost — the verifier-side losslessness test catches this.
+  u32 nop_pad = 2;
+  /// Apply the §IV-D loop optimization (log the condition once instead of
+  /// per-iteration packets).
+  bool loop_optimization = true;
+  /// Elide logging for simple loops with constant bounds (§IV-C,
+  /// "statically deterministic"). Off forces per-iteration trampolines.
+  bool deterministic_loop_elision = true;
+  /// Known indirect-call targets beyond what the data scan finds.
+  std::vector<Address> extra_cfg_roots;
+};
+
+struct RewriteResult {
+  Program program;   ///< the rewritten, deployable image
+  Manifest manifest;
+  /// Statistics for the code-size figure (Fig 10).
+  u32 original_bytes = 0;
+  u32 rewritten_bytes = 0;
+  u32 slot_count = 0;
+  u32 veneer_count = 0;
+};
+
+/// Rewrite `original` (code in [code_begin, code_end), data after) for
+/// RAP-Track. Throws Error on programs outside the supported shape (e.g.
+/// explicit LR writes, SVCs in application code).
+RewriteResult rewrite_for_rap_track(const Program& original, Address entry,
+                                    Address code_begin, Address code_end,
+                                    const RewriteOptions& options = {});
+
+}  // namespace raptrack::rewrite

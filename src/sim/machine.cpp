@@ -1,0 +1,51 @@
+#include "sim/machine.hpp"
+
+namespace raptrack::sim {
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      memory_(mem::MemoryMap::make_default()),
+      bus_(memory_),
+      cpu_(bus_, config.cycle_model),
+      mtb_(memory_, mem::MapLayout::kMtbSramBase, config.mtb_buffer_bytes),
+      dwt_(mtb_),
+      fabric_(dwt_, mtb_),
+      monitor_(config.cost_model) {
+  mtb_.set_activation_latency(config.mtb_activation_latency);
+  cpu_.add_sink(&fabric_);
+  if (config.enable_oracle) cpu_.add_sink(&oracle_);
+  cpu_.set_svc_handler(
+      [this](u8 code, cpu::CpuState& state) { return monitor_.handle(code, state); });
+}
+
+void Machine::map_trace_registers() {
+  mem::MmioHandler mtb_regs;
+  mtb_regs.read = [this](Address offset, u32) { return mtb_.read_register(offset); };
+  mtb_regs.write = [this](Address offset, u32 value, u32) {
+    mtb_.write_register(offset, value);
+  };
+  memory_.add_mmio("mtb-regs", 0xf020'0000, 0x1000, mem::Security::Secure,
+                   std::move(mtb_regs));
+
+  mem::MmioHandler dwt_regs;
+  dwt_regs.read = [this](Address offset, u32) { return dwt_.read_register(offset); };
+  dwt_regs.write = [this](Address offset, u32 value, u32) {
+    dwt_.write_register(offset, value);
+  };
+  memory_.add_mmio("dwt-regs", 0xe000'1000, 0x1000, mem::Security::Secure,
+                   std::move(dwt_regs));
+}
+
+void Machine::load_program(const Program& program) {
+  memory_.load(program.base(), program.bytes());
+}
+
+void Machine::reset_cpu(Address entry) {
+  cpu_.reset(entry, mem::MapLayout::kNsRamBase + mem::MapLayout::kNsRamSize);
+}
+
+cpu::HaltReason Machine::run(u64 max_instructions) {
+  return cpu_.run(max_instructions);
+}
+
+}  // namespace raptrack::sim

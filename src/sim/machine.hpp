@@ -1,0 +1,66 @@
+// Top-level simulated device: memory map, bus, core, MTB, DWT, Secure-World
+// monitor, and an optional ground-truth oracle tracer — the V2M-MPS2+/AN505
+// equivalent everything else plugs into.
+#pragma once
+
+#include <memory>
+
+#include "asm/program.hpp"
+#include "cpu/executor.hpp"
+#include "mem/bus.hpp"
+#include "mem/memory_map.hpp"
+#include "trace/trace_fabric.hpp"
+#include "tz/secure_monitor.hpp"
+
+namespace raptrack::sim {
+
+struct MachineConfig {
+  u32 mtb_buffer_bytes = 4096;  ///< the paper's MTB has a 4KB limit (§V-B)
+  u32 mtb_activation_latency = 2;
+  isa::CycleModel cycle_model{};
+  tz::CostModel cost_model{};
+  bool enable_oracle = true;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = {});
+
+  mem::MemoryMap& memory() { return memory_; }
+  mem::Bus& bus() { return bus_; }
+  cpu::Executor& cpu() { return cpu_; }
+  trace::Mtb& mtb() { return mtb_; }
+  trace::Dwt& dwt() { return dwt_; }
+  tz::SecureMonitor& monitor() { return monitor_; }
+  const tz::SecureMonitor& monitor() const { return monitor_; }
+  trace::OracleTracer& oracle() { return oracle_; }
+  const MachineConfig& config() const { return config_; }
+
+  /// Map the MTB and DWT register banks as Secure MMIO (MTB at
+  /// 0xf020'0000 as on the AN505 image, DWT at 0xe000'1000 as in the
+  /// ARMv8-M system address map). Only the Secure World can touch them —
+  /// the §IV-F argument that Adv cannot deactivate or misconfigure tracing.
+  void map_trace_registers();
+
+  /// Load a program image into (simulated) flash.
+  void load_program(const Program& program);
+
+  /// Reset the core to `entry` with the stack at the top of NS RAM.
+  void reset_cpu(Address entry);
+
+  /// Run the loaded application to completion.
+  cpu::HaltReason run(u64 max_instructions = 200'000'000);
+
+ private:
+  MachineConfig config_;
+  mem::MemoryMap memory_;
+  mem::Bus bus_;
+  cpu::Executor cpu_;
+  trace::Mtb mtb_;
+  trace::Dwt dwt_;
+  trace::TraceFabric fabric_;
+  trace::OracleTracer oracle_;
+  tz::SecureMonitor monitor_;
+};
+
+}  // namespace raptrack::sim

@@ -1,0 +1,33 @@
+// MTB trace packet format. The real MTB-M33 stores two words per branch:
+// the source address (with the LSB carrying the A-bit, set when the trace
+// restarted after a stop) and the destination address. CF_Log in RAP-Track
+// is exactly this packet stream.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace raptrack::trace {
+
+struct BranchPacket {
+  Address source = 0;
+  Address destination = 0;
+  bool atomic_restart = false;  ///< A-bit: first packet after (re)activation
+
+  /// Serialized size in bytes: two 32-bit words, as on the MTB-M33.
+  static constexpr u32 kBytes = 8;
+
+  u32 source_word() const { return (source & ~1u) | (atomic_restart ? 1u : 0u); }
+  u32 destination_word() const { return destination; }
+
+  static BranchPacket from_words(u32 src_word, u32 dst_word) {
+    return {src_word & ~1u, dst_word, (src_word & 1u) != 0};
+  }
+
+  friend bool operator==(const BranchPacket&, const BranchPacket&) = default;
+};
+
+using PacketLog = std::vector<BranchPacket>;
+
+}  // namespace raptrack::trace

@@ -1,0 +1,96 @@
+#include "trace/dwt.hpp"
+
+namespace raptrack::trace {
+
+void Dwt::configure(unsigned index, const Comparator& comparator) {
+  if (index >= kNumComparators) throw Error("Dwt: comparator index out of range");
+  comparators_[index] = comparator;
+}
+
+const Comparator& Dwt::comparator(unsigned index) const {
+  if (index >= kNumComparators) throw Error("Dwt: comparator index out of range");
+  return comparators_[index];
+}
+
+void Dwt::reset() { comparators_ = {}; }
+
+void Dwt::configure_rap_track(Address mtbar_base, Address mtbar_limit,
+                              Address mtbdr_base, Address mtbdr_limit) {
+  if (mtbar_limit < mtbar_base || mtbdr_limit < mtbdr_base) {
+    throw Error("Dwt: range limit below base");
+  }
+  configure(0, {ComparatorAction::MtbTstartBase, mtbar_base});
+  configure(1, {ComparatorAction::MtbTstartLimit, mtbar_limit});
+  configure(2, {ComparatorAction::MtbTstopBase, mtbdr_base});
+  configure(3, {ComparatorAction::MtbTstopLimit, mtbdr_limit});
+}
+
+u32 Dwt::read_register(u32 offset) const {
+  const unsigned index = offset / kCompStride;
+  if (index >= kNumComparators) throw Error("Dwt: register offset out of range");
+  switch (offset % kCompStride) {
+    case kRegComp:
+      return comparators_[index].address;
+    case kRegFunction:
+      return static_cast<u32>(comparators_[index].action);
+    default:
+      throw Error("Dwt: unknown register offset");
+  }
+}
+
+void Dwt::write_register(u32 offset, u32 value) {
+  const unsigned index = offset / kCompStride;
+  if (index >= kNumComparators) throw Error("Dwt: register offset out of range");
+  switch (offset % kCompStride) {
+    case kRegComp:
+      comparators_[index].address = value;
+      break;
+    case kRegFunction:
+      if (value > static_cast<u32>(ComparatorAction::Watchpoint)) {
+        throw Error("Dwt: invalid FUNCTION value");
+      }
+      comparators_[index].action = static_cast<ComparatorAction>(value);
+      break;
+    default:
+      throw Error("Dwt: unknown register offset");
+  }
+}
+
+void Dwt::set_watchpoint_handler(std::function<void(Address)> handler) {
+  watchpoint_handler_ = std::move(handler);
+}
+
+void Dwt::observe(Address pc) {
+  // Resolve the two ranges from the comparator bank. A range is live only
+  // when both of its bounds are programmed.
+  Address start_base = 0, start_limit = 0, stop_base = 0, stop_limit = 0;
+  bool has_start_base = false, has_start_limit = false;
+  bool has_stop_base = false, has_stop_limit = false;
+  for (const auto& comp : comparators_) {
+    switch (comp.action) {
+      case ComparatorAction::MtbTstartBase:
+        start_base = comp.address; has_start_base = true; break;
+      case ComparatorAction::MtbTstartLimit:
+        start_limit = comp.address; has_start_limit = true; break;
+      case ComparatorAction::MtbTstopBase:
+        stop_base = comp.address; has_stop_base = true; break;
+      case ComparatorAction::MtbTstopLimit:
+        stop_limit = comp.address; has_stop_limit = true; break;
+      case ComparatorAction::Watchpoint:
+        if (pc == comp.address && watchpoint_handler_) watchpoint_handler_(pc);
+        break;
+      case ComparatorAction::Disabled:
+        break;
+    }
+  }
+  // TSTOP is evaluated first so that an address inside both ranges
+  // (misconfiguration) conservatively stops tracing.
+  if (has_stop_base && has_stop_limit && pc >= stop_base && pc <= stop_limit) {
+    mtb_->tstop();
+  }
+  if (has_start_base && has_start_limit && pc >= start_base && pc <= start_limit) {
+    mtb_->tstart();
+  }
+}
+
+}  // namespace raptrack::trace

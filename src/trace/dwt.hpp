@@ -1,0 +1,71 @@
+// Data Watchpoint and Trace (DWT) unit model (§II-B2). Four comparators,
+// each watching the PC. RAP-Track programs them in two pairs: comparators
+// 0/1 bound MTBAR and drive MTB TSTART; comparators 2/3 bound MTBDR and
+// drive MTB TSTOP. Matching is evaluated on every retired instruction and
+// costs zero CPU cycles (hardware-parallel, like the MTB).
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "common/types.hpp"
+#include "trace/mtb.hpp"
+
+namespace raptrack::trace {
+
+enum class ComparatorAction : u8 {
+  Disabled,
+  MtbTstartBase,   ///< lower bound of the TSTART range
+  MtbTstartLimit,  ///< upper bound (inclusive) of the TSTART range
+  MtbTstopBase,
+  MtbTstopLimit,
+  Watchpoint,      ///< general PC watchpoint (fires a callback)
+};
+
+struct Comparator {
+  ComparatorAction action = ComparatorAction::Disabled;
+  Address address = 0;
+};
+
+class Dwt {
+ public:
+  static constexpr unsigned kNumComparators = 4;
+
+  explicit Dwt(Mtb& mtb) : mtb_(&mtb) {}
+
+  void configure(unsigned index, const Comparator& comparator);
+  const Comparator& comparator(unsigned index) const;
+  void reset();
+
+  /// Convenience: program the four comparators for RAP-Track (§IV-B):
+  /// TSTART while PC in [mtbar_base, mtbar_limit], TSTOP while PC in
+  /// [mtbdr_base, mtbdr_limit]. Limits are inclusive.
+  void configure_rap_track(Address mtbar_base, Address mtbar_limit,
+                           Address mtbdr_base, Address mtbdr_limit);
+
+  /// General watchpoint callback (comparators with action Watchpoint).
+  void set_watchpoint_handler(std::function<void(Address pc)> handler);
+
+  /// Evaluate comparators for the instruction at `pc` and drive the MTB.
+  void observe(Address pc);
+
+  // -- register-level interface ----------------------------------------------
+  //
+  // Each comparator occupies a 16-byte bank, mirroring the DWT's
+  // COMP/FUNCTION register pairs:
+  //   0x10*i + 0x0  COMP      match address
+  //   0x10*i + 0x8  FUNCTION  ComparatorAction in the low nibble
+  static constexpr u32 kCompStride = 0x10;
+  static constexpr u32 kRegComp = 0x0;
+  static constexpr u32 kRegFunction = 0x8;
+
+  u32 read_register(u32 offset) const;
+  void write_register(u32 offset, u32 value);
+
+ private:
+  Mtb* mtb_;
+  std::array<Comparator, kNumComparators> comparators_{};
+  std::function<void(Address)> watchpoint_handler_;
+};
+
+}  // namespace raptrack::trace

@@ -1,0 +1,137 @@
+#include "trace/mtb.hpp"
+
+namespace raptrack::trace {
+
+Mtb::Mtb(mem::MemoryMap& sram, Address buffer_base, u32 buffer_bytes)
+    : sram_(&sram), buffer_base_(buffer_base), buffer_bytes_(buffer_bytes) {
+  if (buffer_bytes % BranchPacket::kBytes != 0 || buffer_bytes == 0) {
+    throw Error("Mtb: buffer size must be a positive multiple of 8");
+  }
+}
+
+void Mtb::set_enabled(bool enabled) {
+  enabled_ = enabled;
+  if (!enabled) {
+    started_ = false;
+    pending_activation_ = 0;
+    restart_pending_ = true;
+  }
+}
+
+void Mtb::set_tstart_enable(bool always_on) {
+  always_on_ = always_on;
+  if (always_on) {
+    started_ = true;
+    pending_activation_ = 0;
+  }
+}
+
+void Mtb::set_watermark(u32 byte_offset) {
+  if (byte_offset % BranchPacket::kBytes != 0) {
+    throw Error("Mtb: watermark must be packet-aligned");
+  }
+  if (byte_offset > buffer_bytes_) throw Error("Mtb: watermark beyond buffer");
+  watermark_ = byte_offset;
+}
+
+void Mtb::set_watermark_handler(std::function<void()> handler) {
+  watermark_handler_ = std::move(handler);
+}
+
+void Mtb::reset_position() {
+  position_ = 0;
+  wrapped_ = false;
+}
+
+void Mtb::tstart() {
+  if (started_ || always_on_) return;
+  started_ = true;
+  pending_activation_ = activation_latency_;
+  restart_pending_ = true;
+}
+
+void Mtb::tstop() {
+  if (always_on_) return;  // TSTARTEN overrides the stop input
+  started_ = false;
+  pending_activation_ = 0;
+}
+
+void Mtb::on_instruction_retired() {
+  if (started_ && pending_activation_ > 0) --pending_activation_;
+}
+
+bool Mtb::tracing() const {
+  return enabled_ && started_ && pending_activation_ == 0;
+}
+
+void Mtb::on_branch(Address source, Address destination, isa::BranchKind) {
+  if (!tracing()) return;
+  BranchPacket packet{source, destination, restart_pending_};
+  restart_pending_ = false;
+  write_packet(packet);
+}
+
+void Mtb::write_packet(const BranchPacket& packet) {
+  sram_->raw_write32(buffer_base_ + position_, packet.source_word());
+  sram_->raw_write32(buffer_base_ + position_ + 4, packet.destination_word());
+  position_ += BranchPacket::kBytes;
+  total_bytes_ += BranchPacket::kBytes;
+  if (watermark_ != 0 && position_ == watermark_ && watermark_handler_) {
+    watermark_handler_();  // handler typically calls reset_position()
+  }
+  if (position_ >= buffer_bytes_) {
+    position_ = 0;
+    wrapped_ = true;  // oldest packets now being overwritten
+  }
+}
+
+u32 Mtb::read_register(u32 offset) const {
+  switch (offset) {
+    case kRegPosition:
+      return (position_ & ~7u) | (wrapped_ ? 0x4u : 0u);
+    case kRegMaster:
+      return (enabled_ ? 0x8000'0000u : 0u) | (always_on_ ? 0x20u : 0u);
+    case kRegFlow:
+      return watermark_ & ~7u;
+    case kRegBase:
+      return buffer_base_;
+    default:
+      throw Error("Mtb: unknown register offset");
+  }
+}
+
+void Mtb::write_register(u32 offset, u32 value) {
+  switch (offset) {
+    case kRegPosition:
+      position_ = value & ~7u;
+      if (position_ >= buffer_bytes_) position_ = 0;
+      wrapped_ = (value & 0x4u) != 0;
+      break;
+    case kRegMaster:
+      set_enabled((value & 0x8000'0000u) != 0);
+      set_tstart_enable((value & 0x20u) != 0);
+      break;
+    case kRegFlow:
+      set_watermark(value & ~7u);
+      break;
+    case kRegBase:
+      throw Error("Mtb: BASE is read-only");
+    default:
+      throw Error("Mtb: unknown register offset");
+  }
+}
+
+PacketLog Mtb::read_log() const {
+  PacketLog log;
+  const u32 valid_bytes = wrapped_ ? buffer_bytes_ : position_;
+  // When wrapped, the oldest packet starts at `position_`.
+  const u32 start = wrapped_ ? position_ : 0;
+  for (u32 offset = 0; offset < valid_bytes; offset += BranchPacket::kBytes) {
+    const u32 at = (start + offset) % buffer_bytes_;
+    log.push_back(BranchPacket::from_words(sram_->raw_read32(buffer_base_ + at),
+                                           sram_->raw_read32(buffer_base_ + at + 4)));
+  }
+  return log;
+}
+
+}  // namespace raptrack::trace

@@ -1,0 +1,127 @@
+// Micro Trace Buffer (MTB) model, after the ARM MTB-M33 TRM features used by
+// the paper (§II-B1): a circular buffer in dedicated SRAM that records the
+// (source, destination) pair of every non-sequential PC change while tracing
+// is active; TSTART/TSTOP inputs driven by DWT comparators; a MASTER.TSTARTEN
+// mode that traces unconditionally; and a FLOW watermark that raises a debug
+// event when the write position reaches a limit (used for partial reports).
+//
+// Tracing costs zero CPU cycles — the MTB runs in parallel with execution,
+// which is the paper's core performance claim.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "mem/memory_map.hpp"
+#include "trace/branch_packet.hpp"
+
+namespace raptrack::trace {
+
+class Mtb {
+ public:
+  /// `sram` is the memory map owning the MTB SRAM region; packets are stored
+  /// there (Secure memory, so the Non-Secure world cannot tamper with
+  /// CF_Log).
+  Mtb(mem::MemoryMap& sram, Address buffer_base, u32 buffer_bytes);
+
+  // -- register interface (Secure-World only in the device model) ----------
+
+  /// MASTER.EN: master enable. When false nothing is recorded regardless of
+  /// TSTART/TSTOP.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  /// MASTER.TSTARTEN: trace unconditionally from now on (the *naive* MTB
+  /// configuration of Figure 1).
+  void set_tstart_enable(bool always_on);
+
+  /// FLOW.WATERMARK: byte offset at which a debug event fires (0 = off).
+  /// Must be packet-aligned (multiple of 8).
+  void set_watermark(u32 byte_offset);
+
+  /// Debug-event callback (wired to the Secure-World partial-report handler).
+  void set_watermark_handler(std::function<void()> handler);
+
+  /// Activation latency in *instructions*: how long after a TSTART signal
+  /// tracing actually begins. The paper adds nop padding in MTBAR
+  /// trampolines "to allow the MTB sufficient time to activate" (§V-C);
+  /// this knob models that hardware latency (default 1).
+  void set_activation_latency(u32 instructions) { activation_latency_ = instructions; }
+  u32 activation_latency() const { return activation_latency_; }
+
+  /// POSITION register: current write offset in bytes. reset_position()
+  /// reuses the same buffer after a partial report (§IV-E).
+  u32 position() const { return position_; }
+  void reset_position();
+
+  bool wrapped() const { return wrapped_; }
+
+  /// Total bytes ever written (across wraps/resets) — the CF_Log volume
+  /// metric of Figures 1(a) and 9.
+  u64 total_bytes_written() const { return total_bytes_; }
+  u64 packets_recorded() const { return total_bytes_ / BranchPacket::kBytes; }
+
+  // -- signals from the DWT / CPU -------------------------------------------
+
+  /// TSTART input (DWT comparator matched inside MTBAR).
+  void tstart();
+  /// TSTOP input (DWT comparator matched inside MTBDR).
+  void tstop();
+
+  /// Called once per retired instruction: advances the activation-latency
+  /// countdown.
+  void on_instruction_retired();
+
+  /// Non-sequential PC change. Records a packet iff tracing is live.
+  void on_branch(Address source, Address destination, isa::BranchKind kind);
+
+  /// Is tracing currently live (started, latency elapsed, enabled)?
+  bool tracing() const;
+
+  // -- reading the log back (Secure World / tests) --------------------------
+
+  /// Decode the packets currently in the buffer (up to `position`, or the
+  /// whole buffer when wrapped).
+  PacketLog read_log() const;
+
+  Address buffer_base() const { return buffer_base_; }
+  u32 buffer_bytes() const { return buffer_bytes_; }
+
+  // -- register-level interface (MTB-M33 TRM layout) -------------------------
+  //
+  // The Secure World can also program the MTB through its memory-mapped
+  // registers, exactly as the paper's RoT does on real silicon:
+  //   0x00 POSITION  [31:3] write pointer, bit 2 WRAP
+  //   0x04 MASTER    bit 31 EN, bit 5 TSTARTEN
+  //   0x08 FLOW      [31:3] WATERMARK
+  //   0x0c BASE      buffer base address (read-only)
+  static constexpr u32 kRegPosition = 0x00;
+  static constexpr u32 kRegMaster = 0x04;
+  static constexpr u32 kRegFlow = 0x08;
+  static constexpr u32 kRegBase = 0x0c;
+
+  u32 read_register(u32 offset) const;
+  void write_register(u32 offset, u32 value);
+
+ private:
+  void write_packet(const BranchPacket& packet);
+
+  mem::MemoryMap* sram_;
+  Address buffer_base_;
+  u32 buffer_bytes_;
+  bool enabled_ = false;
+  bool always_on_ = false;
+  bool started_ = false;        // TSTART latched, TSTOP clears
+  u32 activation_latency_ = 1;
+  u32 pending_activation_ = 0;  // instructions until tracing goes live
+  bool restart_pending_ = true; // next packet carries the A-bit
+  u32 position_ = 0;
+  bool wrapped_ = false;
+  u32 watermark_ = 0;
+  std::function<void()> watermark_handler_;
+  u64 total_bytes_ = 0;
+};
+
+}  // namespace raptrack::trace

@@ -1,0 +1,62 @@
+// Glue between the CPU's retired-instruction stream and the trace units:
+// per instruction, the MTB activation-latency countdown ticks, then the DWT
+// comparators evaluate the PC (possibly driving TSTART/TSTOP), and any taken
+// branch is offered to the MTB. Also provides the ground-truth oracle tracer
+// used by tests and the verifier's losslessness checks.
+#pragma once
+
+#include <vector>
+
+#include "cpu/executor.hpp"
+#include "trace/dwt.hpp"
+#include "trace/mtb.hpp"
+
+namespace raptrack::trace {
+
+class TraceFabric final : public cpu::TraceSink {
+ public:
+  TraceFabric(Dwt& dwt, Mtb& mtb) : dwt_(&dwt), mtb_(&mtb) {}
+
+  void on_instruction(Address pc) override {
+    // Tick first: a TSTART raised at this PC must not become live until the
+    // *next* instruction (models MTB activation latency; see Mtb).
+    mtb_->on_instruction_retired();
+    dwt_->observe(pc);
+  }
+
+  void on_branch(Address source, Address destination,
+                 isa::BranchKind kind) override {
+    mtb_->on_branch(source, destination, kind);
+  }
+
+ private:
+  Dwt* dwt_;
+  Mtb* mtb_;
+};
+
+/// One ground-truth control-flow event (every taken branch, no gating).
+struct OracleEvent {
+  Address source = 0;
+  Address destination = 0;
+  isa::BranchKind kind = isa::BranchKind::None;
+
+  friend bool operator==(const OracleEvent&, const OracleEvent&) = default;
+};
+
+/// Records the complete branch history of a run — what a lossless CFA
+/// scheme must allow the Verifier to reconstruct.
+class OracleTracer final : public cpu::TraceSink {
+ public:
+  void on_branch(Address source, Address destination,
+                 isa::BranchKind kind) override {
+    events_.push_back({source, destination, kind});
+  }
+
+  const std::vector<OracleEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<OracleEvent> events_;
+};
+
+}  // namespace raptrack::trace

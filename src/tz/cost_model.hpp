@@ -1,0 +1,34 @@
+// Cycle costs of TrustZone world transitions and Secure-World (RoT)
+// services. These are the knobs that determine the runtime gap between
+// instrumentation-based CFA (one Non-Secure -> Secure round trip per logged
+// branch) and RAP-Track (hardware-parallel MTB logging, no switches).
+// Values approximate an ARMv8-M core with software crypto; the paper's
+// comparisons depend on their relative magnitudes, which hold across any
+// realistic setting (world switch + logging ≈ 100 cycles vs a 3-cycle
+// trampoline branch).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace raptrack::tz {
+
+struct CostModel {
+  Cycles ns_to_secure = 35;      ///< NS->S transition (stacking, SG veneer)
+  Cycles secure_to_ns = 30;      ///< S->NS return (state clear, unstacking)
+  Cycles log_append = 25;        ///< append one CF_Log entry (bounds + write)
+  Cycles rle_update = 15;        ///< extra work when run-length compressing
+  Cycles cond_bit_append = 18;   ///< append a packed taken/not-taken bit
+  Cycles loop_cond_log = 22;     ///< record a loop-condition value
+  Cycles hash_per_byte = 12;     ///< software SHA-256 on an MCU-class core
+  Cycles sign_fixed = 2600;      ///< HMAC finalization + report framing
+  Cycles transmit_per_byte = 80; ///< report transmission to Vrf (serial-class)
+  Cycles report_overhead = 1200; ///< per-report protocol overhead
+
+  /// Full cost of one instrumented-branch logging call, excluding the SVC
+  /// trap itself (charged by the CPU cycle model).
+  Cycles secure_log_round_trip(Cycles service) const {
+    return ns_to_secure + service + secure_to_ns;
+  }
+};
+
+}  // namespace raptrack::tz

@@ -1,0 +1,28 @@
+#include "tz/secure_monitor.hpp"
+
+#include "common/hex.hpp"
+#include "mem/fault.hpp"
+
+namespace raptrack::tz {
+
+void SecureMonitor::register_service(Service code, Handler handler) {
+  services_[static_cast<u8>(code)] = std::move(handler);
+}
+
+Cycles SecureMonitor::handle(u8 code, cpu::CpuState& state) {
+  const auto it = services_.find(code);
+  if (it == services_.end()) {
+    // An SVC to an unregistered service is a Non-Secure bug/attack: fault.
+    throw mem::FaultException({mem::FaultType::UndefinedInstr, state.pc(),
+                               state.pc(),
+                               "SVC to unknown service " + std::to_string(code)});
+  }
+  ++world_switches_;
+  const auto previous_world = state.world;
+  state.world = mem::WorldSide::Secure;
+  const Cycles service_cycles = it->second(state);
+  state.world = previous_world;
+  return costs_.secure_log_round_trip(service_cycles);
+}
+
+}  // namespace raptrack::tz

@@ -1,0 +1,50 @@
+// Secure-World monitor: the SVC gateway between the Non-Secure application
+// and RoT services (CFA engine services, TRACES-style logging, loop-condition
+// recording). The paper's Secure World is trusted, fixed code; here it is
+// native C++ whose execution time is charged through the CostModel rather
+// than simulated instruction-by-instruction.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/types.hpp"
+#include "cpu/executor.hpp"
+#include "tz/cost_model.hpp"
+
+namespace raptrack::tz {
+
+/// Well-known SVC service codes.
+enum class Service : u8 {
+  kRapLogLoopCondition = 0x01,  ///< RAP-Track loop optimization (§IV-D)
+  kTracesLogBranch = 0x10,      ///< TRACES-style instrumented branch logging
+  kTracesLogLoopCondition = 0x11,
+};
+
+class SecureMonitor {
+ public:
+  explicit SecureMonitor(CostModel costs = {}) : costs_(costs) {}
+
+  const CostModel& costs() const { return costs_; }
+
+  /// Register a service. The handler runs with Secure privileges (raw memory
+  /// access) and returns the cycle cost of its *service body*; the monitor
+  /// adds the world-switch round trip on top.
+  using Handler = std::function<Cycles(cpu::CpuState& state)>;
+  void register_service(Service code, Handler handler);
+
+  /// Entry point wired into the Executor as its SVC handler.
+  Cycles handle(u8 code, cpu::CpuState& state);
+
+  /// Number of Non-Secure -> Secure transitions serviced (a headline metric:
+  /// RAP-Track's point is to make this near zero).
+  u64 world_switches() const { return world_switches_; }
+  void reset_counters() { world_switches_ = 0; }
+
+ private:
+  CostModel costs_;
+  std::map<u8, Handler> services_;
+  u64 world_switches_ = 0;
+};
+
+}  // namespace raptrack::tz

@@ -1,0 +1,55 @@
+// Evidence audit: turns a verification result into the structured summary a
+// human operator (or SIEM pipeline) consumes — per-kind transfer counts,
+// function-level activity, hot loops, policy findings with context, and the
+// protocol check breakdown. CFA's value over CFI is precisely this
+// after-the-fact auditability (§II-D of the paper; the TRACES line of work
+// calls it "runtime auditing").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rewrite/manifest.hpp"
+#include "verify/verifier.hpp"
+
+namespace raptrack::verify {
+
+struct FunctionActivity {
+  Address entry = 0;      ///< call-target address
+  std::string label;      ///< symbol name when known
+  u64 calls = 0;
+  u64 returns = 0;
+};
+
+struct EdgeFrequency {
+  Address source = 0;
+  Address destination = 0;
+  isa::BranchKind kind = isa::BranchKind::None;
+  u64 count = 0;
+};
+
+struct AuditReport {
+  bool accepted = false;
+  std::string verdict;            ///< one-line outcome
+  u64 total_transfers = 0;
+  std::map<std::string, u64> transfers_by_kind;
+  std::vector<FunctionActivity> functions;   ///< by descending call count
+  std::vector<EdgeFrequency> hottest_edges;  ///< top edges by frequency
+  std::vector<AttackFinding> findings;
+  u64 evidence_packets = 0;
+  u64 evidence_loop_values = 0;
+};
+
+/// Build the audit from a verification result. `program` supplies symbol
+/// names (when the image carries them) and `manifest` maps MTBAR slots back
+/// to original sites so the audit reports original-program addresses.
+AuditReport audit_verification(const VerificationResult& result,
+                               const Program& program,
+                               const rewrite::Manifest* manifest = nullptr,
+                               size_t top_edges = 10);
+
+/// Render the audit as a human-readable multi-line string.
+std::string format_audit(const AuditReport& report);
+
+}  // namespace raptrack::verify

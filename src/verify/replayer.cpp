@@ -1,0 +1,834 @@
+#include "verify/replayer.hpp"
+
+#include <bit>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/hex.hpp"
+
+namespace raptrack::verify {
+
+using isa::BranchKind;
+using isa::Cond;
+using isa::Instruction;
+using isa::Op;
+using isa::Reg;
+using trace::BranchPacket;
+
+namespace {
+
+/// Per-flag shadow state: each of NZCV is independently known or unknown.
+struct ShadowFlags {
+  std::optional<bool> n, z, c, v;
+
+  void set_all_unknown() { n = z = c = v = std::nullopt; }
+};
+
+/// Evaluate a condition when the flags it needs are known.
+std::optional<bool> evaluate_shadow(Cond cond, const ShadowFlags& f) {
+  const auto need = [](std::optional<bool> flag) { return flag; };
+  switch (cond) {
+    case Cond::EQ: return need(f.z);
+    case Cond::NE: return f.z ? std::optional<bool>(!*f.z) : std::nullopt;
+    case Cond::CS: return need(f.c);
+    case Cond::CC: return f.c ? std::optional<bool>(!*f.c) : std::nullopt;
+    case Cond::MI: return need(f.n);
+    case Cond::PL: return f.n ? std::optional<bool>(!*f.n) : std::nullopt;
+    case Cond::VS: return need(f.v);
+    case Cond::VC: return f.v ? std::optional<bool>(!*f.v) : std::nullopt;
+    case Cond::HI:
+      if (f.c && f.z) return *f.c && !*f.z;
+      return std::nullopt;
+    case Cond::LS:
+      if (f.c && f.z) return !*f.c || *f.z;
+      return std::nullopt;
+    case Cond::GE:
+      if (f.n && f.v) return *f.n == *f.v;
+      return std::nullopt;
+    case Cond::LT:
+      if (f.n && f.v) return *f.n != *f.v;
+      return std::nullopt;
+    case Cond::GT:
+      if (f.z && f.n && f.v) return !*f.z && *f.n == *f.v;
+      return std::nullopt;
+    case Cond::LE:
+      if (f.z && f.n && f.v) return *f.z || *f.n != *f.v;
+      return std::nullopt;
+    case Cond::AL: return true;
+  }
+  return std::nullopt;
+}
+
+/// Constant-propagating register valuation along the reconstructed path.
+struct Valuation {
+  std::array<std::optional<u32>, 16> regs{};
+  ShadowFlags flags;
+
+  std::optional<u32> read(Reg r, Address pc) const {
+    if (r == Reg::PC) return pc + 4;
+    return regs[isa::index(r)];
+  }
+
+  void write(Reg r, std::optional<u32> value) {
+    if (r == Reg::PC) return;  // control flow handled by the replayer
+    regs[isa::index(r)] = value;
+  }
+
+  void set_nz(std::optional<u32> result) {
+    if (result) {
+      flags.n = (*result >> 31) != 0;
+      flags.z = *result == 0;
+    } else {
+      flags.n = flags.z = std::nullopt;
+    }
+  }
+
+  void set_add_flags(std::optional<u32> a, std::optional<u32> b) {
+    if (a && b) {
+      const u64 wide = static_cast<u64>(*a) + *b;
+      const u32 result = static_cast<u32>(wide);
+      set_nz(result);
+      flags.c = (wide >> 32) != 0;
+      flags.v = (~(*a ^ *b) & (*a ^ result) & 0x8000'0000u) != 0;
+    } else {
+      flags.set_all_unknown();
+    }
+  }
+
+  void set_sub_flags(std::optional<u32> a, std::optional<u32> b) {
+    if (a && b) {
+      const u32 result = *a - *b;
+      set_nz(result);
+      flags.c = *a >= *b;
+      flags.v = ((*a ^ *b) & (*a ^ result) & 0x8000'0000u) != 0;
+    } else {
+      flags.set_all_unknown();
+    }
+  }
+
+  /// Model the data effects of a non-control-flow instruction.
+  void apply(const Instruction& in, Address pc) {
+    const auto rn = [&] { return read(in.rn, pc); };
+    const auto rm = [&] { return read(in.rm, pc); };
+    const auto imm = [&] { return std::optional<u32>(static_cast<u32>(in.imm)); };
+    const auto binop = [&](std::optional<u32> a, std::optional<u32> b,
+                           auto&& fn) -> std::optional<u32> {
+      if (a && b) return fn(*a, *b);
+      return std::nullopt;
+    };
+
+    switch (in.op) {
+      case Op::MOVI:
+        write(in.rd, static_cast<u32>(in.imm));
+        break;
+      case Op::MOVT: {
+        const auto old = read(in.rd, pc);
+        write(in.rd, old ? std::optional<u32>((*old & 0xffffu) |
+                                              (static_cast<u32>(in.imm) << 16))
+                         : std::nullopt);
+        break;
+      }
+      case Op::MOV: {
+        const auto value = rm();
+        write(in.rd, value);
+        if (in.set_flags) set_nz(value);
+        break;
+      }
+      case Op::MVN: {
+        const auto value = rm();
+        const auto result = value ? std::optional<u32>(~*value) : std::nullopt;
+        write(in.rd, result);
+        if (in.set_flags) set_nz(result);
+        break;
+      }
+      case Op::ADD: case Op::ADDI: {
+        const auto b = in.op == Op::ADD ? rm() : imm();
+        const auto result = binop(rn(), b, [](u32 x, u32 y) { return x + y; });
+        write(in.rd, result);
+        if (in.set_flags) set_add_flags(rn(), b);
+        break;
+      }
+      case Op::SUB: case Op::SUBI: {
+        const auto a = rn();
+        const auto b = in.op == Op::SUB ? rm() : imm();
+        if (in.set_flags) set_sub_flags(a, b);
+        write(in.rd, binop(a, b, [](u32 x, u32 y) { return x - y; }));
+        break;
+      }
+      case Op::RSB: case Op::RSBI: {
+        const auto a = rn();
+        const auto b = in.op == Op::RSB ? rm() : imm();
+        if (in.set_flags) set_sub_flags(b, a);
+        write(in.rd, binop(b, a, [](u32 x, u32 y) { return x - y; }));
+        break;
+      }
+      case Op::MUL: {
+        const auto result = binop(rn(), rm(), [](u32 x, u32 y) { return x * y; });
+        write(in.rd, result);
+        if (in.set_flags) set_nz(result);
+        break;
+      }
+      case Op::UDIV:
+        write(in.rd, binop(rn(), rm(), [](u32 x, u32 y) { return y ? x / y : 0; }));
+        break;
+      case Op::SDIV:
+        write(in.rd, binop(rn(), rm(), [](u32 x, u32 y) {
+                const i32 n = static_cast<i32>(x), d = static_cast<i32>(y);
+                if (d == 0) return 0u;
+                if (n == INT32_MIN && d == -1) return static_cast<u32>(INT32_MIN);
+                return static_cast<u32>(n / d);
+              }));
+        break;
+      case Op::AND: case Op::ANDI:
+      case Op::ORR: case Op::ORRI:
+      case Op::EOR: case Op::EORI: {
+        const auto b = isa::format_of(in.op) == isa::Format::AluReg ? rm() : imm();
+        const auto result = binop(rn(), b, [&](u32 x, u32 y) {
+          switch (in.op) {
+            case Op::AND: case Op::ANDI: return x & y;
+            case Op::ORR: case Op::ORRI: return x | y;
+            default: return x ^ y;
+          }
+        });
+        write(in.rd, result);
+        if (in.set_flags) {
+          set_nz(result);
+          flags.c = flags.v = std::nullopt;  // conservatively unknown
+        }
+        break;
+      }
+      case Op::LSL: case Op::LSLI:
+      case Op::LSR: case Op::LSRI:
+      case Op::ASR: case Op::ASRI: {
+        const auto b = isa::format_of(in.op) == isa::Format::AluReg ? rm() : imm();
+        const auto result = binop(rn(), b, [&](u32 x, u32 y) {
+          const u32 amount = y & 0xff;
+          if (in.op == Op::LSL || in.op == Op::LSLI) {
+            return amount >= 32 ? 0u : (x << amount);
+          }
+          if (in.op == Op::LSR || in.op == Op::LSRI) {
+            return amount >= 32 ? 0u : (amount == 0 ? x : x >> amount);
+          }
+          const i32 sx = static_cast<i32>(x);
+          return static_cast<u32>(amount >= 32 ? (sx >> 31) : (sx >> amount));
+        });
+        write(in.rd, result);
+        if (in.set_flags) {
+          set_nz(result);
+          flags.c = flags.v = std::nullopt;
+        }
+        break;
+      }
+      case Op::CMP: case Op::CMPI:
+        set_sub_flags(rn(), in.op == Op::CMP ? rm() : imm());
+        break;
+      case Op::CMN:
+        set_add_flags(rn(), rm());
+        break;
+      case Op::TST: case Op::TSTI: {
+        const auto b = in.op == Op::TST ? rm() : imm();
+        set_nz(binop(rn(), b, [](u32 x, u32 y) { return x & y; }));
+        flags.c = flags.v = std::nullopt;
+        break;
+      }
+      case Op::LDR: case Op::LDRB: case Op::LDRH: case Op::LDRR:
+        write(in.rd, std::nullopt);  // memory contents are not modeled
+        break;
+      case Op::STR: case Op::STRB: case Op::STRH: case Op::STRR:
+      case Op::PUSH:
+        break;  // stores do not affect register state
+      case Op::POP:
+        for (unsigned i = 0; i < 13; ++i) {
+          if (bit(in.reg_list, i)) regs[i] = std::nullopt;
+        }
+        break;
+      default:
+        break;  // NOP/HLT/BKPT/SVC/branches handled by the replayer
+    }
+  }
+};
+
+}  // namespace
+
+PathReplayer::PathReplayer(const Program& program, Address entry,
+                           ReplayMode mode)
+    : program_(&program), entry_(entry), mode_(mode) {}
+
+// ---------------------------------------------------------------------------
+// Replay engine with backtracking.
+//
+// RAP-Track's taken-edge logging has a one-sided ambiguity: at a trampolined
+// conditional site, "next packet not from this site's slot" proves the
+// branch went the unlogged way, but "next packet from this slot" may belong
+// to a *later* dynamic instance reached entirely through unlogged edges
+// (e.g. a leaf call/return cycle). The engine therefore checkpoints those
+// decisions, takes the greedy reading first, and backtracks on any
+// downstream reconstruction failure — the log as a whole admits exactly one
+// consistent parse for honest evidence. Naive mode needs no checkpoints
+// (every cycle contains a logged taken branch), nor does TRACES (one
+// direction bit per dynamic instance).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ReplayEngine {
+ public:
+  ReplayEngine(const Program& program, Address entry, ReplayMode mode,
+               const rewrite::Manifest* rap,
+               const instr::TracesManifest* traces, const ReplayPolicy& policy,
+               const ReplayInputs& inputs, u64 max_steps,
+               const std::vector<trace::OracleEvent>* script = nullptr,
+               bool strict = false)
+      : program_(program),
+        mode_(mode),
+        rap_(rap),
+        traces_(traces),
+        policy_(policy),
+        inputs_(inputs),
+        max_steps_(max_steps),
+        script_(script),
+        strict_(strict) {
+    pc_ = entry;
+  }
+
+  ReplayResult run();
+
+ private:
+  /// Mutable cursor/valuation state captured at a checkpoint.
+  struct Snapshot {
+    Address pc;
+    Valuation val;
+    std::vector<Address> shadow_stack;
+    size_t packet_cursor, bit_cursor, target_cursor, loop_cursor;
+    size_t events_size, findings_size;
+    bool forced_decision;  ///< the alternative to take after restoring
+    u64 state_hash;        ///< pre-decision state (for the failure memo)
+  };
+
+  // -- state ---------------------------------------------------------------
+  const Program& program_;
+  ReplayMode mode_;
+  const rewrite::Manifest* rap_;
+  const instr::TracesManifest* traces_;
+  const ReplayPolicy& policy_;
+  const ReplayInputs& inputs_;
+  u64 max_steps_;
+  /// Checker mode: the path to follow instead of searching for a parse.
+  const std::vector<trace::OracleEvent>* script_;
+  /// Strict pass: attack findings count as parse failures, so backtracking
+  /// searches for a finding-free (benign) parse first. The lenient second
+  /// pass reports findings only when no benign parse exists.
+  bool strict_;
+
+  Address pc_ = 0;
+  Valuation val_;
+  std::vector<Address> shadow_stack_;
+  size_t packet_cursor_ = 0;
+  size_t bit_cursor_ = 0;
+  size_t target_cursor_ = 0;
+  size_t loop_cursor_ = 0;
+  ReplayResult result_;
+  std::vector<Snapshot> checkpoints_;
+  /// Failure memo: hashes of full engine states whose exploration failed.
+  /// Sound because downstream behavior is a deterministic function of
+  /// (pc, cursors, shadow stack, valuation); prevents chronological
+  /// backtracking from re-exploring the same subtree exponentially
+  /// (deep recursion makes this essential — see the fibcall workload).
+  std::set<u64> failed_states_;
+  u64 backtracks_ = 0;
+  std::optional<bool> forced_decision_;  // applied to the next Bcc
+  std::string pending_failure_;
+
+  static constexpr u64 kMaxBacktracks = 2'000'000;
+
+  /// Hash of the complete decision-relevant engine state.
+  u64 state_hash() const {
+    u64 h = 0x9e3779b97f4a7c15ull;
+    const auto mix = [&h](u64 v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(pc_);
+    mix(packet_cursor_);
+    mix(bit_cursor_);
+    mix(target_cursor_);
+    mix(loop_cursor_);
+    mix(shadow_stack_.size());
+    for (const Address a : shadow_stack_) mix(a);
+    for (const auto& reg : val_.regs) mix(reg ? u64{*reg} | (1ull << 32) : 0);
+    const auto mix_flag = [&](const std::optional<bool>& f) {
+      mix(f ? (*f ? 2u : 1u) : 0u);
+    };
+    mix_flag(val_.flags.n);
+    mix_flag(val_.flags.z);
+    mix_flag(val_.flags.c);
+    mix_flag(val_.flags.v);
+    return h;
+  }
+
+  // -- helpers ---------------------------------------------------------------
+  void fail(const std::string& why) {
+    if (pending_failure_.empty()) pending_failure_ = why;
+  }
+
+  bool in_mtbar(Address addr) const {
+    return mode_ == ReplayMode::Rap && rap_ != nullptr &&
+           addr >= rap_->mtbar_base && addr <= rap_->mtbar_limit;
+  }
+
+  std::optional<BranchPacket> consume_packet(Address src) {
+    if (packet_cursor_ >= inputs_.packets.size()) {
+      fail("CF_Log exhausted at " + hex32(src));
+      return std::nullopt;
+    }
+    const BranchPacket packet = inputs_.packets[packet_cursor_++];
+    if (packet.source != src) {
+      fail("CF_Log source mismatch at " + hex32(src) + " (log has " +
+           hex32(packet.source) + ")");
+      return std::nullopt;
+    }
+    return packet;
+  }
+
+  std::optional<Address> consume_indirect_target() {
+    if (target_cursor_ >= inputs_.traces_log.indirect_targets.size()) {
+      fail("TRACES target stream exhausted");
+      return std::nullopt;
+    }
+    return inputs_.traces_log.indirect_targets[target_cursor_++];
+  }
+
+  std::optional<u32> consume_loop_value(bool traces) {
+    const auto& stream =
+        traces ? inputs_.traces_log.loop_conditions : inputs_.loop_values;
+    if (loop_cursor_ >= stream.size()) {
+      fail("loop-condition stream exhausted");
+      return std::nullopt;
+    }
+    return stream[loop_cursor_++];
+  }
+
+  /// Record a reconstructed event; in checker mode it must match the script.
+  void emit_event(Address source, Address destination, BranchKind kind) {
+    if (script_) {
+      const size_t index = result_.events.size();
+      if (index >= script_->size() || !((*script_)[index] ==
+                                        trace::OracleEvent{source, destination,
+                                                           kind})) {
+        fail("path deviates from the scripted path at event " +
+             std::to_string(index) + " (" + hex32(source) + " -> " +
+             hex32(destination) + ")");
+        return;
+      }
+    }
+    result_.events.push_back({source, destination, kind});
+  }
+
+  void report_finding(AttackFinding finding) {
+    if (strict_) {
+      fail("strict pass: " + finding.description);
+      return;
+    }
+    result_.findings.push_back(std::move(finding));
+  }
+
+  void check_call_policy(Address site, Address target) {
+    if (!policy_.valid_call_targets.empty() &&
+        policy_.valid_call_targets.count(target) == 0) {
+      report_finding({site, 0, target,
+                      "indirect call to illegitimate target " + hex32(target) +
+                          " (JOP indicator)"});
+    }
+  }
+
+  void pop_shadow(Address site, Address target) {
+    if (shadow_stack_.empty()) {
+      report_finding({site, 0, target, "return with empty shadow call stack"});
+      return;
+    }
+    const Address expected = shadow_stack_.back();
+    shadow_stack_.pop_back();
+    if (expected != target) {
+      report_finding({site, expected, target,
+                      "return target " + hex32(target) +
+                          " differs from call-stack expectation " +
+                          hex32(expected) + " (ROP indicator)"});
+    }
+  }
+
+  /// A resolved taken branch: consume/check evidence where required, emit
+  /// the event, move the pc.
+  void take_branch(Address target, BranchKind kind) {
+    if (mode_ == ReplayMode::Naive || in_mtbar(pc_)) {
+      const auto packet = consume_packet(pc_);
+      if (!packet) return;
+      if (packet->destination != target) {
+        fail("CF_Log destination mismatch at " + hex32(pc_) + ": log " +
+             hex32(packet->destination) + " vs static " + hex32(target));
+        return;
+      }
+    }
+    if (pending_failure_.empty()) {
+      emit_event(pc_, target, kind);
+      if (pending_failure_.empty()) pc_ = target;
+    }
+  }
+
+  /// Indirect target resolution from the mode's evidence stream. In checker
+  /// mode the evidence must agree with the script (emit_event enforces the
+  /// final comparison).
+  std::optional<Address> indirect_target() {
+    switch (mode_) {
+      case ReplayMode::Naive: {
+        const auto packet = consume_packet(pc_);
+        if (!packet) return std::nullopt;
+        return packet->destination;
+      }
+      case ReplayMode::Rap: {
+        if (!in_mtbar(pc_)) {
+          fail("unlogged indirect branch outside MTBAR at " + hex32(pc_));
+          return std::nullopt;
+        }
+        const auto packet = consume_packet(pc_);
+        if (!packet) return std::nullopt;
+        return packet->destination;
+      }
+      case ReplayMode::Traces:
+        return consume_indirect_target();
+    }
+    return std::nullopt;
+  }
+
+  void save_checkpoint(bool alternative) {
+    checkpoints_.push_back({pc_, val_, shadow_stack_, packet_cursor_,
+                            bit_cursor_, target_cursor_, loop_cursor_,
+                            result_.events.size(), result_.findings.size(),
+                            alternative, state_hash()});
+  }
+
+  /// Restore the most recent checkpoint and arm its alternative decision.
+  bool backtrack() {
+    if (checkpoints_.empty() || backtracks_ >= kMaxBacktracks) return false;
+    ++backtracks_;
+    // The greedy branch of this checkpoint failed: memoize (state, greedy
+    // decision) so equivalent states elsewhere fail immediately. The greedy
+    // decision is the negation of the armed alternative.
+    const bool failed_decision = !checkpoints_.back().forced_decision;
+    failed_states_.insert(checkpoints_.back().state_hash ^
+                          (failed_decision ? 1u : 0u));
+    Snapshot snap = std::move(checkpoints_.back());
+    checkpoints_.pop_back();
+    pc_ = snap.pc;
+    val_ = std::move(snap.val);
+    shadow_stack_ = std::move(snap.shadow_stack);
+    packet_cursor_ = snap.packet_cursor;
+    bit_cursor_ = snap.bit_cursor;
+    target_cursor_ = snap.target_cursor;
+    loop_cursor_ = snap.loop_cursor;
+    result_.events.resize(snap.events_size);
+    result_.findings.resize(snap.findings_size);
+    forced_decision_ = snap.forced_decision;
+    pending_failure_.clear();
+    return true;
+  }
+
+  /// Decide a conditional branch at pc_. May checkpoint (RAP ambiguity).
+  std::optional<bool> decide_conditional(const Instruction& in) {
+    if (script_) {
+      // Checker mode: the script dictates the decision; evidence consistency
+      // is still enforced by take_branch/indirect_target.
+      const size_t index = result_.events.size();
+      return index < script_->size() && (*script_)[index].source == pc_;
+    }
+    if (forced_decision_) {
+      const bool decision = *forced_decision_;
+      forced_decision_ = std::nullopt;
+      return decision;
+    }
+    switch (mode_) {
+      case ReplayMode::Naive:
+        // Every taken branch is logged, and any path returning to this site
+        // passes through another logged taken branch first: unambiguous.
+        return packet_cursor_ < inputs_.packets.size() &&
+               inputs_.packets[packet_cursor_].source == pc_;
+      case ReplayMode::Rap: {
+        if (const auto* slot = rap_->slot_for_site(pc_)) {
+          const bool next_in_slot =
+              packet_cursor_ < inputs_.packets.size() &&
+              inputs_.packets[packet_cursor_].source >= slot->slot_base &&
+              inputs_.packets[packet_cursor_].source < slot->slot_end;
+          const bool logged_direction =
+              slot->kind != rewrite::SlotKind::CondNotTaken;
+          if (!next_in_slot) {
+            // Certain: had the logged direction been taken, this slot's
+            // packet would be the very next recorded event.
+            return !logged_direction;
+          }
+          // Ambiguous: the packet may belong to a later dynamic instance of
+          // this site. Greedy = attribute it to now; checkpoint the
+          // alternative. The failure memo skips decisions already proven
+          // futile from an identical state.
+          const u64 here = state_hash();
+          const u64 greedy_key = here ^ (logged_direction ? 1u : 0u);
+          const u64 alt_key = here ^ (logged_direction ? 0u : 1u);
+          const bool greedy_failed = failed_states_.count(greedy_key) != 0;
+          const bool alt_failed = failed_states_.count(alt_key) != 0;
+          if (greedy_failed && alt_failed) {
+            fail("no consistent parse from this state");
+            return std::nullopt;
+          }
+          if (greedy_failed) return !logged_direction;
+          if (!alt_failed) save_checkpoint(/*alternative=*/!logged_direction);
+          return logged_direction;
+        }
+        return evaluate_shadow(in.cond, val_.flags);
+      }
+      case ReplayMode::Traces: {
+        const auto* veneer = traces_->veneer_containing(pc_);
+        if (veneer && veneer->kind == instr::VeneerKind::Conditional &&
+            pc_ == veneer->veneer_base + 4) {
+          if (bit_cursor_ >= inputs_.traces_log.direction_bits.size()) {
+            fail("TRACES direction-bit stream exhausted");
+            return std::nullopt;
+          }
+          return inputs_.traces_log.direction_bits[bit_cursor_++];
+        }
+        return evaluate_shadow(in.cond, val_.flags);
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Execute one instruction of the walk. Returns true when the program
+  /// halted cleanly.
+  bool step();
+};
+
+bool ReplayEngine::step() {
+  if (!program_.contains(pc_) || pc_ % 4 != 0) {
+    fail("path left the program image at " + hex32(pc_));
+    return false;
+  }
+  const auto decoded = program_.instruction_at(pc_);
+  if (!decoded) {
+    fail("undefined instruction at " + hex32(pc_));
+    return false;
+  }
+  const Instruction in = *decoded;
+  const BranchKind kind = isa::branch_kind(in);
+
+  if (kind == BranchKind::Halt) {
+    // All evidence must be accounted for; leftovers indicate injection or a
+    // wrong parse (the latter triggers backtracking).
+    if (packet_cursor_ != inputs_.packets.size()) {
+      fail("unconsumed CF_Log packets at halt");
+    } else if (mode_ == ReplayMode::Traces &&
+               (bit_cursor_ != inputs_.traces_log.direction_bits.size() ||
+                target_cursor_ != inputs_.traces_log.indirect_targets.size() ||
+                loop_cursor_ != inputs_.traces_log.loop_conditions.size())) {
+      fail("unconsumed TRACES evidence at halt");
+    } else if (mode_ == ReplayMode::Rap &&
+               loop_cursor_ != inputs_.loop_values.size()) {
+      fail("unconsumed loop-condition values at halt");
+    } else if (script_ && result_.events.size() != script_->size()) {
+      fail("scripted path not fully consumed at halt");
+    }
+    return pending_failure_.empty();
+  }
+
+  switch (kind) {
+    case BranchKind::None: {
+      if (in.op == Op::SVC) {
+        if (mode_ == ReplayMode::Rap) {
+          const auto* veneer = rap_->veneer_at_svc(pc_);
+          if (!veneer) {
+            fail("unexpected SVC at " + hex32(pc_));
+            break;
+          }
+          const auto value = consume_loop_value(false);
+          if (!value) break;
+          val_.write(veneer->loop.iterator, *value);
+        } else if (mode_ == ReplayMode::Traces) {
+          const auto* veneer = traces_->veneer_at_svc(pc_);
+          if (!veneer) {
+            fail("unexpected SVC at " + hex32(pc_));
+            break;
+          }
+          if (veneer->kind == instr::VeneerKind::LoopCondition) {
+            const auto value = consume_loop_value(true);
+            if (!value) break;
+            val_.write(veneer->loop->iterator, *value);
+          }
+          // Branch-logging SVCs: the following instruction consumes the
+          // stream; nothing to do here.
+        } else {
+          fail("unexpected SVC at " + hex32(pc_));
+          break;
+        }
+      } else {
+        val_.apply(in, pc_);
+      }
+      pc_ += 4;
+      break;
+    }
+
+    case BranchKind::Direct:
+      take_branch(isa::branch_target(in, pc_), BranchKind::Direct);
+      break;
+
+    case BranchKind::DirectCall: {
+      const Address target = isa::branch_target(in, pc_);
+      shadow_stack_.push_back(pc_ + 4);
+      val_.write(Reg::LR, pc_ + 4);
+      take_branch(target, BranchKind::DirectCall);
+      break;
+    }
+
+    case BranchKind::Conditional: {
+      const auto taken = decide_conditional(in);
+      if (!pending_failure_.empty()) break;
+      if (!taken) {
+        fail("unresolvable conditional branch at " + hex32(pc_) +
+             " (no log entry, flags unknown)");
+        break;
+      }
+      if (*taken) {
+        take_branch(isa::branch_target(in, pc_), BranchKind::Conditional);
+      } else {
+        pc_ += 4;
+      }
+      break;
+    }
+
+    case BranchKind::IndirectCall: {  // BLX rm (naive/traces binaries only)
+      shadow_stack_.push_back(pc_ + 4);
+      val_.write(Reg::LR, pc_ + 4);
+      const Address site = pc_;
+      const auto target = indirect_target();
+      if (!target) break;
+      check_call_policy(site, *target);
+      emit_event(site, *target, BranchKind::IndirectCall);
+      if (pending_failure_.empty()) pc_ = *target;
+      break;
+    }
+
+    case BranchKind::IndirectJump: {
+      const Address site = pc_;
+      const auto target = indirect_target();
+      if (!target) break;
+      // A BX rm inside a RAP IndirectCall slot is semantically a call: the
+      // BL at the original site already pushed the shadow stack; apply the
+      // call-target policy here.
+      if (mode_ == ReplayMode::Rap) {
+        if (const auto* slot = rap_->slot_containing(site);
+            slot && slot->kind == rewrite::SlotKind::IndirectCall) {
+          check_call_policy(slot->site, *target);
+        }
+      } else if (mode_ == ReplayMode::Traces) {
+        if (const auto* veneer = traces_->veneer_containing(site);
+            veneer && veneer->kind == instr::VeneerKind::IndirectCall) {
+          check_call_policy(veneer->site, *target);
+        }
+      }
+      emit_event(site, *target, BranchKind::IndirectJump);
+      if (pending_failure_.empty()) pc_ = *target;
+      break;
+    }
+
+    case BranchKind::Return: {
+      if (in.op == Op::BX) {  // BX LR: unmonitored leaf return (§IV-C.2)
+        std::optional<Address> target;
+        if (mode_ == ReplayMode::Naive) {
+          const auto packet = consume_packet(pc_);
+          if (!packet) break;
+          target = packet->destination;
+        } else {
+          target = val_.read(Reg::LR, pc_);
+          if (!target) {
+            fail("BX LR with unknown link register at " + hex32(pc_));
+            break;
+          }
+        }
+        pop_shadow(pc_, *target);
+        emit_event(pc_, *target, BranchKind::Return);
+        if (pending_failure_.empty()) pc_ = *target;
+      } else {  // POP {…,pc}: monitored return
+        const Address site = pc_;
+        const auto target = indirect_target();
+        if (!target) break;
+        val_.apply(in, site);  // clobber popped registers
+        pop_shadow(site, *target);
+        emit_event(site, *target, BranchKind::Return);
+        if (pending_failure_.empty()) pc_ = *target;
+      }
+      break;
+    }
+
+    case BranchKind::Halt:
+      break;  // handled above
+  }
+  return false;
+}
+
+ReplayResult ReplayEngine::run() {
+  while (result_.steps < max_steps_) {
+    ++result_.steps;
+    const bool halted = step();
+    if (halted) {
+      result_.complete = true;
+      return result_;
+    }
+    if (!pending_failure_.empty() && !backtrack()) break;
+  }
+  if (pending_failure_.empty() && result_.steps >= max_steps_) {
+    fail("replay step budget exceeded");
+  }
+  result_.failure = pending_failure_;
+  result_.complete = false;
+  return result_;
+}
+
+}  // namespace
+
+ReplayResult PathReplayer::replay(const ReplayInputs& inputs, u64 max_steps) {
+  if (mode_ == ReplayMode::Rap && rap_ == nullptr) {
+    ReplayResult result;
+    result.failure = "rap manifest not set";
+    return result;
+  }
+  if (mode_ == ReplayMode::Traces && traces_ == nullptr) {
+    ReplayResult result;
+    result.failure = "traces manifest not set";
+    return result;
+  }
+  // Pass 1 (strict): search for a finding-free parse — a benign execution
+  // consistent with the evidence. Only when none exists does the lenient
+  // pass attribute findings (the verifier accuses only when every parse of
+  // the evidence is malicious).
+  ReplayEngine strict_engine(*program_, entry_, mode_, rap_, traces_, policy_,
+                             inputs, max_steps, nullptr, /*strict=*/true);
+  ReplayResult strict_result = strict_engine.run();
+  if (strict_result.complete) return strict_result;
+  ReplayEngine engine(*program_, entry_, mode_, rap_, traces_, policy_, inputs,
+                      max_steps);
+  return engine.run();
+}
+
+ReplayResult PathReplayer::check_path(
+    const std::vector<trace::OracleEvent>& path, const ReplayInputs& inputs,
+    u64 max_steps) {
+  if (mode_ == ReplayMode::Rap && rap_ == nullptr) {
+    ReplayResult result;
+    result.failure = "rap manifest not set";
+    return result;
+  }
+  if (mode_ == ReplayMode::Traces && traces_ == nullptr) {
+    ReplayResult result;
+    result.failure = "traces manifest not set";
+    return result;
+  }
+  ReplayEngine engine(*program_, entry_, mode_, rap_, traces_, policy_, inputs,
+                      max_steps, &path);
+  return engine.run();
+}
+
+}  // namespace raptrack::verify

@@ -1,0 +1,101 @@
+// Lossless control-flow path reconstruction (the Verifier-side core of CFA).
+//
+// The replayer walks the deployed binary instruction by instruction,
+// re-deriving every control-flow decision from three sources:
+//   1. static knowledge  — direct branches/calls and, via a constant-
+//      propagating shadow valuation, the "statically deterministic" simple
+//      loops of §IV-C (MOVI-initialized counters, CMPI bounds);
+//   2. the CF_Log        — MTB packets (RAP-Track / naive), or the TRACES
+//      bit/target/loop streams, consumed in execution order;
+//   3. a shadow call stack — BX LR leaf returns, which RAP-Track leaves
+//      unmonitored because LR is provably unchanged (§IV-C.2).
+//
+// The result is the complete sequence of taken branches, comparable against
+// the simulator's ground-truth oracle — the testable definition of
+// "lossless". One caveat the reproduction surfaces about taken-edge-only
+// logging (Fig 5 of the paper): when an if/else's arms silently rejoin and
+// the same site re-executes with no logged branch in between (e.g. repeated
+// calls to a leaf function returning via unmonitored BX LR), the log cannot
+// attribute a slot packet to a specific dynamic instance. The replayer then
+// returns *a* consistent parse; it provably executes the same branch edges
+// with the same multiplicities as the truth (edge-frequency equivalence),
+// and check_path() confirms the true path is itself an accepted parse.
+// Deviations between logged evidence and the
+// shadow call stack (ROP) or the valid-target policy (JOP) are surfaced as
+// attack findings rather than reconstruction failures: CFA's job is to give
+// the Verifier visibility into the malicious path (§II-D).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "instr/traces_engine.hpp"
+#include "rewrite/manifest.hpp"
+#include "trace/trace_fabric.hpp"
+
+namespace raptrack::verify {
+
+enum class ReplayMode : u8 { Rap, Naive, Traces };
+
+struct ReplayInputs {
+  trace::PacketLog packets;           ///< Rap & Naive
+  std::vector<u32> loop_values;       ///< Rap loop-condition stream
+  instr::TracesLog traces_log;        ///< Traces streams
+};
+
+struct AttackFinding {
+  Address site = 0;
+  Address expected = 0;
+  Address observed = 0;
+  std::string description;
+};
+
+struct ReplayResult {
+  bool complete = false;   ///< reached HLT with all evidence consumed
+  std::string failure;     ///< first reconstruction failure, if any
+  std::vector<trace::OracleEvent> events;  ///< reconstructed branch history
+  std::vector<AttackFinding> findings;     ///< policy violations observed
+  u64 steps = 0;
+
+  bool clean() const { return complete && findings.empty(); }
+};
+
+struct ReplayPolicy {
+  /// Indirect-call targets the Verifier considers legitimate (function
+  /// entries discovered offline). Empty set disables the check.
+  std::set<Address> valid_call_targets;
+};
+
+class PathReplayer {
+ public:
+  PathReplayer(const Program& program, Address entry, ReplayMode mode);
+
+  void set_rap_manifest(const rewrite::Manifest* manifest) { rap_ = manifest; }
+  void set_traces_manifest(const instr::TracesManifest* manifest) {
+    traces_ = manifest;
+  }
+  void set_policy(ReplayPolicy policy) { policy_ = std::move(policy); }
+
+  ReplayResult replay(const ReplayInputs& inputs, u64 max_steps = 100'000'000);
+
+  /// Checker mode: instead of searching for a parse, follow `path` (e.g. a
+  /// ground-truth oracle trace) and verify it is consistent with the
+  /// evidence. Used by the losslessness tests: the true path must always be
+  /// an accepted parse of the log.
+  ReplayResult check_path(const std::vector<trace::OracleEvent>& path,
+                          const ReplayInputs& inputs,
+                          u64 max_steps = 100'000'000);
+
+ private:
+  const Program* program_;
+  Address entry_;
+  ReplayMode mode_;
+  const rewrite::Manifest* rap_ = nullptr;
+  const instr::TracesManifest* traces_ = nullptr;
+  ReplayPolicy policy_;
+};
+
+}  // namespace raptrack::verify

@@ -1,0 +1,197 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace raptrack::verify {
+
+Verifier::Verifier(crypto::Key key, u64 rng_seed)
+    : key_(std::move(key)), rng_(rng_seed) {}
+
+void Verifier::expect_rap(const Program& program,
+                          const rewrite::Manifest& manifest, Address entry) {
+  mode_ = ReplayMode::Rap;
+  program_ = &program;
+  rap_manifest_ = &manifest;
+  entry_ = entry;
+  expected_h_mem_ = crypto::Sha256::hash(program.bytes());
+}
+
+void Verifier::expect_naive(const Program& program, Address entry) {
+  mode_ = ReplayMode::Naive;
+  program_ = &program;
+  entry_ = entry;
+  expected_h_mem_ = crypto::Sha256::hash(program.bytes());
+}
+
+void Verifier::expect_traces(const Program& program,
+                             const instr::TracesManifest& manifest,
+                             Address entry) {
+  mode_ = ReplayMode::Traces;
+  program_ = &program;
+  traces_manifest_ = &manifest;
+  entry_ = entry;
+  expected_h_mem_ = crypto::Sha256::hash(program.bytes());
+}
+
+cfa::Challenge Verifier::fresh_challenge() {
+  cfa::Challenge chal;
+  for (size_t i = 0; i < chal.size(); i += 8) {
+    const u64 word = rng_.next();
+    for (size_t j = 0; j < 8 && i + j < chal.size(); ++j) {
+      chal[i + j] = static_cast<u8>(word >> (8 * j));
+    }
+  }
+  outstanding_.push_back(chal);
+  return chal;
+}
+
+VerificationResult Verifier::verify(
+    const cfa::Challenge& chal, const std::vector<cfa::SignedReport>& reports) {
+  VerificationResult result;
+  if (!mode_) {
+    result.detail = "verifier has no expected deployment";
+    return result;
+  }
+  if (reports.empty()) {
+    result.detail = "no reports";
+    return result;
+  }
+
+  // (1) Authenticity: every report carries a valid MAC under the RoT key.
+  for (const auto& report : reports) {
+    if (!report.verify(key_)) {
+      result.detail = "report MAC invalid (seq " +
+                      std::to_string(report.sequence) + ")";
+      return result;
+    }
+  }
+  result.authentic = true;
+
+  // (2) Freshness: the challenge was issued by us, is not reused, and every
+  //     report echoes it.
+  const auto outstanding_it =
+      std::find(outstanding_.begin(), outstanding_.end(), chal);
+  const bool was_used = std::find(used_.begin(), used_.end(), chal) != used_.end();
+  if (outstanding_it == outstanding_.end() || was_used) {
+    result.detail = "challenge not outstanding (replay?)";
+    return result;
+  }
+  for (const auto& report : reports) {
+    if (report.chal != chal) {
+      result.detail = "report echoes a different challenge";
+      return result;
+    }
+  }
+  outstanding_.erase(outstanding_it);
+  used_.push_back(chal);
+  result.fresh = true;
+
+  // (3) Chain integrity: sequence numbers 0..n-1, exactly one final, last.
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const bool should_be_final = (i + 1 == reports.size());
+    if (reports[i].sequence != i || reports[i].final_report != should_be_final) {
+      result.detail = "report chain broken at seq " + std::to_string(i);
+      return result;
+    }
+  }
+  result.chain_ok = true;
+
+  // (4) Memory integrity: H_MEM consistent and equal to the expected image.
+  for (const auto& report : reports) {
+    if (!crypto::digest_equal(report.h_mem, expected_h_mem_)) {
+      result.detail = "H_MEM does not match the expected binary";
+      return result;
+    }
+  }
+  result.memory_ok = true;
+
+  // (5) Decode + concatenate evidence.
+  ReplayInputs inputs;
+  try {
+    for (const auto& report : reports) {
+      switch (report.type) {
+        case cfa::PayloadType::RapPackets: {
+          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
+          auto chunk = cfa::decode_packets(report.payload);
+          inputs.packets.insert(inputs.packets.end(), chunk.begin(), chunk.end());
+          break;
+        }
+        case cfa::PayloadType::RapFinal: {
+          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
+          auto final_payload = cfa::decode_rap_final(report.payload);
+          inputs.packets.insert(inputs.packets.end(),
+                                final_payload.packets.begin(),
+                                final_payload.packets.end());
+          inputs.loop_values = std::move(final_payload.loop_values);
+          break;
+        }
+        case cfa::PayloadType::NaivePackets: {
+          if (*mode_ != ReplayMode::Naive) throw Error("payload/mode mismatch");
+          auto chunk = cfa::decode_packets(report.payload);
+          inputs.packets.insert(inputs.packets.end(), chunk.begin(), chunk.end());
+          break;
+        }
+        case cfa::PayloadType::RapSpecPackets: {
+          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
+          if (speculation_ == nullptr) {
+            throw Error("speculated payload but no dictionary provisioned");
+          }
+          auto chunk = cfa::decode_speculated(report.payload, *speculation_);
+          inputs.packets.insert(inputs.packets.end(), chunk.begin(), chunk.end());
+          break;
+        }
+        case cfa::PayloadType::RapSpecFinal: {
+          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
+          if (speculation_ == nullptr) {
+            throw Error("speculated payload but no dictionary provisioned");
+          }
+          auto final_payload =
+              cfa::decode_spec_final(report.payload, *speculation_);
+          inputs.packets.insert(inputs.packets.end(),
+                                final_payload.packets.begin(),
+                                final_payload.packets.end());
+          inputs.loop_values = std::move(final_payload.loop_values);
+          break;
+        }
+        case cfa::PayloadType::TracesChunk: {
+          if (*mode_ != ReplayMode::Traces) throw Error("payload/mode mismatch");
+          auto chunk = cfa::decode_traces_chunk(report.payload);
+          auto& log = inputs.traces_log;
+          log.direction_bits.insert(log.direction_bits.end(),
+                                    chunk.direction_bits.begin(),
+                                    chunk.direction_bits.end());
+          log.indirect_targets.insert(log.indirect_targets.end(),
+                                      chunk.indirect_targets.begin(),
+                                      chunk.indirect_targets.end());
+          log.loop_conditions.insert(log.loop_conditions.end(),
+                                     chunk.loop_values.begin(),
+                                     chunk.loop_values.end());
+          break;
+        }
+      }
+    }
+  } catch (const Error& e) {
+    result.detail = std::string("payload decode failed: ") + e.what();
+    return result;
+  }
+
+  // (6) Lossless path reconstruction + (7) attack policies.
+  PathReplayer replayer(*program_, entry_, *mode_);
+  replayer.set_rap_manifest(rap_manifest_);
+  replayer.set_traces_manifest(traces_manifest_);
+  replayer.set_policy(policy_);
+  result.replay = replayer.replay(inputs);
+  result.inputs = std::move(inputs);
+  result.reconstruction_ok = result.replay.complete;
+  result.policy_ok = result.replay.findings.empty();
+  if (!result.reconstruction_ok) {
+    result.detail = "reconstruction failed: " + result.replay.failure;
+  } else if (!result.policy_ok) {
+    result.detail = "attack detected: " + result.replay.findings.front().description;
+  }
+  return result;
+}
+
+}  // namespace raptrack::verify

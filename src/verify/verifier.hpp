@@ -1,0 +1,78 @@
+// Protocol-level Verifier (Vrf): issues fresh challenges, authenticates the
+// (partial + final) report chain, checks H_MEM against the expected deployed
+// image, reconstructs the full control-flow path from CF_Log, and applies
+// attack-detection policies (shadow call stack, valid indirect-call
+// targets). Mirrors the §II-C/§II-D protocol and the §IV-F security
+// arguments.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfa/report.hpp"
+#include "cfa/speculation.hpp"
+#include "common/rng.hpp"
+#include "verify/replayer.hpp"
+
+namespace raptrack::verify {
+
+struct VerificationResult {
+  bool authentic = false;       ///< every report MAC valid
+  bool fresh = false;           ///< challenge matches, never seen before
+  bool chain_ok = false;        ///< sequence numbers contiguous, one final
+  bool memory_ok = false;       ///< H_MEM matches the expected image
+  bool reconstruction_ok = false;  ///< lossless path replay succeeded
+  bool policy_ok = false;       ///< no ROP/JOP findings
+  std::string detail;           ///< first failure explanation
+  ReplayResult replay;
+  ReplayInputs inputs;          ///< decoded evidence (for audits/diagnostics)
+
+  /// The overall verdict: Prv ran the expected code over an admissible path.
+  bool accepted() const {
+    return authentic && fresh && chain_ok && memory_ok && reconstruction_ok &&
+           policy_ok;
+  }
+};
+
+class Verifier {
+ public:
+  Verifier(crypto::Key key, u64 rng_seed = 0x5eed'cafe);
+
+  /// Provision the expected RAP-Track deployment (rewritten image +
+  /// manifest, as produced by the Verifier-side offline phase).
+  void expect_rap(const Program& program, const rewrite::Manifest& manifest,
+                  Address entry);
+  void expect_naive(const Program& program, Address entry);
+  void expect_traces(const Program& program,
+                     const instr::TracesManifest& manifest, Address entry);
+  void set_policy(ReplayPolicy policy) { policy_ = std::move(policy); }
+
+  /// Provision the SpecCFA-style sub-path dictionary shared with the RoT
+  /// (must match the prover's, or speculated payloads fail to decode).
+  void set_speculation(const cfa::SpeculationDict* dict) { speculation_ = dict; }
+
+  /// Issue a fresh challenge (recorded for replay-detection).
+  cfa::Challenge fresh_challenge();
+
+  /// Verify a full report chain for `chal`.
+  VerificationResult verify(const cfa::Challenge& chal,
+                            const std::vector<cfa::SignedReport>& reports);
+
+ private:
+  crypto::Key key_;
+  Xoshiro256 rng_;
+  std::vector<cfa::Challenge> outstanding_;
+  std::vector<cfa::Challenge> used_;
+
+  std::optional<ReplayMode> mode_;
+  const Program* program_ = nullptr;
+  const rewrite::Manifest* rap_manifest_ = nullptr;
+  const instr::TracesManifest* traces_manifest_ = nullptr;
+  Address entry_ = 0;
+  crypto::Digest expected_h_mem_{};
+  ReplayPolicy policy_;
+  const cfa::SpeculationDict* speculation_ = nullptr;
+};
+
+}  // namespace raptrack::verify

@@ -1,0 +1,222 @@
+// Unit tests: the two-pass assembler — labels, directives, operand forms,
+// pseudo-ops, error reporting — and the disassembler round trip.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "isa/instruction.hpp"
+
+namespace raptrack {
+namespace {
+
+using isa::Cond;
+using isa::Op;
+using isa::Reg;
+
+Program asm_at(std::string_view src, Address base = 0x0020'0000) {
+  return assemble(src, base);
+}
+
+TEST(Assembler, BasicInstructions) {
+  const Program p = asm_at(R"(
+    nop
+    movi r1, #0x1234
+    add r2, r1, r1
+    hlt
+  )");
+  ASSERT_EQ(p.size(), 16u);
+  EXPECT_EQ(p.instruction_at(p.base())->op, Op::NOP);
+  const auto movi = p.instruction_at(p.base() + 4);
+  EXPECT_EQ(movi->op, Op::MOVI);
+  EXPECT_EQ(movi->rd, Reg::R1);
+  EXPECT_EQ(movi->imm, 0x1234);
+  EXPECT_EQ(p.instruction_at(p.base() + 8)->op, Op::ADD);
+  EXPECT_EQ(p.instruction_at(p.base() + 12)->op, Op::HLT);
+}
+
+TEST(Assembler, ImmediateFormAutoselection) {
+  const Program p = asm_at(R"(
+    add r1, r2, #5
+    sub r1, r2, #-5
+    cmp r3, #10
+    and r4, r4, #0xff
+    lsl r5, r5, #2
+    mov r6, #100
+  )");
+  EXPECT_EQ(p.instruction_at(p.base() + 0)->op, Op::ADDI);
+  EXPECT_EQ(p.instruction_at(p.base() + 4)->op, Op::SUBI);
+  EXPECT_EQ(p.instruction_at(p.base() + 4)->imm, -5);
+  EXPECT_EQ(p.instruction_at(p.base() + 8)->op, Op::CMPI);
+  EXPECT_EQ(p.instruction_at(p.base() + 12)->op, Op::ANDI);
+  EXPECT_EQ(p.instruction_at(p.base() + 16)->op, Op::LSLI);
+  EXPECT_EQ(p.instruction_at(p.base() + 20)->op, Op::MOVI);
+}
+
+TEST(Assembler, FlagSettingSuffix) {
+  const Program p = asm_at("adds r1, r2, r3\nsubs r1, r1, #1\n");
+  EXPECT_TRUE(p.instruction_at(p.base())->set_flags);
+  EXPECT_TRUE(p.instruction_at(p.base() + 4)->set_flags);
+}
+
+TEST(Assembler, ConditionalBranchSuffixes) {
+  const Program p = asm_at(R"(
+top:
+    beq top
+    bne top
+    bls top
+    bge top
+    b top
+    bl top
+  )");
+  EXPECT_EQ(p.instruction_at(p.base() + 0)->cond, Cond::EQ);
+  EXPECT_EQ(p.instruction_at(p.base() + 4)->cond, Cond::NE);
+  EXPECT_EQ(p.instruction_at(p.base() + 8)->cond, Cond::LS);
+  EXPECT_EQ(p.instruction_at(p.base() + 12)->cond, Cond::GE);
+  EXPECT_EQ(p.instruction_at(p.base() + 16)->op, Op::B);
+  EXPECT_EQ(p.instruction_at(p.base() + 20)->op, Op::BL);
+}
+
+TEST(Assembler, BranchTargetsResolveForwardAndBackward) {
+  const Program p = asm_at(R"(
+start:
+    b forward
+    nop
+forward:
+    b start
+  )");
+  const auto fwd = p.instruction_at(p.base());
+  EXPECT_EQ(isa::branch_target(*fwd, p.base()), p.base() + 8);
+  const auto back = p.instruction_at(p.base() + 8);
+  EXPECT_EQ(isa::branch_target(*back, p.base() + 8), p.base());
+}
+
+TEST(Assembler, MemoryAddressingForms) {
+  const Program p = asm_at(R"(
+    ldr r0, [r1]
+    ldr r0, [r1, #8]
+    ldr r0, [r1, #-8]
+    str r0, [r1, r2, lsl #2]
+    ldr pc, [r3, r4, lsl #2]
+    ldrb r0, [r1, #1]
+    strh r0, [r1, #2]
+  )");
+  EXPECT_EQ(p.instruction_at(p.base() + 0)->imm, 0);
+  EXPECT_EQ(p.instruction_at(p.base() + 4)->imm, 8);
+  EXPECT_EQ(p.instruction_at(p.base() + 8)->imm, -8);
+  const auto strr = p.instruction_at(p.base() + 12);
+  EXPECT_EQ(strr->op, Op::STRR);
+  EXPECT_EQ(strr->shift, 2);
+  const auto ldrr_pc = p.instruction_at(p.base() + 16);
+  EXPECT_EQ(ldrr_pc->op, Op::LDRR);
+  EXPECT_EQ(ldrr_pc->rd, Reg::PC);
+  EXPECT_EQ(p.instruction_at(p.base() + 20)->op, Op::LDRB);
+  EXPECT_EQ(p.instruction_at(p.base() + 24)->op, Op::STRH);
+}
+
+TEST(Assembler, RegisterLists) {
+  const Program p = asm_at("push {r4-r7, lr}\npop {r4-r7, pc}\n");
+  EXPECT_EQ(p.instruction_at(p.base())->reg_list, 0x40f0);
+  EXPECT_EQ(p.instruction_at(p.base() + 4)->reg_list, 0x80f0);
+}
+
+TEST(Assembler, LiPseudoExpandsToMoviMovt) {
+  const Program p = asm_at(R"(
+.equ TARGET, 0x20201234
+    li r5, =TARGET
+    hlt
+  )");
+  const auto movi = p.instruction_at(p.base());
+  const auto movt = p.instruction_at(p.base() + 4);
+  EXPECT_EQ(movi->op, Op::MOVI);
+  EXPECT_EQ(movi->imm, 0x1234);
+  EXPECT_EQ(movt->op, Op::MOVT);
+  EXPECT_EQ(movt->imm, 0x2020);
+}
+
+TEST(Assembler, DirectivesAndSymbols) {
+  const Program p = asm_at(R"(
+    b entry
+entry:
+    hlt
+.align 16
+table:
+    .word entry, 0xcafef00d
+    .word table
+msg:
+    .asciz "hi"
+buf:
+    .space 8
+end:
+  )");
+  const Address table = *p.symbol("table");
+  EXPECT_EQ(table % 16, 0u);
+  EXPECT_EQ(p.word_at(table), *p.symbol("entry"));
+  EXPECT_EQ(p.word_at(table + 4), 0xcafef00d);
+  EXPECT_EQ(p.word_at(table + 8), table);
+  const Address msg = *p.symbol("msg");
+  EXPECT_EQ(p.bytes()[msg - p.base()], 'h');
+  EXPECT_EQ(p.bytes()[msg - p.base() + 2], '\0');
+  EXPECT_EQ(*p.symbol("end") - *p.symbol("buf"), 8u);
+}
+
+TEST(Assembler, CharLiteralsAndExpressions) {
+  const Program p = asm_at(R"(
+.equ BASE, 0x100
+    cmp r0, #'A'
+    movi r1, #BASE+4
+    movi r2, #BASE-0x10
+  )");
+  EXPECT_EQ(p.instruction_at(p.base())->imm, 'A');
+  EXPECT_EQ(p.instruction_at(p.base() + 4)->imm, 0x104);
+  EXPECT_EQ(p.instruction_at(p.base() + 8)->imm, 0xf0);
+}
+
+TEST(Assembler, CommentsAreIgnored) {
+  const Program p = asm_at(R"(
+    nop        ; semicolon comment
+    nop        @ at comment
+    nop        // slash comment
+  )");
+  EXPECT_EQ(p.size(), 12u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    asm_at("nop\nbogus r1, r2\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("asm:2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsBadInput) {
+  EXPECT_THROW(asm_at("b nowhere\n"), Error);           // undefined symbol
+  EXPECT_THROW(asm_at("dup:\ndup:\n"), Error);          // duplicate label
+  EXPECT_THROW(asm_at("movi r1, #0x10000\n"), Error);   // imm16 overflow
+  EXPECT_THROW(asm_at("push {pc}\n"), Error);           // cannot push pc
+  EXPECT_THROW(asm_at("pop {lr}\n"), Error);            // cannot pop lr
+  EXPECT_THROW(asm_at("add r1, r2\n"), Error);          // operand count
+  EXPECT_THROW(asm_at(".align 3\n"), Error);            // non-power-of-two
+  EXPECT_THROW(assemble("nop", 0x2002), Error);         // unaligned base
+}
+
+TEST(Disassembler, ListsEveryWord) {
+  const Program p = asm_at("movi r1, #7\nadd r2, r1, r1\nhlt\n.word 0xffffffff\n");
+  const std::string listing = disassemble(p);
+  EXPECT_NE(listing.find("movi r1, #0x7"), std::string::npos);
+  EXPECT_NE(listing.find("add r2, r1, r1"), std::string::npos);
+  EXPECT_NE(listing.find("hlt"), std::string::npos);
+  EXPECT_NE(listing.find(".word"), std::string::npos);
+}
+
+TEST(Program, WordAccessAndAppend) {
+  Program p = asm_at("nop\n");
+  EXPECT_THROW(p.word_at(p.base() + 2), Error);   // unaligned
+  EXPECT_THROW(p.word_at(p.base() + 4), Error);   // out of range
+  const u32 words[] = {1, 2};
+  const Address appended = p.append_words(words);
+  EXPECT_EQ(appended, p.base() + 4);
+  EXPECT_EQ(p.word_at(appended + 4), 2u);
+}
+
+}  // namespace
+}  // namespace raptrack

@@ -1,0 +1,119 @@
+// Unit tests: the evidence audit — original-address mapping of trampoline
+// detours, per-kind counts, function activity, findings propagation.
+#include <gtest/gtest.h>
+
+#include "apps/runner.hpp"
+#include "verify/audit.hpp"
+
+namespace raptrack::verify {
+namespace {
+
+struct Audited {
+  VerificationResult result;
+  AuditReport report;
+  apps::PreparedApp prepared;
+};
+
+Audited audit_app(const std::string& name, u64 seed) {
+  Audited out;
+  out.prepared = apps::prepare_app(apps::app_by_name(name));
+  Verifier verifier(apps::demo_key());
+  verifier.expect_rap(out.prepared.rap.program, out.prepared.rap.manifest,
+                      out.prepared.built.entry);
+  const cfa::Challenge chal = verifier.fresh_challenge();
+  const auto run = apps::run_rap(out.prepared, seed, {}, {}, chal);
+  out.result = verifier.verify(chal, run.attestation.reports);
+  out.report = audit_verification(out.result, out.prepared.rap.program,
+                                  &out.prepared.rap.manifest);
+  return out;
+}
+
+TEST(Audit, AcceptedRunProducesCleanReport) {
+  const Audited a = audit_app("temperature", 7);
+  ASSERT_TRUE(a.result.accepted());
+  EXPECT_TRUE(a.report.accepted);
+  EXPECT_NE(a.report.verdict.find("ACCEPTED"), std::string::npos);
+  EXPECT_TRUE(a.report.findings.empty());
+  EXPECT_GT(a.report.total_transfers, 0u);
+  EXPECT_GT(a.report.transfers_by_kind.at("conditional"), 0u);
+  EXPECT_GT(a.report.evidence_packets, 0u);
+}
+
+TEST(Audit, DetourEdgesAreMappedToOriginalAddresses) {
+  const Audited a = audit_app("temperature", 7);
+  const auto& manifest = a.prepared.rap.manifest;
+  for (const auto& edge : a.report.hottest_edges) {
+    // No audit edge may point into or out of the MTBAR implementation area.
+    EXPECT_LT(edge.source, manifest.mtbar_base);
+    EXPECT_LT(edge.destination, manifest.mtbar_base);
+  }
+}
+
+TEST(Audit, FunctionActivityIsBalanced) {
+  const Audited a = audit_app("temperature", 7);
+  bool found_calibrate = false;
+  for (const auto& fn : a.report.functions) {
+    if (fn.label == "calibrate") {
+      found_calibrate = true;
+      EXPECT_GT(fn.calls, 0u);
+      EXPECT_EQ(fn.calls, fn.returns);  // benign run: balanced
+    }
+  }
+  EXPECT_TRUE(found_calibrate);
+}
+
+TEST(Audit, IndirectCallsKeepTheirLogicalKind) {
+  // The syringe dispatch goes BLX -> (BL slot; BX rm); the audit must count
+  // it as an indirect call at the original site.
+  const Audited a = audit_app("syringe", 7);
+  ASSERT_TRUE(a.result.accepted());
+  EXPECT_GT(a.report.transfers_by_kind.count("indirect-call"), 0u);
+}
+
+TEST(Audit, FindingsSurfaceInReportAndFormat) {
+  // Tamper with evidence so a ROP finding appears (no benign parse).
+  const auto prepared = apps::prepare_app(apps::app_by_name("fibcall"));
+  Verifier verifier(apps::demo_key());
+  verifier.expect_rap(prepared.rap.program, prepared.rap.manifest,
+                      prepared.built.entry);
+  const cfa::Challenge chal = verifier.fresh_challenge();
+  auto run = apps::run_rap(prepared, 7, {}, {}, chal);
+  // Flipping a return destination inside the payload invalidates the MAC,
+  // so instead drive the replayer directly through the Verifier with a
+  // legitimately signed but malicious device: simulate by re-signing.
+  auto payload = cfa::decode_rap_final(run.attestation.reports.back().payload);
+  ASSERT_FALSE(payload.packets.empty());
+  payload.packets.back().destination = prepared.built.entry;  // bogus return
+  run.attestation.reports.back().payload = cfa::encode_rap_final(payload);
+  run.attestation.reports.back().sign(apps::demo_key());
+
+  const auto result = verifier.verify(chal, run.attestation.reports);
+  const auto report = audit_verification(result, prepared.rap.program,
+                                         &prepared.rap.manifest);
+  EXPECT_FALSE(report.accepted);
+  const std::string text = format_audit(report);
+  EXPECT_NE(text.find("REJECTED"), std::string::npos);
+}
+
+TEST(Audit, FormatIsHumanReadable) {
+  const Audited a = audit_app("gps", 3);
+  const std::string text = format_audit(a.report);
+  EXPECT_NE(text.find("=== CFA audit report ==="), std::string::npos);
+  EXPECT_NE(text.find("verdict:"), std::string::npos);
+  EXPECT_NE(text.find("hottest edges:"), std::string::npos);
+  EXPECT_NE(text.find("parse_sentence"), std::string::npos);  // symbol names
+}
+
+TEST(Audit, TopEdgesRespectsLimit) {
+  const Audited full = audit_app("gps", 3);
+  const auto limited = audit_verification(full.result, full.prepared.rap.program,
+                                          &full.prepared.rap.manifest, 3);
+  EXPECT_LE(limited.hottest_edges.size(), 3u);
+  // And they are sorted by descending frequency.
+  for (size_t i = 1; i < limited.hottest_edges.size(); ++i) {
+    EXPECT_GE(limited.hottest_edges[i - 1].count, limited.hottest_edges[i].count);
+  }
+}
+
+}  // namespace
+}  // namespace raptrack::verify

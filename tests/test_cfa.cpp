@@ -1,0 +1,158 @@
+// Unit tests: report format/MAC binding, payload codecs, and prover-side
+// session mechanics (H_MEM, metrics, world-switch accounting).
+#include <gtest/gtest.h>
+
+#include "apps/runner.hpp"
+#include "cfa/report.hpp"
+
+namespace raptrack::cfa {
+namespace {
+
+crypto::Key test_key() { return crypto::Key(32, 0x42); }
+
+SignedReport sample_report() {
+  SignedReport report;
+  report.chal.fill(0x11);
+  report.h_mem.fill(0x22);
+  report.sequence = 3;
+  report.final_report = true;
+  report.type = PayloadType::RapFinal;
+  report.payload = {1, 2, 3, 4};
+  report.sign(test_key());
+  return report;
+}
+
+TEST(SignedReport, SignVerifyRoundTrip) {
+  const SignedReport report = sample_report();
+  EXPECT_TRUE(report.verify(test_key()));
+  EXPECT_FALSE(report.verify(crypto::Key(32, 0x43)));
+}
+
+TEST(SignedReport, MacBindsEveryField) {
+  const SignedReport original = sample_report();
+  {
+    SignedReport r = original;
+    r.chal[0] ^= 1;
+    EXPECT_FALSE(r.verify(test_key()));
+  }
+  {
+    SignedReport r = original;
+    r.h_mem[5] ^= 1;
+    EXPECT_FALSE(r.verify(test_key()));
+  }
+  {
+    SignedReport r = original;
+    r.sequence += 1;
+    EXPECT_FALSE(r.verify(test_key()));
+  }
+  {
+    SignedReport r = original;
+    r.final_report = false;
+    EXPECT_FALSE(r.verify(test_key()));
+  }
+  {
+    SignedReport r = original;
+    r.type = PayloadType::NaivePackets;
+    EXPECT_FALSE(r.verify(test_key()));
+  }
+  {
+    SignedReport r = original;
+    r.payload.push_back(0);
+    EXPECT_FALSE(r.verify(test_key()));
+  }
+}
+
+TEST(PayloadCodec, PacketsRoundTrip) {
+  trace::PacketLog packets;
+  packets.push_back({0x00200010, 0x00200100, true});
+  packets.push_back({0x00200020, 0x00200200, false});
+  const auto encoded = encode_packets(packets);
+  EXPECT_EQ(encoded.size(), 4u + 2 * 8u);
+  EXPECT_EQ(decode_packets(encoded), packets);
+}
+
+TEST(PayloadCodec, RapFinalRoundTrip) {
+  RapFinalPayload payload;
+  payload.packets.push_back({0x00200010, 0x00200100, true});
+  payload.loop_values = {7, 0, 0xffffffff};
+  const auto encoded = encode_rap_final(payload);
+  const auto decoded = decode_rap_final(encoded);
+  EXPECT_EQ(decoded.packets, payload.packets);
+  EXPECT_EQ(decoded.loop_values, payload.loop_values);
+}
+
+TEST(PayloadCodec, TracesChunkRoundTrip) {
+  TracesChunkPayload payload;
+  for (int i = 0; i < 37; ++i) payload.direction_bits.push_back(i % 3 == 0);
+  payload.indirect_targets = {0x00200100, 0x00200100, 0x00200200};
+  payload.loop_values = {5};
+  const auto decoded = decode_traces_chunk(encode_traces_chunk(payload));
+  EXPECT_EQ(decoded.direction_bits, payload.direction_bits);
+  EXPECT_EQ(decoded.indirect_targets, payload.indirect_targets);
+  EXPECT_EQ(decoded.loop_values, payload.loop_values);
+}
+
+TEST(PayloadCodec, RejectsTruncatedPayloads) {
+  trace::PacketLog packets;
+  packets.push_back({0x10, 0x20, false});
+  auto encoded = encode_packets(packets);
+  encoded.pop_back();
+  EXPECT_THROW(decode_packets(encoded), Error);
+  encoded.push_back(0);
+  encoded.push_back(0);  // trailing garbage
+  EXPECT_THROW(decode_packets(encoded), Error);
+}
+
+TEST(Provers, HmemCoversTheDeployedImage) {
+  const auto& prepared = apps::prepare_app(apps::app_by_name("crc32"));
+  const auto run = apps::run_rap(prepared, 1);
+  const auto expected = crypto::Sha256::hash(prepared.rap.program.bytes());
+  for (const auto& report : run.attestation.reports) {
+    EXPECT_TRUE(crypto::digest_equal(report.h_mem, expected));
+  }
+}
+
+TEST(Provers, FinalReportIsLastAndUnique) {
+  const auto& prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const auto run = apps::run_rap(prepared, 3);
+  ASSERT_FALSE(run.attestation.reports.empty());
+  for (size_t i = 0; i < run.attestation.reports.size(); ++i) {
+    EXPECT_EQ(run.attestation.reports[i].sequence, i);
+    EXPECT_EQ(run.attestation.reports[i].final_report,
+              i + 1 == run.attestation.reports.size());
+  }
+}
+
+TEST(Provers, BaselineHasNoAttestationArtifacts) {
+  const auto& prepared = apps::prepare_app(apps::app_by_name("temperature"));
+  const auto run = apps::run_baseline(prepared, 9);
+  EXPECT_TRUE(run.attestation.reports.empty());
+  EXPECT_EQ(run.attestation.metrics.cflog_bytes, 0u);
+  EXPECT_EQ(run.attestation.metrics.world_switches, 0u);
+  EXPECT_GT(run.attestation.metrics.exec_cycles, 0u);
+}
+
+TEST(Provers, MetricsArePopulated) {
+  const auto& prepared = apps::prepare_app(apps::app_by_name("syringe"));
+  const auto run = apps::run_rap(prepared, 5);
+  const RunMetrics& m = run.attestation.metrics;
+  EXPECT_GT(m.exec_cycles, 0u);
+  EXPECT_GT(m.attest_setup_cycles, 0u);
+  EXPECT_GT(m.final_report_cycles, 0u);
+  EXPECT_GT(m.cflog_bytes, 0u);
+  EXPECT_EQ(m.code_bytes, prepared.rap.program.size());
+  EXPECT_EQ(m.halt, cpu::HaltReason::Halted);
+  EXPECT_FALSE(m.fault.has_value());
+}
+
+TEST(Provers, NaiveLogsEveryTakenBranch) {
+  const auto& prepared = apps::prepare_app(apps::app_by_name("prime"));
+  sim::MachineConfig big;
+  big.mtb_buffer_bytes = 1 << 20;
+  const auto run = apps::run_naive(prepared, 7, big);
+  EXPECT_EQ(run.attestation.metrics.cflog_bytes,
+            run.oracle.size() * trace::BranchPacket::kBytes);
+}
+
+}  // namespace
+}  // namespace raptrack::cfa

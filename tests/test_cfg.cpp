@@ -1,0 +1,265 @@
+// Unit tests: CFG construction (blocks, edges, reachability, dispatch-table
+// root discovery), dominators, natural loops, and the §IV-D simple-loop
+// classification that drives trampoline selection.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/loop_analysis.hpp"
+
+namespace raptrack::cfg {
+namespace {
+
+struct Built {
+  Program program;
+  Address entry;
+  Address code_end;
+};
+
+Built build(std::string_view src) {
+  Built b{assemble(src, 0x0020'0000), 0, 0};
+  b.entry = *b.program.symbol("_start");
+  b.code_end = *b.program.symbol("__code_end");
+  return b;
+}
+
+TEST(Cfg, LinearCodeIsOneBlockPerLeaderlessRun) {
+  const Built b = build(R"(
+_start:
+    movi r1, #1
+    movi r2, #2
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  EXPECT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_TRUE(cfg.blocks().begin()->second.reachable);
+  EXPECT_EQ(cfg.blocks().begin()->second.terminator, isa::BranchKind::Halt);
+}
+
+TEST(Cfg, ConditionalSplitsBlocksWithBothEdges) {
+  const Built b = build(R"(
+_start:
+    cmp r0, #0
+    beq taken
+    movi r1, #1
+taken:
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const BasicBlock& head = cfg.block_containing(b.entry);
+  ASSERT_EQ(head.successors.size(), 2u);
+  const Address taken = *b.program.symbol("taken");
+  EXPECT_TRUE(head.successors[0] == taken || head.successors[1] == taken);
+  EXPECT_EQ(cfg.block_at(taken).predecessors.size(), 2u);
+}
+
+TEST(Cfg, JumpTableRootsAreDiscoveredFromData) {
+  const Built b = build(R"(
+_start:
+    li r2, =table
+    ldr pc, [r2, r0, lsl #2]
+h0:
+    hlt
+h1:
+    movi r1, #1
+    hlt
+__code_end:
+table:
+    .word h0
+    .word h1
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  // h0/h1 are unreachable through static edges but discovered as roots.
+  EXPECT_TRUE(cfg.block_at(*b.program.symbol("h0")).reachable);
+  EXPECT_TRUE(cfg.block_at(*b.program.symbol("h1")).reachable);
+}
+
+TEST(Cfg, DominatorsOnADiamond) {
+  const Built b = build(R"(
+_start:
+    cmp r0, #0
+    beq right
+left:
+    movi r1, #1
+    b join
+right:
+    movi r1, #2
+join:
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const Address head = cfg.block_containing(b.entry).begin;
+  const Address join = cfg.block_containing(*b.program.symbol("join")).begin;
+  const Address left = cfg.block_containing(*b.program.symbol("left")).begin;
+  EXPECT_TRUE(cfg.dominates(head, join));
+  EXPECT_TRUE(cfg.dominates(head, left));
+  EXPECT_FALSE(cfg.dominates(left, join));
+  EXPECT_EQ(cfg.idom(join), head);
+}
+
+TEST(Loops, BackwardLoopIsDetected) {
+  const Built b = build(R"(
+_start:
+    movi r1, #0
+loop:
+    addi r1, r1, #1
+    cmp r1, #10
+    blt loop
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const auto loops = find_natural_loops(cfg);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, *b.program.symbol("loop"));
+  EXPECT_EQ(loops[0].header, loops[0].latch);  // single-block loop
+}
+
+TEST(LoopAnalysis, ConstantInitLoopIsDeterministic) {
+  const Built b = build(R"(
+_start:
+    movi r1, #0
+loop:
+    addi r1, r1, #1
+    cmp r1, #10
+    blt loop
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const LoopAnalysis analysis = analyze_loops(cfg);
+  ASSERT_EQ(analysis.bcc_roles.size(), 1u);
+  const auto [site, role] = *analysis.bcc_roles.begin();
+  EXPECT_EQ(role, BccRole::Deterministic);
+  const SimpleLoop& loop = analysis.simple_loops.at(site);
+  EXPECT_EQ(loop.iterator, isa::Reg::R1);
+  EXPECT_EQ(loop.step, 1);
+  EXPECT_EQ(loop.bound, 10);
+  ASSERT_TRUE(loop.constant_init.has_value());
+  EXPECT_EQ(*loop.constant_init, 0);
+  EXPECT_FALSE(loop.forward_exit);
+}
+
+TEST(LoopAnalysis, VariableInitLoopGetsLoopConditionRole) {
+  const Built b = build(R"(
+_start:
+    mov r1, r0          ; iterator init is data-dependent
+loop:
+    addi r1, r1, #1
+    cmp r1, #10
+    blt loop
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const LoopAnalysis analysis = analyze_loops(cfg);
+  const auto [site, role] = *analysis.bcc_roles.begin();
+  EXPECT_EQ(role, BccRole::LoopCondition);
+  EXPECT_FALSE(analysis.simple_loops.at(site).constant_init.has_value());
+}
+
+TEST(LoopAnalysis, ForwardExitLoopShape) {
+  const Built b = build(R"(
+_start:
+    mov r1, r0
+loop:
+    cmp r1, #0
+    beq exit
+    sub r1, r1, #1
+    b loop
+exit:
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const LoopAnalysis analysis = analyze_loops(cfg);
+  const auto [site, role] = *analysis.bcc_roles.begin();
+  EXPECT_EQ(role, BccRole::LoopCondition);  // simple, variable init
+  EXPECT_TRUE(analysis.simple_loops.at(site).forward_exit);
+  EXPECT_EQ(analysis.simple_loops.at(site).step, -1);
+}
+
+TEST(LoopAnalysis, LoopWithInnerConditionalIsNotSimple) {
+  const Built b = build(R"(
+_start:
+    movi r1, #0
+loop:
+    cmp r2, #5
+    beq skip            ; data-dependent branch inside the loop
+    addi r3, r3, #1
+skip:
+    addi r1, r1, #1
+    cmp r1, #10
+    blt loop
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const LoopAnalysis analysis = analyze_loops(cfg);
+  const Address latch_site = *b.program.symbol("skip") + 8;  // the blt
+  EXPECT_EQ(analysis.bcc_roles.at(latch_site), BccRole::LogTaken);
+  EXPECT_TRUE(analysis.simple_loops.empty());
+}
+
+TEST(LoopAnalysis, LoopWithCallIsNotSimple) {
+  const Built b = build(R"(
+_start:
+    movi r1, #0
+loop:
+    bl helper
+    addi r1, r1, #1
+    cmp r1, #10
+    blt loop
+    hlt
+helper:
+    bx lr
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const LoopAnalysis analysis = analyze_loops(cfg);
+  EXPECT_TRUE(analysis.simple_loops.empty());
+}
+
+TEST(LoopAnalysis, MemoryBasedIteratorIsNotSimple) {
+  const Built b = build(R"(
+_start:
+    movi r1, #0
+loop:
+    ldr r1, [r2]        ; iterator reloaded from memory
+    addi r1, r1, #1
+    cmp r1, #10
+    blt loop
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const LoopAnalysis analysis = analyze_loops(cfg);
+  EXPECT_TRUE(analysis.simple_loops.empty());
+}
+
+TEST(LoopAnalysis, NonLoopForwardBranchLogsTaken) {
+  const Built b = build(R"(
+_start:
+    cmp r0, #0
+    beq skip
+    movi r1, #1
+skip:
+    hlt
+__code_end:
+  )");
+  const Cfg cfg(b.program, b.entry, b.program.base(), b.code_end);
+  const LoopAnalysis analysis = analyze_loops(cfg);
+  EXPECT_EQ(analysis.bcc_roles.begin()->second, BccRole::LogTaken);
+}
+
+TEST(Cfg, RejectsBadRanges) {
+  const Built b = build("_start:\n    hlt\n__code_end:\n");
+  EXPECT_THROW(Cfg(b.program, 0x123, b.program.base(), b.code_end), Error);
+  EXPECT_THROW(Cfg(b.program, b.entry, b.code_end, b.program.base()), Error);
+}
+
+}  // namespace
+}  // namespace raptrack::cfg

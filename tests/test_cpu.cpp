@@ -1,0 +1,280 @@
+// Unit tests: the executor — arithmetic/flag semantics, memory ops, stack
+// discipline, every branch kind, SVC dispatch, fault delivery, cycles.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "cpu/executor.hpp"
+#include "mem/bus.hpp"
+#include "trace/trace_fabric.hpp"
+
+namespace raptrack::cpu {
+namespace {
+
+using isa::Reg;
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : map_(mem::MemoryMap::make_default()), bus_(map_), cpu_(bus_) {}
+
+  /// Assemble, load at NS flash, run to halt, return the executor.
+  HaltReason run(std::string_view src, u64 max_instructions = 100000) {
+    const Program p = assemble(src, mem::MapLayout::kNsFlashBase);
+    map_.load(p.base(), p.bytes());
+    cpu_.reset(p.base(), mem::MapLayout::kNsRamBase + 0x1000);
+    return cpu_.run(max_instructions);
+  }
+
+  Word reg(Reg r) const { return cpu_.state().reg(r); }
+
+  mem::MemoryMap map_;
+  mem::Bus bus_;
+  Executor cpu_;
+};
+
+TEST_F(CpuTest, MoviMovtBuild32BitConstants) {
+  EXPECT_EQ(run("movi r1, #0x1234\nmovt r1, #0xabcd\nhlt\n"), HaltReason::Halted);
+  EXPECT_EQ(reg(Reg::R1), 0xabcd1234u);
+}
+
+TEST_F(CpuTest, ArithmeticAndFlags) {
+  run(R"(
+    movi r1, #7
+    movi r2, #5
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    udiv r6, r1, r2
+    subs r7, r2, r2
+    hlt
+  )");
+  EXPECT_EQ(reg(Reg::R3), 12u);
+  EXPECT_EQ(reg(Reg::R4), 2u);
+  EXPECT_EQ(reg(Reg::R5), 35u);
+  EXPECT_EQ(reg(Reg::R6), 1u);
+  EXPECT_EQ(reg(Reg::R7), 0u);
+  EXPECT_TRUE(cpu_.state().flags.z);
+}
+
+TEST_F(CpuTest, DivideByZeroYieldsZeroLikeArm) {
+  run("movi r1, #9\nmovi r2, #0\nudiv r3, r1, r2\nsdiv r4, r1, r2\nhlt\n");
+  EXPECT_EQ(reg(Reg::R3), 0u);
+  EXPECT_EQ(reg(Reg::R4), 0u);
+}
+
+TEST_F(CpuTest, SignedComparisonsBranchCorrectly) {
+  run(R"(
+    movi r1, #5
+    rsb r1, r1, #0      ; r1 = -5
+    movi r2, #3
+    cmp r1, r2
+    blt took_lt
+    movi r3, #0
+    b after
+took_lt:
+    movi r3, #1
+after:
+    cmp r2, r1
+    bgt took_gt
+    movi r4, #0
+    b end
+took_gt:
+    movi r4, #1
+end:
+    hlt
+  )");
+  EXPECT_EQ(reg(Reg::R3), 1u);
+  EXPECT_EQ(reg(Reg::R4), 1u);
+}
+
+TEST_F(CpuTest, UnsignedConditionsUseCarry) {
+  run(R"(
+    movi r1, #1
+    mvn r2, r1          ; r2 = 0xfffffffe (large unsigned)
+    cmp r2, r1
+    bhi big
+    movi r3, #0
+    b done
+big:
+    movi r3, #1
+done:
+    hlt
+  )");
+  EXPECT_EQ(reg(Reg::R3), 1u);
+}
+
+TEST_F(CpuTest, ShiftSemantics) {
+  run(R"(
+    movi r1, #1
+    lsl r2, r1, #31
+    asr r3, r2, #31     ; arithmetic: sign fills
+    lsr r4, r2, #31     ; logical: zero fills
+    hlt
+  )");
+  EXPECT_EQ(reg(Reg::R2), 0x80000000u);
+  EXPECT_EQ(reg(Reg::R3), 0xffffffffu);
+  EXPECT_EQ(reg(Reg::R4), 1u);
+}
+
+TEST_F(CpuTest, LoadStoreWidths) {
+  run(R"(
+    li r1, =0x20200000
+    li r2, =0x11223344
+    str r2, [r1]
+    ldrb r3, [r1]
+    ldrh r4, [r1, #2]
+    strb r3, [r1, #8]
+    ldr r5, [r1, #8]
+    hlt
+  )");
+  EXPECT_EQ(reg(Reg::R3), 0x44u);
+  EXPECT_EQ(reg(Reg::R4), 0x1122u);
+  EXPECT_EQ(reg(Reg::R5), 0x44u);
+}
+
+TEST_F(CpuTest, PushPopPreserveRegisters) {
+  run(R"(
+    movi r4, #11
+    movi r5, #22
+    push {r4, r5}
+    movi r4, #0
+    movi r5, #0
+    pop {r4, r5}
+    hlt
+  )");
+  EXPECT_EQ(reg(Reg::R4), 11u);
+  EXPECT_EQ(reg(Reg::R5), 22u);
+}
+
+TEST_F(CpuTest, CallAndLeafReturn) {
+  run(R"(
+    movi r1, #1
+    bl func
+    movi r2, #3
+    hlt
+func:
+    movi r1, #2
+    bx lr
+  )");
+  EXPECT_EQ(reg(Reg::R1), 2u);
+  EXPECT_EQ(reg(Reg::R2), 3u);
+}
+
+TEST_F(CpuTest, NestedCallsWithStackReturns) {
+  run(R"(
+    bl outer
+    hlt
+outer:
+    push {r4, lr}
+    movi r4, #5
+    bl inner
+    add r0, r0, r4
+    pop {r4, pc}
+inner:
+    movi r0, #10
+    bx lr
+  )");
+  EXPECT_EQ(reg(Reg::R0), 15u);
+}
+
+TEST_F(CpuTest, IndirectCallAndJumpTable) {
+  run(R"(
+    li r3, =target
+    blx r3
+    movi r2, #9
+    li r4, =table
+    movi r5, #1
+    ldr pc, [r4, r5, lsl #2]
+dead:
+    movi r2, #0
+    hlt
+t0:
+    hlt
+t1:
+    movi r6, #77
+    hlt
+target:
+    movi r1, #42
+    bx lr
+table:
+    .word t0
+    .word t1
+  )");
+  EXPECT_EQ(reg(Reg::R1), 42u);
+  EXPECT_EQ(reg(Reg::R2), 9u);
+  EXPECT_EQ(reg(Reg::R6), 77u);
+}
+
+TEST_F(CpuTest, ReadingPcAsOperandYieldsNextInstruction) {
+  run("mov r1, pc\nhlt\n");
+  EXPECT_EQ(reg(Reg::R1), mem::MapLayout::kNsFlashBase + 4);
+}
+
+TEST_F(CpuTest, BranchEventsReachSinks) {
+  trace::OracleTracer oracle;  // declared in trace_fabric.hpp
+  cpu_.add_sink(&oracle);
+  run(R"(
+    b skip
+skip:
+    bl fn
+    hlt
+fn:
+    bx lr
+  )");
+  ASSERT_EQ(oracle.events().size(), 3u);
+  EXPECT_EQ(oracle.events()[0].kind, isa::BranchKind::Direct);
+  EXPECT_EQ(oracle.events()[1].kind, isa::BranchKind::DirectCall);
+  EXPECT_EQ(oracle.events()[2].kind, isa::BranchKind::Return);
+  EXPECT_EQ(oracle.events()[2].destination, oracle.events()[1].source + 4);
+}
+
+TEST_F(CpuTest, SvcDispatchesToHandlerAndChargesCycles) {
+  u8 seen_code = 0;
+  cpu_.set_svc_handler([&](u8 code, CpuState& state) -> Cycles {
+    seen_code = code;
+    state.set_reg(Reg::R0, 123);
+    return 1000;
+  });
+  const Cycles before = cpu_.cycles();
+  run("svc #7\nhlt\n");
+  EXPECT_EQ(seen_code, 7);
+  EXPECT_EQ(reg(Reg::R0), 123u);
+  EXPECT_GT(cpu_.cycles(), before + 1000);
+}
+
+TEST_F(CpuTest, SvcWithoutHandlerFaults) {
+  EXPECT_EQ(run("svc #1\nhlt\n"), HaltReason::Fault);
+  EXPECT_EQ(cpu_.fault()->type, mem::FaultType::UndefinedInstr);
+}
+
+TEST_F(CpuTest, FaultsAreDelivered) {
+  EXPECT_EQ(run("li r1, =0x30000000\nldr r0, [r1]\nhlt\n"), HaltReason::Fault);
+  EXPECT_EQ(cpu_.fault()->type, mem::FaultType::SecurityFault);
+
+  EXPECT_EQ(run("li r1, =0x00000000\nldr r0, [r1]\nhlt\n"), HaltReason::Fault);
+  EXPECT_EQ(cpu_.fault()->type, mem::FaultType::BusError);
+}
+
+TEST_F(CpuTest, UnalignedBranchTargetFaults) {
+  EXPECT_EQ(run("li r1, =0x00200002\nbx r1\nhlt\n"), HaltReason::Fault);
+  EXPECT_EQ(cpu_.fault()->type, mem::FaultType::Unaligned);
+}
+
+TEST_F(CpuTest, InstructionBudgetStopsRunaways) {
+  EXPECT_EQ(run("loop: b loop\n", 100), HaltReason::InstrBudget);
+  EXPECT_EQ(cpu_.instructions_retired(), 100u);
+}
+
+TEST_F(CpuTest, BreakpointHalts) {
+  EXPECT_EQ(run("bkpt\nhlt\n"), HaltReason::Breakpoint);
+}
+
+TEST_F(CpuTest, CyclesAccumulateMonotonically) {
+  run("movi r1, #100\nloop: sub r1, r1, #1\ncmp r1, #0\nbne loop\nhlt\n");
+  // ~100 iterations x (1 + 1 + taken branch) plus prologue.
+  EXPECT_GT(cpu_.cycles(), 400u);
+  EXPECT_LT(cpu_.cycles(), 1000u);
+  EXPECT_EQ(cpu_.instructions_retired(), 2 + 100 * 3u);
+}
+
+}  // namespace
+}  // namespace raptrack::cpu

@@ -1,0 +1,105 @@
+// Unit tests: SHA-256 against FIPS 180-4 examples, HMAC-SHA256 against
+// RFC 4231 vectors, incremental hashing, and constant-time comparison.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace raptrack::crypto {
+namespace {
+
+std::vector<u8> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Sha256, FipsVectors) {
+  EXPECT_EQ(hex_digest(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_digest(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_digest(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_digest(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= text.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(text).substr(0, split));
+    h.update(std::string_view(text).substr(split));
+    EXPECT_EQ(h.finalize(), Sha256::hash(text)) << "split " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding edges.
+  for (const size_t length : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string data(length, 'x');
+    Sha256 incremental;
+    for (const char c : data) incremental.update(std::string_view(&c, 1));
+    EXPECT_EQ(incremental.finalize(), Sha256::hash(data)) << length;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<u8> key(20, 0x0b);
+  EXPECT_EQ(hex_digest(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hex_digest(hmac_sha256(bytes_of("Jefe"),
+                                   bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::vector<u8> key(20, 0xaa);
+  const std::vector<u8> data(50, 0xdd);
+  EXPECT_EQ(hex_digest(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+  const std::vector<u8> key(131, 0xaa);  // key longer than the block size
+  EXPECT_EQ(hex_digest(hmac_sha256(
+                key, bytes_of("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  const auto a = hmac_sha256(bytes_of("key-a"), bytes_of("msg"));
+  const auto b = hmac_sha256(bytes_of("key-b"), bytes_of("msg"));
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  const auto a = hmac_sha256(bytes_of("key"), bytes_of("msg-1"));
+  const auto b = hmac_sha256(bytes_of("key"), bytes_of("msg-2"));
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(DigestEqual, ExactMatchOnly) {
+  Digest a = Sha256::hash("x");
+  Digest b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+  b[31] ^= 1;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace raptrack::crypto

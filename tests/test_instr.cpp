@@ -1,0 +1,270 @@
+// Unit tests: the TRACES-style instrumentation pass and its Secure-World
+// logging engine (veneer shapes, per-branch context switches, log
+// compression accounting, capacity flushes).
+#include <gtest/gtest.h>
+
+#include "apps/runner.hpp"
+#include "asm/assembler.hpp"
+#include "instr/traces_engine.hpp"
+#include "instr/traces_rewriter.hpp"
+
+namespace raptrack::instr {
+namespace {
+
+using isa::Op;
+
+struct Built {
+  Program program;
+  Address entry;
+  Address code_end;
+};
+
+Built build(std::string_view src) {
+  Built b{assemble(src, 0x0020'0000), 0, 0};
+  b.entry = *b.program.symbol("_start");
+  b.code_end = *b.program.symbol("__code_end");
+  return b;
+}
+
+struct RunResult {
+  cpu::HaltReason halt;
+  Word r0;
+  u64 world_switches;
+  TracesLog log;
+  u64 log_bytes;
+  u32 flushes;
+};
+
+RunResult run_instrumented(const Built& b, const TracesResult& rewritten,
+                           u32 capacity = 0) {
+  sim::Machine machine;
+  machine.load_program(rewritten.program);
+  TracesEngine engine(rewritten.program, rewritten.manifest, machine.memory(),
+                      capacity);
+  engine.attach(machine.monitor());
+  machine.reset_cpu(b.entry);
+  const auto halt = machine.run(100000);
+  return {halt,
+          machine.cpu().state().reg(isa::Reg::R0),
+          machine.monitor().world_switches(),
+          engine.log(),
+          engine.total_log_bytes(),
+          engine.partial_flushes()};
+}
+
+TEST(TracesRewriter, ConditionalVeneerLogsDirectionBits) {
+  const Built b = build(R"(
+_start:
+    movi r0, #0
+    cmp r1, #0
+    bne one
+    addi r0, r0, #1
+one:
+    cmp r1, #1
+    beq two
+    addi r0, r0, #2
+two:
+    hlt
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  ASSERT_EQ(rewritten.manifest.veneers.size(), 2u);
+  for (const auto& veneer : rewritten.manifest.veneers) {
+    EXPECT_EQ(veneer.kind, VeneerKind::Conditional);
+    // Veneer: SVC; Bcc; B resume.
+    EXPECT_EQ(rewritten.program.instruction_at(veneer.svc_addr)->op, Op::SVC);
+    EXPECT_EQ(rewritten.program.instruction_at(veneer.veneer_base + 4)->op,
+              Op::BCC);
+    EXPECT_EQ(rewritten.program.instruction_at(veneer.veneer_base + 8)->op,
+              Op::B);
+  }
+  const RunResult run = run_instrumented(b, rewritten);
+  EXPECT_EQ(run.halt, cpu::HaltReason::Halted);
+  EXPECT_EQ(run.r0, 3u);  // both fall-throughs taken (r1 == 0)
+  ASSERT_EQ(run.log.direction_bits.size(), 2u);
+  EXPECT_FALSE(run.log.direction_bits[0]);  // bne not taken
+  EXPECT_FALSE(run.log.direction_bits[1]);  // beq not taken
+  EXPECT_EQ(run.world_switches, 2u);        // one context switch per branch
+}
+
+TEST(TracesRewriter, IndirectCallVeneerLogsTarget) {
+  const Built b = build(R"(
+_start:
+    li r3, =callee
+    blx r3
+    hlt
+callee:
+    movi r0, #9
+    bx lr
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  ASSERT_EQ(rewritten.manifest.veneers.size(), 1u);
+  EXPECT_EQ(rewritten.manifest.veneers[0].kind, VeneerKind::IndirectCall);
+  // Site replaced with BL (preserving LR semantics).
+  EXPECT_EQ(rewritten.program.instruction_at(rewritten.manifest.veneers[0].site)->op,
+            Op::BL);
+  const RunResult run = run_instrumented(b, rewritten);
+  EXPECT_EQ(run.r0, 9u);
+  ASSERT_EQ(run.log.indirect_targets.size(), 1u);
+  EXPECT_EQ(run.log.indirect_targets[0], *b.program.symbol("callee"));
+}
+
+TEST(TracesRewriter, ReturnPopVeneerLogsReturnAddress) {
+  const Built b = build(R"(
+_start:
+    bl fn
+    hlt
+fn:
+    push {r4, lr}
+    movi r0, #5
+    pop {r4, pc}
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  const RunResult run = run_instrumented(b, rewritten);
+  EXPECT_EQ(run.r0, 5u);
+  ASSERT_EQ(run.log.indirect_targets.size(), 1u);
+  EXPECT_EQ(run.log.indirect_targets[0], b.entry + 4);  // return site
+}
+
+TEST(TracesRewriter, LoopConditionOptimizationShared) {
+  const Built b = build(R"(
+_start:
+    movi r0, #0
+    mov r1, r2
+loop:
+    add r0, r0, r1
+    addi r1, r1, #1
+    cmp r1, #5
+    blt loop
+    hlt
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  ASSERT_EQ(rewritten.manifest.veneers.size(), 1u);
+  EXPECT_EQ(rewritten.manifest.veneers[0].kind, VeneerKind::LoopCondition);
+  const RunResult run = run_instrumented(b, rewritten);
+  ASSERT_EQ(run.log.loop_conditions.size(), 1u);
+  EXPECT_EQ(run.log.loop_conditions[0], 0u);  // r2 == 0 at loop entry
+  EXPECT_EQ(run.world_switches, 1u);          // once per loop, not per iteration
+}
+
+TEST(TracesRewriter, DeterministicLoopsAreElided) {
+  const Built b = build(R"(
+_start:
+    movi r0, #0
+    movi r1, #0
+loop:
+    add r0, r0, r1
+    addi r1, r1, #1
+    cmp r1, #5
+    blt loop
+    hlt
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  EXPECT_TRUE(rewritten.manifest.veneers.empty());
+  const RunResult run = run_instrumented(b, rewritten);
+  EXPECT_EQ(run.world_switches, 0u);
+  EXPECT_EQ(run.r0, 10u);
+}
+
+TEST(TracesEngine, RleCompressesRepeatedTargets) {
+  // A loop calling the same function pointer repeatedly: repeated identical
+  // return targets / call targets collapse under RLE.
+  const Built b = build(R"(
+_start:
+    movi r4, #0
+    li r3, =callee
+again:
+    blx r3
+    addi r4, r4, #1
+    cmp r4, #10
+    blt again
+    hlt
+callee:
+    bx lr
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  const RunResult run = run_instrumented(b, rewritten);
+  ASSERT_EQ(run.log.indirect_targets.size(), 10u);
+  // 10 identical targets: 4 bytes + one 2-byte run counter; plus the 10
+  // conditional outcomes at one word each (default encoding).
+  const u64 addr_bytes = 4 + 2;
+  const u64 cond_bytes = 10 * 4;
+  EXPECT_EQ(run.log_bytes, addr_bytes + cond_bytes);
+}
+
+TEST(TracesEngine, BitPackedEncodingShrinksConditionals) {
+  const Built b = build(R"(
+_start:
+    movi r4, #0
+    li r3, =callee
+again:
+    blx r3
+    addi r4, r4, #1
+    cmp r4, #16
+    blt again
+    hlt
+callee:
+    bx lr
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  sim::Machine machine;
+  machine.load_program(rewritten.program);
+  TracesEngine engine(rewritten.program, rewritten.manifest, machine.memory(),
+                      0, /*bit_packed=*/true);
+  engine.attach(machine.monitor());
+  machine.reset_cpu(b.entry);
+  ASSERT_EQ(machine.run(100000), cpu::HaltReason::Halted);
+  // 16 identical call targets: 4 + 2 bytes; 16 direction bits: one word.
+  EXPECT_EQ(engine.total_log_bytes(), 4u + 2u + 4u);
+}
+
+TEST(TracesEngine, CapacityTriggersPartialFlushes) {
+  const Built b = build(R"(
+_start:
+    movi r4, #0
+    li r3, =callee
+again:
+    blx r3
+    addi r4, r4, #1
+    cmp r4, #16
+    blt again
+    hlt
+callee:
+    bx lr
+__code_end:
+  )");
+  const TracesResult rewritten =
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end);
+  const RunResult run = run_instrumented(b, rewritten, /*capacity=*/8);
+  EXPECT_GT(run.flushes, 0u);
+}
+
+TEST(TracesRewriter, RejectsSvcInApplication) {
+  const Built b = build("_start:\n    svc #1\n    hlt\n__code_end:\n");
+  EXPECT_THROW(
+      rewrite_for_traces(b.program, b.entry, b.program.base(), b.code_end),
+      Error);
+}
+
+TEST(TracesRewriter, CodeGrowthIsBounded) {
+  const apps::PreparedApp p = apps::prepare_app(apps::app_by_name("gps"));
+  // Veneers are at most 3 words each.
+  EXPECT_LE(p.traces.rewritten_bytes,
+            p.traces.original_bytes + 12 * p.traces.veneer_count + 16);
+}
+
+}  // namespace
+}  // namespace raptrack::instr

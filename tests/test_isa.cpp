@@ -1,0 +1,238 @@
+// Unit tests: instruction encode/decode round-trips, branch classification,
+// condition evaluation, cycle model sanity.
+#include <gtest/gtest.h>
+
+#include "isa/cycle_model.hpp"
+#include "isa/instruction.hpp"
+
+namespace raptrack::isa {
+namespace {
+
+TEST(Condition, EvaluatesAgainstFlags) {
+  Flags f;
+  f.z = true;
+  EXPECT_TRUE(evaluate(Cond::EQ, f));
+  EXPECT_FALSE(evaluate(Cond::NE, f));
+  f.z = false;
+  f.n = true;
+  f.v = false;
+  EXPECT_TRUE(evaluate(Cond::LT, f));
+  EXPECT_FALSE(evaluate(Cond::GE, f));
+  f.n = false;
+  EXPECT_TRUE(evaluate(Cond::GE, f));
+  EXPECT_TRUE(evaluate(Cond::GT, f));
+  f.c = true;
+  EXPECT_TRUE(evaluate(Cond::HI, f));
+  EXPECT_TRUE(evaluate(Cond::AL, f));
+}
+
+TEST(Condition, InvertPairs) {
+  EXPECT_EQ(invert(Cond::EQ), Cond::NE);
+  EXPECT_EQ(invert(Cond::LT), Cond::GE);
+  EXPECT_EQ(invert(Cond::HI), Cond::LS);
+  EXPECT_EQ(invert(Cond::AL), Cond::AL);
+}
+
+TEST(Condition, SuffixRoundTrip) {
+  for (u8 c = 0; c <= static_cast<u8>(Cond::LE); ++c) {
+    const Cond cond = static_cast<Cond>(c);
+    EXPECT_EQ(cond_from_suffix(suffix(cond)), cond) << "cond " << int(c);
+  }
+  EXPECT_FALSE(cond_from_suffix("zz").has_value());
+}
+
+class EncodeRoundTrip : public ::testing::TestWithParam<Instruction> {};
+
+TEST_P(EncodeRoundTrip, DecodesBack) {
+  const Instruction original = GetParam();
+  const u32 word = encode(original);
+  const auto decoded = decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original) << to_string(original) << " vs "
+                                << to_string(*decoded);
+}
+
+std::vector<Instruction> round_trip_cases() {
+  std::vector<Instruction> cases;
+  cases.push_back(make_nop());
+  {
+    Instruction in;
+    in.op = Op::HLT;
+    cases.push_back(in);
+  }
+  cases.push_back(make_svc(0x42));
+  {
+    Instruction in;
+    in.op = Op::MOVI;
+    in.rd = Reg::R7;
+    in.imm = 0xbeef;
+    cases.push_back(in);
+    in.op = Op::MOVT;
+    cases.push_back(in);
+  }
+  {
+    Instruction in;
+    in.op = Op::ADD;
+    in.rd = Reg::R1;
+    in.rn = Reg::R2;
+    in.rm = Reg::R3;
+    in.set_flags = true;
+    cases.push_back(in);
+  }
+  {
+    Instruction in;
+    in.op = Op::SUBI;
+    in.rd = Reg::R12;
+    in.rn = Reg::SP;
+    in.imm = -2048;
+    cases.push_back(in);
+    in.imm = 2047;
+    cases.push_back(in);
+  }
+  {
+    Instruction in;
+    in.op = Op::CMPI;
+    in.rn = Reg::R4;
+    in.imm = -1;
+    in.set_flags = true;
+    cases.push_back(in);
+  }
+  {
+    Instruction in;
+    in.op = Op::LDR;
+    in.rd = Reg::PC;
+    in.rn = Reg::R2;
+    in.imm = 16;
+    cases.push_back(in);
+  }
+  {
+    Instruction in;
+    in.op = Op::LDRR;
+    in.rd = Reg::R3;
+    in.rn = Reg::R10;
+    in.rm = Reg::R1;
+    in.shift = 2;
+    cases.push_back(in);
+  }
+  {
+    Instruction in;
+    in.op = Op::PUSH;
+    in.reg_list = 0x40f0;  // r4-r7, lr
+    cases.push_back(in);
+    in.op = Op::POP;
+    in.reg_list = 0x80f0;  // r4-r7, pc
+    cases.push_back(in);
+  }
+  cases.push_back(make_branch(Op::B, -4096));
+  cases.push_back(make_branch(Op::BL, 4096));
+  cases.push_back(make_cond_branch(Cond::NE, -8));
+  cases.push_back(make_cond_branch(Cond::GT, 1024));
+  cases.push_back(make_reg_branch(Op::BX, Reg::LR));
+  cases.push_back(make_reg_branch(Op::BLX, Reg::R5));
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, EncodeRoundTrip,
+                         ::testing::ValuesIn(round_trip_cases()));
+
+TEST(Encode, RejectsOutOfRangeFields) {
+  Instruction in;
+  in.op = Op::MOVI;
+  in.rd = Reg::R0;
+  in.imm = 0x10000;
+  EXPECT_THROW(encode(in), Error);
+
+  in = make_branch(Op::B, 3);  // unaligned
+  EXPECT_THROW(encode(in), Error);
+
+  in = make_cond_branch(Cond::EQ, (1 << 21) * 4);  // exceeds imm20 words
+  EXPECT_THROW(encode(in), Error);
+}
+
+TEST(Decode, RejectsInvalidOpcode) {
+  EXPECT_FALSE(decode(0xff00'0000).has_value());
+}
+
+TEST(BranchKind, Classification) {
+  EXPECT_EQ(branch_kind(make_branch(Op::B, 8)), BranchKind::Direct);
+  EXPECT_EQ(branch_kind(make_branch(Op::BL, 8)), BranchKind::DirectCall);
+  EXPECT_EQ(branch_kind(make_cond_branch(Cond::EQ, 8)), BranchKind::Conditional);
+  EXPECT_EQ(branch_kind(make_reg_branch(Op::BLX, Reg::R3)),
+            BranchKind::IndirectCall);
+  EXPECT_EQ(branch_kind(make_reg_branch(Op::BX, Reg::R3)),
+            BranchKind::IndirectJump);
+  EXPECT_EQ(branch_kind(make_reg_branch(Op::BX, Reg::LR)), BranchKind::Return);
+
+  Instruction pop;
+  pop.op = Op::POP;
+  pop.reg_list = 0x8010;  // r4, pc
+  EXPECT_EQ(branch_kind(pop), BranchKind::Return);
+  pop.reg_list = 0x0010;  // r4 only
+  EXPECT_EQ(branch_kind(pop), BranchKind::None);
+
+  Instruction ldr_pc;
+  ldr_pc.op = Op::LDR;
+  ldr_pc.rd = Reg::PC;
+  EXPECT_EQ(branch_kind(ldr_pc), BranchKind::IndirectJump);
+  ldr_pc.rd = Reg::R0;
+  EXPECT_EQ(branch_kind(ldr_pc), BranchKind::None);
+
+  Instruction hlt;
+  hlt.op = Op::HLT;
+  EXPECT_EQ(branch_kind(hlt), BranchKind::Halt);
+  EXPECT_EQ(branch_kind(make_nop()), BranchKind::None);
+}
+
+TEST(BranchKind, NondeterminismMatchesPaperTaxonomy) {
+  // §IV: indirect jumps/calls, returns, and conditional branches are
+  // non-deterministic; direct branches and calls are not.
+  EXPECT_TRUE(is_nondeterministic(BranchKind::Conditional));
+  EXPECT_TRUE(is_nondeterministic(BranchKind::IndirectCall));
+  EXPECT_TRUE(is_nondeterministic(BranchKind::IndirectJump));
+  EXPECT_TRUE(is_nondeterministic(BranchKind::Return));
+  EXPECT_FALSE(is_nondeterministic(BranchKind::Direct));
+  EXPECT_FALSE(is_nondeterministic(BranchKind::DirectCall));
+  EXPECT_FALSE(is_nondeterministic(BranchKind::None));
+}
+
+TEST(BranchTarget, OffsetsAreRelativeToNextInstruction) {
+  const auto b = make_branch(Op::B, 8);
+  EXPECT_EQ(branch_target(b, 0x1000), 0x100cu);
+  const auto back = make_cond_branch(Cond::NE, -12);
+  EXPECT_EQ(branch_target(back, 0x1000), 0xff8u);
+  EXPECT_EQ(branch_offset(0x1000, 0x100c), 8);
+  EXPECT_EQ(branch_offset(0x1000, 0xff8), -12);
+}
+
+TEST(CycleModel, RelativeCostsAreSane) {
+  const CycleModel model;
+  EXPECT_LT(model.cost(make_nop(), true), model.cost(make_branch(Op::B, 0), true));
+  Instruction udiv;
+  udiv.op = Op::UDIV;
+  EXPECT_GT(model.cost(udiv, true), model.alu);
+
+  const auto bcc = make_cond_branch(Cond::EQ, 8);
+  EXPECT_GT(model.cost(bcc, true), model.cost(bcc, false));
+
+  Instruction pop_pc;
+  pop_pc.op = Op::POP;
+  pop_pc.reg_list = 0x8030;
+  Instruction pop_plain;
+  pop_plain.op = Op::POP;
+  pop_plain.reg_list = 0x0030;
+  EXPECT_GT(model.cost(pop_pc, true), model.cost(pop_plain, true));
+}
+
+TEST(ToString, RendersReadably) {
+  Instruction in;
+  in.op = Op::ADDI;
+  in.rd = Reg::R1;
+  in.rn = Reg::R2;
+  in.imm = 5;
+  EXPECT_EQ(to_string(in), "addi r1, r2, #5");
+  EXPECT_EQ(to_string(make_reg_branch(Op::BX, Reg::LR)), "bx lr");
+  EXPECT_EQ(to_string(make_cond_branch(Cond::NE, -8)), "bne .-8");
+}
+
+}  // namespace
+}  // namespace raptrack::isa

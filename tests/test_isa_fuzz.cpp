@@ -1,0 +1,176 @@
+// Fuzz-style properties for the ISA layer:
+//   - decode/encode stability over random instruction words;
+//   - differential check of executor ALU/flag semantics against independent
+//     C++ golden computations over random operands.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "cpu/executor.hpp"
+#include "isa/instruction.hpp"
+#include "mem/bus.hpp"
+
+namespace raptrack {
+namespace {
+
+using isa::Op;
+using isa::Reg;
+
+TEST(IsaFuzz, DecodeEncodeIsStable) {
+  // For any word that decodes, re-encoding the decoded instruction and
+  // decoding again must yield the same instruction (the encoding may
+  // canonicalize don't-care bits, but the semantics must be a fixpoint).
+  Xoshiro256 rng(0xdec0de);
+  u32 decodable = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const u32 word = static_cast<u32>(rng.next());
+    const auto decoded = isa::decode(word);
+    if (!decoded) continue;
+    ++decodable;
+    u32 reencoded = 0;
+    try {
+      reencoded = isa::encode(*decoded);
+    } catch (const Error&) {
+      // Some decoded fields (e.g. huge branch offsets from sign extension)
+      // are valid decodes but at the encoder's range edge; skip those.
+      continue;
+    }
+    const auto redecoded = isa::decode(reencoded);
+    ASSERT_TRUE(redecoded.has_value()) << hex32(word);
+    EXPECT_EQ(*redecoded, *decoded) << hex32(word);
+  }
+  EXPECT_GT(decodable, 1000u);  // the opcode space is dense enough to hit
+}
+
+TEST(IsaFuzz, ToStringNeverCrashesOnDecodableWords) {
+  Xoshiro256 rng(0x737472);
+  for (int i = 0; i < 50000; ++i) {
+    const auto decoded = isa::decode(static_cast<u32>(rng.next()));
+    if (decoded) {
+      EXPECT_FALSE(isa::to_string(*decoded).empty());
+    }
+  }
+}
+
+// -- executor differential fuzz ----------------------------------------------
+
+class AluFuzz : public ::testing::Test {
+ protected:
+  AluFuzz() : map_(mem::MemoryMap::make_default()), bus_(map_), cpu_(bus_) {}
+
+  /// Execute a single register-register ALU op with the given operands and
+  /// return (result, flags).
+  std::pair<Word, isa::Flags> run_op(Op op, Word a, Word b, bool set_flags) {
+    isa::Instruction in;
+    in.op = op;
+    in.rd = Reg::R2;
+    in.rn = Reg::R0;
+    in.rm = Reg::R1;
+    in.set_flags = set_flags;
+    Program p(mem::MapLayout::kNsFlashBase, std::vector<u8>(8, 0));
+    p.set_word(p.base(), isa::encode(in));
+    p.set_word(p.base() + 4, isa::encode(isa::Instruction{.op = Op::HLT}));
+    map_.load(p.base(), p.bytes());
+    cpu_.reset(p.base(), mem::MapLayout::kNsRamBase + 0x100);
+    cpu_.state().set_reg(Reg::R0, a);
+    cpu_.state().set_reg(Reg::R1, b);
+    EXPECT_EQ(cpu_.run(10), cpu::HaltReason::Halted);
+    return {cpu_.state().reg(Reg::R2), cpu_.state().flags};
+  }
+
+  mem::MemoryMap map_;
+  mem::Bus bus_;
+  cpu::Executor cpu_;
+};
+
+TEST_F(AluFuzz, AddSubMatchGoldenSemantics) {
+  Xoshiro256 rng(0xa1b2);
+  for (int i = 0; i < 3000; ++i) {
+    const Word a = static_cast<Word>(rng.next());
+    const Word b = static_cast<Word>(rng.next());
+
+    {
+      const auto [result, flags] = run_op(Op::ADD, a, b, true);
+      EXPECT_EQ(result, a + b);
+      EXPECT_EQ(flags.z, (a + b) == 0);
+      EXPECT_EQ(flags.n, static_cast<i32>(a + b) < 0);
+      EXPECT_EQ(flags.c, (static_cast<u64>(a) + b) > 0xffffffffull);
+      const i64 signed_sum = static_cast<i64>(static_cast<i32>(a)) +
+                             static_cast<i32>(b);
+      EXPECT_EQ(flags.v, signed_sum != static_cast<i32>(a + b));
+    }
+    {
+      const auto [result, flags] = run_op(Op::SUB, a, b, true);
+      EXPECT_EQ(result, a - b);
+      EXPECT_EQ(flags.c, a >= b);  // no borrow
+      const i64 signed_diff = static_cast<i64>(static_cast<i32>(a)) -
+                              static_cast<i32>(b);
+      EXPECT_EQ(flags.v, signed_diff != static_cast<i32>(a - b));
+    }
+  }
+}
+
+TEST_F(AluFuzz, LogicalAndShiftsMatchGolden) {
+  Xoshiro256 rng(0xc3d4);
+  for (int i = 0; i < 3000; ++i) {
+    const Word a = static_cast<Word>(rng.next());
+    const Word b = static_cast<Word>(rng.next());
+    EXPECT_EQ(run_op(Op::AND, a, b, false).first, a & b);
+    EXPECT_EQ(run_op(Op::ORR, a, b, false).first, a | b);
+    EXPECT_EQ(run_op(Op::EOR, a, b, false).first, a ^ b);
+    EXPECT_EQ(run_op(Op::MUL, a, b, false).first, a * b);
+
+    const Word amount = b & 0xff;
+    EXPECT_EQ(run_op(Op::LSL, a, b, false).first,
+              amount >= 32 ? 0u : (a << amount));
+    EXPECT_EQ(run_op(Op::LSR, a, b, false).first,
+              amount >= 32 ? 0u : (amount == 0 ? a : a >> amount));
+    const i32 sa = static_cast<i32>(a);
+    EXPECT_EQ(run_op(Op::ASR, a, b, false).first,
+              static_cast<Word>(amount >= 32 ? sa >> 31 : sa >> amount));
+  }
+}
+
+TEST_F(AluFuzz, DivisionMatchesArmSemantics) {
+  Xoshiro256 rng(0xd1f1);
+  for (int i = 0; i < 3000; ++i) {
+    const Word a = static_cast<Word>(rng.next());
+    const Word b = i % 17 == 0 ? 0 : static_cast<Word>(rng.next());  // hit /0
+    EXPECT_EQ(run_op(Op::UDIV, a, b, false).first, b == 0 ? 0 : a / b);
+    const i32 sn = static_cast<i32>(a), sd = static_cast<i32>(b);
+    Word expected;
+    if (sd == 0) {
+      expected = 0;
+    } else if (sn == INT32_MIN && sd == -1) {
+      expected = static_cast<Word>(INT32_MIN);
+    } else {
+      expected = static_cast<Word>(sn / sd);
+    }
+    EXPECT_EQ(run_op(Op::SDIV, a, b, false).first, expected);
+  }
+}
+
+TEST_F(AluFuzz, ConditionCodesAgreeWithComparisons) {
+  // cmp a, b followed by each condition must mirror the C++ comparison.
+  Xoshiro256 rng(0xcc01);
+  for (int i = 0; i < 2000; ++i) {
+    const Word a = static_cast<Word>(rng.next());
+    const Word b = rng.chance(1, 4) ? a : static_cast<Word>(rng.next());
+    const auto [_, flags] = run_op(Op::CMP, a, b, true);
+    const i32 sa = static_cast<i32>(a), sb = static_cast<i32>(b);
+    EXPECT_EQ(isa::evaluate(isa::Cond::EQ, flags), a == b);
+    EXPECT_EQ(isa::evaluate(isa::Cond::NE, flags), a != b);
+    EXPECT_EQ(isa::evaluate(isa::Cond::CS, flags), a >= b);   // unsigned
+    EXPECT_EQ(isa::evaluate(isa::Cond::CC, flags), a < b);
+    EXPECT_EQ(isa::evaluate(isa::Cond::HI, flags), a > b);
+    EXPECT_EQ(isa::evaluate(isa::Cond::LS, flags), a <= b);
+    EXPECT_EQ(isa::evaluate(isa::Cond::GE, flags), sa >= sb);  // signed
+    EXPECT_EQ(isa::evaluate(isa::Cond::LT, flags), sa < sb);
+    EXPECT_EQ(isa::evaluate(isa::Cond::GT, flags), sa > sb);
+    EXPECT_EQ(isa::evaluate(isa::Cond::LE, flags), sa <= sb);
+  }
+}
+
+}  // namespace
+}  // namespace raptrack

@@ -1,0 +1,175 @@
+// Unit tests: memory map security attribution, MMIO dispatch, MPU
+// permissions and locking, fault generation.
+#include <gtest/gtest.h>
+
+#include "mem/bus.hpp"
+#include "mem/memory_map.hpp"
+#include "mem/mpu.hpp"
+
+namespace raptrack::mem {
+namespace {
+
+FaultType fault_of(const std::function<void()>& action) {
+  try {
+    action();
+  } catch (const FaultException& e) {
+    return e.fault().type;
+  }
+  return FaultType::None;
+}
+
+TEST(MemoryMap, DefaultRegionsCoverTheAn505Layout) {
+  const MemoryMap map = MemoryMap::make_default();
+  EXPECT_NE(map.find(MapLayout::kNsFlashBase), nullptr);
+  EXPECT_NE(map.find(MapLayout::kNsRamBase), nullptr);
+  EXPECT_NE(map.find(MapLayout::kSRamBase), nullptr);
+  EXPECT_NE(map.find(MapLayout::kMtbSramBase), nullptr);
+  EXPECT_EQ(map.find(0x0010'0000), nullptr);  // hole
+}
+
+TEST(MemoryMap, RawAccessRoundTrips) {
+  MemoryMap map = MemoryMap::make_default();
+  map.raw_write32(MapLayout::kNsRamBase + 16, 0xcafebabe);
+  EXPECT_EQ(map.raw_read32(MapLayout::kNsRamBase + 16), 0xcafebabe);
+  map.raw_write8(MapLayout::kNsRamBase, 0x5a);
+  EXPECT_EQ(map.raw_read8(MapLayout::kNsRamBase), 0x5a);
+}
+
+TEST(MemoryMap, LittleEndianLayout) {
+  MemoryMap map = MemoryMap::make_default();
+  map.raw_write32(MapLayout::kNsRamBase, 0x04030201);
+  EXPECT_EQ(map.raw_read8(MapLayout::kNsRamBase + 0), 0x01);
+  EXPECT_EQ(map.raw_read8(MapLayout::kNsRamBase + 3), 0x04);
+}
+
+TEST(MemoryMap, SubWordCheckedAccess) {
+  MemoryMap map = MemoryMap::make_default();
+  map.write(MapLayout::kNsRamBase, 0xbeef, 2, WorldSide::NonSecure, 0);
+  EXPECT_EQ(map.read(MapLayout::kNsRamBase, 2, WorldSide::NonSecure, 0), 0xbeefu);
+  map.write(MapLayout::kNsRamBase + 2, 0x7f, 1, WorldSide::NonSecure, 0);
+  EXPECT_EQ(map.read(MapLayout::kNsRamBase, 4, WorldSide::NonSecure, 0),
+            0x007fbeefu);
+}
+
+TEST(MemoryMap, NonSecureCannotTouchSecureRegions) {
+  MemoryMap map = MemoryMap::make_default();
+  EXPECT_EQ(fault_of([&] {
+              map.read(MapLayout::kSRamBase, 4, WorldSide::NonSecure, 0);
+            }),
+            FaultType::SecurityFault);
+  EXPECT_EQ(fault_of([&] {
+              map.write(MapLayout::kMtbSramBase, 1, 4, WorldSide::NonSecure, 0);
+            }),
+            FaultType::SecurityFault);
+  // The Secure world can.
+  map.write(MapLayout::kSRamBase, 7, 4, WorldSide::Secure, 0);
+  EXPECT_EQ(map.read(MapLayout::kSRamBase, 4, WorldSide::Secure, 0), 7u);
+}
+
+TEST(MemoryMap, UnmappedAndUnalignedFaults) {
+  MemoryMap map = MemoryMap::make_default();
+  EXPECT_EQ(fault_of([&] { map.read(0x0, 4, WorldSide::Secure, 0); }),
+            FaultType::BusError);
+  EXPECT_EQ(fault_of([&] {
+              map.read(MapLayout::kNsRamBase + 2, 4, WorldSide::NonSecure, 0);
+            }),
+            FaultType::Unaligned);
+}
+
+TEST(MemoryMap, ExecutePermissions) {
+  MemoryMap map = MemoryMap::make_default();
+  map.check_execute(MapLayout::kNsFlashBase, WorldSide::NonSecure);  // ok
+  EXPECT_EQ(fault_of([&] {
+              map.check_execute(MapLayout::kNsRamBase, WorldSide::NonSecure);
+            }),
+            FaultType::MpuViolation);
+  EXPECT_EQ(fault_of([&] {
+              map.check_execute(MapLayout::kSFlashBase, WorldSide::NonSecure);
+            }),
+            FaultType::SecurityFault);
+}
+
+TEST(MemoryMap, MmioHandlersAreInvoked) {
+  MemoryMap map = MemoryMap::make_default();
+  u32 last_write = 0;
+  MmioHandler handler;
+  handler.read = [](Address offset, u32) { return offset + 0x100; };
+  handler.write = [&](Address, u32 value, u32) { last_write = value; };
+  map.add_mmio("dev", 0x4000'0000, 0x100, Security::NonSecure, handler);
+  EXPECT_EQ(map.read(0x4000'0010, 4, WorldSide::NonSecure, 0), 0x110u);
+  map.write(0x4000'0020, 42, 4, WorldSide::NonSecure, 0);
+  EXPECT_EQ(last_write, 42u);
+}
+
+TEST(MemoryMap, RejectsOverlappingRegions) {
+  MemoryMap map = MemoryMap::make_default();
+  Region overlap;
+  overlap.name = "bad";
+  overlap.base = MapLayout::kNsFlashBase + 0x100;
+  overlap.size = 0x100;
+  EXPECT_THROW(map.add_region(overlap), Error);
+}
+
+TEST(MemoryMap, LoadAndDump) {
+  MemoryMap map = MemoryMap::make_default();
+  const std::vector<u8> image = {1, 2, 3, 4, 5};
+  map.load(MapLayout::kNsFlashBase, image);
+  EXPECT_EQ(map.dump(MapLayout::kNsFlashBase, 5), image);
+  EXPECT_THROW(map.load(0x0, image), Error);
+}
+
+TEST(Mpu, PermissionChecks) {
+  Mpu mpu;
+  mpu.configure(0, {.enabled = true,
+                    .base = 0x1000,
+                    .limit = 0x1fff,
+                    .allow_read = true,
+                    .allow_write = false,
+                    .allow_execute = true});
+  mpu.check(0x1800, AccessType::Read, 0);     // ok
+  mpu.check(0x1800, AccessType::Execute, 0);  // ok
+  mpu.check(0x3000, AccessType::Write, 0);    // outside: background allows
+  EXPECT_EQ(fault_of([&] { mpu.check(0x1800, AccessType::Write, 0); }),
+            FaultType::MpuViolation);
+}
+
+TEST(Mpu, LockPreventsReconfiguration) {
+  Mpu mpu;
+  mpu.configure(0, {.enabled = true, .base = 0, .limit = 0xfff});
+  mpu.lock();
+  EXPECT_TRUE(mpu.locked());
+  EXPECT_THROW(mpu.configure(0, {.enabled = false}), Error);
+  EXPECT_THROW(mpu.clear(0), Error);
+  mpu.reset();  // Secure-World privilege
+  EXPECT_FALSE(mpu.locked());
+  mpu.configure(0, {.enabled = true, .base = 0, .limit = 0xfff});
+}
+
+TEST(Mpu, RejectsBadConfigs) {
+  Mpu mpu;
+  EXPECT_THROW(mpu.configure(8, {}), Error);
+  EXPECT_THROW(mpu.configure(0, {.enabled = true, .base = 0x2000, .limit = 0x1000}),
+               Error);
+}
+
+TEST(Bus, StacksMpuOnSecurityAttribution) {
+  MemoryMap map = MemoryMap::make_default();
+  Bus bus(map);
+  // Lock flash against NS writes via the MPU (what the CFA engine does).
+  bus.ns_mpu().configure(0, {.enabled = true,
+                             .base = MapLayout::kNsFlashBase,
+                             .limit = MapLayout::kNsFlashBase + 0xffff,
+                             .allow_read = true,
+                             .allow_write = false,
+                             .allow_execute = true});
+  EXPECT_EQ(fault_of([&] {
+              bus.write(MapLayout::kNsFlashBase, 1, 4, WorldSide::NonSecure, 0);
+            }),
+            FaultType::MpuViolation);
+  // The Secure world bypasses the NS-MPU.
+  bus.write(MapLayout::kNsFlashBase, 1, 4, WorldSide::Secure, 0);
+  EXPECT_EQ(bus.read(MapLayout::kNsFlashBase, 4, WorldSide::NonSecure, 0), 1u);
+}
+
+}  // namespace
+}  // namespace raptrack::mem

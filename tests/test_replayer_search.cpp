@@ -1,0 +1,292 @@
+// Focused tests for the Verifier's parse search: the silent-rejoin
+// attribution ambiguity, the benign-first two-pass semantics, the
+// direction-selection analysis in the rewriter that keeps recursion
+// parseable, and the checker mode (scripted replay).
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "cfa/provers.hpp"
+#include "rewrite/rap_rewriter.hpp"
+#include "sim/machine.hpp"
+#include "verify/replayer.hpp"
+
+namespace raptrack::verify {
+namespace {
+
+struct Built {
+  Program program;
+  Address entry;
+  Address code_end;
+};
+
+Built build(std::string_view src) {
+  Built b{assemble(src, 0x0020'0000), 0, 0};
+  b.entry = *b.program.symbol("_start");
+  b.code_end = *b.program.symbol("__code_end");
+  return b;
+}
+
+struct RapRun {
+  rewrite::RewriteResult rewritten;
+  ReplayInputs inputs;
+  std::vector<trace::OracleEvent> oracle;
+};
+
+RapRun run_rap(const Built& b, u32 r2_seed = 0) {
+  RapRun out;
+  out.rewritten = rewrite::rewrite_for_rap_track(b.program, b.entry,
+                                                 b.program.base(), b.code_end);
+  sim::Machine machine(sim::MachineConfig{.mtb_buffer_bytes = 1 << 20});
+  machine.load_program(out.rewritten.program);
+  machine.dwt().configure_rap_track(
+      out.rewritten.manifest.mtbar_base, out.rewritten.manifest.mtbar_limit,
+      out.rewritten.manifest.mtbdr_base, out.rewritten.manifest.mtbdr_limit);
+  machine.mtb().set_enabled(true);
+  std::vector<u32>& loops = out.inputs.loop_values;
+  machine.monitor().register_service(
+      tz::Service::kRapLogLoopCondition, [&](cpu::CpuState& state) -> Cycles {
+        const auto* veneer =
+            out.rewritten.manifest.veneer_at_svc(state.pc() - 4);
+        loops.push_back(state.reg(veneer->loop.iterator));
+        return 1;
+      });
+  machine.reset_cpu(b.entry);
+  machine.cpu().state().set_reg(isa::Reg::R2, static_cast<Word>(r2_seed));
+  EXPECT_EQ(machine.run(1'000'000), cpu::HaltReason::Halted);
+  out.inputs.packets = machine.mtb().read_log();
+  out.oracle = machine.oracle().events();
+  return out;
+}
+
+// The canonical silent-rejoin program: a leaf helper with an if/else whose
+// arms both end in BX LR, called twice back to back. The CF_Log cannot
+// attribute the single taken-packet to a specific call.
+constexpr const char* kSilentRejoin = R"(
+_start:
+    li r4, =0x20201000
+    movi r0, #5          ; first call: branch NOT taken (0 stored)
+    bl classify
+    str r0, [r4, #0]
+    movi r0, #20         ; second call: branch taken (1 stored)
+    bl classify
+    str r0, [r4, #4]
+    hlt
+classify:                ; r0 -> 1 if r0 > 9 else 0
+    cmp r0, #9
+    bgt big
+    movi r0, #0
+    bx lr
+big:
+    movi r0, #1
+    bx lr
+__code_end:
+)";
+
+TEST(ReplaySearch, SilentRejoinProducesAConsistentBenignParse) {
+  const Built b = build(kSilentRejoin);
+  const RapRun run = run_rap(b);
+  // Exactly one packet from the bgt slot (the second call took it).
+  ASSERT_EQ(run.inputs.packets.size(), 1u);
+
+  PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+  replayer.set_rap_manifest(&run.rewritten.manifest);
+  const ReplayResult result = replayer.replay(run.inputs);
+  EXPECT_TRUE(result.complete) << result.failure;
+  EXPECT_TRUE(result.findings.empty());
+  // The parse may attribute the packet to either call (the log genuinely
+  // does not distinguish), but it must contain the same edge set…
+  EXPECT_EQ(result.events.size(), run.oracle.size());
+  // …and the true path must also be an accepted parse.
+  const ReplayResult checked = replayer.check_path(run.oracle, run.inputs);
+  EXPECT_TRUE(checked.complete) << checked.failure;
+  EXPECT_EQ(checked.events, run.oracle);
+}
+
+TEST(ReplaySearch, CheckerModeRejectsAWrongScript) {
+  const Built b = build(kSilentRejoin);
+  const RapRun run = run_rap(b);
+
+  // Corrupt the script: claim the program halted after the first call.
+  auto wrong = run.oracle;
+  wrong.resize(wrong.size() / 2);
+  PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+  replayer.set_rap_manifest(&run.rewritten.manifest);
+  const ReplayResult checked = replayer.check_path(wrong, run.inputs);
+  EXPECT_FALSE(checked.complete);
+}
+
+// Recursion parseability: the rewriter's silent-rejoin analysis must flip
+// the base-case conditional of a recursive function to not-taken logging
+// (the taken path immediately crosses the logged POP return).
+TEST(ReplaySearch, RecursionBaseCaseUsesDecidableDirection) {
+  const Built b = build(R"(
+_start:
+    movi r0, #9
+    bl tri
+    hlt
+tri:                      ; triangular(r0), recursive
+    push {r4, lr}
+    cmp r0, #1
+    ble tri_base
+    mov r4, r0
+    sub r0, r4, #1
+    bl tri
+    add r0, r0, r4
+    pop {r4, pc}
+tri_base:
+    pop {r4, pc}
+__code_end:
+  )");
+  const auto rewritten = rewrite::rewrite_for_rap_track(
+      b.program, b.entry, b.program.base(), b.code_end);
+  const Address ble_site = *b.program.symbol("tri") + 8;
+  const auto* slot = rewritten.manifest.slot_for_site(ble_site);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->kind, rewrite::SlotKind::CondNotTaken);
+
+  // The reconstruction is exact (no ambiguity left to search through).
+  const RapRun run = run_rap(b);
+  PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+  replayer.set_rap_manifest(&run.rewritten.manifest);
+  const ReplayResult result = replayer.replay(run.inputs);
+  EXPECT_TRUE(result.complete) << result.failure;
+  EXPECT_EQ(result.events, run.oracle);
+}
+
+// Two-pass semantics: a benign run whose greedy parse would raise a
+// spurious ROP finding must still verify clean (the strict pass finds the
+// benign parse); a genuinely malicious log must still be convicted.
+TEST(ReplaySearch, BenignFirstSearchAvoidsSpuriousFindings) {
+  // Recursive shape where a wrong greedy attribution leads to a shadow-stack
+  // mismatch downstream.
+  const Built b = build(R"(
+_start:
+    movi r0, #6
+    bl fib
+    hlt
+fib:
+    push {r4, r5, lr}
+    cmp r0, #2
+    blt base
+    mov r4, r0
+    sub r0, r4, #1
+    bl fib
+    mov r5, r0
+    sub r0, r4, #2
+    bl fib
+    add r0, r5, r0
+    pop {r4, r5, pc}
+base:
+    pop {r4, r5, pc}
+__code_end:
+  )");
+  const RapRun run = run_rap(b);
+  PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+  replayer.set_rap_manifest(&run.rewritten.manifest);
+  const ReplayResult result = replayer.replay(run.inputs);
+  EXPECT_TRUE(result.complete) << result.failure;
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.events, run.oracle);
+}
+
+TEST(ReplaySearch, MaliciousEvidenceStillConvicted) {
+  const Built b = build(R"(
+_start:
+    bl fn
+    hlt
+gadget:
+    hlt
+fn:
+    push {r4, lr}
+    pop {r4, pc}
+__code_end:
+  )");
+  RapRun run = run_rap(b);
+  ASSERT_EQ(run.inputs.packets.size(), 1u);
+  run.inputs.packets[0].destination = *b.program.symbol("gadget");
+
+  PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+  replayer.set_rap_manifest(&run.rewritten.manifest);
+  const ReplayResult result = replayer.replay(run.inputs);
+  // No benign parse exists (the packet's destination is the gadget), so the
+  // lenient pass reports the ROP.
+  EXPECT_TRUE(result.complete) << result.failure;
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_NE(result.findings[0].description.find("ROP"), std::string::npos);
+}
+
+TEST(ReplaySearch, DeepRecursionParsesQuickly) {
+  // fib(14): ~1200 calls. Without direction selection + memoized search
+  // this blew past 100k backtracks; now it must parse near-instantly.
+  const Built b = build(R"(
+_start:
+    movi r0, #14
+    bl fib
+    hlt
+fib:
+    push {r4, r5, lr}
+    cmp r0, #2
+    blt base
+    mov r4, r0
+    sub r0, r4, #1
+    bl fib
+    mov r5, r0
+    sub r0, r4, #2
+    bl fib
+    add r0, r5, r0
+    pop {r4, r5, pc}
+base:
+    pop {r4, r5, pc}
+__code_end:
+  )");
+  const RapRun run = run_rap(b);
+  PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+  replayer.set_rap_manifest(&run.rewritten.manifest);
+  const ReplayResult result = replayer.replay(run.inputs);
+  EXPECT_TRUE(result.complete) << result.failure;
+  EXPECT_EQ(result.events, run.oracle);
+  // The walk should be essentially linear in the path length.
+  EXPECT_LT(result.steps, run.oracle.size() * 40 + 1000);
+}
+
+TEST(ReplaySearch, AmbiguousLoopReentryStillParses) {
+  // An outer construct that re-enters an if/else region through unlogged
+  // edges from both directions: neither direction is decidable, so the
+  // backtracking search must cover it.
+  const Built b = build(R"(
+_start:
+    li r4, =0x20201000
+    movi r5, #0
+    movi r6, #0
+again:
+    and r0, r6, r7       ; r7 unknown to the verifier -> undecidable flags
+    bl classify
+    add r5, r5, r0
+    addi r6, r6, #1
+    cmp r6, #6
+    blt again
+    str r5, [r4]
+    hlt
+classify:
+    cmp r0, #0
+    bne nonzero
+    movi r0, #3
+    bx lr
+nonzero:
+    movi r0, #4
+    bx lr
+__code_end:
+  )");
+  const RapRun run = run_rap(b);
+  PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+  replayer.set_rap_manifest(&run.rewritten.manifest);
+  const ReplayResult result = replayer.replay(run.inputs);
+  EXPECT_TRUE(result.complete) << result.failure;
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.events.size(), run.oracle.size());
+  const ReplayResult checked = replayer.check_path(run.oracle, run.inputs);
+  EXPECT_TRUE(checked.complete) << checked.failure;
+}
+
+}  // namespace
+}  // namespace raptrack::verify

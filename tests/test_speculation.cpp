@@ -1,0 +1,206 @@
+// Unit + end-to-end tests for the SpecCFA-style sub-path speculation
+// extension: dictionary mining, codec round trips, transmission savings,
+// and full-protocol verification with a provisioned dictionary.
+#include <gtest/gtest.h>
+
+#include "apps/runner.hpp"
+#include "cfa/speculation.hpp"
+
+namespace raptrack::cfa {
+namespace {
+
+trace::BranchPacket pkt(u32 src, u32 dst) { return {src, dst, false}; }
+
+trace::PacketLog repeated_pattern(u32 repeats) {
+  trace::PacketLog log;
+  for (u32 i = 0; i < repeats; ++i) {
+    log.push_back(pkt(0x100, 0x200));
+    log.push_back(pkt(0x208, 0x300));
+    log.push_back(pkt(0x308, 0x104));
+    log.push_back(pkt(0x400 + 8 * i, 0x500));  // per-iteration noise
+  }
+  return log;
+}
+
+TEST(SpeculationMining, FindsRepeatedSubPaths) {
+  const auto profile = repeated_pattern(8);
+  MiningOptions options;
+  options.min_length = 3;
+  const SpeculationDict dict = mine_subpaths(profile, options);
+  ASSERT_FALSE(dict.empty());
+  // The repeated 3-packet body must be in the dictionary.
+  bool found = false;
+  for (const auto& entry : dict.entries) {
+    if (entry.packets.size() >= 3 && entry.packets[0].source == 0x100) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpeculationMining, DeterministicAndBounded) {
+  const auto profile = repeated_pattern(16);
+  MiningOptions options;
+  options.max_entries = 2;
+  const SpeculationDict a = mine_subpaths(profile, options);
+  const SpeculationDict b = mine_subpaths(profile, options);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_LE(a.entries.size(), 2u);
+
+  // Too-short profiles yield an empty dictionary.
+  EXPECT_TRUE(mine_subpaths(trace::PacketLog{pkt(1, 2)}, options).empty());
+}
+
+TEST(SpeculationCodec, RoundTripsExactly) {
+  const auto log = repeated_pattern(6);
+  const SpeculationDict dict = mine_subpaths(log);
+  const auto encoded = encode_speculated(log, dict);
+  const auto decoded = decode_speculated(encoded, dict);
+  ASSERT_EQ(decoded.size(), log.size());
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(decoded[i].source, log[i].source) << i;
+    EXPECT_EQ(decoded[i].destination, log[i].destination) << i;
+  }
+}
+
+TEST(SpeculationCodec, CompressesRepetitiveLogs) {
+  const auto log = repeated_pattern(32);
+  const SpeculationDict dict = mine_subpaths(log);
+  const auto encoded = encode_speculated(log, dict);
+  const size_t raw_bytes = log.size() * trace::BranchPacket::kBytes;
+  EXPECT_LT(encoded.size(), raw_bytes / 2) << "expected >2x compression";
+}
+
+TEST(SpeculationCodec, EmptyDictionaryDegradesToLiterals) {
+  const auto log = repeated_pattern(2);
+  const SpeculationDict empty;
+  const auto encoded = encode_speculated(log, empty);
+  EXPECT_EQ(encoded.size(), log.size() * 9);  // tag + 8 bytes per packet
+  EXPECT_EQ(decode_speculated(encoded, empty).size(), log.size());
+}
+
+TEST(SpeculationCodec, RejectsMalformedStreams) {
+  SpeculationDict dict;
+  dict.entries.push_back({{pkt(1, 2)}});
+  EXPECT_THROW(decode_speculated(std::vector<u8>{0x02}, dict), Error);  // tag
+  EXPECT_THROW(decode_speculated(std::vector<u8>{0x00, 1, 2}, dict), Error);
+  EXPECT_THROW(decode_speculated(std::vector<u8>{0x01}, dict), Error);
+  EXPECT_THROW(decode_speculated(std::vector<u8>{0x01, 9}, dict), Error);
+}
+
+TEST(SpeculationDictIo, RoundTripsAndValidates) {
+  const auto profile = repeated_pattern(8);
+  const SpeculationDict dict = mine_subpaths(profile);
+  const auto bytes = serialize_dict(dict);
+  const SpeculationDict parsed = deserialize_dict(bytes);
+  EXPECT_EQ(parsed.entries, dict.entries);
+
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xff;
+  EXPECT_THROW(deserialize_dict(corrupt), Error);
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_THROW(deserialize_dict(truncated), Error);
+}
+
+// -- end to end --------------------------------------------------------------
+
+TEST(SpeculationProtocol, SpeculatedSessionVerifiesLosslessly) {
+  const auto prepared = apps::prepare_app(apps::app_by_name("fibcall"));
+
+  // Profile on one input, deploy the dictionary, attest on another input.
+  const auto profile_run = apps::run_rap(prepared, /*seed=*/1);
+  trace::PacketLog profile;
+  for (const auto& report : profile_run.attestation.reports) {
+    if (report.type == PayloadType::RapFinal) {
+      profile = decode_rap_final(report.payload).packets;
+    }
+  }
+  ASSERT_FALSE(profile.empty());
+  const SpeculationDict dict = mine_subpaths(profile);
+  ASSERT_FALSE(dict.empty());
+
+  verify::Verifier verifier(apps::demo_key());
+  verifier.expect_rap(prepared.rap.program, prepared.rap.manifest,
+                      prepared.built.entry);
+  verifier.set_speculation(&dict);
+  const Challenge chal = verifier.fresh_challenge();
+
+  SessionOptions options;
+  options.speculation = &dict;
+  const auto run = apps::run_rap(prepared, /*seed=*/2, {}, options, chal);
+  ASSERT_FALSE(run.attestation.reports.empty());
+  EXPECT_EQ(run.attestation.reports.back().type, PayloadType::RapSpecFinal);
+
+  const auto result = verifier.verify(chal, run.attestation.reports);
+  ASSERT_TRUE(result.accepted()) << result.detail;
+  EXPECT_EQ(result.replay.events, run.oracle);
+}
+
+TEST(SpeculationProtocol, CutsTransmittedEvidence) {
+  const auto prepared = apps::prepare_app(apps::app_by_name("fibcall"));
+  const auto profile_run = apps::run_rap(prepared, 1);
+  trace::PacketLog profile =
+      decode_rap_final(profile_run.attestation.reports.back().payload).packets;
+  const SpeculationDict dict = mine_subpaths(profile);
+
+  SessionOptions options;
+  options.speculation = &dict;
+  const auto plain = apps::run_rap(prepared, 2);
+  const auto speculated = apps::run_rap(prepared, 2, {}, options);
+
+  EXPECT_LT(speculated.attestation.metrics.transmitted_evidence_bytes,
+            plain.attestation.metrics.transmitted_evidence_bytes / 2)
+      << "recursion-heavy logs should compress well";
+  // The on-device CF_Log volume itself is unchanged — only transmission.
+  EXPECT_EQ(speculated.attestation.metrics.cflog_bytes,
+            plain.attestation.metrics.cflog_bytes);
+}
+
+TEST(SpeculationProtocol, MismatchedDictionaryIsRejected) {
+  const auto prepared = apps::prepare_app(apps::app_by_name("fibcall"));
+  const auto profile_run = apps::run_rap(prepared, 1);
+  trace::PacketLog profile =
+      decode_rap_final(profile_run.attestation.reports.back().payload).packets;
+  const SpeculationDict dict = mine_subpaths(profile);
+
+  // Verifier provisioned with a DIFFERENT (e.g. stale) dictionary.
+  SpeculationDict stale = dict;
+  ASSERT_FALSE(stale.entries.empty());
+  stale.entries[0].packets[0].source ^= 0x1000;
+
+  verify::Verifier verifier(apps::demo_key());
+  verifier.expect_rap(prepared.rap.program, prepared.rap.manifest,
+                      prepared.built.entry);
+  verifier.set_speculation(&stale);
+  const Challenge chal = verifier.fresh_challenge();
+
+  SessionOptions options;
+  options.speculation = &dict;
+  const auto run = apps::run_rap(prepared, 2, {}, options, chal);
+  const auto result = verifier.verify(chal, run.attestation.reports);
+  // Authentic (MAC fine) but the expanded evidence no longer parses.
+  EXPECT_TRUE(result.authentic);
+  EXPECT_FALSE(result.accepted());
+}
+
+TEST(SpeculationProtocol, NoDictionaryProvisionedIsRejected) {
+  const auto prepared = apps::prepare_app(apps::app_by_name("fibcall"));
+  const auto profile_run = apps::run_rap(prepared, 1);
+  trace::PacketLog profile =
+      decode_rap_final(profile_run.attestation.reports.back().payload).packets;
+  const SpeculationDict dict = mine_subpaths(profile);
+
+  verify::Verifier verifier(apps::demo_key());
+  verifier.expect_rap(prepared.rap.program, prepared.rap.manifest,
+                      prepared.built.entry);
+  const Challenge chal = verifier.fresh_challenge();
+  SessionOptions options;
+  options.speculation = &dict;
+  const auto run = apps::run_rap(prepared, 2, {}, options, chal);
+  const auto result = verifier.verify(chal, run.attestation.reports);
+  EXPECT_FALSE(result.accepted());
+}
+
+}  // namespace
+}  // namespace raptrack::cfa

@@ -1,0 +1,140 @@
+// Unit tests: the Secure-World monitor (SVC gateway) and the top-level
+// machine wiring — service dispatch, world switching, cost accounting, and
+// the isolation properties the §IV-F security argument relies on.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "sim/machine.hpp"
+#include "tz/secure_monitor.hpp"
+
+namespace raptrack::tz {
+namespace {
+
+TEST(SecureMonitor, DispatchesRegisteredService) {
+  SecureMonitor monitor;
+  int calls = 0;
+  monitor.register_service(Service::kRapLogLoopCondition,
+                           [&](cpu::CpuState&) -> Cycles {
+                             ++calls;
+                             return 7;
+                           });
+  cpu::CpuState state;
+  const Cycles cost =
+      monitor.handle(static_cast<u8>(Service::kRapLogLoopCondition), state);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(monitor.world_switches(), 1u);
+  // Round trip = NS->S + service + S->NS.
+  const CostModel costs;
+  EXPECT_EQ(cost, costs.ns_to_secure + 7 + costs.secure_to_ns);
+}
+
+TEST(SecureMonitor, UnknownServiceFaults) {
+  SecureMonitor monitor;
+  cpu::CpuState state;
+  EXPECT_THROW(monitor.handle(0x7f, state), mem::FaultException);
+  EXPECT_EQ(monitor.world_switches(), 0u);
+}
+
+TEST(SecureMonitor, ServiceRunsWithSecurePrivileges) {
+  SecureMonitor monitor;
+  mem::WorldSide seen = mem::WorldSide::NonSecure;
+  monitor.register_service(Service::kTracesLogBranch,
+                           [&](cpu::CpuState& s) -> Cycles {
+                             seen = s.world;
+                             return 0;
+                           });
+  cpu::CpuState state;
+  state.world = mem::WorldSide::NonSecure;
+  monitor.handle(static_cast<u8>(Service::kTracesLogBranch), state);
+  EXPECT_EQ(seen, mem::WorldSide::Secure);   // elevated during the service
+  EXPECT_EQ(state.world, mem::WorldSide::NonSecure);  // restored after
+}
+
+TEST(SecureMonitor, CounterResets) {
+  SecureMonitor monitor;
+  monitor.register_service(Service::kTracesLogBranch,
+                           [](cpu::CpuState&) -> Cycles { return 0; });
+  cpu::CpuState state;
+  monitor.handle(static_cast<u8>(Service::kTracesLogBranch), state);
+  monitor.handle(static_cast<u8>(Service::kTracesLogBranch), state);
+  EXPECT_EQ(monitor.world_switches(), 2u);
+  monitor.reset_counters();
+  EXPECT_EQ(monitor.world_switches(), 0u);
+}
+
+TEST(CostModel, RoundTripComposition) {
+  CostModel costs;
+  EXPECT_EQ(costs.secure_log_round_trip(0), costs.ns_to_secure + costs.secure_to_ns);
+  EXPECT_EQ(costs.secure_log_round_trip(100),
+            costs.ns_to_secure + 100 + costs.secure_to_ns);
+}
+
+// -- machine wiring ----------------------------------------------------------
+
+TEST(Machine, RunsAProgramEndToEnd) {
+  sim::Machine machine;
+  const Program p = assemble("_start:\n    movi r0, #5\n    hlt\n",
+                             mem::MapLayout::kNsFlashBase);
+  machine.load_program(p);
+  machine.reset_cpu(*p.symbol("_start"));
+  EXPECT_EQ(machine.run(), cpu::HaltReason::Halted);
+  EXPECT_EQ(machine.cpu().state().reg(isa::Reg::R0), 5u);
+}
+
+TEST(Machine, SvcRoutesThroughTheMonitor) {
+  sim::Machine machine;
+  u8 seen = 0;
+  machine.monitor().register_service(Service::kRapLogLoopCondition,
+                                     [&](cpu::CpuState&) -> Cycles {
+                                       seen = 1;
+                                       return 50;
+                                     });
+  const Program p = assemble("_start:\n    svc #1\n    hlt\n",
+                             mem::MapLayout::kNsFlashBase);
+  machine.load_program(p);
+  machine.reset_cpu(p.base());
+  EXPECT_EQ(machine.run(), cpu::HaltReason::Halted);
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(machine.monitor().world_switches(), 1u);
+}
+
+TEST(Machine, ConfigControlsMtbGeometry) {
+  sim::MachineConfig config;
+  config.mtb_buffer_bytes = 128;
+  config.mtb_activation_latency = 3;
+  sim::Machine machine(config);
+  EXPECT_EQ(machine.mtb().buffer_bytes(), 128u);
+  EXPECT_EQ(machine.mtb().activation_latency(), 3u);
+}
+
+TEST(Machine, NonSecureCodeCannotReachTheMtbBuffer) {
+  // The §IV-F argument: CF_Log lives in Secure SRAM. A Non-Secure program
+  // trying to read or overwrite it faults.
+  sim::Machine machine;
+  const Program p = assemble(R"(
+_start:
+    li r1, =0x34000000   ; MTB SRAM base
+    ldr r0, [r1]
+    hlt
+  )",
+                             mem::MapLayout::kNsFlashBase);
+  machine.load_program(p);
+  machine.reset_cpu(p.base());
+  EXPECT_EQ(machine.run(), cpu::HaltReason::Fault);
+  EXPECT_EQ(machine.cpu().fault()->type, mem::FaultType::SecurityFault);
+}
+
+TEST(Machine, OracleCanBeDisabled) {
+  sim::MachineConfig config;
+  config.enable_oracle = false;
+  sim::Machine machine(config);
+  const Program p = assemble("_start:\n    b done\ndone:\n    hlt\n",
+                             mem::MapLayout::kNsFlashBase);
+  machine.load_program(p);
+  machine.reset_cpu(p.base());
+  machine.run();
+  EXPECT_TRUE(machine.oracle().events().empty());
+}
+
+}  // namespace
+}  // namespace raptrack::tz
