@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loopopt.dir/ablation_loopopt.cpp.o"
+  "CMakeFiles/ablation_loopopt.dir/ablation_loopopt.cpp.o.d"
+  "ablation_loopopt"
+  "ablation_loopopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loopopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nops.dir/ablation_nops.cpp.o"
+  "CMakeFiles/ablation_nops.dir/ablation_nops.cpp.o.d"
+  "ablation_nops"
+  "ablation_nops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

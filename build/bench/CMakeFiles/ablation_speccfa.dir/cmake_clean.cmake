@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speccfa.dir/ablation_speccfa.cpp.o"
+  "CMakeFiles/ablation_speccfa.dir/ablation_speccfa.cpp.o.d"
+  "ablation_speccfa"
+  "ablation_speccfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speccfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

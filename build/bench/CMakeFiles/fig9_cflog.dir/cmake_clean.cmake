@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cflog.dir/fig9_cflog.cpp.o"
+  "CMakeFiles/fig9_cflog.dir/fig9_cflog.cpp.o.d"
+  "fig9_cflog"
+  "fig9_cflog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cflog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_detection.dir/attack_detection.cpp.o"
+  "CMakeFiles/attack_detection.dir/attack_detection.cpp.o.d"
+  "attack_detection"
+  "attack_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_reports.dir/partial_reports.cpp.o"
+  "CMakeFiles/partial_reports.dir/partial_reports.cpp.o.d"
+  "partial_reports"
+  "partial_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

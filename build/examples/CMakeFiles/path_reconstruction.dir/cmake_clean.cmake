@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_reconstruction.dir/path_reconstruction.cpp.o"
+  "CMakeFiles/path_reconstruction.dir/path_reconstruction.cpp.o.d"
+  "path_reconstruction"
+  "path_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

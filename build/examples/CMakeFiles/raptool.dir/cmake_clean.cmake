@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptool.dir/raptool.cpp.o"
+  "CMakeFiles/raptool.dir/raptool.cpp.o.d"
+  "raptool"
+  "raptool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_apps.dir/app_beebs_data.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_beebs_data.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/app_beebs_extra.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_beebs_extra.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/app_beebs_math.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_beebs_math.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/app_geiger.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_geiger.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/app_gps.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_gps.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/app_syringe.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_syringe.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/app_temperature.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_temperature.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/app_ultrasonic.cpp.o"
+  "CMakeFiles/rap_apps.dir/app_ultrasonic.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/peripherals.cpp.o"
+  "CMakeFiles/rap_apps.dir/peripherals.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/registry.cpp.o"
+  "CMakeFiles/rap_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/runner.cpp.o"
+  "CMakeFiles/rap_apps.dir/runner.cpp.o.d"
+  "CMakeFiles/rap_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/rap_apps.dir/synthetic.cpp.o.d"
+  "librap_apps.a"
+  "librap_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

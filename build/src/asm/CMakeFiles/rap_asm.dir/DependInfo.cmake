@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/assembler.cpp" "src/asm/CMakeFiles/rap_asm.dir/assembler.cpp.o" "gcc" "src/asm/CMakeFiles/rap_asm.dir/assembler.cpp.o.d"
+  "/root/repo/src/asm/program.cpp" "src/asm/CMakeFiles/rap_asm.dir/program.cpp.o" "gcc" "src/asm/CMakeFiles/rap_asm.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_asm.dir/assembler.cpp.o"
+  "CMakeFiles/rap_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/rap_asm.dir/program.cpp.o"
+  "CMakeFiles/rap_asm.dir/program.cpp.o.d"
+  "librap_asm.a"
+  "librap_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

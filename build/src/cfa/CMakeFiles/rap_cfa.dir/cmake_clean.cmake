@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_cfa.dir/provers.cpp.o"
+  "CMakeFiles/rap_cfa.dir/provers.cpp.o.d"
+  "CMakeFiles/rap_cfa.dir/report.cpp.o"
+  "CMakeFiles/rap_cfa.dir/report.cpp.o.d"
+  "CMakeFiles/rap_cfa.dir/speculation.cpp.o"
+  "CMakeFiles/rap_cfa.dir/speculation.cpp.o.d"
+  "librap_cfa.a"
+  "librap_cfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_cfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

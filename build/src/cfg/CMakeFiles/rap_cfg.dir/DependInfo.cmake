@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/cfg.cpp" "src/cfg/CMakeFiles/rap_cfg.dir/cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/rap_cfg.dir/cfg.cpp.o.d"
+  "/root/repo/src/cfg/loop_analysis.cpp" "src/cfg/CMakeFiles/rap_cfg.dir/loop_analysis.cpp.o" "gcc" "src/cfg/CMakeFiles/rap_cfg.dir/loop_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/rap_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

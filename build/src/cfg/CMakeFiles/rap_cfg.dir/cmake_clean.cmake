@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/rap_cfg.dir/cfg.cpp.o.d"
+  "CMakeFiles/rap_cfg.dir/loop_analysis.cpp.o"
+  "CMakeFiles/rap_cfg.dir/loop_analysis.cpp.o.d"
+  "librap_cfg.a"
+  "librap_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_common.dir/hex.cpp.o"
+  "CMakeFiles/rap_common.dir/hex.cpp.o.d"
+  "CMakeFiles/rap_common.dir/rng.cpp.o"
+  "CMakeFiles/rap_common.dir/rng.cpp.o.d"
+  "librap_common.a"
+  "librap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

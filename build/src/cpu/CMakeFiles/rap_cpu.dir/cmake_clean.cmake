@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_cpu.dir/executor.cpp.o"
+  "CMakeFiles/rap_cpu.dir/executor.cpp.o.d"
+  "librap_cpu.a"
+  "librap_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/rap_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/rap_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/rap_crypto.dir/sha256.cpp.o.d"
+  "librap_crypto.a"
+  "librap_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_instr.dir/traces_engine.cpp.o"
+  "CMakeFiles/rap_instr.dir/traces_engine.cpp.o.d"
+  "CMakeFiles/rap_instr.dir/traces_rewriter.cpp.o"
+  "CMakeFiles/rap_instr.dir/traces_rewriter.cpp.o.d"
+  "librap_instr.a"
+  "librap_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

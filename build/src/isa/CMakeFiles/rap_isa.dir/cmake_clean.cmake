@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_isa.dir/cycle_model.cpp.o"
+  "CMakeFiles/rap_isa.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/rap_isa.dir/instruction.cpp.o"
+  "CMakeFiles/rap_isa.dir/instruction.cpp.o.d"
+  "librap_isa.a"
+  "librap_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_mem.dir/memory_map.cpp.o"
+  "CMakeFiles/rap_mem.dir/memory_map.cpp.o.d"
+  "CMakeFiles/rap_mem.dir/mpu.cpp.o"
+  "CMakeFiles/rap_mem.dir/mpu.cpp.o.d"
+  "librap_mem.a"
+  "librap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

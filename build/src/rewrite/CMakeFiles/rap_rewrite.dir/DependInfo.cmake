@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/manifest.cpp" "src/rewrite/CMakeFiles/rap_rewrite.dir/manifest.cpp.o" "gcc" "src/rewrite/CMakeFiles/rap_rewrite.dir/manifest.cpp.o.d"
+  "/root/repo/src/rewrite/manifest_io.cpp" "src/rewrite/CMakeFiles/rap_rewrite.dir/manifest_io.cpp.o" "gcc" "src/rewrite/CMakeFiles/rap_rewrite.dir/manifest_io.cpp.o.d"
+  "/root/repo/src/rewrite/rap_rewriter.cpp" "src/rewrite/CMakeFiles/rap_rewrite.dir/rap_rewriter.cpp.o" "gcc" "src/rewrite/CMakeFiles/rap_rewrite.dir/rap_rewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/rap_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/rap_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tz/CMakeFiles/rap_tz.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rap_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_rewrite.dir/manifest.cpp.o"
+  "CMakeFiles/rap_rewrite.dir/manifest.cpp.o.d"
+  "CMakeFiles/rap_rewrite.dir/manifest_io.cpp.o"
+  "CMakeFiles/rap_rewrite.dir/manifest_io.cpp.o.d"
+  "CMakeFiles/rap_rewrite.dir/rap_rewriter.cpp.o"
+  "CMakeFiles/rap_rewrite.dir/rap_rewriter.cpp.o.d"
+  "librap_rewrite.a"
+  "librap_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_trace.dir/dwt.cpp.o"
+  "CMakeFiles/rap_trace.dir/dwt.cpp.o.d"
+  "CMakeFiles/rap_trace.dir/mtb.cpp.o"
+  "CMakeFiles/rap_trace.dir/mtb.cpp.o.d"
+  "librap_trace.a"
+  "librap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_tz.dir/secure_monitor.cpp.o"
+  "CMakeFiles/rap_tz.dir/secure_monitor.cpp.o.d"
+  "librap_tz.a"
+  "librap_tz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_tz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

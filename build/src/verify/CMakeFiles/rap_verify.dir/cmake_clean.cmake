@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_verify.dir/audit.cpp.o"
+  "CMakeFiles/rap_verify.dir/audit.cpp.o.d"
+  "CMakeFiles/rap_verify.dir/replayer.cpp.o"
+  "CMakeFiles/rap_verify.dir/replayer.cpp.o.d"
+  "CMakeFiles/rap_verify.dir/verifier.cpp.o"
+  "CMakeFiles/rap_verify.dir/verifier.cpp.o.d"
+  "librap_verify.a"
+  "librap_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfa.dir/test_cfa.cpp.o"
+  "CMakeFiles/test_cfa.dir/test_cfa.cpp.o.d"
+  "test_cfa"
+  "test_cfa.pdb"
+  "test_cfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr.dir/test_instr.cpp.o"
+  "CMakeFiles/test_instr.dir/test_instr.cpp.o.d"
+  "test_instr"
+  "test_instr.pdb"
+  "test_instr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_fuzz.dir/test_isa_fuzz.cpp.o"
+  "CMakeFiles/test_isa_fuzz.dir/test_isa_fuzz.cpp.o.d"
+  "test_isa_fuzz"
+  "test_isa_fuzz.pdb"
+  "test_isa_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

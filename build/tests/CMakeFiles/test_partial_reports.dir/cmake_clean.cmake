@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_reports.dir/test_partial_reports.cpp.o"
+  "CMakeFiles/test_partial_reports.dir/test_partial_reports.cpp.o.d"
+  "test_partial_reports"
+  "test_partial_reports.pdb"
+  "test_partial_reports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/test_property.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/test_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/rap_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/rap_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfa/CMakeFiles/rap_cfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rap_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/rap_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/rap_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/rap_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/rap_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tz/CMakeFiles/rap_tz.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rap_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

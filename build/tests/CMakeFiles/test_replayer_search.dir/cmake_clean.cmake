@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replayer_search.dir/test_replayer_search.cpp.o"
+  "CMakeFiles/test_replayer_search.dir/test_replayer_search.cpp.o.d"
+  "test_replayer_search"
+  "test_replayer_search.pdb"
+  "test_replayer_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replayer_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

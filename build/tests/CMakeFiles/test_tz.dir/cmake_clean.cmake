@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tz.dir/test_tz.cpp.o"
+  "CMakeFiles/test_tz.dir/test_tz.cpp.o.d"
+  "test_tz"
+  "test_tz.pdb"
+  "test_tz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite[1]_include.cmake")
+include("/root/repo/build/tests/test_instr[1]_include.cmake")
+include("/root/repo/build/tests/test_cfa[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_partial_reports[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_replayer_search[1]_include.cmake")
+include("/root/repo/build/tests/test_audit[1]_include.cmake")
+include("/root/repo/build/tests/test_speculation[1]_include.cmake")
+include("/root/repo/build/tests/test_tz[1]_include.cmake")
+include("/root/repo/build/tests/test_isa_fuzz[1]_include.cmake")
