@@ -84,6 +84,7 @@ AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
     // §IV-E: generate and transmit a partial report, reset the head pointer,
     // and resume APP over the same buffer memory. With a provisioned
     // sub-path dictionary the chunk travels in the speculated encoding.
+    if (options_.pre_report_hook) options_.pre_report_hook(machine);
     const auto packets = mtb.read_log();
     auto report =
         options_.speculation != nullptr
@@ -113,6 +114,7 @@ AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
         return machine.monitor().costs().loop_cond_log;
       });
 
+  if (options_.post_config_hook) options_.post_config_hook(machine);
   machine.reset_cpu(entry_);
   run.metrics.halt = machine.run(options_.max_instructions);
   run.metrics.fault = machine.cpu().fault();
@@ -121,6 +123,7 @@ AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
   run.metrics.world_switches = machine.monitor().world_switches();
 
   // Final report: remaining packets + the loop-condition stream.
+  if (options_.pre_report_hook) options_.pre_report_hook(machine);
   cfa::SignedReport final_report;
   if (options_.speculation != nullptr) {
     SpecFinalPayload payload{mtb.read_log(), loop_values};
@@ -172,6 +175,7 @@ AttestationRun NaiveProver::attest(sim::Machine& machine,
 
   u32 sequence = 0;
   mtb.set_watermark_handler([&] {
+    if (options_.pre_report_hook) options_.pre_report_hook(machine);
     const auto packets = mtb.read_log();
     auto report = make_report(chal, h_mem, sequence++, false,
                               PayloadType::NaivePackets,
@@ -184,6 +188,7 @@ AttestationRun NaiveProver::attest(sim::Machine& machine,
     mtb.reset_position();
   });
 
+  if (options_.post_config_hook) options_.post_config_hook(machine);
   machine.reset_cpu(entry_);
   run.metrics.halt = machine.run(options_.max_instructions);
   run.metrics.fault = machine.cpu().fault();
@@ -191,6 +196,7 @@ AttestationRun NaiveProver::attest(sim::Machine& machine,
   run.metrics.instructions = machine.cpu().instructions_retired();
   run.metrics.world_switches = machine.monitor().world_switches();
 
+  if (options_.pre_report_hook) options_.pre_report_hook(machine);
   auto final = make_report(chal, h_mem, sequence, true,
                            PayloadType::NaivePackets,
                            encode_packets(mtb.read_log()));
@@ -247,6 +253,7 @@ AttestationRun TracesProver::attest(sim::Machine& machine,
     run.reports.push_back(std::move(report));
   });
 
+  if (options_.post_config_hook) options_.post_config_hook(machine);
   machine.reset_cpu(entry_);
   run.metrics.halt = machine.run(options_.max_instructions);
   run.metrics.fault = machine.cpu().fault();

@@ -13,6 +13,7 @@
 // and emit signed (partial + final) reports.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -58,6 +59,16 @@ struct SessionOptions {
   /// session and match the Verifier's provisioned dictionary.
   const SpeculationDict* speculation = nullptr;
   u64 max_instructions = 200'000'000;
+
+  /// Fault-injection hooks (see src/fault). No-ops when unset.
+  /// `post_config_hook` fires after the session has configured tracing and
+  /// registered its Secure-World services, just before the app starts —
+  /// the window where a glitch can corrupt trace configuration.
+  /// `pre_report_hook` fires immediately before each report's evidence is
+  /// read out of the MTB (partial and final) — the window where an SEU in
+  /// MTB SRAM ends up signed into the report.
+  std::function<void(sim::Machine&)> post_config_hook;
+  std::function<void(sim::Machine&)> pre_report_hook;
 };
 
 /// Shared protocol mechanics (memory lock, H_MEM, report signing).

@@ -11,12 +11,18 @@ void put_u32(std::vector<u8>& out, u32 value) {
   out.push_back(static_cast<u8>(value >> 24));
 }
 
+/// Non-throwing bounds-checked cursor over untrusted bytes. Every read
+/// either succeeds or marks the reader failed; callers check `failed()`
+/// (reads after a failure return zeros and stay failed).
 class Reader {
  public:
   explicit Reader(std::span<const u8> data) : data_(data) {}
 
   u32 u32_value() {
-    if (pos_ + 4 > data_.size()) throw Error("report payload truncated");
+    if (failed_ || data_.size() - pos_ < 4) {
+      failed_ = true;
+      return 0;
+    }
     const u32 v = static_cast<u32>(data_[pos_]) |
                   (static_cast<u32>(data_[pos_ + 1]) << 8) |
                   (static_cast<u32>(data_[pos_ + 2]) << 16) |
@@ -25,14 +31,57 @@ class Reader {
     return v;
   }
 
-  bool done() const { return pos_ == data_.size(); }
+  u8 u8_value() {
+    if (failed_ || data_.size() - pos_ < 1) {
+      failed_ = true;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  bool bytes_into(std::span<u8> out) {
+    if (failed_ || data_.size() - pos_ < out.size()) {
+      failed_ = true;
+      return false;
+    }
+    std::copy(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + out.size()),
+              out.begin());
+    pos_ += out.size();
+    return true;
+  }
+
+  std::span<const u8> subspan(size_t count) {
+    if (failed_ || data_.size() - pos_ < count) {
+      failed_ = true;
+      return {};
+    }
+    const auto result = data_.subspan(pos_, count);
+    pos_ += count;
+    return result;
+  }
+
+  size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+  bool failed() const { return failed_; }
+  bool done() const { return !failed_ && pos_ == data_.size(); }
 
  private:
   std::span<const u8> data_;
   size_t pos_ = 0;
+  bool failed_ = false;
 };
 
+template <typename T>
+Decoded<T> fail(std::string why) {
+  return Decoded<T>::failure(std::move(why));
+}
+
 }  // namespace
+
+bool payload_type_valid(u8 value) {
+  return value >= static_cast<u8>(PayloadType::RapPackets) &&
+         value <= static_cast<u8>(PayloadType::RapSpecFinal);
+}
 
 std::vector<u8> SignedReport::mac_input() const {
   std::vector<u8> out;
@@ -65,9 +114,16 @@ std::vector<u8> encode_packets(const trace::PacketLog& packets) {
   return out;
 }
 
-trace::PacketLog decode_packets(std::span<const u8> payload) {
+Decoded<trace::PacketLog> try_decode_packets(std::span<const u8> payload) {
   Reader reader(payload);
   const u32 count = reader.u32_value();
+  if (reader.failed()) return fail<trace::PacketLog>("packet payload truncated");
+  // Size the claim against the bytes actually present *before* allocating:
+  // a forged count must not drive a multi-gigabyte reserve.
+  if (static_cast<u64>(count) * trace::BranchPacket::kBytes !=
+      reader.remaining()) {
+    return fail<trace::PacketLog>("packet count does not match payload size");
+  }
   trace::PacketLog packets;
   packets.reserve(count);
   for (u32 i = 0; i < count; ++i) {
@@ -75,8 +131,13 @@ trace::PacketLog decode_packets(std::span<const u8> payload) {
     const u32 dst = reader.u32_value();
     packets.push_back(trace::BranchPacket::from_words(src, dst));
   }
-  if (!reader.done()) throw Error("packet payload has trailing bytes");
-  return packets;
+  return Decoded<trace::PacketLog>::success(std::move(packets));
+}
+
+trace::PacketLog decode_packets(std::span<const u8> payload) {
+  auto result = try_decode_packets(payload);
+  if (!result.ok()) throw Error(result.error);
+  return std::move(*result);
 }
 
 std::vector<u8> encode_rap_final(const RapFinalPayload& payload) {
@@ -86,21 +147,37 @@ std::vector<u8> encode_rap_final(const RapFinalPayload& payload) {
   return out;
 }
 
-RapFinalPayload decode_rap_final(std::span<const u8> payload) {
+Decoded<RapFinalPayload> try_decode_rap_final(std::span<const u8> payload) {
   Reader reader(payload);
   RapFinalPayload result;
   const u32 packet_count = reader.u32_value();
+  if (reader.failed() ||
+      static_cast<u64>(packet_count) * trace::BranchPacket::kBytes + 4 >
+          reader.remaining()) {
+    return fail<RapFinalPayload>("rap-final packet section truncated");
+  }
+  result.packets.reserve(packet_count);
   for (u32 i = 0; i < packet_count; ++i) {
     const u32 src = reader.u32_value();
     const u32 dst = reader.u32_value();
     result.packets.push_back(trace::BranchPacket::from_words(src, dst));
   }
   const u32 loop_count = reader.u32_value();
+  if (reader.failed() ||
+      static_cast<u64>(loop_count) * 4 != reader.remaining()) {
+    return fail<RapFinalPayload>("rap-final loop section malformed");
+  }
+  result.loop_values.reserve(loop_count);
   for (u32 i = 0; i < loop_count; ++i) {
     result.loop_values.push_back(reader.u32_value());
   }
-  if (!reader.done()) throw Error("rap-final payload has trailing bytes");
-  return result;
+  return Decoded<RapFinalPayload>::success(std::move(result));
+}
+
+RapFinalPayload decode_rap_final(std::span<const u8> payload) {
+  auto result = try_decode_rap_final(payload);
+  if (!result.ok()) throw Error(result.error);
+  return std::move(*result);
 }
 
 std::vector<u8> encode_traces_chunk(const TracesChunkPayload& payload) {
@@ -121,25 +198,149 @@ std::vector<u8> encode_traces_chunk(const TracesChunkPayload& payload) {
   return out;
 }
 
-TracesChunkPayload decode_traces_chunk(std::span<const u8> payload) {
+Decoded<TracesChunkPayload> try_decode_traces_chunk(
+    std::span<const u8> payload) {
   Reader reader(payload);
   TracesChunkPayload result;
   const u32 bit_count = reader.u32_value();
+  const u64 bit_words = (static_cast<u64>(bit_count) + 31) / 32;
+  if (reader.failed() || bit_words * 4 > reader.remaining()) {
+    return fail<TracesChunkPayload>("traces bit section truncated");
+  }
+  result.direction_bits.reserve(bit_count);
   u32 word = 0;
   for (u32 i = 0; i < bit_count; ++i) {
     if (i % 32 == 0) word = reader.u32_value();
     result.direction_bits.push_back(((word >> (i % 32)) & 1u) != 0);
   }
   const u32 addr_count = reader.u32_value();
+  if (reader.failed() ||
+      static_cast<u64>(addr_count) * 4 + 4 > reader.remaining()) {
+    return fail<TracesChunkPayload>("traces target section truncated");
+  }
+  result.indirect_targets.reserve(addr_count);
   for (u32 i = 0; i < addr_count; ++i) {
     result.indirect_targets.push_back(reader.u32_value());
   }
   const u32 loop_count = reader.u32_value();
+  if (reader.failed() ||
+      static_cast<u64>(loop_count) * 4 != reader.remaining()) {
+    return fail<TracesChunkPayload>("traces loop section malformed");
+  }
+  result.loop_values.reserve(loop_count);
   for (u32 i = 0; i < loop_count; ++i) {
     result.loop_values.push_back(reader.u32_value());
   }
-  if (!reader.done()) throw Error("traces payload has trailing bytes");
-  return result;
+  return Decoded<TracesChunkPayload>::success(std::move(result));
+}
+
+TracesChunkPayload decode_traces_chunk(std::span<const u8> payload) {
+  auto result = try_decode_traces_chunk(payload);
+  if (!result.ok()) throw Error(result.error);
+  return std::move(*result);
+}
+
+// -- report wire format ------------------------------------------------------
+
+namespace {
+constexpr u8 kReportMagic[4] = {'R', 'P', 'T', '1'};
+constexpr u8 kChainMagic[4] = {'R', 'P', 'C', '1'};
+
+void append_report(std::vector<u8>& out, const SignedReport& report) {
+  out.insert(out.end(), std::begin(kReportMagic), std::end(kReportMagic));
+  out.insert(out.end(), report.chal.begin(), report.chal.end());
+  out.insert(out.end(), report.h_mem.begin(), report.h_mem.end());
+  put_u32(out, report.sequence);
+  out.push_back(report.final_report ? 1 : 0);
+  out.push_back(static_cast<u8>(report.type));
+  put_u32(out, static_cast<u32>(report.payload.size()));
+  out.insert(out.end(), report.payload.begin(), report.payload.end());
+  out.insert(out.end(), report.mac.begin(), report.mac.end());
+}
+
+Decoded<SignedReport> read_report(Reader& reader) {
+  u8 magic[4];
+  if (!reader.bytes_into(magic) ||
+      !std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kReportMagic))) {
+    return fail<SignedReport>("report framing: bad magic");
+  }
+  SignedReport report;
+  reader.bytes_into(report.chal);
+  reader.bytes_into(report.h_mem);
+  report.sequence = reader.u32_value();
+  const u8 final_byte = reader.u8_value();
+  const u8 type_byte = reader.u8_value();
+  const u32 payload_len = reader.u32_value();
+  if (reader.failed()) return fail<SignedReport>("report header truncated");
+  if (final_byte > 1) return fail<SignedReport>("report final flag malformed");
+  if (!payload_type_valid(type_byte)) {
+    return fail<SignedReport>("report payload type unknown");
+  }
+  report.final_report = final_byte == 1;
+  report.type = static_cast<PayloadType>(type_byte);
+  if (static_cast<u64>(payload_len) + report.mac.size() > reader.remaining()) {
+    return fail<SignedReport>("report payload truncated");
+  }
+  const auto payload = reader.subspan(payload_len);
+  report.payload.assign(payload.begin(), payload.end());
+  reader.bytes_into(report.mac);
+  if (reader.failed()) return fail<SignedReport>("report MAC truncated");
+  return Decoded<SignedReport>::success(std::move(report));
+}
+
+}  // namespace
+
+std::vector<u8> encode_report(const SignedReport& report) {
+  std::vector<u8> out;
+  out.reserve(90 + report.payload.size());
+  append_report(out, report);
+  return out;
+}
+
+Decoded<SignedReport> try_decode_report(std::span<const u8> bytes) {
+  Reader reader(bytes);
+  auto report = read_report(reader);
+  if (!report.ok()) return report;
+  if (!reader.done()) return fail<SignedReport>("report has trailing bytes");
+  return report;
+}
+
+std::vector<u8> encode_report_chain(const std::vector<SignedReport>& chain) {
+  std::vector<u8> out;
+  out.insert(out.end(), std::begin(kChainMagic), std::end(kChainMagic));
+  put_u32(out, static_cast<u32>(chain.size()));
+  for (const auto& report : chain) append_report(out, report);
+  return out;
+}
+
+Decoded<std::vector<SignedReport>> try_decode_report_chain(
+    std::span<const u8> bytes) {
+  using Chain = std::vector<SignedReport>;
+  Reader reader(bytes);
+  u8 magic[4];
+  if (!reader.bytes_into(magic) ||
+      !std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kChainMagic))) {
+    return fail<Chain>("chain framing: bad magic");
+  }
+  const u32 count = reader.u32_value();
+  // Each report needs ≥ 94 bytes on the wire; reject forged counts early.
+  if (reader.failed() || static_cast<u64>(count) * 94 > reader.remaining()) {
+    return fail<Chain>("chain count does not fit the buffer");
+  }
+  Chain chain;
+  chain.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    auto report = read_report(reader);
+    if (!report.ok()) {
+      return fail<Chain>("chain report " + std::to_string(i) + ": " +
+                         report.error);
+    }
+    chain.push_back(std::move(*report));
+  }
+  if (!reader.done()) return fail<Chain>("chain has trailing bytes");
+  return Decoded<Chain>::success(std::move(chain));
 }
 
 }  // namespace raptrack::cfa

@@ -2,11 +2,19 @@
 // challenge, the measured program memory (H_MEM), a sequence number (for
 // partial reports, §IV-E), and the CF_Log payload under an HMAC-SHA256
 // computed with the RoT key (§II-C/D protocol).
+//
+// Decoding is adversary-facing: report bytes travel over an untrusted link,
+// so every decoder exists in a typed-result form (`try_decode_*`) that turns
+// arbitrary hostile bytes into an error value — never a crash, never an
+// out-of-bounds read, never an attacker-sized allocation. The throwing
+// wrappers remain for internal callers that already hold authenticated data.
 #pragma once
 
 #include <array>
 #include <optional>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -27,6 +35,9 @@ enum class PayloadType : u8 {
   RapSpecFinal = 6,    ///< final report, speculated packets + loop values
 };
 
+/// Is `value` one of the defined PayloadType discriminants?
+bool payload_type_valid(u8 value);
+
 struct SignedReport {
   Challenge chal{};
   crypto::Digest h_mem{};
@@ -40,11 +51,32 @@ struct SignedReport {
   std::vector<u8> mac_input() const;
   void sign(std::span<const u8> key);
   bool verify(std::span<const u8> key) const;
+
+  friend bool operator==(const SignedReport&, const SignedReport&) = default;
+};
+
+// -- typed decode results ----------------------------------------------------
+
+/// Result of decoding untrusted bytes: either a value or an error string.
+template <typename T>
+struct Decoded {
+  std::optional<T> value;
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+  T& operator*() { return *value; }
+  const T& operator*() const { return *value; }
+  T* operator->() { return &*value; }
+  const T* operator->() const { return &*value; }
+
+  static Decoded success(T v) { return {std::move(v), {}}; }
+  static Decoded failure(std::string why) { return {std::nullopt, std::move(why)}; }
 };
 
 // -- payload codecs ---------------------------------------------------------
 
 std::vector<u8> encode_packets(const trace::PacketLog& packets);
+Decoded<trace::PacketLog> try_decode_packets(std::span<const u8> payload);
 trace::PacketLog decode_packets(std::span<const u8> payload);
 
 struct RapFinalPayload {
@@ -52,6 +84,7 @@ struct RapFinalPayload {
   std::vector<u32> loop_values;
 };
 std::vector<u8> encode_rap_final(const RapFinalPayload& payload);
+Decoded<RapFinalPayload> try_decode_rap_final(std::span<const u8> payload);
 RapFinalPayload decode_rap_final(std::span<const u8> payload);
 
 struct TracesChunkPayload {
@@ -60,6 +93,23 @@ struct TracesChunkPayload {
   std::vector<u32> loop_values;
 };
 std::vector<u8> encode_traces_chunk(const TracesChunkPayload& payload);
+Decoded<TracesChunkPayload> try_decode_traces_chunk(std::span<const u8> payload);
 TracesChunkPayload decode_traces_chunk(std::span<const u8> payload);
+
+// -- report wire format ------------------------------------------------------
+//
+// The transport encoding of a SignedReport (what actually crosses the
+// Prv -> Vrf link):
+//   "RPT1" | chal[16] | h_mem[32] | sequence:u32 | final:u8 | type:u8 |
+//   payload_len:u32 | payload | mac[32]
+// A chain is a count-prefixed concatenation:
+//   "RPC1" | count:u32 | report...
+
+std::vector<u8> encode_report(const SignedReport& report);
+Decoded<SignedReport> try_decode_report(std::span<const u8> bytes);
+
+std::vector<u8> encode_report_chain(const std::vector<SignedReport>& chain);
+Decoded<std::vector<SignedReport>> try_decode_report_chain(
+    std::span<const u8> bytes);
 
 }  // namespace raptrack::cfa

@@ -1,0 +1,209 @@
+#include "fault/campaign.hpp"
+
+namespace raptrack::fault {
+
+namespace {
+
+sim::MachineConfig machine_config(const CampaignOptions& options) {
+  sim::MachineConfig config;
+  config.mtb_buffer_bytes = options.mtb_buffer_bytes;
+  return config;
+}
+
+cfa::SessionOptions session_options(const CampaignOptions& options) {
+  cfa::SessionOptions session;
+  session.watermark_bytes = options.watermark_bytes;
+  return session;
+}
+
+verify::Verifier make_verifier(const apps::PreparedApp& prepared,
+                               const cfa::Challenge& chal,
+                               const CampaignOptions& options) {
+  verify::Verifier verifier(apps::demo_key());
+  verifier.expect_rap(prepared.rap.program, prepared.rap.manifest,
+                      prepared.built.entry);
+  verifier.set_expected_watermark(options.watermark_bytes);
+  verifier.adopt_challenge(chal);
+  return verifier;
+}
+
+CampaignOutcome finish(const apps::PreparedApp& prepared, FaultPlan& plan,
+                       const cfa::Challenge& chal,
+                       const std::vector<cfa::SignedReport>& chain,
+                       const CampaignOptions& options) {
+  CampaignOutcome outcome;
+  verify::Verifier verifier = make_verifier(prepared, chal, options);
+  outcome.result = verifier.verify(chal, chain);
+  outcome.verdict = outcome.result.verdict;
+  outcome.fault_effective = plan.effective();
+  outcome.records = plan.records();
+  return outcome;
+}
+
+}  // namespace
+
+cfa::Challenge campaign_challenge(u64 seed) {
+  cfa::Challenge chal{};
+  SplitMix64 sm(seed ^ 0x6368616c5f636d70ull);  // "chal_cmp"
+  for (size_t i = 0; i < chal.size(); i += 8) {
+    const u64 word = sm.next();
+    for (size_t j = 0; j < 8 && i + j < chal.size(); ++j) {
+      chal[i + j] = static_cast<u8>(word >> (8 * j));
+    }
+  }
+  return chal;
+}
+
+AttestedRun attest_once(const apps::PreparedApp& prepared,
+                        const CampaignOptions& options) {
+  AttestedRun run;
+  run.chal = campaign_challenge(options.app_seed);
+  auto method = apps::run_rap(prepared, options.app_seed,
+                              machine_config(options),
+                              session_options(options), run.chal);
+  run.reports = std::move(method.attestation.reports);
+  run.oracle = std::move(method.oracle);
+  run.functional_ok = method.functional_ok;
+  return run;
+}
+
+CampaignOutcome verify_mutated(const apps::PreparedApp& prepared,
+                               const AttestedRun& clean, InjectorKind kind,
+                               u64 seed, const CampaignOptions& options) {
+  FaultPlan plan(seed);
+  plan.add(kind);
+  std::vector<cfa::SignedReport> chain = clean.reports;
+  if (kind == InjectorKind::WireBitFlip) {
+    auto survived = apply_wire_fault(plan, chain);
+    if (!survived.has_value()) {
+      // The flip destroyed the wire framing: the transport layer itself
+      // rejected the chain before the verifier ever saw it. A safe outcome.
+      CampaignOutcome outcome;
+      outcome.verdict = verify::Verdict::Reject;
+      outcome.wire_rejected = true;
+      outcome.fault_effective = plan.effective();
+      outcome.records = plan.records();
+      outcome.result.detail = "wire framing rejected the mutated chain";
+      return outcome;
+    }
+    chain = std::move(*survived);
+  } else {
+    apply_transport_faults(plan, chain);
+  }
+  return finish(prepared, plan, clean.chal, chain, options);
+}
+
+CampaignOutcome run_device_fault(const apps::PreparedApp& prepared,
+                                 InjectorKind kind, u64 seed,
+                                 const CampaignOptions& options) {
+  FaultPlan plan(seed);
+  plan.add(kind);
+  cfa::SessionOptions session = session_options(options);
+  bool fired = false;
+
+  switch (kind) {
+    case InjectorKind::MtbSramBitFlip:
+      // SEU in a live packet word just before the first readout. Source
+      // words (packet-even offsets) keep bit 0 untouched: that is the A-bit,
+      // which the replayer does not interpret (see DESIGN.md fault model).
+      session.pre_report_hook = [&plan, &fired](sim::Machine& machine) {
+        if (fired) return;
+        trace::Mtb& mtb = machine.mtb();
+        const u32 live = mtb.live_bytes();
+        if (live < trace::BranchPacket::kBytes) return;
+        auto& rng = plan.rng();
+        const u32 word = static_cast<u32>(rng.next_below(live / 4));
+        const u32 offset = word * 4;
+        const bool source_word = (offset % trace::BranchPacket::kBytes) == 0;
+        const u32 bit = source_word
+                            ? 1 + static_cast<u32>(rng.next_below(31))
+                            : static_cast<u32>(rng.next_below(32));
+        mtb.corrupt_stored_word(offset, 1u << bit);
+        plan.record(InjectorKind::MtbSramBitFlip,
+                    "flipped bit " + std::to_string(bit) + " of " +
+                        (source_word ? "source" : "destination") +
+                        " word at buffer offset " + std::to_string(offset));
+        fired = true;
+      };
+      break;
+    case InjectorKind::MtbWatermarkGlitch: {
+      // Glitch the FLOW register after configuration: no watermark event
+      // ever fires, so the position silently runs past the watermark (and
+      // wraps, losing evidence, once it passes the buffer end). Record only
+      // when the run actually needed the watermark — a run short enough to
+      // stay under it is unaffected by the glitch.
+      session.post_config_hook = [](sim::Machine& machine) {
+        machine.mtb().set_watermark(0);
+      };
+      const u32 watermark = options.watermark_bytes;
+      session.pre_report_hook = [&plan, &fired, watermark](
+                                    sim::Machine& machine) {
+        if (fired || machine.mtb().live_bytes() < watermark) return;
+        plan.record(InjectorKind::MtbWatermarkGlitch,
+                    "FLOW watermark glitched off; " +
+                        std::to_string(machine.mtb().live_bytes()) +
+                        " live bytes at readout" +
+                        (machine.mtb().wrapped() ? ", buffer wrapped" : ""));
+        fired = true;
+      };
+      break;
+    }
+    case InjectorKind::SvcDropLoopValue:
+    case InjectorKind::SvcDoubleLoopValue: {
+      // Glitch the SVC gateway on the Nth loop-condition call: either the
+      // handler never runs (value missing from the log) or runs twice
+      // (spurious extra value). Both perturb the evidence stream length,
+      // which the replayer's consumed-at-halt checks always catch.
+      const u32 target = static_cast<u32>(plan.rng().next_below(8));
+      const bool drop = kind == InjectorKind::SvcDropLoopValue;
+      session.post_config_hook = [&plan, &fired, target, drop,
+                                  kind](sim::Machine& machine) {
+        auto calls = std::make_shared<u32>(0);
+        tz::SecureMonitor::GatewayFault fault;
+        fault.dispatch = [&plan, &fired, calls, target, drop, kind](
+                             u8 code, cpu::CpuState&) -> u32 {
+          if (code != static_cast<u8>(tz::Service::kRapLogLoopCondition)) {
+            return 1;
+          }
+          const u32 index = (*calls)++;
+          if (fired || index != target) return 1;
+          fired = true;
+          plan.record(kind, std::string(drop ? "swallowed" : "re-entered") +
+                                " loop-condition SVC #" +
+                                std::to_string(index));
+          return drop ? 0u : 2u;
+        };
+        machine.monitor().set_gateway_fault(std::move(fault));
+      };
+      break;
+    }
+    default:
+      break;
+  }
+
+  AttestedRun run;
+  run.chal = campaign_challenge(seed);
+  auto method = apps::run_rap(prepared, options.app_seed,
+                              machine_config(options), session, run.chal);
+  run.reports = std::move(method.attestation.reports);
+  return finish(prepared, plan, run.chal, run.reports, options);
+}
+
+CampaignOutcome run_clean(const apps::PreparedApp& prepared,
+                          const CampaignOptions& options) {
+  FaultPlan plan(0);
+  AttestedRun run = attest_once(prepared, options);
+  return finish(prepared, plan, run.chal, run.reports, options);
+}
+
+CampaignOutcome run_faulted_attestation(const apps::PreparedApp& prepared,
+                                        InjectorKind kind, u64 seed,
+                                        const CampaignOptions& options) {
+  if (is_device_level(kind)) {
+    return run_device_fault(prepared, kind, seed, options);
+  }
+  AttestedRun clean = attest_once(prepared, options);
+  return verify_mutated(prepared, clean, kind, seed, options);
+}
+
+}  // namespace raptrack::fault

@@ -1,0 +1,73 @@
+// Seeded fault-injection campaign over the full prover -> report -> verifier
+// pipeline. Each experiment runs a real attestation of a prepared app (or
+// reuses one for transport-level mutations), applies one injector, and
+// verifies with a fresh Verifier. The invariant under test, matching the
+// §IV-F security argument:
+//
+//   * a fault that changed the evidence NEVER yields Accept;
+//   * no input — however mangled — crashes the verifier;
+//   * a run whose injector fired nothing (e.g. a loop-SVC fault on an app
+//     with no eligible loops) still yields Accept with a lossless path.
+#pragma once
+
+#include "apps/runner.hpp"
+#include "fault/injector.hpp"
+#include "verify/audit.hpp"
+
+namespace raptrack::fault {
+
+struct CampaignOptions {
+  /// Small MTB + watermark so every run produces a multi-chunk report chain
+  /// (the interesting surface for chain mutations).
+  u32 mtb_buffer_bytes = 256;
+  u32 watermark_bytes = 128;
+  u64 app_seed = 42;  ///< stimulus seed for the application run
+};
+
+/// One clean attested run, reusable across many transport-level mutations.
+struct AttestedRun {
+  cfa::Challenge chal{};
+  std::vector<cfa::SignedReport> reports;
+  std::vector<trace::OracleEvent> oracle;
+  bool functional_ok = false;
+};
+
+struct CampaignOutcome {
+  verify::Verdict verdict = verify::Verdict::Reject;
+  bool fault_effective = false;  ///< an injector actually changed something
+  bool wire_rejected = false;    ///< framing died before the verifier ran
+  std::vector<FaultRecord> records;
+  verify::VerificationResult result;
+};
+
+/// Deterministic challenge for campaign run `seed` (adopted by the campaign
+/// verifier rather than issued by it, as in a replicated deployment).
+cfa::Challenge campaign_challenge(u64 seed);
+
+/// Run the RAP-Track prover once, cleanly, under campaign-sized buffers.
+AttestedRun attest_once(const apps::PreparedApp& prepared,
+                        const CampaignOptions& options = {});
+
+/// Verify `clean` after applying one seeded transport-level injector
+/// (including WireBitFlip). Does not re-run the prover.
+CampaignOutcome verify_mutated(const apps::PreparedApp& prepared,
+                               const AttestedRun& clean, InjectorKind kind,
+                               u64 seed, const CampaignOptions& options = {});
+
+/// Run the prover with one seeded device-level injector armed (MTB SRAM
+/// corruption, watermark glitch, SVC gateway faults), then verify.
+CampaignOutcome run_device_fault(const apps::PreparedApp& prepared,
+                                 InjectorKind kind, u64 seed,
+                                 const CampaignOptions& options = {});
+
+/// Clean end-to-end run: attest + verify, no injectors. Must Accept.
+CampaignOutcome run_clean(const apps::PreparedApp& prepared,
+                          const CampaignOptions& options = {});
+
+/// Convenience dispatcher: transport kinds mutate a fresh attested run,
+/// device kinds arm prover hooks.
+CampaignOutcome run_faulted_attestation(const apps::PreparedApp& prepared,
+                                        InjectorKind kind, u64 seed,
+                                        const CampaignOptions& options = {});
+
+}  // namespace raptrack::fault

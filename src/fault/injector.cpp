@@ -1,0 +1,233 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace raptrack::fault {
+
+const char* injector_name(InjectorKind kind) {
+  switch (kind) {
+    case InjectorKind::DropReport: return "drop-report";
+    case InjectorKind::DuplicateReport: return "duplicate-report";
+    case InjectorKind::ReorderReports: return "reorder-reports";
+    case InjectorKind::TruncateChain: return "truncate-chain";
+    case InjectorKind::PayloadBitFlip: return "payload-bit-flip";
+    case InjectorKind::PayloadTruncate: return "payload-truncate";
+    case InjectorKind::MacTamper: return "mac-tamper";
+    case InjectorKind::SequenceTamper: return "sequence-tamper";
+    case InjectorKind::ChallengeTamper: return "challenge-tamper";
+    case InjectorKind::HmemTamper: return "hmem-tamper";
+    case InjectorKind::FinalFlagTamper: return "final-flag-tamper";
+    case InjectorKind::TypeConfusion: return "type-confusion";
+    case InjectorKind::ForgeReport: return "forge-report";
+    case InjectorKind::WireBitFlip: return "wire-bit-flip";
+    case InjectorKind::MtbSramBitFlip: return "mtb-sram-bit-flip";
+    case InjectorKind::MtbWatermarkGlitch: return "mtb-watermark-glitch";
+    case InjectorKind::SvcDropLoopValue: return "svc-drop-loop-value";
+    case InjectorKind::SvcDoubleLoopValue: return "svc-double-loop-value";
+  }
+  return "?";
+}
+
+bool is_device_level(InjectorKind kind) {
+  switch (kind) {
+    case InjectorKind::MtbSramBitFlip:
+    case InjectorKind::MtbWatermarkGlitch:
+    case InjectorKind::SvcDropLoopValue:
+    case InjectorKind::SvcDoubleLoopValue:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<InjectorKind> transport_injectors() {
+  return {InjectorKind::DropReport,      InjectorKind::DuplicateReport,
+          InjectorKind::ReorderReports,  InjectorKind::TruncateChain,
+          InjectorKind::PayloadBitFlip,  InjectorKind::PayloadTruncate,
+          InjectorKind::MacTamper,       InjectorKind::SequenceTamper,
+          InjectorKind::ChallengeTamper, InjectorKind::HmemTamper,
+          InjectorKind::FinalFlagTamper, InjectorKind::TypeConfusion,
+          InjectorKind::ForgeReport,     InjectorKind::WireBitFlip};
+}
+
+std::vector<InjectorKind> device_injectors() {
+  return {InjectorKind::MtbSramBitFlip, InjectorKind::MtbWatermarkGlitch,
+          InjectorKind::SvcDropLoopValue, InjectorKind::SvcDoubleLoopValue};
+}
+
+std::vector<InjectorKind> all_injectors() {
+  auto kinds = transport_injectors();
+  const auto device = device_injectors();
+  kinds.insert(kinds.end(), device.begin(), device.end());
+  return kinds;
+}
+
+namespace {
+
+std::string at_seq(const cfa::SignedReport& report) {
+  return "seq " + std::to_string(report.sequence);
+}
+
+void flip_bit(std::vector<u8>& bytes, size_t bit_index) {
+  bytes[bit_index / 8] ^= static_cast<u8>(1u << (bit_index % 8));
+}
+
+}  // namespace
+
+void apply_transport_faults(FaultPlan& plan,
+                            std::vector<cfa::SignedReport>& chain) {
+  auto& rng = plan.rng();
+  for (const InjectorKind kind : plan.kinds()) {
+    if (is_device_level(kind) || kind == InjectorKind::WireBitFlip) continue;
+    switch (kind) {
+      case InjectorKind::DropReport: {
+        if (chain.empty()) break;
+        const size_t victim = rng.next_below(chain.size());
+        plan.record(kind, "dropped " + at_seq(chain[victim]));
+        chain.erase(chain.begin() + static_cast<ptrdiff_t>(victim));
+        break;
+      }
+      case InjectorKind::DuplicateReport: {
+        if (chain.empty()) break;
+        const size_t victim = rng.next_below(chain.size());
+        const size_t at = rng.next_below(chain.size() + 1);
+        const cfa::SignedReport copy = chain[victim];
+        plan.record(kind, "duplicated " + at_seq(copy) + " at position " +
+                              std::to_string(at));
+        chain.insert(chain.begin() + static_cast<ptrdiff_t>(at), copy);
+        break;
+      }
+      case InjectorKind::ReorderReports: {
+        if (chain.size() < 2) break;
+        const size_t a = rng.next_below(chain.size());
+        size_t b = rng.next_below(chain.size() - 1);
+        if (b >= a) ++b;
+        plan.record(kind, "swapped positions " + std::to_string(a) + " and " +
+                              std::to_string(b));
+        std::swap(chain[a], chain[b]);
+        break;
+      }
+      case InjectorKind::TruncateChain: {
+        if (chain.empty()) break;
+        const size_t keep = rng.next_below(chain.size());
+        plan.record(kind, "kept first " + std::to_string(keep) + " of " +
+                              std::to_string(chain.size()) + " reports");
+        chain.resize(keep);
+        break;
+      }
+      case InjectorKind::PayloadBitFlip: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        if (victim.payload.empty()) break;
+        const size_t bit = rng.next_below(victim.payload.size() * 8);
+        flip_bit(victim.payload, bit);
+        plan.record(kind, "flipped payload bit " + std::to_string(bit) +
+                              " of " + at_seq(victim));
+        break;
+      }
+      case InjectorKind::PayloadTruncate: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        if (victim.payload.empty()) break;
+        const size_t cut = 1 + rng.next_below(victim.payload.size());
+        victim.payload.resize(victim.payload.size() - cut);
+        plan.record(kind, "cut " + std::to_string(cut) +
+                              " payload bytes from " + at_seq(victim));
+        break;
+      }
+      case InjectorKind::MacTamper: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        const size_t bit = rng.next_below(victim.mac.size() * 8);
+        victim.mac[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        plan.record(kind, "flipped MAC bit " + std::to_string(bit) + " of " +
+                              at_seq(victim));
+        break;
+      }
+      case InjectorKind::SequenceTamper: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        const u32 mask = 1u << rng.next_below(8);
+        plan.record(kind, at_seq(victim) + " rewritten to seq " +
+                              std::to_string(victim.sequence ^ mask));
+        victim.sequence ^= mask;
+        break;
+      }
+      case InjectorKind::ChallengeTamper: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        const size_t bit = rng.next_below(victim.chal.size() * 8);
+        victim.chal[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        plan.record(kind, "flipped challenge bit " + std::to_string(bit) +
+                              " of " + at_seq(victim));
+        break;
+      }
+      case InjectorKind::HmemTamper: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        const size_t bit = rng.next_below(victim.h_mem.size() * 8);
+        victim.h_mem[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        plan.record(kind, "flipped H_MEM bit " + std::to_string(bit) + " of " +
+                              at_seq(victim));
+        break;
+      }
+      case InjectorKind::FinalFlagTamper: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        victim.final_report = !victim.final_report;
+        plan.record(kind, "toggled final flag of " + at_seq(victim));
+        break;
+      }
+      case InjectorKind::TypeConfusion: {
+        if (chain.empty()) break;
+        auto& victim = chain[rng.next_below(chain.size())];
+        const u8 original = static_cast<u8>(victim.type);
+        u8 relabeled = static_cast<u8>(1 + rng.next_below(5));
+        if (relabeled >= original) ++relabeled;
+        victim.type = static_cast<cfa::PayloadType>(relabeled);
+        plan.record(kind, at_seq(victim) + " relabeled type " +
+                              std::to_string(original) + " -> " +
+                              std::to_string(relabeled));
+        break;
+      }
+      case InjectorKind::ForgeReport: {
+        // Attacker without the RoT key fabricates a plausible report and
+        // splices it in, signed under a key of their own choosing.
+        cfa::SignedReport forged;
+        if (!chain.empty()) forged = chain[rng.next_below(chain.size())];
+        forged.sequence = chain.empty() ? 0 : chain.back().sequence + 1;
+        for (size_t i = 0; i < 6; ++i) {
+          forged.payload.push_back(static_cast<u8>(rng.next()));
+        }
+        crypto::Key attacker_key(32);
+        for (auto& byte : attacker_key) byte = static_cast<u8>(rng.next());
+        forged.sign(attacker_key);
+        const size_t at = rng.next_below(chain.size() + 1);
+        plan.record(kind, "spliced forged seq " +
+                              std::to_string(forged.sequence) +
+                              " at position " + std::to_string(at));
+        chain.insert(chain.begin() + static_cast<ptrdiff_t>(at),
+                     std::move(forged));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::optional<std::vector<cfa::SignedReport>> apply_wire_fault(
+    FaultPlan& plan, const std::vector<cfa::SignedReport>& chain) {
+  std::vector<u8> wire = cfa::encode_report_chain(chain);
+  if (wire.empty()) return chain;
+  const size_t bit = plan.rng().next_below(wire.size() * 8);
+  flip_bit(wire, bit);
+  plan.record(InjectorKind::WireBitFlip,
+              "flipped wire bit " + std::to_string(bit) + " of " +
+                  std::to_string(wire.size() * 8));
+  auto decoded = cfa::try_decode_report_chain(wire);
+  if (!decoded.ok()) return std::nullopt;
+  return std::move(*decoded);
+}
+
+}  // namespace raptrack::fault

@@ -1,0 +1,102 @@
+// Deterministic fault injectors for the prover -> report -> verifier
+// pipeline. Two layers, matching the two places evidence can go wrong:
+//
+//   * transport-level — an adversary (or lossy link) between Prv and Vrf
+//     mutates the *signed* report chain: drops, duplicates, reorders,
+//     truncations, bit flips, forgeries. The MAC and sequence numbering
+//     must convict every one of these.
+//   * device-level — a glitch/SEU on the prover *before* signing: MTB SRAM
+//     corruption, a disabled FLOW watermark (silent wrap), a misbehaving SVC
+//     gateway. These yield authentically signed but wrong evidence; only
+//     reconstruction can catch them.
+//
+// Every injector draws its choices from a seeded generator owned by the
+// FaultPlan and records exactly what it injected, so any campaign run
+// reproduces bit-for-bit from (app, seed, kind).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfa/report.hpp"
+#include "common/rng.hpp"
+
+namespace raptrack::fault {
+
+enum class InjectorKind : u8 {
+  // -- transport-level (post-sign) -------------------------------------------
+  DropReport,        ///< remove one report from the chain
+  DuplicateReport,   ///< re-insert a copy of one report
+  ReorderReports,    ///< swap two reports
+  TruncateChain,     ///< drop a suffix (loses the final report)
+  PayloadBitFlip,    ///< flip one payload bit (MAC no longer matches)
+  PayloadTruncate,   ///< shorten one payload (MAC no longer matches)
+  MacTamper,         ///< flip one MAC bit
+  SequenceTamper,    ///< rewrite a sequence number without the key
+  ChallengeTamper,   ///< flip a bit of the echoed challenge
+  HmemTamper,        ///< flip a bit of the claimed H_MEM
+  FinalFlagTamper,   ///< toggle a final_report flag
+  TypeConfusion,     ///< relabel a payload's type discriminator
+  ForgeReport,       ///< append a report signed under an attacker key
+  WireBitFlip,       ///< flip one bit of the serialized wire bytes
+  // -- device-level (pre-sign) -----------------------------------------------
+  MtbSramBitFlip,      ///< SEU in a live MTB packet word before readout
+  MtbWatermarkGlitch,  ///< FLOW watermark disabled: buffer wraps silently
+  SvcDropLoopValue,    ///< gateway swallows one loop-condition SVC
+  SvcDoubleLoopValue,  ///< gateway re-enters one loop-condition SVC
+};
+
+const char* injector_name(InjectorKind kind);
+bool is_device_level(InjectorKind kind);
+std::vector<InjectorKind> transport_injectors();
+std::vector<InjectorKind> device_injectors();
+std::vector<InjectorKind> all_injectors();
+
+/// What one injector actually did (empty detail = nothing).
+struct FaultRecord {
+  InjectorKind kind = InjectorKind::DropReport;
+  std::string detail;
+};
+
+/// A seeded, composable set of injectors plus the log of what fired.
+/// Injectors only record when they actually changed something; a plan with
+/// no records left the evidence untouched (e.g. a loop-SVC fault on an app
+/// with no eligible loops) and the clean-run verdict applies.
+class FaultPlan {
+ public:
+  explicit FaultPlan(u64 seed) : rng_(seed) {}
+
+  FaultPlan& add(InjectorKind kind) {
+    kinds_.push_back(kind);
+    return *this;
+  }
+
+  const std::vector<InjectorKind>& kinds() const { return kinds_; }
+  Xoshiro256& rng() { return rng_; }
+
+  void record(InjectorKind kind, std::string detail) {
+    records_.push_back({kind, std::move(detail)});
+  }
+  const std::vector<FaultRecord>& records() const { return records_; }
+  bool effective() const { return !records_.empty(); }
+
+ private:
+  std::vector<InjectorKind> kinds_;
+  std::vector<FaultRecord> records_;
+  Xoshiro256 rng_;
+};
+
+/// Apply every *transport-level* injector in `plan` to `chain` in place
+/// (device-level kinds are applied by the campaign through prover hooks and
+/// are skipped here; WireBitFlip is handled by `apply_wire_fault`).
+void apply_transport_faults(FaultPlan& plan,
+                            std::vector<cfa::SignedReport>& chain);
+
+/// WireBitFlip: serialize `chain`, flip one seeded bit, decode it back.
+/// Returns the surviving chain, or nullopt when the flip destroyed the wire
+/// framing (the transport layer itself rejects — also a safe outcome).
+std::optional<std::vector<cfa::SignedReport>> apply_wire_fault(
+    FaultPlan& plan, const std::vector<cfa::SignedReport>& chain);
+
+}  // namespace raptrack::fault

@@ -121,6 +121,14 @@ void Mtb::write_register(u32 offset, u32 value) {
   }
 }
 
+void Mtb::corrupt_stored_word(u32 byte_offset, u32 mask) {
+  if (byte_offset % 4 != 0 || byte_offset + 4 > buffer_bytes_) {
+    throw Error("Mtb: corrupt_stored_word offset out of range");
+  }
+  const Address at = buffer_base_ + byte_offset;
+  sram_->raw_write32(at, sram_->raw_read32(at) ^ mask);
+}
+
 PacketLog Mtb::read_log() const {
   PacketLog log;
   const u32 valid_bytes = wrapped_ ? buffer_bytes_ : position_;

@@ -105,6 +105,18 @@ class Mtb {
   u32 read_register(u32 offset) const;
   void write_register(u32 offset, u32 value);
 
+  // -- fault injection (src/fault) -------------------------------------------
+
+  /// XOR a stored packet word in the buffer SRAM with `mask` — models a
+  /// single-event upset in MTB SRAM. `byte_offset` must be word-aligned and
+  /// inside the buffer. Words at packet-even offsets are source words (bit 0
+  /// is the A-bit, which the replayer does not interpret — see DESIGN.md's
+  /// fault-model notes); odd offsets are destination words.
+  void corrupt_stored_word(u32 byte_offset, u32 mask);
+
+  /// Bytes of the buffer currently holding live (unread) packets.
+  u32 live_bytes() const { return wrapped_ ? buffer_bytes_ : position_; }
+
  private:
   void write_packet(const BranchPacket& packet);
 

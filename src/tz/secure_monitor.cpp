@@ -20,7 +20,13 @@ Cycles SecureMonitor::handle(u8 code, cpu::CpuState& state) {
   ++world_switches_;
   const auto previous_world = state.world;
   state.world = mem::WorldSide::Secure;
-  const Cycles service_cycles = it->second(state);
+  u32 dispatch_count = 1;
+  if (fault_.dispatch) dispatch_count = fault_.dispatch(code, state);
+  Cycles service_cycles = 0;
+  for (u32 i = 0; i < dispatch_count; ++i) {
+    service_cycles += it->second(state);
+  }
+  if (fault_.after) fault_.after(code, state);
   state.world = previous_world;
   return costs_.secure_log_round_trip(service_cycles);
 }

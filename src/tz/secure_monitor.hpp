@@ -36,6 +36,19 @@ class SecureMonitor {
   /// Entry point wired into the Executor as its SVC handler.
   Cycles handle(u8 code, cpu::CpuState& state);
 
+  /// Fault-injection shim modelling a glitched SVC gateway (see src/fault).
+  /// `dispatch` runs before the service and returns how many times the
+  /// handler executes (0 = the call is swallowed, 1 = normal, n > 1 =
+  /// glitched re-entry); it may also perturb CPU state. `after` runs once
+  /// the service returns (e.g. to undo a perturbation). The world-switch is
+  /// still counted and charged: the gateway was entered either way.
+  struct GatewayFault {
+    std::function<u32(u8 code, cpu::CpuState& state)> dispatch;
+    std::function<void(u8 code, cpu::CpuState& state)> after;
+  };
+  void set_gateway_fault(GatewayFault fault) { fault_ = std::move(fault); }
+  void clear_gateway_fault() { fault_ = {}; }
+
   /// Number of Non-Secure -> Secure transitions serviced (a headline metric:
   /// RAP-Track's point is to make this near zero).
   u64 world_switches() const { return world_switches_; }
@@ -44,6 +57,7 @@ class SecureMonitor {
  private:
   CostModel costs_;
   std::map<u8, Handler> services_;
+  GatewayFault fault_;
   u64 world_switches_ = 0;
 };
 

@@ -44,10 +44,17 @@ AuditReport audit_verification(const VerificationResult& result,
                                size_t top_edges) {
   AuditReport report;
   report.accepted = result.accepted();
+  report.verdict_class = result.verdict;
+  report.gaps = result.gaps;
+  report.chain_notes = result.chain_notes;
+  report.partial_reconstruction = result.partial_reconstruction;
   if (result.accepted()) {
     report.verdict = "ACCEPTED: expected binary, complete benign path";
   } else if (!result.detail.empty()) {
-    report.verdict = "REJECTED: " + result.detail;
+    report.verdict =
+        std::string(result.verdict == Verdict::Inconclusive ? "INCONCLUSIVE: "
+                                                            : "REJECTED: ") +
+        result.detail;
   } else {
     report.verdict = "REJECTED";
   }
@@ -135,6 +142,22 @@ std::string format_audit(const AuditReport& report) {
   emit("=== CFA audit report ===");
   std::snprintf(buf, sizeof buf, "verdict: %s", report.verdict.c_str());
   emit(buf);
+  if (!report.gaps.empty()) {
+    emit("chain gaps:");
+    for (const auto& gap : report.gaps) {
+      std::snprintf(buf, sizeof buf, "  reports %u..%u never arrived",
+                    gap.first_missing,
+                    gap.first_missing + gap.missing_count - 1);
+      emit(buf);
+    }
+  }
+  for (const auto& note : report.chain_notes) {
+    std::snprintf(buf, sizeof buf, "note: %s", note.c_str());
+    emit(buf);
+  }
+  if (report.partial_reconstruction) {
+    emit("partial reconstruction of the surviving chain prefix follows");
+  }
   std::snprintf(buf, sizeof buf,
                 "evidence: %llu MTB packets, %llu loop-condition values",
                 (unsigned long long)report.evidence_packets,

@@ -31,7 +31,11 @@ struct EdgeFrequency {
 
 struct AuditReport {
   bool accepted = false;
+  Verdict verdict_class = Verdict::Reject;  ///< taxonomy bucket
   std::string verdict;            ///< one-line outcome
+  std::vector<ChainGap> gaps;     ///< missing report ranges (damaged chains)
+  std::vector<std::string> chain_notes;  ///< resync audit trail
+  bool partial_reconstruction = false;
   u64 total_transfers = 0;
   std::map<std::string, u64> transfers_by_kind;
   std::vector<FunctionActivity> functions;   ///< by descending call count

@@ -1,10 +1,20 @@
 #include "verify/verifier.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "crypto/sha256.hpp"
 
 namespace raptrack::verify {
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::Accept: return "ACCEPT";
+    case Verdict::Reject: return "REJECT";
+    case Verdict::Inconclusive: return "INCONCLUSIVE";
+  }
+  return "?";
+}
 
 Verifier::Verifier(crypto::Key key, u64 rng_seed)
     : key_(std::move(key)), rng_(rng_seed) {}
@@ -47,134 +57,261 @@ cfa::Challenge Verifier::fresh_challenge() {
   return chal;
 }
 
+void Verifier::adopt_challenge(const cfa::Challenge& chal) {
+  if (std::find(outstanding_.begin(), outstanding_.end(), chal) ==
+      outstanding_.end()) {
+    outstanding_.push_back(chal);
+  }
+}
+
+namespace {
+
+/// Decode one report's payload into `inputs`. Returns an empty string on
+/// success, the rejection reason otherwise. Never throws.
+std::string decode_into(const cfa::SignedReport& report, ReplayMode mode,
+                        const cfa::SpeculationDict* speculation,
+                        ReplayInputs& inputs) {
+  using cfa::PayloadType;
+  if (!cfa::payload_type_valid(static_cast<u8>(report.type))) {
+    return "unknown payload type";
+  }
+  switch (report.type) {
+    case PayloadType::RapPackets: {
+      if (mode != ReplayMode::Rap) return "payload/mode mismatch";
+      auto chunk = cfa::try_decode_packets(report.payload);
+      if (!chunk.ok()) return chunk.error;
+      inputs.packets.insert(inputs.packets.end(), chunk->begin(), chunk->end());
+      return {};
+    }
+    case PayloadType::RapFinal: {
+      if (mode != ReplayMode::Rap) return "payload/mode mismatch";
+      auto final_payload = cfa::try_decode_rap_final(report.payload);
+      if (!final_payload.ok()) return final_payload.error;
+      inputs.packets.insert(inputs.packets.end(),
+                            final_payload->packets.begin(),
+                            final_payload->packets.end());
+      inputs.loop_values = std::move(final_payload->loop_values);
+      return {};
+    }
+    case PayloadType::NaivePackets: {
+      if (mode != ReplayMode::Naive) return "payload/mode mismatch";
+      auto chunk = cfa::try_decode_packets(report.payload);
+      if (!chunk.ok()) return chunk.error;
+      inputs.packets.insert(inputs.packets.end(), chunk->begin(), chunk->end());
+      return {};
+    }
+    case PayloadType::RapSpecPackets: {
+      if (mode != ReplayMode::Rap) return "payload/mode mismatch";
+      if (speculation == nullptr) {
+        return "speculated payload but no dictionary provisioned";
+      }
+      try {
+        auto chunk = cfa::decode_speculated(report.payload, *speculation);
+        inputs.packets.insert(inputs.packets.end(), chunk.begin(), chunk.end());
+      } catch (const Error& e) {
+        return e.what();
+      }
+      return {};
+    }
+    case PayloadType::RapSpecFinal: {
+      if (mode != ReplayMode::Rap) return "payload/mode mismatch";
+      if (speculation == nullptr) {
+        return "speculated payload but no dictionary provisioned";
+      }
+      try {
+        auto final_payload =
+            cfa::decode_spec_final(report.payload, *speculation);
+        inputs.packets.insert(inputs.packets.end(),
+                              final_payload.packets.begin(),
+                              final_payload.packets.end());
+        inputs.loop_values = std::move(final_payload.loop_values);
+      } catch (const Error& e) {
+        return e.what();
+      }
+      return {};
+    }
+    case PayloadType::TracesChunk: {
+      if (mode != ReplayMode::Traces) return "payload/mode mismatch";
+      auto chunk = cfa::try_decode_traces_chunk(report.payload);
+      if (!chunk.ok()) return chunk.error;
+      auto& log = inputs.traces_log;
+      log.direction_bits.insert(log.direction_bits.end(),
+                                chunk->direction_bits.begin(),
+                                chunk->direction_bits.end());
+      log.indirect_targets.insert(log.indirect_targets.end(),
+                                  chunk->indirect_targets.begin(),
+                                  chunk->indirect_targets.end());
+      log.loop_conditions.insert(log.loop_conditions.end(),
+                                 chunk->loop_values.begin(),
+                                 chunk->loop_values.end());
+      return {};
+    }
+  }
+  return "unknown payload type";
+}
+
+}  // namespace
+
 VerificationResult Verifier::verify(
     const cfa::Challenge& chal, const std::vector<cfa::SignedReport>& reports) {
   VerificationResult result;
-  if (!mode_) {
-    result.detail = "verifier has no expected deployment";
+  const auto reject = [&result](std::string why) -> VerificationResult& {
+    result.verdict = Verdict::Reject;
+    if (result.detail.empty()) result.detail = std::move(why);
     return result;
-  }
-  if (reports.empty()) {
-    result.detail = "no reports";
-    return result;
-  }
+  };
+
+  if (!mode_) return reject("verifier has no expected deployment");
+  if (reports.empty()) return reject("no reports");
 
   // (1) Authenticity: every report carries a valid MAC under the RoT key.
+  //     An invalid MAC is positive evidence of forgery or transport
+  //     corruption — reject before trusting any other field.
   for (const auto& report : reports) {
     if (!report.verify(key_)) {
-      result.detail = "report MAC invalid (seq " +
-                      std::to_string(report.sequence) + ")";
-      return result;
+      return reject("report MAC invalid (seq " +
+                    std::to_string(report.sequence) + ")");
     }
   }
   result.authentic = true;
 
   // (2) Freshness: the challenge was issued by us, is not reused, and every
-  //     report echoes it.
+  //     report echoes it. The challenge is consumed only once a terminal
+  //     verdict (Accept/Reject) is reached — an Inconclusive chain keeps it
+  //     outstanding so the Prover can retransmit missing chunks.
   const auto outstanding_it =
       std::find(outstanding_.begin(), outstanding_.end(), chal);
-  const bool was_used = std::find(used_.begin(), used_.end(), chal) != used_.end();
+  const bool was_used =
+      std::find(used_.begin(), used_.end(), chal) != used_.end();
   if (outstanding_it == outstanding_.end() || was_used) {
-    result.detail = "challenge not outstanding (replay?)";
-    return result;
+    return reject("challenge not outstanding (replay?)");
   }
   for (const auto& report : reports) {
     if (report.chal != chal) {
-      result.detail = "report echoes a different challenge";
-      return result;
+      // Authentic evidence, but bound to some other challenge: not a
+      // response to `chal` at all. Reject the pairing without burning the
+      // challenge — the genuine response may still arrive.
+      return reject("report echoes a different challenge");
     }
   }
-  outstanding_.erase(outstanding_it);
-  used_.push_back(chal);
   result.fresh = true;
+  const auto consume_challenge = [&] {
+    outstanding_.erase(
+        std::find(outstanding_.begin(), outstanding_.end(), chal));
+    used_.push_back(chal);
+  };
 
-  // (3) Chain integrity: sequence numbers 0..n-1, exactly one final, last.
+  // (3) Chain integrity: as received, sequence numbers must be 0..n-1 with
+  //     exactly one final report in last position.
+  bool strict_ok = true;
   for (size_t i = 0; i < reports.size(); ++i) {
     const bool should_be_final = (i + 1 == reports.size());
-    if (reports[i].sequence != i || reports[i].final_report != should_be_final) {
-      result.detail = "report chain broken at seq " + std::to_string(i);
-      return result;
+    if (reports[i].sequence != i ||
+        reports[i].final_report != should_be_final) {
+      strict_ok = false;
+      break;
     }
   }
-  result.chain_ok = true;
+  result.chain_ok = strict_ok;
+
+  // Resync pass for a damaged chain: dedupe exact retransmissions, order by
+  // authenticated sequence number, and map the gaps. Equivocation (two
+  // different authentic reports claiming the same sequence) is a terminal
+  // tamper signal, not damage.
+  std::vector<const cfa::SignedReport*> usable;
+  if (strict_ok) {
+    for (const auto& report : reports) usable.push_back(&report);
+  } else {
+    std::map<u32, const cfa::SignedReport*> by_sequence;
+    for (const auto& report : reports) {
+      auto [it, inserted] = by_sequence.emplace(report.sequence, &report);
+      if (inserted) continue;
+      if (*it->second == report) {
+        result.chain_notes.push_back(
+            "duplicate report seq " + std::to_string(report.sequence) +
+            " dropped (identical retransmission)");
+      } else {
+        consume_challenge();
+        return reject("equivocating reports at seq " +
+                      std::to_string(report.sequence));
+      }
+    }
+    const u32 max_seq = by_sequence.rbegin()->first;
+    for (const auto& [seq, report] : by_sequence) {
+      if (report->final_report && seq != max_seq) {
+        consume_challenge();
+        return reject("report after the final (final at seq " +
+                      std::to_string(seq) + ")");
+      }
+    }
+    if (!by_sequence.rbegin()->second->final_report) {
+      result.chain_notes.push_back("final report missing (chain truncated)");
+    }
+    // Gap map over [0, max_seq].
+    u32 expected = 0;
+    for (const auto& [seq, report] : by_sequence) {
+      if (seq > expected) {
+        result.gaps.push_back({expected, seq - expected});
+        result.chain_notes.push_back(
+            "gap: reports " + std::to_string(expected) + ".." +
+            std::to_string(seq - 1) + " missing");
+      }
+      expected = seq + 1;
+    }
+    if (result.gaps.empty() && by_sequence.size() == reports.size() &&
+        by_sequence.rbegin()->second->final_report) {
+      result.chain_notes.push_back(
+          "chain arrived out of order; resynced by sequence");
+    }
+    // The reconstructible evidence is the contiguous prefix from seq 0.
+    const u32 prefix_end =
+        result.gaps.empty() ? max_seq + 1 : result.gaps.front().first_missing;
+    for (const auto& [seq, report] : by_sequence) {
+      if (seq >= prefix_end) break;
+      usable.push_back(report);
+    }
+  }
 
   // (4) Memory integrity: H_MEM consistent and equal to the expected image.
   for (const auto& report : reports) {
     if (!crypto::digest_equal(report.h_mem, expected_h_mem_)) {
-      result.detail = "H_MEM does not match the expected binary";
-      return result;
+      consume_challenge();
+      return reject("H_MEM does not match the expected binary");
     }
   }
   result.memory_ok = true;
 
-  // (5) Decode + concatenate evidence.
+  // (5) Decode + concatenate the usable evidence (typed decoders: hostile
+  //     payload bytes yield a rejection, never a crash).
   ReplayInputs inputs;
-  try {
-    for (const auto& report : reports) {
-      switch (report.type) {
-        case cfa::PayloadType::RapPackets: {
-          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
-          auto chunk = cfa::decode_packets(report.payload);
-          inputs.packets.insert(inputs.packets.end(), chunk.begin(), chunk.end());
-          break;
-        }
-        case cfa::PayloadType::RapFinal: {
-          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
-          auto final_payload = cfa::decode_rap_final(report.payload);
-          inputs.packets.insert(inputs.packets.end(),
-                                final_payload.packets.begin(),
-                                final_payload.packets.end());
-          inputs.loop_values = std::move(final_payload.loop_values);
-          break;
-        }
-        case cfa::PayloadType::NaivePackets: {
-          if (*mode_ != ReplayMode::Naive) throw Error("payload/mode mismatch");
-          auto chunk = cfa::decode_packets(report.payload);
-          inputs.packets.insert(inputs.packets.end(), chunk.begin(), chunk.end());
-          break;
-        }
-        case cfa::PayloadType::RapSpecPackets: {
-          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
-          if (speculation_ == nullptr) {
-            throw Error("speculated payload but no dictionary provisioned");
-          }
-          auto chunk = cfa::decode_speculated(report.payload, *speculation_);
-          inputs.packets.insert(inputs.packets.end(), chunk.begin(), chunk.end());
-          break;
-        }
-        case cfa::PayloadType::RapSpecFinal: {
-          if (*mode_ != ReplayMode::Rap) throw Error("payload/mode mismatch");
-          if (speculation_ == nullptr) {
-            throw Error("speculated payload but no dictionary provisioned");
-          }
-          auto final_payload =
-              cfa::decode_spec_final(report.payload, *speculation_);
-          inputs.packets.insert(inputs.packets.end(),
-                                final_payload.packets.begin(),
-                                final_payload.packets.end());
-          inputs.loop_values = std::move(final_payload.loop_values);
-          break;
-        }
-        case cfa::PayloadType::TracesChunk: {
-          if (*mode_ != ReplayMode::Traces) throw Error("payload/mode mismatch");
-          auto chunk = cfa::decode_traces_chunk(report.payload);
-          auto& log = inputs.traces_log;
-          log.direction_bits.insert(log.direction_bits.end(),
-                                    chunk.direction_bits.begin(),
-                                    chunk.direction_bits.end());
-          log.indirect_targets.insert(log.indirect_targets.end(),
-                                      chunk.indirect_targets.begin(),
-                                      chunk.indirect_targets.end());
-          log.loop_conditions.insert(log.loop_conditions.end(),
-                                     chunk.loop_values.begin(),
-                                     chunk.loop_values.end());
-          break;
-        }
+  for (const auto* report : usable) {
+    const size_t packets_before = inputs.packets.size();
+    const std::string error =
+        decode_into(*report, *mode_, speculation_, inputs);
+    if (!error.empty()) {
+      consume_challenge();
+      return reject("payload decode failed: " + error);
+    }
+    // §IV-E protocol shape: with a provisioned watermark, a partial chunk is
+    // exactly watermark/8 packets (the FLOW event fired) and the final chunk
+    // strictly fewer. A fatter final chunk means the watermark never fired
+    // on the device — a glitched FLOW register silently wrapping the buffer
+    // — and the evidence, though authentically signed, is not trustworthy.
+    if (expected_watermark_ != 0 && *mode_ != ReplayMode::Traces) {
+      const size_t chunk = inputs.packets.size() - packets_before;
+      const size_t limit = expected_watermark_ / trace::BranchPacket::kBytes;
+      if (!report->final_report && chunk != limit) {
+        consume_challenge();
+        return reject("partial report chunk (" + std::to_string(chunk) +
+                      " packets) does not match the configured watermark");
+      }
+      if (report->final_report && chunk >= limit) {
+        consume_challenge();
+        return reject("final chunk (" + std::to_string(chunk) +
+                      " packets) at or above the configured watermark — "
+                      "FLOW event never fired (silent MTB wrap?)");
       }
     }
-  } catch (const Error& e) {
-    result.detail = std::string("payload decode failed: ") + e.what();
-    return result;
   }
 
   // (6) Lossless path reconstruction + (7) attack policies.
@@ -182,15 +319,46 @@ VerificationResult Verifier::verify(
   replayer.set_rap_manifest(rap_manifest_);
   replayer.set_traces_manifest(traces_manifest_);
   replayer.set_policy(policy_);
-  result.replay = replayer.replay(inputs);
-  result.inputs = std::move(inputs);
-  result.reconstruction_ok = result.replay.complete;
-  result.policy_ok = result.replay.findings.empty();
-  if (!result.reconstruction_ok) {
-    result.detail = "reconstruction failed: " + result.replay.failure;
-  } else if (!result.policy_ok) {
-    result.detail = "attack detected: " + result.replay.findings.front().description;
+  try {
+    result.replay = replayer.replay(inputs);
+  } catch (const Error& e) {
+    consume_challenge();
+    return reject(std::string("replay aborted: ") + e.what());
   }
+  result.inputs = std::move(inputs);
+
+  if (strict_ok) {
+    result.reconstruction_ok = result.replay.complete;
+    result.policy_ok = result.replay.findings.empty();
+    if (!result.reconstruction_ok) {
+      consume_challenge();
+      return reject("reconstruction failed: " + result.replay.failure);
+    }
+    if (!result.policy_ok) {
+      consume_challenge();
+      return reject("attack detected: " +
+                    result.replay.findings.front().description);
+    }
+    consume_challenge();
+    result.verdict = Verdict::Accept;
+    return result;
+  }
+
+  // Damaged chain: the prefix replay is an audit artifact, never an Accept.
+  // Findings inside the surviving prefix are still positive attack evidence.
+  result.partial_reconstruction = !result.replay.events.empty();
+  if (!result.replay.findings.empty()) {
+    consume_challenge();
+    return reject("attack detected in partial reconstruction: " +
+                  result.replay.findings.front().description);
+  }
+  result.verdict = Verdict::Inconclusive;
+  result.detail =
+      "chain damaged: " +
+      (result.chain_notes.empty() ? std::string("sequence disorder")
+                                  : result.chain_notes.front()) +
+      " (" + std::to_string(result.replay.events.size()) +
+      " transfers recovered from the surviving prefix)";
   return result;
 }
 

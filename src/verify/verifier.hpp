@@ -4,6 +4,22 @@
 // attack-detection policies (shadow call stack, valid indirect-call
 // targets). Mirrors the §II-C/§II-D protocol and the §IV-F security
 // arguments.
+//
+// The Verifier is adversary-facing: `verify()` must terminate with a verdict
+// on *any* input — corrupted, truncated, reordered, duplicated, or forged
+// report chains — and never throw or crash. Verdicts form a three-way
+// taxonomy:
+//   Accept        — authentic complete chain, lossless reconstruction,
+//                   no policy findings.
+//   Reject        — positive evidence of tampering or attack (bad MAC,
+//                   replayed challenge, wrong H_MEM, equivocating reports,
+//                   undecodable authenticated payload, failed reconstruction,
+//                   ROP/JOP finding).
+//   Inconclusive  — every surviving report is authentic but the chain is
+//                   damaged (gaps, duplicates, reordering, missing final).
+//                   The Verifier resyncs by sequence number, reconstructs
+//                   the contiguous prefix it still has, and reports the
+//                   damage as an audit trail (`gaps`, `chain_notes`).
 #pragma once
 
 #include <optional>
@@ -17,6 +33,23 @@
 
 namespace raptrack::verify {
 
+enum class Verdict : u8 {
+  Accept,
+  Reject,
+  Inconclusive,
+};
+
+const char* verdict_name(Verdict verdict);
+
+/// A hole in the partial-report chain: sequence numbers
+/// [first_missing, first_missing + missing_count) never arrived.
+struct ChainGap {
+  u32 first_missing = 0;
+  u32 missing_count = 0;
+
+  friend bool operator==(const ChainGap&, const ChainGap&) = default;
+};
+
 struct VerificationResult {
   bool authentic = false;       ///< every report MAC valid
   bool fresh = false;           ///< challenge matches, never seen before
@@ -24,15 +57,18 @@ struct VerificationResult {
   bool memory_ok = false;       ///< H_MEM matches the expected image
   bool reconstruction_ok = false;  ///< lossless path replay succeeded
   bool policy_ok = false;       ///< no ROP/JOP findings
+  Verdict verdict = Verdict::Reject;
   std::string detail;           ///< first failure explanation
+  std::vector<ChainGap> gaps;   ///< missing sequence ranges (resync pass)
+  std::vector<std::string> chain_notes;  ///< resync audit trail
+  /// Damaged-chain mode: the surviving contiguous prefix replayed into a
+  /// non-empty partial path (available in `replay.events` for auditing).
+  bool partial_reconstruction = false;
   ReplayResult replay;
   ReplayInputs inputs;          ///< decoded evidence (for audits/diagnostics)
 
   /// The overall verdict: Prv ran the expected code over an admissible path.
-  bool accepted() const {
-    return authentic && fresh && chain_ok && memory_ok && reconstruction_ok &&
-           policy_ok;
-  }
+  bool accepted() const { return verdict == Verdict::Accept; }
 };
 
 class Verifier {
@@ -52,10 +88,25 @@ class Verifier {
   /// (must match the prover's, or speculated payloads fail to decode).
   void set_speculation(const cfa::SpeculationDict* dict) { speculation_ = dict; }
 
+  /// Provision the deployment's MTB watermark (bytes). When set, the §IV-E
+  /// protocol shape is enforced: every partial report carries exactly
+  /// watermark/8 packets and the final chunk strictly fewer — a final chunk
+  /// at or above the watermark means the FLOW event never fired on the
+  /// device (glitched watermark, silent buffer wrap) and is rejected even
+  /// though the report signs valid. 0 (default) disables the check.
+  void set_expected_watermark(u32 bytes) { expected_watermark_ = bytes; }
+
   /// Issue a fresh challenge (recorded for replay-detection).
   cfa::Challenge fresh_challenge();
 
-  /// Verify a full report chain for `chal`.
+  /// Register an externally-issued challenge as outstanding — the
+  /// replicated-deployment path where a frontend issues challenges and any
+  /// verifier instance may receive the response (also used by the fault
+  /// campaign to verify many mutations of one attested run).
+  void adopt_challenge(const cfa::Challenge& chal);
+
+  /// Verify a full report chain for `chal`. Total: returns a verdict for
+  /// arbitrary input and never throws.
   VerificationResult verify(const cfa::Challenge& chal,
                             const std::vector<cfa::SignedReport>& reports);
 
@@ -73,6 +124,7 @@ class Verifier {
   crypto::Digest expected_h_mem_{};
   ReplayPolicy policy_;
   const cfa::SpeculationDict* speculation_ = nullptr;
+  u32 expected_watermark_ = 0;
 };
 
 }  // namespace raptrack::verify
