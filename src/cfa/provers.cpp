@@ -21,6 +21,13 @@ Cycles ProverBase::lock_and_measure(sim::Machine& machine, Address image_base,
   // Hash the deployed image exactly as it sits in flash.
   const auto bytes = machine.memory().dump(image_base, image_bytes);
   h_mem_out = crypto::Sha256::hash(bytes);
+
+  // H_MEM time is when the code is provably immutable: predecode it into
+  // the simulator's fast-path cache (a simulator concern, not a protocol
+  // step — it costs no modeled cycles and cannot change semantics: any
+  // later write into the range invalidates the affected lines).
+  machine.predecode(image_base, image_bytes);
+
   const auto& costs = machine.monitor().costs();
   return static_cast<Cycles>(image_bytes) * costs.hash_per_byte + 200;
 }
@@ -85,14 +92,14 @@ AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
     // and resume APP over the same buffer memory. With a provisioned
     // sub-path dictionary the chunk travels in the speculated encoding.
     if (options_.pre_report_hook) options_.pre_report_hook(machine);
-    const auto packets = mtb.read_log();
     auto report =
         options_.speculation != nullptr
             ? make_report(chal, h_mem, sequence++, false,
                           PayloadType::RapSpecPackets,
-                          encode_speculated(packets, *options_.speculation))
+                          encode_speculated(mtb.read_log(),
+                                            *options_.speculation))
             : make_report(chal, h_mem, sequence++, false,
-                          PayloadType::RapPackets, encode_packets(packets));
+                          PayloadType::RapPackets, encode_packets(mtb));
     const Cycles pause = report_cost(machine, report.payload.size());
     machine.cpu().add_cycles(pause);
     run.metrics.pause_cycles += pause;
@@ -131,10 +138,9 @@ AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
         make_report(chal, h_mem, sequence, true, PayloadType::RapSpecFinal,
                     encode_spec_final(payload, *options_.speculation));
   } else {
-    RapFinalPayload payload{mtb.read_log(), loop_values};
     final_report = make_report(chal, h_mem, sequence, true,
                                PayloadType::RapFinal,
-                               encode_rap_final(payload));
+                               encode_rap_final(mtb, loop_values));
   }
   run.metrics.final_report_cycles =
       report_cost(machine, final_report.payload.size());
@@ -176,10 +182,9 @@ AttestationRun NaiveProver::attest(sim::Machine& machine,
   u32 sequence = 0;
   mtb.set_watermark_handler([&] {
     if (options_.pre_report_hook) options_.pre_report_hook(machine);
-    const auto packets = mtb.read_log();
     auto report = make_report(chal, h_mem, sequence++, false,
                               PayloadType::NaivePackets,
-                              encode_packets(packets));
+                              encode_packets(mtb));
     const Cycles pause = report_cost(machine, report.payload.size());
     machine.cpu().add_cycles(pause);
     run.metrics.pause_cycles += pause;
@@ -199,7 +204,7 @@ AttestationRun NaiveProver::attest(sim::Machine& machine,
   if (options_.pre_report_hook) options_.pre_report_hook(machine);
   auto final = make_report(chal, h_mem, sequence, true,
                            PayloadType::NaivePackets,
-                           encode_packets(mtb.read_log()));
+                           encode_packets(mtb));
   run.metrics.final_report_cycles = report_cost(machine, final.payload.size());
   run.reports.push_back(std::move(final));
 
@@ -286,6 +291,9 @@ RunMetrics BaselineRunner::run(sim::Machine& machine,
   RunMetrics metrics;
   machine.load_program(*program_);
   metrics.code_bytes = program_->size();
+  // No CFA session locks memory here, but predecode stays safe: the write
+  // watch drops any line the app (or an injector) overwrites.
+  machine.predecode(program_->base(), program_->size());
   machine.reset_cpu(entry_);
   metrics.halt = machine.run(max_instructions);
   metrics.fault = machine.cpu().fault();

@@ -1,5 +1,7 @@
 #include "cfa/report.hpp"
 
+#include "trace/mtb.hpp"
+
 namespace raptrack::cfa {
 
 namespace {
@@ -96,21 +98,54 @@ std::vector<u8> SignedReport::mac_input() const {
   return out;
 }
 
+namespace {
+
+/// Streamed equivalent of hmac(key, mac_input()): MACs the fixed header
+/// fields then the payload in place, so signing a large packet payload does
+/// not first copy it into a fresh buffer (this runs once per report on the
+/// prover's fixed-cost path).
+crypto::Digest compute_mac(const SignedReport& report,
+                           std::span<const u8> key) {
+  crypto::HmacSha256 mac(key);
+  std::vector<u8> header;
+  header.reserve(report.chal.size() + report.h_mem.size() + 10);
+  header.insert(header.end(), report.chal.begin(), report.chal.end());
+  header.insert(header.end(), report.h_mem.begin(), report.h_mem.end());
+  put_u32(header, report.sequence);
+  header.push_back(report.final_report ? 1 : 0);
+  header.push_back(static_cast<u8>(report.type));
+  put_u32(header, static_cast<u32>(report.payload.size()));
+  mac.update(header);
+  mac.update(report.payload);
+  return mac.finalize();
+}
+
+}  // namespace
+
 void SignedReport::sign(std::span<const u8> key) {
-  mac = crypto::hmac_sha256(key, mac_input());
+  mac = compute_mac(*this, key);
 }
 
 bool SignedReport::verify(std::span<const u8> key) const {
-  return crypto::digest_equal(mac, crypto::hmac_sha256(key, mac_input()));
+  return crypto::digest_equal(mac, compute_mac(*this, key));
 }
 
 std::vector<u8> encode_packets(const trace::PacketLog& packets) {
   std::vector<u8> out;
+  out.reserve(4 + packets.size() * trace::BranchPacket::kBytes);
   put_u32(out, static_cast<u32>(packets.size()));
   for (const auto& packet : packets) {
     put_u32(out, packet.source_word());
     put_u32(out, packet.destination_word());
   }
+  return out;
+}
+
+std::vector<u8> encode_packets(const trace::Mtb& mtb) {
+  std::vector<u8> out;
+  out.reserve(4 + mtb.log_bytes());
+  put_u32(out, mtb.log_bytes() / trace::BranchPacket::kBytes);
+  mtb.append_log_bytes(out);
   return out;
 }
 
@@ -144,6 +179,15 @@ std::vector<u8> encode_rap_final(const RapFinalPayload& payload) {
   std::vector<u8> out = encode_packets(payload.packets);
   put_u32(out, static_cast<u32>(payload.loop_values.size()));
   for (const u32 value : payload.loop_values) put_u32(out, value);
+  return out;
+}
+
+std::vector<u8> encode_rap_final(const trace::Mtb& mtb,
+                                 const std::vector<u32>& loop_values) {
+  std::vector<u8> out = encode_packets(mtb);
+  out.reserve(out.size() + 4 + loop_values.size() * 4);
+  put_u32(out, static_cast<u32>(loop_values.size()));
+  for (const u32 value : loop_values) put_u32(out, value);
   return out;
 }
 

@@ -21,6 +21,10 @@
 #include "crypto/hmac.hpp"
 #include "trace/branch_packet.hpp"
 
+namespace raptrack::trace {
+class Mtb;
+}
+
 namespace raptrack::cfa {
 
 using Challenge = std::array<u8, 16>;
@@ -76,6 +80,10 @@ struct Decoded {
 // -- payload codecs ---------------------------------------------------------
 
 std::vector<u8> encode_packets(const trace::PacketLog& packets);
+/// Same wire bytes as encode_packets(mtb.read_log()), but copied straight
+/// from the MTB buffer (which already stores packets in wire layout) —
+/// the prover's per-report path skips the intermediate PacketLog.
+std::vector<u8> encode_packets(const trace::Mtb& mtb);
 Decoded<trace::PacketLog> try_decode_packets(std::span<const u8> payload);
 trace::PacketLog decode_packets(std::span<const u8> payload);
 
@@ -84,6 +92,10 @@ struct RapFinalPayload {
   std::vector<u32> loop_values;
 };
 std::vector<u8> encode_rap_final(const RapFinalPayload& payload);
+/// Fused variant of encode_rap_final for the prover (see encode_packets
+/// overload above): packets come straight from the MTB buffer.
+std::vector<u8> encode_rap_final(const trace::Mtb& mtb,
+                                 const std::vector<u32>& loop_values);
 Decoded<RapFinalPayload> try_decode_rap_final(std::span<const u8> payload);
 RapFinalPayload decode_rap_final(std::span<const u8> payload);
 

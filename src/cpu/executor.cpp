@@ -4,6 +4,7 @@
 
 #include "common/bits.hpp"
 #include "common/hex.hpp"
+#include "trace/trace_fabric.hpp"
 
 namespace raptrack::cpu {
 
@@ -11,6 +12,22 @@ using isa::BranchKind;
 using isa::Instruction;
 using isa::Op;
 using isa::Reg;
+using isa::SlotKind;
+
+namespace {
+
+/// Sink policy bound to the concrete (final) TraceFabric: the per-retired
+/// calls compile to direct, inlinable calls into the MTB/DWT models instead
+/// of virtual dispatch through TraceSink.
+struct SinksFabric {
+  trace::TraceFabric* fabric;
+  void instruction(Address pc) const { fabric->on_instruction(pc); }
+  void branch(Address source, Address destination, BranchKind kind) const {
+    fabric->on_branch(source, destination, kind);
+  }
+};
+
+}  // namespace
 
 void Executor::reset(Address entry, Address stack_top) {
   state_ = CpuState{};
@@ -21,6 +38,7 @@ void Executor::reset(Address entry, Address stack_top) {
   instructions_ = 0;
   fault_ = std::nullopt;
   halted_ = false;
+  fetch_generation_seen_ = kNoGeneration;
 }
 
 void Executor::set_nz(Word result) {
@@ -56,16 +74,19 @@ Word Executor::read_operand(Reg r, Address pc) const {
   return state_.reg(r);
 }
 
-void Executor::branch_to(Address source, Address destination, BranchKind kind) {
+template <typename Sinks>
+void Executor::branch_to(Address source, Address destination, BranchKind kind,
+                         const Sinks& sinks) {
   if (destination % 4 != 0) {
     throw mem::FaultException({mem::FaultType::Unaligned, destination, source,
                                "branch to unaligned address " + hex32(destination)});
   }
   state_.set_pc(destination);
-  for (auto* sink : sinks_) sink->on_branch(source, destination, kind);
+  sinks.branch(source, destination, kind);
 }
 
-std::optional<HaltReason> Executor::step() {
+template <typename Sinks>
+std::optional<HaltReason> Executor::step_with(const Sinks& sinks) {
   if (halted_) return HaltReason::Halted;
   const Address pc = state_.pc();
   try {
@@ -75,9 +96,9 @@ std::optional<HaltReason> Executor::step() {
       throw mem::FaultException({mem::FaultType::UndefinedInstr, pc, pc,
                                  "undefined instruction word " + hex32(word)});
     }
-    for (auto* sink : sinks_) sink->on_instruction(pc);
+    sinks.instruction(pc);
     ++instructions_;
-    execute(*decoded, pc);
+    execute(*decoded, pc, sinks, ModelCost{&cycle_model_, &*decoded});
     if (halted_) {
       return decoded->op == Op::BKPT ? HaltReason::Breakpoint : HaltReason::Halted;
     }
@@ -89,6 +110,10 @@ std::optional<HaltReason> Executor::step() {
   }
 }
 
+std::optional<HaltReason> Executor::step() {
+  return step_with(SinksMany{&sinks_});
+}
+
 HaltReason Executor::run(u64 max_instructions) {
   const u64 limit = instructions_ + max_instructions;
   while (instructions_ < limit) {
@@ -98,7 +123,180 @@ HaltReason Executor::run(u64 max_instructions) {
   return HaltReason::InstrBudget;
 }
 
-void Executor::execute(const Instruction& in, Address pc) {
+// ---------------------------------------------------------------------------
+// Fast path: execute from the predecoded image, skipping per-instruction
+// fetch/decode and dispatching sinks without the vector walk. Every exit to
+// slower ground routes through step_with(), the reference oracle, so the two
+// paths cannot diverge.
+// ---------------------------------------------------------------------------
+
+bool Executor::validate_fetch_window() const {
+  // The whole image range must sit inside one backed, executable region
+  // visible to the current world...
+  const Address base = image_->base();
+  const Address end = image_->end();
+  const auto* region = bus_->map().find(base);
+  if (!region || region->mmio || !region->executable) return false;
+  if (end > region->end()) return false;
+  if (region->security == mem::Security::Secure &&
+      state_.world == mem::WorldSide::NonSecure) {
+    return false;
+  }
+  // ...and, for the Non-Secure world, every slot address must pass the
+  // NS-MPU execute check (region boundaries can split the window, so each
+  // address is queried; this runs once per MPU generation, not per fetch).
+  if (state_.world == mem::WorldSide::NonSecure) {
+    const auto& mpu = bus_->ns_mpu();
+    for (Address addr = base; addr < end; addr += 4) {
+      if (!mpu.allows(addr, mem::AccessType::Execute)) return false;
+    }
+  }
+  return true;
+}
+
+bool Executor::fast_fetch_clear() {
+  const u64 generation = bus_->ns_mpu().generation();
+  if (generation == fetch_generation_seen_ && state_.world == fetch_world_seen_) {
+    return fetch_clear_;
+  }
+  fetch_generation_seen_ = generation;
+  fetch_world_seen_ = state_.world;
+  fetch_clear_ = validate_fetch_window();
+  return fetch_clear_;
+}
+
+template <typename Sinks>
+std::optional<HaltReason> Executor::step_fast_with(const Sinks& sinks) {
+  if (halted_) return HaltReason::Halted;
+  const Address pc = state_.pc();
+  if (image_ != nullptr && (pc & 3u) == 0 && image_->contains(pc) &&
+      fast_fetch_clear()) {
+    const isa::DecodedSlot& slot = image_->slot(pc);
+    if (slot.kind == SlotKind::Valid) {
+      sinks.instruction(pc);
+      ++instructions_;
+      try {
+        execute(slot.instr, pc, sinks,
+                SlotCost{slot.cost_taken, slot.cost_not_taken});
+      } catch (const mem::FaultException& e) {
+        fault_ = e.fault();
+        halted_ = true;
+        return HaltReason::Fault;
+      }
+      if (halted_) {
+        return slot.instr.op == Op::BKPT ? HaltReason::Breakpoint
+                                         : HaltReason::Halted;
+      }
+      return std::nullopt;
+    }
+    if (slot.kind == SlotKind::Undefined) {
+      // Same fault step() raises on a decode failure, without paying for a
+      // throw through the hot loop (and, like step(), before any sink or
+      // retired-instruction accounting fires).
+      fault_ = mem::Fault{mem::FaultType::UndefinedInstr, pc, pc,
+                          "undefined instruction word " + hex32(slot.raw)};
+      halted_ = true;
+      return HaltReason::Fault;
+    }
+    // SlotKind::Undecoded: a write invalidated this line — decode per step.
+  }
+  return step_with(sinks);
+}
+
+std::optional<HaltReason> Executor::step_fast() {
+  return step_fast_with(SinksMany{&sinks_});
+}
+
+template <typename Sinks>
+HaltReason Executor::run_fast_with(u64 max_instructions, const Sinks& sinks) {
+  // Same semantics as the step_fast_with() loop, restructured so the hot
+  // Valid-slot iteration chases a raw slot pointer (no std::optional
+  // traffic, no pc->slot index math on fallthrough) and the fault handler
+  // lives outside the loop. Every per-instruction check is still performed:
+  // the MPU generation, the world, and slot validity can all change from
+  // inside execute() (SVC handlers, self-modifying stores), so the inner
+  // loop re-reads slot->kind and fast_fetch_clear() every iteration.
+  const u64 limit = instructions_ + max_instructions;
+  try {
+    while (instructions_ < limit) {
+      if (halted_) return HaltReason::Halted;
+      Address pc = state_.pc();
+      if (image_ != nullptr && (pc & 3u) == 0 && image_->contains(pc) &&
+          fast_fetch_clear()) {
+        const Address base = image_->base();
+        const Address end = image_->end();
+        const isa::DecodedSlot* const slots = image_->slots_begin();
+        const isa::DecodedSlot* slot = slots + ((pc - base) >> 2);
+        if (slot->kind == SlotKind::Valid) {
+          // Chase consecutive Valid slots without re-deriving the slot from
+          // the pc: fallthrough is a pointer bump, an in-image branch is one
+          // index computation, and anything else bounces to the outer loop
+          // (which also handles Undefined/invalidated slots we run into).
+          while (true) {
+            sinks.instruction(pc);
+            ++instructions_;
+            execute(slot->instr, pc, sinks,
+                    SlotCost{slot->cost_taken, slot->cost_not_taken});
+            if (halted_) {
+              return slot->instr.op == Op::BKPT ? HaltReason::Breakpoint
+                                                : HaltReason::Halted;
+            }
+            const Address next = state_.pc();
+            if (next == pc + 4 && next < end) {
+              ++slot;  // fallthrough: the dominant straight-line case
+            } else if ((next & 3u) == 0 && next >= base && next < end) {
+              slot = slots + ((next - base) >> 2);
+            } else {
+              break;  // left the image — the outer loop re-evaluates
+            }
+            pc = next;
+            if (instructions_ >= limit || !fast_fetch_clear() ||
+                slot->kind != SlotKind::Valid) {
+              break;
+            }
+          }
+          continue;
+        }
+        if (slot->kind == SlotKind::Undefined) {
+          // Same fault step() raises on a decode failure (and, like step(),
+          // before any sink or retired-instruction accounting fires).
+          fault_ = mem::Fault{mem::FaultType::UndefinedInstr, pc, pc,
+                              "undefined instruction word " + hex32(slot->raw)};
+          halted_ = true;
+          return HaltReason::Fault;
+        }
+        // SlotKind::Undecoded: invalidated line — decode per step below.
+      }
+      if (const auto reason = step_with(sinks)) return *reason;
+    }
+  } catch (const mem::FaultException& e) {
+    fault_ = e.fault();
+    halted_ = true;
+    return HaltReason::Fault;
+  }
+  halted_ = true;
+  return HaltReason::InstrBudget;
+}
+
+HaltReason Executor::run_fast(u64 max_instructions) {
+  if (image_ == nullptr) return run(max_instructions);
+  switch (sinks_.size()) {
+    case 0: return run_fast_with(max_instructions, SinksNone{});
+    case 1:
+      // The single sink is almost always the trace fabric; TraceFabric is
+      // final, so binding it by concrete type devirtualizes (and inlines)
+      // the MTB tick + DWT comparator walk into the hot loop.
+      if (auto* fabric = dynamic_cast<trace::TraceFabric*>(sinks_[0])) {
+        return run_fast_with(max_instructions, SinksFabric{fabric});
+      }
+      return run_fast_with(max_instructions, SinksOne{sinks_[0]});
+    default: return run_fast_with(max_instructions, SinksMany{&sinks_});
+  }
+}
+
+template <typename Sinks, typename Cost>
+void Executor::execute(const Instruction& in, Address pc, const Sinks& sinks,
+                       const Cost& cost) {
   const auto& world = state_.world;
   Address next = pc + 4;
   bool taken = true;  // for cycle accounting of BCC
@@ -119,7 +317,7 @@ void Executor::execute(const Instruction& in, Address pc) {
       // the cycles spent inside the Secure World (context switch + service).
       state_.set_pc(next);  // handler may override (e.g. partial-report resume)
       cycles_ += svc_handler_(static_cast<u8>(in.imm), state_);
-      cycles_ += cycle_model_.cost(in, true);
+      cycles_ += cost(true);
       return;  // PC already set
     }
 
@@ -249,8 +447,8 @@ void Executor::execute(const Instruction& in, Address pc) {
       const u32 size = in.op == Op::LDR ? 4 : (in.op == Op::LDRH ? 2 : 1);
       const Word value = bus_->read(addr, size, world, pc);
       if (in.rd == Reg::PC) {
-        cycles_ += cycle_model_.cost(in, true);
-        branch_to(pc, value, BranchKind::IndirectJump);
+        cycles_ += cost(true);
+        branch_to(pc, value, BranchKind::IndirectJump, sinks);
         return;
       }
       state_.set_reg(in.rd, value);
@@ -261,8 +459,8 @@ void Executor::execute(const Instruction& in, Address pc) {
           read_operand(in.rn, pc) + (read_operand(in.rm, pc) << in.shift);
       const Word value = bus_->read(addr, 4, world, pc);
       if (in.rd == Reg::PC) {
-        cycles_ += cycle_model_.cost(in, true);
-        branch_to(pc, value, BranchKind::IndirectJump);
+        cycles_ += cost(true);
+        branch_to(pc, value, BranchKind::IndirectJump, sinks);
         return;
       }
       state_.set_reg(in.rd, value);
@@ -309,48 +507,49 @@ void Executor::execute(const Instruction& in, Address pc) {
       }
       state_.set_sp(sp);
       if (branches) {
-        cycles_ += cycle_model_.cost(in, true);
-        branch_to(pc, new_pc, BranchKind::Return);
+        cycles_ += cost(true);
+        branch_to(pc, new_pc, BranchKind::Return, sinks);
         return;
       }
       break;
     }
 
     case Op::B:
-      cycles_ += cycle_model_.cost(in, true);
-      branch_to(pc, isa::branch_target(in, pc), BranchKind::Direct);
+      cycles_ += cost(true);
+      branch_to(pc, isa::branch_target(in, pc), BranchKind::Direct, sinks);
       return;
     case Op::BL:
       state_.set_lr(pc + 4);
-      cycles_ += cycle_model_.cost(in, true);
-      branch_to(pc, isa::branch_target(in, pc), BranchKind::DirectCall);
+      cycles_ += cost(true);
+      branch_to(pc, isa::branch_target(in, pc), BranchKind::DirectCall, sinks);
       return;
     case Op::BCC:
       taken = isa::evaluate(in.cond, state_.flags);
-      cycles_ += cycle_model_.cost(in, taken);
+      cycles_ += cost(taken);
       if (taken) {
-        branch_to(pc, isa::branch_target(in, pc), BranchKind::Conditional);
+        branch_to(pc, isa::branch_target(in, pc), BranchKind::Conditional, sinks);
         return;
       }
       state_.set_pc(next);
       return;
     case Op::BX: {
       const Word target = read_operand(in.rm, pc);
-      cycles_ += cycle_model_.cost(in, true);
+      cycles_ += cost(true);
       branch_to(pc, target,
-                in.rm == Reg::LR ? BranchKind::Return : BranchKind::IndirectJump);
+                in.rm == Reg::LR ? BranchKind::Return : BranchKind::IndirectJump,
+                sinks);
       return;
     }
     case Op::BLX: {
       const Word target = read_operand(in.rm, pc);
       state_.set_lr(pc + 4);
-      cycles_ += cycle_model_.cost(in, true);
-      branch_to(pc, target, BranchKind::IndirectCall);
+      cycles_ += cost(true);
+      branch_to(pc, target, BranchKind::IndirectCall, sinks);
       return;
     }
   }
 
-  cycles_ += cycle_model_.cost(in, taken);
+  cycles_ += cost(taken);
   state_.set_pc(next);
 }
 

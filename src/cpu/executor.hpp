@@ -1,6 +1,18 @@
 // The instruction executor: fetch/decode/execute loop with cycle accounting,
 // fault delivery, SVC (Secure-World gateway) dispatch, and a trace-sink bus
 // that feeds the DWT/MTB models and the ground-truth oracle tracer.
+//
+// Two execution paths share one execute() implementation:
+//   * step()/run()        — the reference oracle: fetch + decode + full
+//                           bus permission checks on every instruction;
+//   * step_fast()/run_fast() — executes from an attached DecodedImage
+//                           (predecoded at H_MEM time, see isa/decoded_image)
+//                           with the sink-vector walk hoisted into a
+//                           compiled-per-configuration dispatch. Falls back
+//                           to the reference path per instruction whenever
+//                           the pc leaves the cache, a slot was invalidated
+//                           by a write, or fetch permissions cannot be
+//                           proven clear — so it is bit-identical to run().
 #pragma once
 
 #include <functional>
@@ -10,6 +22,7 @@
 #include "common/types.hpp"
 #include "cpu/cpu_state.hpp"
 #include "isa/cycle_model.hpp"
+#include "isa/decoded_image.hpp"
 #include "isa/instruction.hpp"
 #include "mem/bus.hpp"
 
@@ -58,6 +71,15 @@ class Executor {
   void add_sink(TraceSink* sink) { sinks_.push_back(sink); }
   void set_svc_handler(SvcHandler handler) { svc_handler_ = std::move(handler); }
 
+  /// Attach the predecoded fast-path cache. Caller keeps ownership and must
+  /// keep the image alive (and invalidated on writes) while attached.
+  void attach_decoded_image(const isa::DecodedImage* image) {
+    image_ = image;
+    fetch_generation_seen_ = kNoGeneration;  // force fetch revalidation
+  }
+  void detach_decoded_image() { image_ = nullptr; }
+  const isa::DecodedImage* decoded_image() const { return image_; }
+
   /// Reset registers/cycles (memory untouched) and start at `entry` with the
   /// stack at `stack_top`.
   void reset(Address entry, Address stack_top);
@@ -66,16 +88,83 @@ class Executor {
   /// halt reason once the core stops.
   std::optional<HaltReason> step();
 
+  /// Single instruction through the predecode cache when possible; falls
+  /// back to step() semantics otherwise. Bit-identical to step().
+  std::optional<HaltReason> step_fast();
+
   /// Run until halt/fault or until `max_instructions` retire.
   HaltReason run(u64 max_instructions = 200'000'000);
 
+  /// run() through the predecode cache with per-configuration sink
+  /// dispatch. Behaves exactly like run() (and is run() when no image is
+  /// attached).
+  HaltReason run_fast(u64 max_instructions = 200'000'000);
+
  private:
-  void execute(const isa::Instruction& instr, Address pc);
-  void branch_to(Address source, Address destination, isa::BranchKind kind);
+  // Compiled-per-configuration sink dispatch: run_fast() selects one of
+  // these once, so the straight-line MTBDR majority of instructions does
+  // not walk the sink vector.
+  struct SinksNone {
+    void instruction(Address) const {}
+    void branch(Address, Address, isa::BranchKind) const {}
+  };
+  struct SinksOne {
+    TraceSink* sink;
+    void instruction(Address pc) const { sink->on_instruction(pc); }
+    void branch(Address source, Address destination, isa::BranchKind kind) const {
+      sink->on_branch(source, destination, kind);
+    }
+  };
+  struct SinksMany {
+    const std::vector<TraceSink*>* sinks;
+    void instruction(Address pc) const {
+      for (auto* sink : *sinks) sink->on_instruction(pc);
+    }
+    void branch(Address source, Address destination, isa::BranchKind kind) const {
+      for (auto* sink : *sinks) sink->on_branch(source, destination, kind);
+    }
+  };
+
+  // Cycle-cost providers for execute(): the reference path evaluates the
+  // model's opcode switch per instruction; the fast path charges the costs
+  // baked into the decoded slot at predecode time (same model, same values).
+  struct ModelCost {
+    const isa::CycleModel* model;
+    const isa::Instruction* in;
+    Cycles operator()(bool taken) const { return model->cost(*in, taken); }
+  };
+  struct SlotCost {
+    Cycles taken;
+    Cycles not_taken;
+    Cycles operator()(bool t) const { return t ? taken : not_taken; }
+  };
+
+  template <typename Sinks, typename Cost>
+  void execute(const isa::Instruction& instr, Address pc, const Sinks& sinks,
+               const Cost& cost);
+  template <typename Sinks>
+  void branch_to(Address source, Address destination, isa::BranchKind kind,
+                 const Sinks& sinks);
+  template <typename Sinks>
+  std::optional<HaltReason> step_with(const Sinks& sinks);
+  template <typename Sinks>
+  std::optional<HaltReason> step_fast_with(const Sinks& sinks);
+  template <typename Sinks>
+  HaltReason run_fast_with(u64 max_instructions, const Sinks& sinks);
+
+  /// True when every fetch in the attached image's range is provably
+  /// permitted for the current world (no MPU/security/executability fault
+  /// possible), so per-instruction fetch checks can be skipped. Cached
+  /// against the NS-MPU generation counter.
+  bool fast_fetch_clear();
+  bool validate_fetch_window() const;
+
   void set_nz(Word result);
   Word alu_add(Word a, Word b, bool set_flags);
   Word alu_sub(Word a, Word b, bool set_flags);
   Word read_operand(isa::Reg r, Address pc) const;
+
+  static constexpr u64 kNoGeneration = ~0ull;
 
   mem::Bus* bus_;
   isa::CycleModel cycle_model_;
@@ -86,6 +175,11 @@ class Executor {
   std::vector<TraceSink*> sinks_;
   SvcHandler svc_handler_;
   bool halted_ = false;
+
+  const isa::DecodedImage* image_ = nullptr;
+  u64 fetch_generation_seen_ = kNoGeneration;
+  mem::WorldSide fetch_world_seen_ = mem::WorldSide::NonSecure;
+  bool fetch_clear_ = false;
 };
 
 }  // namespace raptrack::cpu

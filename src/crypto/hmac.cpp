@@ -5,7 +5,7 @@
 
 namespace raptrack::crypto {
 
-Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message) {
+HmacSha256::HmacSha256(std::span<const u8> key) {
   constexpr size_t kBlock = 64;
   std::array<u8, kBlock> key_block{};
   if (key.size() > kBlock) {
@@ -16,21 +16,25 @@ Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message) {
   }
 
   std::array<u8, kBlock> ipad{};
-  std::array<u8, kBlock> opad{};
   for (size_t i = 0; i < kBlock; ++i) {
     ipad[i] = key_block[i] ^ 0x36;
-    opad[i] = key_block[i] ^ 0x5c;
+    opad_[i] = key_block[i] ^ 0x5c;
   }
+  inner_.update(ipad);
+}
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
-  const Digest inner_digest = inner.finalize();
-
+Digest HmacSha256::finalize() {
+  const Digest inner_digest = inner_.finalize();
   Sha256 outer;
-  outer.update(opad);
+  outer.update(opad_);
   outer.update(inner_digest);
   return outer.finalize();
+}
+
+Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finalize();
 }
 
 bool digest_equal(const Digest& a, const Digest& b) {

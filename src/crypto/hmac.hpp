@@ -3,6 +3,7 @@
 // the key provisioned to the Secure World and shared with the Verifier.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,22 @@ namespace raptrack::crypto {
 using Key = std::vector<u8>;
 
 Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message);
+
+/// Incremental HMAC-SHA256 over a message fed in pieces. Lets callers MAC a
+/// header followed by a large payload without first concatenating them into
+/// one buffer (report signing sits on the prover's per-run fixed-cost path).
+/// Produces exactly hmac_sha256(key, header || payload).
+class HmacSha256 {
+ public:
+  explicit HmacSha256(std::span<const u8> key);
+
+  void update(std::span<const u8> data) { inner_.update(data); }
+  Digest finalize();
+
+ private:
+  Sha256 inner_;
+  std::array<u8, 64> opad_{};
+};
 
 /// Constant-time digest comparison (the Verifier must not leak via timing).
 bool digest_equal(const Digest& a, const Digest& b);

@@ -27,7 +27,7 @@ class Sha256 {
   static Digest hash(std::string_view text);
 
  private:
-  void process_block(const u8* block);
+  void process_blocks(const u8* data, std::size_t blocks);
 
   std::array<u32, 8> state_{};
   std::array<u8, 64> buffer_{};

@@ -7,6 +7,7 @@ namespace {
 sim::MachineConfig machine_config(const CampaignOptions& options) {
   sim::MachineConfig config;
   config.mtb_buffer_bytes = options.mtb_buffer_bytes;
+  config.fast_path = options.fast_path;
   return config;
 }
 

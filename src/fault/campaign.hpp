@@ -22,6 +22,10 @@ struct CampaignOptions {
   u32 mtb_buffer_bytes = 256;
   u32 watermark_bytes = 128;
   u64 app_seed = 42;  ///< stimulus seed for the application run
+  /// Simulator fast path (predecoded instruction cache). On by default;
+  /// the parity tests re-run campaigns with it off to prove cache
+  /// invalidation interacts correctly with the SEU/glitch injectors.
+  bool fast_path = true;
 };
 
 /// One clean attested run, reusable across many transport-level mutations.

@@ -1,0 +1,55 @@
+#include "isa/decoded_image.hpp"
+
+#include "common/hex.hpp"
+
+namespace raptrack::isa {
+
+DecodedImage::DecodedImage(Address base, std::span<const u8> bytes,
+                           const CycleModel& model) {
+  if (base % 4 != 0) {
+    throw Error("DecodedImage: base " + hex32(base) + " is not word-aligned");
+  }
+  base_ = base;
+  const size_t words = bytes.size() / 4;
+  end_ = base_ + static_cast<Address>(words * 4);
+  slots_.resize(words);
+  for (size_t i = 0; i < words; ++i) {
+    u32 word = 0;
+    for (u32 b = 0; b < 4; ++b) {
+      word |= static_cast<u32>(bytes[i * 4 + b]) << (8 * b);
+    }
+    DecodedSlot& slot = slots_[i];
+    slot.raw = word;
+    if (const auto decoded = decode(word)) {
+      const Cycles taken = model.cost(*decoded, true);
+      const Cycles not_taken = model.cost(*decoded, false);
+      if (taken > 0xffff || not_taken > 0xffff) {
+        // Cost does not fit the packed slot (absurd custom model): leave the
+        // slot Undecoded so the decode-per-step path charges the exact value.
+        continue;
+      }
+      slot.instr = *decoded;
+      slot.cost_taken = static_cast<u16>(taken);
+      slot.cost_not_taken = static_cast<u16>(not_taken);
+      slot.kind = SlotKind::Valid;
+    } else {
+      slot.kind = SlotKind::Undefined;
+    }
+  }
+}
+
+void DecodedImage::invalidate(Address addr, u32 size) {
+  if (addr >= end_ || addr + size <= base_) return;
+  const Address lo = addr > base_ ? addr : base_;
+  const Address hi = addr + size < end_ ? addr + size : end_;
+  const size_t first = (lo - base_) >> 2;
+  const size_t last = (hi - base_ + 3) >> 2;  // exclusive, rounded up
+  for (size_t i = first; i < last && i < slots_.size(); ++i) {
+    if (slots_[i].kind != SlotKind::Undecoded) {
+      slots_[i].kind = SlotKind::Undecoded;
+      ++invalidations_;
+    }
+  }
+}
+
+}  // namespace raptrack::isa

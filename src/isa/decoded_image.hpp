@@ -1,0 +1,82 @@
+// Predecoded instruction cache for the simulator's fast path. A loaded
+// program region is lowered once into a dense array of Instruction records
+// indexed by (pc - base) / 4, built at H_MEM time — after the NS-MPU locks
+// APP memory, when the code is provably immutable. Words that do not decode
+// are marked Undefined so the fast loop can report the same UndefinedInstr
+// fault as the decode-per-step oracle without throwing through the hot loop.
+// Any store into the region (pre-lock phases, SEU injectors writing near
+// code) must call invalidate(), which drops the affected slots back to
+// Undecoded; the executor then falls back to the decode-per-step path for
+// those addresses, keeping fault-injection semantics bit-identical.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/cycle_model.hpp"
+#include "isa/instruction.hpp"
+
+namespace raptrack::isa {
+
+/// Lifecycle state of one 4-byte instruction slot.
+enum class SlotKind : u8 {
+  Undecoded,  ///< invalidated by a write — use the decode-per-step path
+  Valid,      ///< `instr` is the decode of the word that was at this address
+  Undefined,  ///< word does not decode: executing here is an UndefinedInstr
+};
+
+/// 32-byte-aligned so two slots share each cache line and a slot never
+/// straddles one — the fast loop's slot load is the hottest read in the
+/// simulator. Costs are stored as u16 (real models top out at ~20 cycles);
+/// predecode falls a slot back to Undecoded if a configured model ever
+/// exceeds that, trading speed for exactness on that slot only.
+struct alignas(32) DecodedSlot {
+  Instruction instr{};
+  u32 raw = 0;  ///< the raw word (fault messages for Undefined slots)
+  /// CycleModel::cost() evaluated at predecode time for both branch
+  /// outcomes (they only differ for BCC), so the fast loop charges cycles
+  /// with a select instead of re-walking the opcode switch per instruction.
+  u16 cost_taken = 0;
+  u16 cost_not_taken = 0;
+  SlotKind kind = SlotKind::Undecoded;
+};
+static_assert(sizeof(DecodedSlot) == 32);
+
+class DecodedImage {
+ public:
+  /// Predecode `bytes` as they sit at `base` (word-aligned; a trailing
+  /// partial word is excluded from the cached range). `model` must be the
+  /// executing core's cycle model — per-slot costs are baked from it.
+  DecodedImage(Address base, std::span<const u8> bytes,
+               const CycleModel& model = {});
+
+  Address base() const { return base_; }
+  Address end() const { return end_; }
+  bool contains(Address pc) const { return pc >= base_ && pc < end_; }
+
+  /// Slot for an aligned, contained pc.
+  const DecodedSlot& slot(Address pc) const {
+    return slots_[(pc - base_) >> 2];
+  }
+
+  /// Dense slot array for the executor's pointer-chasing loop. Never
+  /// reallocated after construction; invalidate() only flips `kind` fields
+  /// in place, so held pointers stay valid (and observe invalidations).
+  const DecodedSlot* slots_begin() const { return slots_.data(); }
+
+  /// A write of `size` bytes at `addr` landed somewhere in memory: drop any
+  /// overlapping slots to Undecoded. Cheap no-op outside the range.
+  void invalidate(Address addr, u32 size);
+
+  size_t slot_count() const { return slots_.size(); }
+  u64 invalidations() const { return invalidations_; }
+
+ private:
+  Address base_ = 0;
+  Address end_ = 0;
+  std::vector<DecodedSlot> slots_;
+  u64 invalidations_ = 0;
+};
+
+}  // namespace raptrack::isa

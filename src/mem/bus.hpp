@@ -19,13 +19,43 @@ class Bus {
   const MemoryMap& map() const { return *map_; }
 
   u32 read(Address addr, u32 size, WorldSide world, Address pc) {
+    for (auto& w : read_windows_) {
+      if (hit(w, addr, size, world)) {
+        const u8* at = w.mem + (addr - w.base);
+        if (size == 4) {
+          return static_cast<u32>(at[0]) | static_cast<u32>(at[1]) << 8 |
+                 static_cast<u32>(at[2]) << 16 | static_cast<u32>(at[3]) << 24;
+        }
+        if (size == 2) return static_cast<u32>(at[0]) | static_cast<u32>(at[1]) << 8;
+        return at[0];
+      }
+    }
     if (world == WorldSide::NonSecure) ns_mpu_.check(addr, AccessType::Read, pc);
-    return map_->read(addr, size, world, pc);
+    const u32 value = map_->read(addr, size, world, pc);
+    install(read_windows_[read_victim_], addr, world, AccessType::Read);
+    read_victim_ ^= 1;
+    return value;
   }
 
   void write(Address addr, u32 value, u32 size, WorldSide world, Address pc) {
+    for (auto& w : write_windows_) {
+      if (hit(w, addr, size, world)) {
+        // Windows never cover watched spans (install() shrinks around
+        // them), so skipping notify_write() here is sound.
+        u8* at = w.mem + (addr - w.base);
+        at[0] = static_cast<u8>(value);
+        if (size >= 2) at[1] = static_cast<u8>(value >> 8);
+        if (size == 4) {
+          at[2] = static_cast<u8>(value >> 16);
+          at[3] = static_cast<u8>(value >> 24);
+        }
+        return;
+      }
+    }
     if (world == WorldSide::NonSecure) ns_mpu_.check(addr, AccessType::Write, pc);
     map_->write(addr, value, size, world, pc);
+    install(write_windows_[write_victim_], addr, world, AccessType::Write);
+    write_victim_ ^= 1;
   }
 
   u32 fetch(Address addr, WorldSide world) {
@@ -34,9 +64,82 @@ class Bus {
     return map_->read(addr, 4, world, addr);
   }
 
+  /// Write-invalidation hook for a predecoded code range: any store into
+  /// [base, base+size) — through this bus *or* via RoT/injector-level raw
+  /// writes (e.g. the MTB SEU injector writing near code) — fires `watch` so
+  /// the predecode cache can drop the affected lines. Delegates to the
+  /// MemoryMap, which sees every mutation path. Returns a removal token.
+  int watch_writes(Address base, u32 size, MemoryMap::WriteWatch watch) {
+    return map_->add_write_watch(base, size, std::move(watch));
+  }
+  void unwatch_writes(int token) { map_->remove_write_watch(token); }
+
  private:
+  /// A pre-validated span of backed memory for one access type and world:
+  /// every naturally-aligned 1/2/4-byte access inside it is known to pass
+  /// the security, MPU, writability, and watch checks, so it can go straight
+  /// to the backing store. Validity is tied to the MPU generation and the map's
+  /// structural epoch; any configuration change invalidates on next use.
+  /// A faulting access can never enter a window (windows only cover spans
+  /// whose checks succeed), so fault behavior is byte-identical.
+  struct DataWindow {
+    Address base = 1;  ///< base > end - 4 encodes "empty"
+    Address end = 0;   ///< exclusive
+    u8* mem = nullptr;
+    WorldSide world = WorldSide::NonSecure;
+    u64 mpu_generation = 0;
+    u64 map_epoch = 0;
+  };
+
+  bool hit(const DataWindow& w, Address addr, u32 size, WorldSide world) const {
+    return addr >= w.base && addr + size <= w.end && (addr & (size - 1)) == 0 &&
+           world == w.world && w.mpu_generation == ns_mpu_.generation() &&
+           w.map_epoch == map_->epoch();
+  }
+
+  /// Install a window around `addr` after a checked access there succeeded.
+  /// Declines (leaving the slow path in charge) for MMIO, read-only writes,
+  /// Secure regions seen from the Non-Secure world, and watched spans.
+  /// Kept out of line: it runs only on misses, and inlining it into the
+  /// executor's hot loop (via read/write) costs more in register pressure
+  /// than it saves.
+  __attribute__((noinline, cold)) void install(DataWindow& w, Address addr,
+                                               WorldSide world,
+                                               AccessType type) {
+    Region* region = map_->find(addr);
+    if (!region || region->mmio) return;
+    if (type == AccessType::Write && !region->writable) return;
+    if (region->security == Security::Secure && world == WorldSide::NonSecure) {
+      return;  // unreachable after a successful checked access; be safe
+    }
+    Address lo = region->base;
+    Address hi = region->end() - 1;
+    if (world == WorldSide::NonSecure) {
+      Address mpu_lo = 0, mpu_hi = 0;
+      if (!ns_mpu_.allowed_window(addr, type, &mpu_lo, &mpu_hi)) return;
+      if (mpu_lo > lo) lo = mpu_lo;
+      if (mpu_hi < hi) hi = mpu_hi;
+    }
+    if (type == AccessType::Write && !map_->unwatched_window(addr, &lo, &hi)) {
+      return;  // watched stores must keep notifying
+    }
+    w.base = lo;
+    w.end = hi + 1;
+    w.mem = region->backing.data() + (lo - region->base);
+    w.world = world;
+    w.mpu_generation = ns_mpu_.generation();
+    w.map_epoch = map_->epoch();
+  }
+
   MemoryMap* map_;
   Mpu ns_mpu_;
+  /// Two windows per access type, round-robin replacement: Thumb code
+  /// interleaves literal-pool loads (flash) with data/stack traffic (RAM),
+  /// so a single window would thrash on exactly the hottest pattern.
+  DataWindow read_windows_[2];
+  DataWindow write_windows_[2];
+  u8 read_victim_ = 0;
+  u8 write_victim_ = 0;
 };
 
 }  // namespace raptrack::mem

@@ -2,9 +2,85 @@
 
 #include <algorithm>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#endif
+
 #include "common/hex.hpp"
 
 namespace raptrack::mem {
+
+void* detail_map_zeroed(std::size_t bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  return p == MAP_FAILED ? nullptr : p;
+#else
+  return std::calloc(bytes, 1);
+#endif
+}
+
+void detail_unmap(void* p, std::size_t bytes) noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  ::munmap(p, bytes);
+#else
+  (void)bytes;
+  std::free(p);
+#endif
+}
+
+namespace {
+
+/// Process-wide cache of zeroed mmap blocks, keyed by exact byte size. Every
+/// cached block has been MADV_DONTNEED'd, so its pages read as zero-fill on
+/// next touch — acquire() can hand it out with the same semantics as a fresh
+/// anonymous mapping, minus the VMA create/destroy syscalls.
+struct BlockPool {
+  static constexpr std::size_t kMaxCachedBytes = 64u << 20;
+
+  struct Entry {
+    std::size_t bytes;
+    void* p;
+  };
+  std::vector<Entry> free_blocks;
+  std::size_t cached_bytes = 0;
+
+  ~BlockPool() {
+    for (const Entry& e : free_blocks) detail_unmap(e.p, e.bytes);
+  }
+};
+
+BlockPool& block_pool() {
+  static BlockPool pool;
+  return pool;
+}
+
+}  // namespace
+
+void* detail_pool_acquire(std::size_t bytes) {
+  BlockPool& pool = block_pool();
+  for (auto it = pool.free_blocks.rbegin(); it != pool.free_blocks.rend(); ++it) {
+    if (it->bytes != bytes) continue;
+    void* p = it->p;
+    pool.free_blocks.erase(std::next(it).base());
+    pool.cached_bytes -= bytes;
+    return p;
+  }
+  return detail_map_zeroed(bytes);
+}
+
+void detail_pool_release(void* p, std::size_t bytes) noexcept {
+#if defined(__linux__)
+  BlockPool& pool = block_pool();
+  if (pool.cached_bytes + bytes <= BlockPool::kMaxCachedBytes &&
+      ::madvise(p, bytes, MADV_DONTNEED) == 0) {
+    pool.free_blocks.push_back({bytes, p});
+    pool.cached_bytes += bytes;
+    return;
+  }
+#endif
+  detail_unmap(p, bytes);
+}
 
 const char* fault_name(FaultType type) {
   switch (type) {
@@ -27,35 +103,35 @@ MemoryMap MemoryMap::make_default() {
                   .security = Security::NonSecure,
                   .writable = true,  // until the CFA engine locks it via MPU
                   .executable = true,
-                  .backing = std::vector<u8>(MapLayout::kNsFlashSize, 0)});
+                  .backing = Backing(MapLayout::kNsFlashSize)});
   map.add_region({.name = "ns-ram",
                   .base = MapLayout::kNsRamBase,
                   .size = MapLayout::kNsRamSize,
                   .security = Security::NonSecure,
                   .writable = true,
                   .executable = false,
-                  .backing = std::vector<u8>(MapLayout::kNsRamSize, 0)});
+                  .backing = Backing(MapLayout::kNsRamSize)});
   map.add_region({.name = "s-flash",
                   .base = MapLayout::kSFlashBase,
                   .size = MapLayout::kSFlashSize,
                   .security = Security::Secure,
                   .writable = false,
                   .executable = true,
-                  .backing = std::vector<u8>(MapLayout::kSFlashSize, 0)});
+                  .backing = Backing(MapLayout::kSFlashSize)});
   map.add_region({.name = "s-ram",
                   .base = MapLayout::kSRamBase,
                   .size = MapLayout::kSRamSize,
                   .security = Security::Secure,
                   .writable = true,
                   .executable = false,
-                  .backing = std::vector<u8>(MapLayout::kSRamSize, 0)});
+                  .backing = Backing(MapLayout::kSRamSize)});
   map.add_region({.name = "mtb-sram",
                   .base = MapLayout::kMtbSramBase,
                   .size = MapLayout::kMtbSramSize,
                   .security = Security::Secure,
                   .writable = true,
                   .executable = false,
-                  .backing = std::vector<u8>(MapLayout::kMtbSramSize, 0)});
+                  .backing = Backing(MapLayout::kMtbSramSize)});
   return map;
 }
 
@@ -67,6 +143,8 @@ Region& MemoryMap::add_region(Region region) {
     }
   }
   regions_.push_back(std::move(region));
+  hot_region_ = nullptr;  // regions_ may have reallocated
+  ++epoch_;
   return regions_.back();
 }
 
@@ -84,8 +162,12 @@ Region& MemoryMap::add_mmio(const std::string& name, Address base, u32 size,
 }
 
 const Region* MemoryMap::find(Address addr) const {
+  if (hot_region_ != nullptr && hot_region_->contains(addr)) return hot_region_;
   for (const auto& region : regions_) {
-    if (region.contains(addr)) return &region;
+    if (region.contains(addr)) {
+      hot_region_ = &region;
+      return &region;
+    }
   }
   return nullptr;
 }
@@ -111,15 +193,34 @@ void MemoryMap::raw_write8(Address addr, u8 value) {
   Region* region = find(addr);
   if (!region || region->mmio) bus_error(addr, 0, "raw_write8 unmapped");
   region->backing[addr - region->base] = value;
+  notify_write(addr, 1);
 }
 
 u32 MemoryMap::raw_read32(Address addr) const {
+  // Single lookup for the word-in-one-region common case (MTB packet
+  // traffic); byte-wise fallback keeps the cross-region edge case identical.
+  const Region* region = find(addr);
+  if (region && !region->mmio && addr + 4 <= region->end()) {
+    const u8* at = region->backing.data() + (addr - region->base);
+    return static_cast<u32>(at[0]) | static_cast<u32>(at[1]) << 8 |
+           static_cast<u32>(at[2]) << 16 | static_cast<u32>(at[3]) << 24;
+  }
   u32 value = 0;
   for (u32 i = 0; i < 4; ++i) value |= static_cast<u32>(raw_read8(addr + i)) << (8 * i);
   return value;
 }
 
 void MemoryMap::raw_write32(Address addr, u32 value) {
+  Region* region = find(addr);
+  if (region && !region->mmio && addr + 4 <= region->end()) {
+    u8* at = region->backing.data() + (addr - region->base);
+    at[0] = static_cast<u8>(value);
+    at[1] = static_cast<u8>(value >> 8);
+    at[2] = static_cast<u8>(value >> 16);
+    at[3] = static_cast<u8>(value >> 24);
+    notify_write(addr, 4);
+    return;
+  }
   for (u32 i = 0; i < 4; ++i) raw_write8(addr + i, static_cast<u8>(value >> (8 * i)));
 }
 
@@ -143,10 +244,15 @@ u32 MemoryMap::read(Address addr, u32 size, WorldSide world, Address pc) {
   if (!region || addr + size > region->end()) bus_error(addr, pc, "read");
   check_security(*region, addr, world, AccessType::Read, pc);
   if (region->mmio) return region->mmio->read(addr - region->base, size);
-  u32 value = 0;
-  for (u32 i = 0; i < size; ++i) {
-    value |= static_cast<u32>(region->backing[addr - region->base + i]) << (8 * i);
+  const u8* at = region->backing.data() + (addr - region->base);
+  if (size == 4) {
+    // Aligned in-region word (the dominant LDR/STR/stack case): assemble in
+    // one go instead of the byte loop. Same little-endian result.
+    return static_cast<u32>(at[0]) | static_cast<u32>(at[1]) << 8 |
+           static_cast<u32>(at[2]) << 16 | static_cast<u32>(at[3]) << 24;
   }
+  u32 value = 0;
+  for (u32 i = 0; i < size; ++i) value |= static_cast<u32>(at[i]) << (8 * i);
   return value;
 }
 
@@ -167,9 +273,16 @@ void MemoryMap::write(Address addr, u32 value, u32 size, WorldSide world,
     region->mmio->write(addr - region->base, value, size);
     return;
   }
-  for (u32 i = 0; i < size; ++i) {
-    region->backing[addr - region->base + i] = static_cast<u8>(value >> (8 * i));
+  u8* at = region->backing.data() + (addr - region->base);
+  if (size == 4) {
+    at[0] = static_cast<u8>(value);
+    at[1] = static_cast<u8>(value >> 8);
+    at[2] = static_cast<u8>(value >> 16);
+    at[3] = static_cast<u8>(value >> 24);
+  } else {
+    for (u32 i = 0; i < size; ++i) at[i] = static_cast<u8>(value >> (8 * i));
   }
+  notify_write(addr, size);
 }
 
 void MemoryMap::check_execute(Address addr, WorldSide world) const {
@@ -189,6 +302,19 @@ void MemoryMap::load(Address base, std::span<const u8> bytes) {
                 hex32(base));
   }
   std::copy(bytes.begin(), bytes.end(), region->backing.begin() + (base - region->base));
+  notify_write(base, static_cast<u32>(bytes.size()));
+}
+
+int MemoryMap::add_write_watch(Address base, u32 size, WriteWatch watch) {
+  const int token = next_watch_token_++;
+  watches_.push_back({token, base, base + size, std::move(watch)});
+  ++epoch_;
+  return token;
+}
+
+void MemoryMap::remove_write_watch(int token) {
+  std::erase_if(watches_, [token](const Watch& w) { return w.token == token; });
+  ++epoch_;
 }
 
 std::vector<u8> MemoryMap::dump(Address base, u32 size) const {

@@ -5,8 +5,10 @@
 // (TrustZone IDAU/SAU equivalent) checked on every access.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +17,72 @@
 #include "mem/fault.hpp"
 
 namespace raptrack::mem {
+
+/// Out-of-line mmap/munmap (memory_map.cpp) so this header stays free of
+/// <sys/mman.h>. Returns nullptr on failure.
+void* detail_map_zeroed(std::size_t bytes);
+void detail_unmap(void* p, std::size_t bytes) noexcept;
+
+/// Pooled variants: short-lived Machines (bench reps, fault-campaign runs)
+/// construct and tear down the same region sizes thousands of times, and the
+/// mmap/munmap VMA churn dominates their fixed cost. acquire() reuses a
+/// same-size block from a process-wide cache when one is available (blocks
+/// re-enter the cache only after MADV_DONTNEED, so they read as zero);
+/// release() returns the block to the cache or unmaps when the cache is full.
+void* detail_pool_acquire(std::size_t bytes);
+void detail_pool_release(void* p, std::size_t bytes) noexcept;
+
+/// Allocator for region backing stores: large blocks come straight from
+/// mmap (anonymous mappings are lazily-mapped zero pages) and default
+/// construction of elements is a no-op, so a fresh multi-hundred-KB region
+/// costs one syscall instead of a memset over the whole range — and a
+/// machine only ever pays (page faults) for the memory it actually touches.
+/// Deliberately not malloc/calloc: glibc's dynamic mmap threshold migrates
+/// repeated large allocations into the arena, where calloc must memset
+/// recycled dirty memory on every short-lived Machine. Zeroed-start
+/// semantics are unchanged on every path.
+template <typename T>
+struct ZeroedAllocator {
+  using value_type = T;
+
+  /// Blocks at or above this many bytes are mmap'd; smaller ones calloc'd.
+  static constexpr std::size_t kMmapBytes = 64 * 1024;
+
+  ZeroedAllocator() = default;
+  template <typename U>
+  ZeroedAllocator(const ZeroedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    void* p = nullptr;
+    if (n * sizeof(T) >= kMmapBytes) {
+      p = detail_pool_acquire(n * sizeof(T));
+    } else {
+      p = std::calloc(n, sizeof(T));
+    }
+    if (!p) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n * sizeof(T) >= kMmapBytes) {
+      detail_pool_release(p, n * sizeof(T));
+    } else {
+      std::free(p);
+    }
+  }
+
+  template <typename U>
+  void construct(U*) noexcept {}  // calloc already zeroed it
+  template <typename U, typename A0, typename... Args>
+  void construct(U* p, A0&& a0, Args&&... args) {
+    ::new (static_cast<void*>(p))
+        U(std::forward<A0>(a0), std::forward<Args>(args)...);
+  }
+
+  bool operator==(const ZeroedAllocator&) const { return true; }
+};
+
+/// Backing storage for RAM/flash regions (see ZeroedAllocator above).
+using Backing = std::vector<u8, ZeroedAllocator<u8>>;
 
 /// TrustZone security attribution of a region.
 enum class Security : u8 { NonSecure, Secure };
@@ -38,7 +106,7 @@ struct Region {
   Security security = Security::NonSecure;
   bool writable = true;
   bool executable = false;
-  std::vector<u8> backing;              // empty for MMIO regions
+  Backing backing;                      // empty for MMIO regions
   std::shared_ptr<MmioHandler> mmio;    // set for peripheral regions
 
   Address end() const { return base + size; }
@@ -65,6 +133,13 @@ struct MapLayout {
 
 class MemoryMap {
  public:
+  /// Observer of mutations to backed memory. Fires for checked writes, raw
+  /// (RoT/injector-level) writes, and image loads — every path that can
+  /// change a byte — so a predecoded-instruction cache over a code range
+  /// can never go stale. Watches are range-filtered: a write outside every
+  /// watched range costs two compares per watch.
+  using WriteWatch = std::function<void(Address addr, u32 size)>;
+
   MemoryMap() = default;
 
   /// Build the default device map described above.
@@ -89,6 +164,9 @@ class MemoryMap {
   /// Fetch check: region must be executable and visible to `world`.
   void check_execute(Address addr, WorldSide world) const;
 
+  /// Region lookup with a one-entry hot cache: consecutive accesses land in
+  /// the same region almost always (straight-line code, stack traffic), so
+  /// the common case is two compares instead of a scan.
   const Region* find(Address addr) const;
   Region* find(Address addr);
 
@@ -100,11 +178,56 @@ class MemoryMap {
 
   const std::vector<Region>& regions() const { return regions_; }
 
+  /// Watch [base, base+size) for mutations. Returns a token for removal.
+  int add_write_watch(Address base, u32 size, WriteWatch watch);
+  void remove_write_watch(int token);
+
+  /// Structural epoch: bumped whenever the region list or the watch list
+  /// changes. Consumers holding pre-validated pointers into the map (the
+  /// bus data windows) revalidate against this counter.
+  u64 epoch() const { return epoch_; }
+
+  /// Shrink the inclusive span [*lo, *hi] so it excludes every watched
+  /// range while keeping `addr` inside. Returns false when `addr` itself
+  /// is watched (the caller must then stay on the notifying slow path).
+  bool unwatched_window(Address addr, Address* lo, Address* hi) const {
+    for (const auto& watch : watches_) {
+      if (watch.base > addr) {
+        if (watch.base - 1 < *hi) *hi = watch.base - 1;
+      } else if (watch.end <= addr) {
+        if (watch.end > *lo) *lo = watch.end;
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
  private:
+  struct Watch {
+    int token = 0;
+    Address base = 0;
+    Address end = 0;
+    WriteWatch fn;
+  };
+
   void check_security(const Region& region, Address addr, WorldSide world,
                       AccessType type, Address pc) const;
 
+  void notify_write(Address addr, u32 size) {
+    if (watches_.empty()) return;
+    for (const auto& watch : watches_) {
+      if (addr < watch.end && addr + size > watch.base) watch.fn(addr, size);
+    }
+  }
+
   std::vector<Region> regions_;
+  std::vector<Watch> watches_;
+  int next_watch_token_ = 1;
+  u64 epoch_ = 0;
+  /// Last region hit by find(); invalidated whenever regions_ can move
+  /// (add_region/add_mmio). Never returned without re-checking contains().
+  mutable const Region* hot_region_ = nullptr;
 };
 
 }  // namespace raptrack::mem

@@ -9,34 +9,38 @@ void Mpu::configure(unsigned index, const MpuRegion& region) {
   if (locked_) throw Error("Mpu: bank is locked");
   if (region.limit < region.base) throw Error("Mpu: limit below base");
   regions_[index] = region;
+  ++generation_;
+  resolve();
 }
 
 void Mpu::clear(unsigned index) {
   if (index >= kNumRegions) throw Error("Mpu: region index out of range");
   if (locked_) throw Error("Mpu: bank is locked");
   regions_[index] = MpuRegion{};
+  ++generation_;
+  resolve();
 }
 
 void Mpu::reset() {
   regions_ = {};
   locked_ = false;
+  ++generation_;
+  resolve();
 }
 
-void Mpu::check(Address addr, AccessType type, Address pc) const {
-  for (const auto& region : regions_) {
-    if (!region.contains(addr)) continue;
-    const bool allowed = (type == AccessType::Read && region.allow_read) ||
-                         (type == AccessType::Write && region.allow_write) ||
-                         (type == AccessType::Execute && region.allow_execute);
-    if (!allowed) {
-      throw FaultException({FaultType::MpuViolation, addr, pc,
-                            std::string("MPU denies ") +
-                                (type == AccessType::Read ? "read" :
-                                 type == AccessType::Write ? "write" : "exec") +
-                                " at " + hex32(addr)});
-    }
-    return;  // first matching region decides
+void Mpu::resolve() {
+  num_active_ = 0;
+  for (unsigned i = 0; i < kNumRegions; ++i) {
+    if (regions_[i].enabled) active_[num_active_++] = static_cast<u8>(i);
   }
+}
+
+void Mpu::deny(Address addr, AccessType type, Address pc) const {
+  throw FaultException({FaultType::MpuViolation, addr, pc,
+                        std::string("MPU denies ") +
+                            (type == AccessType::Read ? "read" :
+                             type == AccessType::Write ? "write" : "exec") +
+                            " at " + hex32(addr)});
 }
 
 }  // namespace raptrack::mem

@@ -49,14 +49,86 @@ class Mpu {
   /// Full reset (Secure-World privilege / power cycle).
   void reset();
 
-  /// Permission check; throws FaultException on violation.
-  void check(Address addr, AccessType type, Address pc) const;
+  /// Permission check; throws FaultException on violation. Runs on every
+  /// data access, so only the *enabled* regions (resolved into `active_` at
+  /// configuration time) are scanned — with no regions programmed, the
+  /// background allow policy costs a single compare.
+  void check(Address addr, AccessType type, Address pc) const {
+    for (unsigned k = 0; k < num_active_; ++k) {
+      const MpuRegion& region = regions_[active_[k]];
+      if (!region.contains(addr)) continue;
+      if (!permits(region, type)) deny(addr, type, pc);
+      return;  // first matching region decides
+    }
+  }
+
+  /// Non-throwing permission query (same first-matching-region policy as
+  /// check()). Used by the fast-path fetch validator.
+  bool allows(Address addr, AccessType type) const {
+    for (unsigned k = 0; k < num_active_; ++k) {
+      const MpuRegion& region = regions_[active_[k]];
+      if (!region.contains(addr)) continue;
+      return permits(region, type);
+    }
+    return true;  // background policy
+  }
+
+  /// Largest contiguous span around `addr` (inclusive bounds) over which
+  /// every address takes the same first-matching-region decision as `addr`,
+  /// with that decision allowing `type`. Lets the bus pre-validate a data
+  /// window instead of re-checking each access; returns false when `addr`
+  /// itself is denied.
+  bool allowed_window(Address addr, AccessType type, Address* lo,
+                      Address* hi) const {
+    Address window_lo = 0;
+    Address window_hi = 0xffff'ffff;
+    for (unsigned k = 0; k < num_active_; ++k) {
+      const MpuRegion& region = regions_[active_[k]];
+      if (region.contains(addr)) {
+        if (!permits(region, type)) return false;
+        *lo = window_lo > region.base ? window_lo : region.base;
+        *hi = window_hi < region.limit ? window_hi : region.limit;
+        return true;
+      }
+      // `addr` is outside this earlier-priority region, so the window must
+      // stop before it: crossing in would change which region decides.
+      if (region.limit < addr) {
+        if (region.limit + 1 > window_lo) window_lo = region.limit + 1;
+      } else {
+        if (region.base - 1 < window_hi) window_hi = region.base - 1;
+      }
+    }
+    *lo = window_lo;
+    *hi = window_hi;
+    return true;  // background policy
+  }
+
+  /// Configuration epoch: bumped by configure/clear/reset. The executor's
+  /// fast path caches its fetch-permission validation against this counter
+  /// and revalidates only when the bank actually changed.
+  u64 generation() const { return generation_; }
 
   const std::array<MpuRegion, kNumRegions>& regions() const { return regions_; }
 
  private:
+  static bool permits(const MpuRegion& region, AccessType type) {
+    return (type == AccessType::Read && region.allow_read) ||
+           (type == AccessType::Write && region.allow_write) ||
+           (type == AccessType::Execute && region.allow_execute);
+  }
+
+  [[noreturn]] void deny(Address addr, AccessType type, Address pc) const;
+
+  /// Rebuild `active_` (bank-order indices of enabled regions) after any
+  /// configuration change. Disabled regions can never match an address, so
+  /// skipping them wholesale preserves first-matching-region semantics.
+  void resolve();
+
   std::array<MpuRegion, kNumRegions> regions_{};
+  std::array<u8, kNumRegions> active_{};
+  unsigned num_active_ = 0;
   bool locked_ = false;
+  u64 generation_ = 0;
 };
 
 }  // namespace raptrack::mem

@@ -2,9 +2,28 @@
 
 namespace raptrack::sim {
 
+namespace {
+
+mem::MemoryMap make_machine_map(const MachineConfig& config) {
+  mem::MemoryMap map = mem::MemoryMap::make_default();
+  // The modeled device's MTB SRAM is 16KB (§V-B), but volume benches
+  // configure much larger buffers; size the region to the configured
+  // buffer so packet writes can never run off the mapped range. Backing
+  // pages are lazily mapped, so an oversized region costs nothing until
+  // the log actually grows into it.
+  if (config.mtb_buffer_bytes > mem::MapLayout::kMtbSramSize) {
+    mem::Region* region = map.find(mem::MapLayout::kMtbSramBase);
+    region->size = config.mtb_buffer_bytes;
+    region->backing = mem::Backing(config.mtb_buffer_bytes);
+  }
+  return map;
+}
+
+}  // namespace
+
 Machine::Machine(MachineConfig config)
     : config_(config),
-      memory_(mem::MemoryMap::make_default()),
+      memory_(make_machine_map(config)),
       bus_(memory_),
       cpu_(bus_, config.cycle_model),
       mtb_(memory_, mem::MapLayout::kMtbSramBase, config.mtb_buffer_bytes),
@@ -36,6 +55,8 @@ void Machine::map_trace_registers() {
                    std::move(dwt_regs));
 }
 
+Machine::~Machine() { drop_predecode(); }
+
 void Machine::load_program(const Program& program) {
   memory_.load(program.base(), program.bytes());
 }
@@ -44,8 +65,30 @@ void Machine::reset_cpu(Address entry) {
   cpu_.reset(entry, mem::MapLayout::kNsRamBase + mem::MapLayout::kNsRamSize);
 }
 
+void Machine::predecode(Address base, u32 size) {
+  if (!config_.fast_path || size < 4) return;
+  drop_predecode();
+  const auto bytes = memory_.dump(base, size);
+  decoded_ = std::make_unique<isa::DecodedImage>(base, bytes, config_.cycle_model);
+  isa::DecodedImage* image = decoded_.get();
+  predecode_watch_ = bus_.watch_writes(
+      base, size,
+      [image](Address addr, u32 bytes_written) {
+        image->invalidate(addr, bytes_written);
+      });
+  cpu_.attach_decoded_image(image);
+}
+
+void Machine::drop_predecode() {
+  if (!decoded_) return;
+  cpu_.detach_decoded_image();
+  bus_.unwatch_writes(predecode_watch_);
+  predecode_watch_ = -1;
+  decoded_.reset();
+}
+
 cpu::HaltReason Machine::run(u64 max_instructions) {
-  return cpu_.run(max_instructions);
+  return cpu_.run_fast(max_instructions);
 }
 
 }  // namespace raptrack::sim

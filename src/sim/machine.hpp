@@ -20,11 +20,16 @@ struct MachineConfig {
   isa::CycleModel cycle_model{};
   tz::CostModel cost_model{};
   bool enable_oracle = true;
+  /// Build the predecoded fast-path instruction cache when a session calls
+  /// predecode() (normally at H_MEM time, after the NS-MPU lock). Off =
+  /// every run takes the decode-per-step oracle path.
+  bool fast_path = true;
 };
 
 class Machine {
  public:
   explicit Machine(MachineConfig config = {});
+  ~Machine();
 
   mem::MemoryMap& memory() { return memory_; }
   mem::Bus& bus() { return bus_; }
@@ -48,7 +53,19 @@ class Machine {
   /// Reset the core to `entry` with the stack at the top of NS RAM.
   void reset_cpu(Address entry);
 
-  /// Run the loaded application to completion.
+  /// Predecode [base, base+size) into the fast-path instruction cache and
+  /// arm write-invalidation over the range (any store into it — bus-level
+  /// or injector-level — drops the affected lines, so fault-injection
+  /// semantics stay bit-identical). Provers call this at H_MEM time, right
+  /// after the NS-MPU locks APP memory. No-op when config.fast_path is off.
+  void predecode(Address base, u32 size);
+
+  /// Drop the predecode cache and its write watch.
+  void drop_predecode();
+  const isa::DecodedImage* decoded_image() const { return decoded_.get(); }
+
+  /// Run the loaded application to completion (through the fast path when a
+  /// predecoded image is attached, the decode-per-step oracle otherwise).
   cpu::HaltReason run(u64 max_instructions = 200'000'000);
 
  private:
@@ -61,6 +78,8 @@ class Machine {
   trace::TraceFabric fabric_;
   trace::OracleTracer oracle_;
   tz::SecureMonitor monitor_;
+  std::unique_ptr<isa::DecodedImage> decoded_;
+  int predecode_watch_ = -1;
 };
 
 }  // namespace raptrack::sim

@@ -5,6 +5,39 @@ namespace raptrack::trace {
 void Dwt::configure(unsigned index, const Comparator& comparator) {
   if (index >= kNumComparators) throw Error("Dwt: comparator index out of range");
   comparators_[index] = comparator;
+  resolve();
+}
+
+void Dwt::resolve() {
+  Resolved r;
+  for (const auto& comp : comparators_) {
+    switch (comp.action) {
+      case ComparatorAction::MtbTstartBase:
+        r.start_base = comp.address; break;
+      case ComparatorAction::MtbTstartLimit:
+        r.start_limit = comp.address; break;
+      case ComparatorAction::MtbTstopBase:
+        r.stop_base = comp.address; break;
+      case ComparatorAction::MtbTstopLimit:
+        r.stop_limit = comp.address; break;
+      case ComparatorAction::Watchpoint:
+        r.watchpoints[r.num_watchpoints++] = comp.address; break;
+      case ComparatorAction::Disabled:
+        break;
+    }
+  }
+  // A range is live only when both bounds were seen; track which bounds
+  // appeared by re-scanning the actions (kNumComparators is tiny).
+  bool sb = false, sl = false, tb = false, tl = false;
+  for (const auto& comp : comparators_) {
+    sb |= comp.action == ComparatorAction::MtbTstartBase;
+    sl |= comp.action == ComparatorAction::MtbTstartLimit;
+    tb |= comp.action == ComparatorAction::MtbTstopBase;
+    tl |= comp.action == ComparatorAction::MtbTstopLimit;
+  }
+  r.has_start = sb && sl;
+  r.has_stop = tb && tl;
+  resolved_ = r;
 }
 
 const Comparator& Dwt::comparator(unsigned index) const {
@@ -12,7 +45,10 @@ const Comparator& Dwt::comparator(unsigned index) const {
   return comparators_[index];
 }
 
-void Dwt::reset() { comparators_ = {}; }
+void Dwt::reset() {
+  comparators_ = {};
+  resolve();
+}
 
 void Dwt::configure_rap_track(Address mtbar_base, Address mtbar_limit,
                               Address mtbdr_base, Address mtbdr_limit) {
@@ -54,43 +90,11 @@ void Dwt::write_register(u32 offset, u32 value) {
     default:
       throw Error("Dwt: unknown register offset");
   }
+  resolve();
 }
 
 void Dwt::set_watchpoint_handler(std::function<void(Address)> handler) {
   watchpoint_handler_ = std::move(handler);
-}
-
-void Dwt::observe(Address pc) {
-  // Resolve the two ranges from the comparator bank. A range is live only
-  // when both of its bounds are programmed.
-  Address start_base = 0, start_limit = 0, stop_base = 0, stop_limit = 0;
-  bool has_start_base = false, has_start_limit = false;
-  bool has_stop_base = false, has_stop_limit = false;
-  for (const auto& comp : comparators_) {
-    switch (comp.action) {
-      case ComparatorAction::MtbTstartBase:
-        start_base = comp.address; has_start_base = true; break;
-      case ComparatorAction::MtbTstartLimit:
-        start_limit = comp.address; has_start_limit = true; break;
-      case ComparatorAction::MtbTstopBase:
-        stop_base = comp.address; has_stop_base = true; break;
-      case ComparatorAction::MtbTstopLimit:
-        stop_limit = comp.address; has_stop_limit = true; break;
-      case ComparatorAction::Watchpoint:
-        if (pc == comp.address && watchpoint_handler_) watchpoint_handler_(pc);
-        break;
-      case ComparatorAction::Disabled:
-        break;
-    }
-  }
-  // TSTOP is evaluated first so that an address inside both ranges
-  // (misconfiguration) conservatively stops tracing.
-  if (has_stop_base && has_stop_limit && pc >= stop_base && pc <= stop_limit) {
-    mtb_->tstop();
-  }
-  if (has_start_base && has_start_limit && pc >= start_base && pc <= start_limit) {
-    mtb_->tstart();
-  }
 }
 
 }  // namespace raptrack::trace

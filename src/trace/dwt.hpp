@@ -47,7 +47,25 @@ class Dwt {
   void set_watchpoint_handler(std::function<void(Address pc)> handler);
 
   /// Evaluate comparators for the instruction at `pc` and drive the MTB.
-  void observe(Address pc);
+  /// Runs on every retired instruction, so the comparator bank is resolved
+  /// into `resolved_` once per reconfiguration, not per call.
+  void observe(Address pc) {
+    for (unsigned i = 0; i < resolved_.num_watchpoints; ++i) {
+      if (pc == resolved_.watchpoints[i] && watchpoint_handler_) {
+        watchpoint_handler_(pc);
+      }
+    }
+    // TSTOP is evaluated first so that an address inside both ranges
+    // (misconfiguration) conservatively stops tracing.
+    if (resolved_.has_stop && pc >= resolved_.stop_base &&
+        pc <= resolved_.stop_limit) {
+      mtb_->tstop();
+    }
+    if (resolved_.has_start && pc >= resolved_.start_base &&
+        pc <= resolved_.start_limit) {
+      mtb_->tstart();
+    }
+  }
 
   // -- register-level interface ----------------------------------------------
   //
@@ -63,8 +81,26 @@ class Dwt {
   void write_register(u32 offset, u32 value);
 
  private:
+  /// The comparator bank resolved into the two ranges + watchpoint list.
+  /// A range is live only when both of its bounds are programmed. Rebuilt by
+  /// every configuring entry point (comparator order preserved: later
+  /// comparators with the same action override earlier ones, and
+  /// watchpoints fire in bank order before TSTOP/TSTART, exactly as the
+  /// per-call resolution did).
+  struct Resolved {
+    Address start_base = 0, start_limit = 0;
+    Address stop_base = 0, stop_limit = 0;
+    bool has_start = false;
+    bool has_stop = false;
+    unsigned num_watchpoints = 0;
+    std::array<Address, kNumComparators> watchpoints{};
+  };
+
+  void resolve();
+
   Mtb* mtb_;
   std::array<Comparator, kNumComparators> comparators_{};
+  Resolved resolved_{};
   std::function<void(Address)> watchpoint_handler_;
 };
 

@@ -65,26 +65,58 @@ class Mtb {
 
   // -- signals from the DWT / CPU -------------------------------------------
 
+  // These four run on every retired instruction / taken branch, so they are
+  // defined inline; only the packet-recording slow half stays out of line.
+
   /// TSTART input (DWT comparator matched inside MTBAR).
-  void tstart();
+  void tstart() {
+    if (started_ || always_on_) return;
+    started_ = true;
+    pending_activation_ = activation_latency_;
+    restart_pending_ = true;
+  }
   /// TSTOP input (DWT comparator matched inside MTBDR).
-  void tstop();
+  void tstop() {
+    if (always_on_) return;  // TSTARTEN overrides the stop input
+    started_ = false;
+    pending_activation_ = 0;
+  }
 
   /// Called once per retired instruction: advances the activation-latency
   /// countdown.
-  void on_instruction_retired();
+  void on_instruction_retired() {
+    if (started_ && pending_activation_ > 0) --pending_activation_;
+  }
 
   /// Non-sequential PC change. Records a packet iff tracing is live.
-  void on_branch(Address source, Address destination, isa::BranchKind kind);
+  void on_branch(Address source, Address destination, isa::BranchKind kind) {
+    (void)kind;
+    if (!tracing()) return;
+    BranchPacket packet{source, destination, restart_pending_};
+    restart_pending_ = false;
+    write_packet(packet);
+  }
 
   /// Is tracing currently live (started, latency elapsed, enabled)?
-  bool tracing() const;
+  bool tracing() const {
+    return enabled_ && started_ && pending_activation_ == 0;
+  }
 
   // -- reading the log back (Secure World / tests) --------------------------
 
   /// Decode the packets currently in the buffer (up to `position`, or the
   /// whole buffer when wrapped).
   PacketLog read_log() const;
+
+  /// Append the logged packets to `out` in oldest-first wire order (the
+  /// byte layout write_packet stored: source_word then destination_word,
+  /// little-endian). Equivalent to serializing read_log() packet by packet,
+  /// but a straight copy of the buffer span — the report path uses this to
+  /// build packet payloads without an intermediate PacketLog.
+  void append_log_bytes(std::vector<u8>& out) const;
+
+  /// Bytes append_log_bytes() would add (= packets-in-log * kBytes).
+  u32 log_bytes() const { return wrapped_ ? buffer_bytes_ : position_; }
 
   Address buffer_base() const { return buffer_base_; }
   u32 buffer_bytes() const { return buffer_bytes_; }
@@ -123,6 +155,9 @@ class Mtb {
   mem::MemoryMap* sram_;
   Address buffer_base_;
   u32 buffer_bytes_;
+  /// Direct pointer into the buffer region's backing store (resolved at
+  /// construction; nullptr if the buffer is not plain backed memory).
+  u8* buffer_mem_ = nullptr;
   bool enabled_ = false;
   bool always_on_ = false;
   bool started_ = false;        // TSTART latched, TSTOP clears

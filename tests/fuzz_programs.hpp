@@ -1,0 +1,107 @@
+// Seeded fuzzed-program generator for the fast-path differential harness.
+// Extends test_isa_fuzz's random-word approach from single instructions to
+// whole programs: a seeded mix of ALU ops, in-range branches, loads/stores
+// aimed at scratch RAM, stack ops, stray SVCs, and raw undecodable words —
+// so a lock-stepped oracle/fast-path pair exercises every executor outcome
+// (halt, fault of every type, instruction-budget runaway, self-modifying
+// stores that must invalidate the predecode cache).
+#pragma once
+
+#include "asm/program.hpp"
+#include "common/rng.hpp"
+#include "isa/instruction.hpp"
+#include "mem/memory_map.hpp"
+
+namespace raptrack::testing {
+
+inline isa::Reg fuzz_reg(Xoshiro256& rng, bool allow_special) {
+  // R0..R10 normally; occasionally SP/LR/PC for the nasty cases.
+  if (allow_special && rng.chance(1, 16)) {
+    const isa::Reg special[] = {isa::Reg::SP, isa::Reg::LR, isa::Reg::PC};
+    return special[rng.next_below(3)];
+  }
+  return static_cast<isa::Reg>(rng.next_below(11));
+}
+
+/// One random instruction word for slot `index` of `num_words` total.
+inline u32 fuzz_word(Xoshiro256& rng, u32 index, u32 num_words) {
+  using isa::Op;
+  isa::Instruction in;
+  const u32 roll = static_cast<u32>(rng.next_below(100));
+  if (roll < 40) {
+    // Register/immediate ALU soup (flags randomly set).
+    const Op alu[] = {Op::ADD,  Op::SUB,  Op::RSB,  Op::MUL,  Op::UDIV,
+                      Op::SDIV, Op::AND,  Op::ORR,  Op::EOR,  Op::LSL,
+                      Op::LSR,  Op::ASR,  Op::MOV,  Op::MVN,  Op::CMP,
+                      Op::CMN,  Op::TST,  Op::ADDI, Op::SUBI, Op::ANDI,
+                      Op::ORRI, Op::EORI, Op::LSLI, Op::LSRI, Op::ASRI,
+                      Op::MOVI, Op::MOVT, Op::CMPI, Op::TSTI};
+    in.op = alu[rng.next_below(std::size(alu))];
+    in.rd = fuzz_reg(rng, true);
+    in.rn = fuzz_reg(rng, true);
+    in.rm = fuzz_reg(rng, true);
+    in.set_flags = rng.chance(1, 2);
+    in.imm = static_cast<i32>(rng.next_below(256));
+  } else if (roll < 55) {
+    // Branch somewhere inside the program (forward-biased so loops are
+    // possible but termination usually comes from HLT or the budget).
+    const i32 target = static_cast<i32>(rng.next_below(num_words));
+    const i32 offset = (target - static_cast<i32>(index) - 1) * 4;
+    if (rng.chance(1, 3)) {
+      in = isa::make_cond_branch(static_cast<isa::Cond>(rng.next_below(14)),
+                                 offset);
+    } else {
+      in = isa::make_branch(rng.chance(1, 3) ? Op::BL : Op::B, offset);
+    }
+  } else if (roll < 63) {
+    // Register branch: mostly garbage targets (fault parity), sometimes LR.
+    in = isa::make_reg_branch(rng.chance(1, 4) ? Op::BLX : Op::BX,
+                              fuzz_reg(rng, true));
+  } else if (roll < 78) {
+    // Load/store with small offsets; the harness points R0..R3 at scratch
+    // RAM, so many of these hit backed memory (including stores into the
+    // program's own flash image via PC-relative bases — cache invalidation).
+    const Op mem[] = {Op::LDR, Op::LDRB, Op::LDRH, Op::STR, Op::STRB,
+                      Op::STRH, Op::LDRR, Op::STRR};
+    in.op = mem[rng.next_below(std::size(mem))];
+    in.rd = fuzz_reg(rng, false);
+    in.rn = static_cast<isa::Reg>(rng.next_below(6));  // R0..R5 bases
+    in.rm = static_cast<isa::Reg>(rng.next_below(6));
+    in.shift = static_cast<u8>(rng.next_below(3));
+    in.imm = static_cast<i32>(rng.next_below(64)) * 4;
+  } else if (roll < 84) {
+    in.op = rng.chance(1, 2) ? Op::PUSH : Op::POP;
+    in.reg_list = static_cast<u16>(rng.next());
+    if (rng.chance(3, 4)) in.reg_list &= 0x7fffu;  // usually no POP-to-PC
+    if (in.reg_list == 0) in.reg_list = 0x0006;
+  } else if (roll < 88) {
+    in = isa::make_svc(static_cast<u8>(rng.next_below(4)));
+  } else if (roll < 94) {
+    in.op = rng.chance(1, 3) ? Op::HLT : Op::NOP;
+  } else {
+    // Raw random word: may decode to anything or be undefined — both paths
+    // must agree either way.
+    return static_cast<u32>(rng.next());
+  }
+  try {
+    return isa::encode(in);
+  } catch (const Error&) {
+    return static_cast<u32>(rng.next());  // out-of-range field: raw word
+  }
+}
+
+/// A seeded fuzzed program at the NS-flash base, `num_words` random words
+/// followed by a HLT backstop.
+inline Program fuzz_program(u64 seed, u32 num_words = 64) {
+  Xoshiro256 rng(seed);
+  Program program(mem::MapLayout::kNsFlashBase,
+                  std::vector<u8>((num_words + 1) * 4, 0));
+  for (u32 i = 0; i < num_words; ++i) {
+    program.set_word(program.base() + i * 4, fuzz_word(rng, i, num_words));
+  }
+  program.set_word(program.base() + num_words * 4,
+                   isa::encode(isa::Instruction{.op = isa::Op::HLT}));
+  return program;
+}
+
+}  // namespace raptrack::testing

@@ -6,6 +6,8 @@
 #include "apps/runner.hpp"
 #include "cfa/report.hpp"
 #include "common/rng.hpp"
+#include "mem/memory_map.hpp"
+#include "trace/mtb.hpp"
 
 namespace raptrack::cfa {
 namespace {
@@ -71,6 +73,28 @@ TEST(PayloadCodec, PacketsRoundTrip) {
   const auto encoded = encode_packets(packets);
   EXPECT_EQ(encoded.size(), 4u + 2 * 8u);
   EXPECT_EQ(decode_packets(encoded), packets);
+}
+
+// The prover signs payloads encoded straight off the MTB buffer; the fused
+// encoders must be byte-identical to serializing read_log(), wrapped or not.
+TEST(PayloadCodec, MtbFusedEncodersMatchPacketLogEncoding) {
+  mem::MemoryMap map = mem::MemoryMap::make_default();
+  trace::Mtb mtb(map, mem::MapLayout::kMtbSramBase, 4 * 8);  // 4 packets
+  mtb.set_enabled(true);
+  mtb.set_tstart_enable(true);
+  for (u32 i = 0; i < 3; ++i) {
+    mtb.on_branch(0x00200010 + 16 * i, 0x00200100 + 16 * i,
+                  isa::BranchKind::Direct);
+    EXPECT_EQ(encode_packets(mtb), encode_packets(mtb.read_log()));
+  }
+  for (u32 i = 0; i < 3; ++i) {  // wrap the 4-packet buffer
+    mtb.on_branch(0x00200050 + 16 * i, 0x00200300 + 16 * i,
+                  isa::BranchKind::Direct);
+  }
+  EXPECT_EQ(encode_packets(mtb), encode_packets(mtb.read_log()));
+  const std::vector<u32> loops = {7, 0, 0xffffffff};
+  EXPECT_EQ(encode_rap_final(mtb, loops),
+            encode_rap_final(RapFinalPayload{mtb.read_log(), loops}));
 }
 
 TEST(PayloadCodec, RapFinalRoundTrip) {

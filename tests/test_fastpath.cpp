@@ -1,0 +1,466 @@
+// Differential correctness harness for the predecoded fast-path interpreter:
+//   - lock-steps step_fast() against the step() oracle over 500 seeded
+//     fuzzed programs (registers, flags, cycles, sink event streams, faults),
+//     printing the first mismatching pc on divergence;
+//   - re-runs every registry app under all four methods with the fast path
+//     on vs off and demands identical metrics, reports, and oracle traces;
+//   - regression-checks the undefined-word parity (poisoned word
+//     mid-program) and write-invalidation of predecoded lines;
+//   - replays the seeded device-fault campaign fast vs slow and demands
+//     verdict-for-verdict parity (cache invalidation vs SEU/glitch
+//     injectors).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/runner.hpp"
+#include "common/hex.hpp"
+#include "cpu/executor.hpp"
+#include "fault/campaign.hpp"
+#include "fuzz_programs.hpp"
+#include "isa/decoded_image.hpp"
+#include "mem/bus.hpp"
+
+namespace raptrack {
+namespace {
+
+using cpu::HaltReason;
+using isa::Op;
+using isa::Reg;
+
+// -- shared fixtures ---------------------------------------------------------
+
+struct Event {
+  bool is_branch = false;
+  Address pc = 0;           ///< instruction pc, or branch source
+  Address destination = 0;  ///< branches only
+  isa::BranchKind kind = isa::BranchKind::None;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class RecordingSink final : public cpu::TraceSink {
+ public:
+  void on_instruction(Address pc) override {
+    events.push_back({false, pc, 0, isa::BranchKind::None});
+  }
+  void on_branch(Address source, Address destination,
+                 isa::BranchKind kind) override {
+    events.push_back({true, source, destination, kind});
+  }
+  std::vector<Event> events;
+};
+
+/// A bare simulated core (no Machine): map + bus + executor + one recording
+/// sink, with optional predecode over the loaded program.
+struct Core {
+  mem::MemoryMap map = mem::MemoryMap::make_default();
+  mem::Bus bus{map};
+  cpu::Executor cpu{bus};
+  RecordingSink sink;
+  std::unique_ptr<isa::DecodedImage> image;
+
+  explicit Core(const Program& program, u64 reg_seed, bool fast) {
+    cpu.add_sink(&sink);
+    map.load(program.base(), program.bytes());
+    if (fast) {
+      image = std::make_unique<isa::DecodedImage>(program.base(),
+                                                  program.bytes());
+      bus.watch_writes(program.base(), program.size(),
+                       [img = image.get()](Address addr, u32 bytes) {
+                         img->invalidate(addr, bytes);
+                       });
+      cpu.attach_decoded_image(image.get());
+    }
+    cpu.reset(program.base(), mem::MapLayout::kNsRamBase + 0x8000);
+    // Seeded register file: base registers point into scratch RAM so the
+    // fuzzed loads/stores frequently hit backed memory.
+    Xoshiro256 rng(reg_seed ^ 0x9e3779b97f4a7c15ull);
+    for (unsigned i = 0; i < 6; ++i) {
+      cpu.state().set_reg(static_cast<Reg>(i),
+                          apps::kScratchBase + static_cast<u32>(rng.next_below(256)) * 4);
+    }
+    for (unsigned i = 6; i < 11; ++i) {
+      cpu.state().set_reg(static_cast<Reg>(i), static_cast<Word>(rng.next()));
+    }
+  }
+};
+
+std::string fault_text(const std::optional<mem::Fault>& fault) {
+  if (!fault) return "(none)";
+  return std::string(mem::fault_name(fault->type)) + " @" + hex32(fault->pc) +
+         " addr=" + hex32(fault->address) + " — " + fault->detail;
+}
+
+/// Full-state comparison; returns a description of the first difference.
+::testing::AssertionResult states_equal(const cpu::Executor& oracle,
+                                        const cpu::Executor& fast) {
+  for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+    const Reg r = static_cast<Reg>(i);
+    if (oracle.state().reg(r) != fast.state().reg(r)) {
+      return ::testing::AssertionFailure()
+             << "r" << i << ": oracle=" << hex32(oracle.state().reg(r))
+             << " fast=" << hex32(fast.state().reg(r));
+    }
+  }
+  if (!(oracle.state().flags == fast.state().flags)) {
+    return ::testing::AssertionFailure() << "NZCV flags differ";
+  }
+  if (oracle.cycles() != fast.cycles()) {
+    return ::testing::AssertionFailure() << "cycles: oracle=" << oracle.cycles()
+                                         << " fast=" << fast.cycles();
+  }
+  if (oracle.instructions_retired() != fast.instructions_retired()) {
+    return ::testing::AssertionFailure()
+           << "instructions: oracle=" << oracle.instructions_retired()
+           << " fast=" << fast.instructions_retired();
+  }
+  const auto& of = oracle.fault();
+  const auto& ff = fast.fault();
+  if (of.has_value() != ff.has_value() ||
+      (of && (of->type != ff->type || of->address != ff->address ||
+              of->pc != ff->pc || of->detail != ff->detail))) {
+    return ::testing::AssertionFailure() << "fault: oracle=" << fault_text(of)
+                                         << " fast=" << fault_text(ff);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult events_equal(const std::vector<Event>& oracle,
+                                        const std::vector<Event>& fast) {
+  const size_t n = std::min(oracle.size(), fast.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(oracle[i] == fast[i])) {
+      return ::testing::AssertionFailure()
+             << "first mismatching event #" << i << " at pc "
+             << hex32(oracle[i].pc) << " (oracle) vs " << hex32(fast[i].pc)
+             << " (fast)";
+    }
+  }
+  if (oracle.size() != fast.size()) {
+    const Address pc = oracle.size() > fast.size() ? oracle[n].pc : fast[n].pc;
+    return ::testing::AssertionFailure()
+           << "event stream lengths differ (oracle " << oracle.size()
+           << " vs fast " << fast.size() << "), first extra event at pc "
+           << hex32(pc);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// -- fuzzed-program differential ---------------------------------------------
+
+constexpr u64 kFuzzBudget = 2000;
+
+TEST(FastPathDiff, LockStepAgainstOracleOn500FuzzedPrograms) {
+  for (u64 seed = 1; seed <= 500; ++seed) {
+    const Program program = testing::fuzz_program(seed);
+    Core oracle(program, seed, /*fast=*/false);
+    Core fast(program, seed, /*fast=*/true);
+
+    for (u64 steps = 0; steps < kFuzzBudget; ++steps) {
+      const Address at = oracle.cpu.state().pc();
+      const auto oracle_reason = oracle.cpu.step();
+      const auto fast_reason = fast.cpu.step_fast();
+      ASSERT_EQ(oracle_reason.has_value(), fast_reason.has_value())
+          << "seed " << seed << ": halt divergence, first mismatching pc "
+          << hex32(at);
+      ASSERT_TRUE(states_equal(oracle.cpu, fast.cpu))
+          << "seed " << seed << ": first mismatching pc " << hex32(at);
+      if (oracle_reason) {
+        ASSERT_EQ(*oracle_reason, *fast_reason) << "seed " << seed;
+        break;
+      }
+    }
+    ASSERT_TRUE(events_equal(oracle.sink.events, fast.sink.events))
+        << "seed " << seed;
+  }
+}
+
+TEST(FastPathDiff, BatchRunFastMatchesOracleRun) {
+  // Same 500 programs through the real hoisted-dispatch loop (run_fast with
+  // a single sink) rather than the step-by-step wrapper.
+  for (u64 seed = 1; seed <= 500; ++seed) {
+    const Program program = testing::fuzz_program(seed);
+    Core oracle(program, seed, /*fast=*/false);
+    Core fast(program, seed, /*fast=*/true);
+
+    const HaltReason oracle_reason = oracle.cpu.run(kFuzzBudget);
+    const HaltReason fast_reason = fast.cpu.run_fast(kFuzzBudget);
+    ASSERT_EQ(oracle_reason, fast_reason) << "seed " << seed;
+    ASSERT_TRUE(states_equal(oracle.cpu, fast.cpu)) << "seed " << seed;
+    ASSERT_TRUE(events_equal(oracle.sink.events, fast.sink.events))
+        << "seed " << seed;
+  }
+}
+
+TEST(FastPathDiff, NoSinkAndMultiSinkDispatchVariantsAgree) {
+  // The per-configuration dispatch has three shapes; exercise 0 and 2 sinks
+  // (the single-sink shape is covered by the batch test above).
+  for (u64 seed = 501; seed <= 540; ++seed) {
+    const Program program = testing::fuzz_program(seed);
+
+    // Multi-sink: two recorders must both see the identical stream.
+    Core oracle(program, seed, false);
+    Core fast(program, seed, true);
+    RecordingSink oracle_second, fast_second;
+    oracle.cpu.add_sink(&oracle_second);
+    fast.cpu.add_sink(&fast_second);
+    ASSERT_EQ(oracle.cpu.run(kFuzzBudget), fast.cpu.run_fast(kFuzzBudget))
+        << "seed " << seed;
+    ASSERT_TRUE(states_equal(oracle.cpu, fast.cpu)) << "seed " << seed;
+    ASSERT_TRUE(events_equal(oracle.sink.events, fast.sink.events));
+    ASSERT_TRUE(events_equal(oracle_second.events, fast_second.events));
+
+    // No-sink: state-only comparison.
+    mem::MemoryMap map_a = mem::MemoryMap::make_default();
+    mem::Bus bus_a{map_a};
+    cpu::Executor cpu_a{bus_a};
+    map_a.load(program.base(), program.bytes());
+    cpu_a.reset(program.base(), mem::MapLayout::kNsRamBase + 0x8000);
+
+    mem::MemoryMap map_b = mem::MemoryMap::make_default();
+    mem::Bus bus_b{map_b};
+    cpu::Executor cpu_b{bus_b};
+    map_b.load(program.base(), program.bytes());
+    isa::DecodedImage image(program.base(), program.bytes());
+    bus_b.watch_writes(program.base(), program.size(),
+                       [&image](Address addr, u32 bytes) {
+                         image.invalidate(addr, bytes);
+                       });
+    cpu_b.attach_decoded_image(&image);
+    cpu_b.reset(program.base(), mem::MapLayout::kNsRamBase + 0x8000);
+
+    ASSERT_EQ(cpu_a.run(kFuzzBudget), cpu_b.run_fast(kFuzzBudget))
+        << "seed " << seed;
+    ASSERT_TRUE(states_equal(cpu_a, cpu_b)) << "seed " << seed;
+  }
+}
+
+// -- undefined-word parity (the cost-asymmetry fix) --------------------------
+
+Program poisoned_program() {
+  Program program(mem::MapLayout::kNsFlashBase, std::vector<u8>(6 * 4, 0));
+  Address at = program.base();
+  program.set_word(at, isa::encode({.op = Op::MOVI, .rd = Reg::R0, .imm = 7}));
+  program.set_word(at + 4, isa::encode({.op = Op::ADDI, .rd = Reg::R0,
+                                        .rn = Reg::R0, .imm = 3}));
+  program.set_word(at + 8, 0xffff'ffffu);  // poisoned: does not decode
+  program.set_word(at + 12, isa::encode(isa::Instruction{.op = Op::HLT}));
+  program.set_word(at + 16, isa::encode(isa::Instruction{.op = Op::HLT}));
+  program.set_word(at + 20, isa::encode(isa::Instruction{.op = Op::HLT}));
+  return program;
+}
+
+TEST(FastPathUndefined, PoisonedWordMidProgramFaultsIdentically) {
+  const Program program = poisoned_program();
+  ASSERT_FALSE(isa::decode(0xffff'ffffu).has_value());
+
+  Core oracle(program, 1, false);
+  Core fast(program, 1, true);
+  EXPECT_EQ(oracle.cpu.run(100), HaltReason::Fault);
+  EXPECT_EQ(fast.cpu.run_fast(100), HaltReason::Fault);
+
+  ASSERT_TRUE(oracle.cpu.fault().has_value());
+  ASSERT_TRUE(fast.cpu.fault().has_value());
+  EXPECT_EQ(fast.cpu.fault()->type, mem::FaultType::UndefinedInstr);
+  EXPECT_EQ(fast.cpu.fault()->pc, program.base() + 8);
+  EXPECT_EQ(oracle.cpu.fault()->detail, fast.cpu.fault()->detail);
+  EXPECT_TRUE(states_equal(oracle.cpu, fast.cpu));
+  // The poisoned word retires nothing on either path (fault precedes the
+  // sink walk and the retired-instruction count).
+  EXPECT_EQ(fast.cpu.instructions_retired(), 2u);
+  EXPECT_TRUE(events_equal(oracle.sink.events, fast.sink.events));
+}
+
+TEST(FastPathUndefined, PredecodeMarksPoisonedSlotInvalid) {
+  const Program program = poisoned_program();
+  isa::DecodedImage image(program.base(), program.bytes());
+  EXPECT_EQ(image.slot(program.base()).kind, isa::SlotKind::Valid);
+  EXPECT_EQ(image.slot(program.base() + 8).kind, isa::SlotKind::Undefined);
+  EXPECT_EQ(image.slot(program.base() + 8).raw, 0xffff'ffffu);
+}
+
+// -- write invalidation ------------------------------------------------------
+
+TEST(FastPathInvalidation, StoreIntoPredecodedRegionDropsTheLine) {
+  // Program overwrites its own word #3 (a B .+0 self-loop) with a HLT via a
+  // store, then falls through into it. Without invalidation the fast path
+  // would execute the stale self-loop from the cache.
+  Program program(mem::MapLayout::kNsFlashBase, std::vector<u8>(6 * 4, 0));
+  const Address base = program.base();
+  const u32 hlt = isa::encode(isa::Instruction{.op = Op::HLT});
+  program.set_word(base, isa::encode({.op = Op::MOVI, .rd = Reg::R0,
+                                      .imm = static_cast<i32>(hlt & 0xffff)}));
+  program.set_word(base + 4,
+                   isa::encode({.op = Op::MOVT, .rd = Reg::R0,
+                                .imm = static_cast<i32>(hlt >> 16)}));
+  // Reading PC as an operand yields pc+4, so r1 = base+12; the store then
+  // targets [r1 + 4] = base+16, the self-loop's slot.
+  program.set_word(base + 8, isa::encode({.op = Op::MOV, .rd = Reg::R1,
+                                          .rm = Reg::PC}));
+  program.set_word(base + 12, isa::encode({.op = Op::STR, .rd = Reg::R0,
+                                           .rn = Reg::R1, .imm = 4}));
+  program.set_word(base + 16, isa::encode(isa::make_branch(Op::B, -4)));
+  program.set_word(base + 20, hlt);
+
+  Core oracle(program, 1, false);
+  Core fast(program, 1, true);
+  EXPECT_EQ(oracle.cpu.run(100), HaltReason::Halted);
+  EXPECT_EQ(fast.cpu.run_fast(100), HaltReason::Halted);
+  EXPECT_TRUE(states_equal(oracle.cpu, fast.cpu));
+  EXPECT_TRUE(events_equal(oracle.sink.events, fast.sink.events));
+  EXPECT_GT(fast.image->invalidations(), 0u);
+}
+
+TEST(FastPathInvalidation, RawInjectorWriteAlsoDropsTheLine) {
+  // The MTB SEU injector writes through MemoryMap::raw_write32, bypassing
+  // the bus — the watch must still fire.
+  Program program(mem::MapLayout::kNsFlashBase, std::vector<u8>(3 * 4, 0));
+  program.set_word(program.base(), isa::encode(isa::make_branch(Op::B, -4)));
+  program.set_word(program.base() + 4,
+                   isa::encode(isa::Instruction{.op = Op::HLT}));
+  program.set_word(program.base() + 8,
+                   isa::encode(isa::Instruction{.op = Op::HLT}));
+
+  Core fast(program, 1, true);
+  EXPECT_EQ(fast.cpu.run_fast(10), HaltReason::InstrBudget);
+
+  // "SEU" rewrites the self-loop into a fall-through NOP.
+  fast.map.raw_write32(program.base(),
+                       isa::encode(isa::Instruction{.op = Op::NOP}));
+  EXPECT_GT(fast.image->invalidations(), 0u);
+
+  Core fresh(program, 1, true);
+  fresh.map.raw_write32(program.base(),
+                        isa::encode(isa::Instruction{.op = Op::NOP}));
+  EXPECT_EQ(fresh.cpu.run_fast(10), HaltReason::Halted);
+}
+
+TEST(FastPathInvalidation, CachedSlotsAreActuallyExecutedFromTheImage) {
+  // Negative control for every parity test above: attach an image that
+  // deliberately disagrees with memory (HLT cached over a self-loop in
+  // flash, no write watch). If step_fast() were quietly falling back to
+  // fetch+decode, this run would spin to the budget; executing the cached
+  // HLT proves the hot path really reads the image.
+  Program looping(mem::MapLayout::kNsFlashBase, std::vector<u8>(2 * 4, 0));
+  looping.set_word(looping.base(), isa::encode(isa::make_branch(Op::B, -4)));
+  looping.set_word(looping.base() + 4,
+                   isa::encode(isa::Instruction{.op = Op::HLT}));
+
+  Program halting = looping;
+  halting.set_word(halting.base(), isa::encode(isa::Instruction{.op = Op::HLT}));
+
+  mem::MemoryMap map = mem::MemoryMap::make_default();
+  mem::Bus bus{map};
+  cpu::Executor cpu{bus};
+  map.load(looping.base(), looping.bytes());
+  isa::DecodedImage image(halting.base(), halting.bytes());
+  cpu.attach_decoded_image(&image);
+  cpu.reset(looping.base(), mem::MapLayout::kNsRamBase + 0x8000);
+  EXPECT_EQ(cpu.run_fast(100), HaltReason::Halted);
+  EXPECT_EQ(cpu.instructions_retired(), 1u);
+}
+
+// -- registry apps: end-to-end parity across all four methods ----------------
+
+template <typename RunFn>
+void expect_method_parity(const char* method, const apps::PreparedApp& prepared,
+                          RunFn&& run_method) {
+  sim::MachineConfig slow_config;
+  slow_config.fast_path = false;
+  sim::MachineConfig fast_config;
+  fast_config.fast_path = true;
+
+  const apps::MethodRun slow = run_method(prepared, slow_config);
+  const apps::MethodRun fast = run_method(prepared, fast_config);
+
+  EXPECT_EQ(slow.functional_ok, fast.functional_ok) << method;
+  EXPECT_EQ(slow.oracle, fast.oracle) << method << ": oracle traces diverge";
+  EXPECT_EQ(slow.attestation.reports, fast.attestation.reports)
+      << method << ": signed report chains diverge";
+
+  const cfa::RunMetrics& a = slow.attestation.metrics;
+  const cfa::RunMetrics& b = fast.attestation.metrics;
+  EXPECT_EQ(a.exec_cycles, b.exec_cycles) << method;
+  EXPECT_EQ(a.attest_setup_cycles, b.attest_setup_cycles) << method;
+  EXPECT_EQ(a.pause_cycles, b.pause_cycles) << method;
+  EXPECT_EQ(a.final_report_cycles, b.final_report_cycles) << method;
+  EXPECT_EQ(a.cflog_bytes, b.cflog_bytes) << method;
+  EXPECT_EQ(a.partial_reports, b.partial_reports) << method;
+  EXPECT_EQ(a.world_switches, b.world_switches) << method;
+  EXPECT_EQ(a.instructions, b.instructions) << method;
+  EXPECT_EQ(a.transmitted_evidence_bytes, b.transmitted_evidence_bytes)
+      << method;
+  EXPECT_EQ(a.halt, b.halt) << method;
+  EXPECT_EQ(a.fault.has_value(), b.fault.has_value()) << method;
+}
+
+TEST(FastPathApps, AllRegistryAppsAllMethodsMatchOracle) {
+  for (const auto& app : apps::app_registry()) {
+    SCOPED_TRACE(app.name);
+    const apps::PreparedApp prepared = apps::prepare_app(app);
+    const u64 seed = 42;
+    expect_method_parity("baseline", prepared,
+                         [&](const apps::PreparedApp& p, const sim::MachineConfig& c) {
+                           return apps::run_baseline(p, seed, c);
+                         });
+    expect_method_parity("naive", prepared,
+                         [&](const apps::PreparedApp& p, const sim::MachineConfig& c) {
+                           return apps::run_naive(p, seed, c);
+                         });
+    expect_method_parity("rap", prepared,
+                         [&](const apps::PreparedApp& p, const sim::MachineConfig& c) {
+                           return apps::run_rap(p, seed, c);
+                         });
+    expect_method_parity("traces", prepared,
+                         [&](const apps::PreparedApp& p, const sim::MachineConfig& c) {
+                           return apps::run_traces(p, seed, c);
+                         });
+  }
+}
+
+// -- fault campaign: verdict-for-verdict fast/slow parity --------------------
+
+TEST(FastPathCampaign, DeviceFaultVerdictsMatchSlowPathOn200SeededPlans) {
+  // 4 device injector kinds x 25 seeds x 2 apps = 200 seeded plans, each
+  // attested twice (fast path on and off). Proves cache invalidation
+  // interacts correctly with the SEU/glitch injectors: identical verdicts,
+  // identical injection records.
+  constexpr u64 kSeedsPerKind = 25;
+  u64 plans = 0;
+  for (const char* name : {"gps", "syringe"}) {
+    const apps::PreparedApp prepared = apps::prepare_app(apps::app_by_name(name));
+    for (const fault::InjectorKind kind : fault::device_injectors()) {
+      for (u64 seed = 1; seed <= kSeedsPerKind; ++seed) {
+        fault::CampaignOptions fast_opts;
+        fast_opts.fast_path = true;
+        fault::CampaignOptions slow_opts;
+        slow_opts.fast_path = false;
+
+        const auto fast =
+            fault::run_device_fault(prepared, kind, seed, fast_opts);
+        const auto slow =
+            fault::run_device_fault(prepared, kind, seed, slow_opts);
+        ++plans;
+
+        ASSERT_EQ(fast.verdict, slow.verdict)
+            << name << "/" << fault::injector_name(kind) << " seed " << seed
+            << ": fast=" << verify::verdict_name(fast.verdict) << " ("
+            << fast.result.detail << ") slow="
+            << verify::verdict_name(slow.verdict) << " ("
+            << slow.result.detail << ")";
+        ASSERT_EQ(fast.fault_effective, slow.fault_effective)
+            << name << "/" << fault::injector_name(kind) << " seed " << seed;
+        ASSERT_EQ(fast.records.size(), slow.records.size());
+        for (size_t i = 0; i < fast.records.size(); ++i) {
+          EXPECT_EQ(fast.records[i].detail, slow.records[i].detail);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(plans, 200u);
+  RecordProperty("parity_plans", static_cast<int>(plans));
+}
+
+}  // namespace
+}  // namespace raptrack
