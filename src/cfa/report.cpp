@@ -67,6 +67,13 @@ class Reader {
   bool failed() const { return failed_; }
   bool done() const { return !failed_ && pos_ == data_.size(); }
 
+  size_t position() const { return pos_; }
+  /// Re-view an already-consumed byte range (zero-copy report admission
+  /// needs the contiguous signed region after parsing past it).
+  std::span<const u8> window(size_t begin, size_t end) const {
+    return data_.subspan(begin, end - begin);
+  }
+
  private:
   std::span<const u8> data_;
   size_t pos_ = 0;
@@ -302,38 +309,103 @@ void append_report(std::vector<u8>& out, const SignedReport& report) {
   out.insert(out.end(), report.mac.begin(), report.mac.end());
 }
 
-Decoded<SignedReport> read_report(Reader& reader) {
+/// Structural parse of one wire record into a view — the single place the
+/// record format is validated; the copying decoder materializes from here.
+Decoded<ReportView> read_report_view(Reader& reader) {
   u8 magic[4];
   if (!reader.bytes_into(magic) ||
       !std::equal(std::begin(magic), std::end(magic),
                   std::begin(kReportMagic))) {
-    return fail<SignedReport>("report framing: bad magic");
+    return fail<ReportView>("report framing: bad magic");
   }
-  SignedReport report;
-  reader.bytes_into(report.chal);
-  reader.bytes_into(report.h_mem);
-  report.sequence = reader.u32_value();
+  ReportView view;
+  const size_t signed_begin = reader.position();
+  reader.bytes_into(view.chal);
+  view.h_mem = reader.subspan(32);
+  view.sequence = reader.u32_value();
   const u8 final_byte = reader.u8_value();
   const u8 type_byte = reader.u8_value();
   const u32 payload_len = reader.u32_value();
-  if (reader.failed()) return fail<SignedReport>("report header truncated");
-  if (final_byte > 1) return fail<SignedReport>("report final flag malformed");
+  if (reader.failed()) return fail<ReportView>("report header truncated");
+  if (final_byte > 1) return fail<ReportView>("report final flag malformed");
   if (!payload_type_valid(type_byte)) {
-    return fail<SignedReport>("report payload type unknown");
+    return fail<ReportView>("report payload type unknown");
   }
-  report.final_report = final_byte == 1;
-  report.type = static_cast<PayloadType>(type_byte);
-  if (static_cast<u64>(payload_len) + report.mac.size() > reader.remaining()) {
-    return fail<SignedReport>("report payload truncated");
+  view.final_report = final_byte == 1;
+  view.type = static_cast<PayloadType>(type_byte);
+  if (static_cast<u64>(payload_len) + 32 > reader.remaining()) {
+    return fail<ReportView>("report payload truncated");
   }
-  const auto payload = reader.subspan(payload_len);
-  report.payload.assign(payload.begin(), payload.end());
-  reader.bytes_into(report.mac);
-  if (reader.failed()) return fail<SignedReport>("report MAC truncated");
-  return Decoded<SignedReport>::success(std::move(report));
+  view.payload = reader.subspan(payload_len);
+  const size_t signed_end = reader.position();
+  view.mac = reader.subspan(32);
+  if (reader.failed()) return fail<ReportView>("report MAC truncated");
+  view.mac_input = reader.window(signed_begin, signed_end);
+  return Decoded<ReportView>::success(view);
+}
+
+Decoded<SignedReport> read_report(Reader& reader) {
+  auto view = read_report_view(reader);
+  if (!view.ok()) return fail<SignedReport>(std::move(view.error));
+  return Decoded<SignedReport>::success(view->materialize());
 }
 
 }  // namespace
+
+ReportView ReportView::of(const SignedReport& report) {
+  ReportView view;
+  view.chal = report.chal;
+  view.h_mem = report.h_mem;
+  view.sequence = report.sequence;
+  view.final_report = report.final_report;
+  view.type = report.type;
+  view.payload = report.payload;
+  view.mac = report.mac;
+  return view;  // mac_input stays empty: fields are not contiguous here
+}
+
+bool ReportView::verify(const crypto::HmacKeySchedule& schedule) const {
+  crypto::HmacSha256 h(schedule);
+  if (!mac_input.empty()) {
+    h.update(mac_input);
+  } else {
+    // Re-stream the header exactly as SignedReport::mac_input lays it out.
+    std::vector<u8> header;
+    header.reserve(chal.size() + h_mem.size() + 10);
+    header.insert(header.end(), chal.begin(), chal.end());
+    header.insert(header.end(), h_mem.begin(), h_mem.end());
+    put_u32(header, sequence);
+    header.push_back(final_report ? 1 : 0);
+    header.push_back(static_cast<u8>(type));
+    put_u32(header, static_cast<u32>(payload.size()));
+    h.update(header);
+    h.update(payload);
+  }
+  return crypto::digest_equal(h.finalize(), mac);
+}
+
+bool ReportView::same_bytes(const ReportView& other) const {
+  return chal == other.chal && sequence == other.sequence &&
+         final_report == other.final_report && type == other.type &&
+         std::equal(h_mem.begin(), h_mem.end(), other.h_mem.begin(),
+                    other.h_mem.end()) &&
+         std::equal(payload.begin(), payload.end(), other.payload.begin(),
+                    other.payload.end()) &&
+         std::equal(mac.begin(), mac.end(), other.mac.begin(),
+                    other.mac.end());
+}
+
+SignedReport ReportView::materialize() const {
+  SignedReport report;
+  report.chal = chal;
+  std::copy(h_mem.begin(), h_mem.end(), report.h_mem.begin());
+  report.sequence = sequence;
+  report.final_report = final_report;
+  report.type = type;
+  report.payload.assign(payload.begin(), payload.end());
+  std::copy(mac.begin(), mac.end(), report.mac.begin());
+  return report;
+}
 
 std::vector<u8> encode_report(const SignedReport& report) {
   std::vector<u8> out;
@@ -385,6 +457,34 @@ Decoded<std::vector<SignedReport>> try_decode_report_chain(
   }
   if (!reader.done()) return fail<Chain>("chain has trailing bytes");
   return Decoded<Chain>::success(std::move(chain));
+}
+
+Decoded<std::vector<ReportView>> try_parse_chain_views(
+    std::span<const u8> bytes) {
+  using Views = std::vector<ReportView>;
+  Reader reader(bytes);
+  u8 magic[4];
+  if (!reader.bytes_into(magic) ||
+      !std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kChainMagic))) {
+    return fail<Views>("chain framing: bad magic");
+  }
+  const u32 count = reader.u32_value();
+  if (reader.failed() || static_cast<u64>(count) * 94 > reader.remaining()) {
+    return fail<Views>("chain count does not fit the buffer");
+  }
+  Views views;
+  views.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    auto view = read_report_view(reader);
+    if (!view.ok()) {
+      return fail<Views>("chain report " + std::to_string(i) + ": " +
+                         view.error);
+    }
+    views.push_back(*view);
+  }
+  if (!reader.done()) return fail<Views>("chain has trailing bytes");
+  return Decoded<Views>::success(std::move(views));
 }
 
 }  // namespace raptrack::cfa

@@ -116,12 +116,61 @@ TracesChunkPayload decode_traces_chunk(std::span<const u8> payload);
 //   payload_len:u32 | payload | mac[32]
 // A chain is a count-prefixed concatenation:
 //   "RPC1" | count:u32 | report...
+//
+// Note the record layout after the magic is byte-for-byte the MAC input
+// (SignedReport::mac_input) followed by the MAC itself — so a receiver can
+// authenticate a report directly off the wire buffer, without first copying
+// its fields out. ReportView below is that zero-copy admission path.
 
 std::vector<u8> encode_report(const SignedReport& report);
 Decoded<SignedReport> try_decode_report(std::span<const u8> bytes);
 
 std::vector<u8> encode_report_chain(const std::vector<SignedReport>& chain);
 Decoded<std::vector<SignedReport>> try_decode_report_chain(
+    std::span<const u8> bytes);
+
+// -- zero-copy admission -----------------------------------------------------
+
+/// A non-owning view of one report. Two backings:
+///   * wire-backed — spans point into the receive buffer and `mac_input` is
+///     the contiguous signed region of the record (header fields ||
+///     payload), letting the MAC be checked without any intermediate copy;
+///   * field-backed (`of`) — spans point into a SignedReport's members and
+///     `mac_input` is empty (the header is re-streamed on verify).
+/// Views borrow their backing storage: the buffer/report must outlive them.
+struct ReportView {
+  Challenge chal{};
+  std::span<const u8> h_mem;   ///< 32 bytes
+  u32 sequence = 0;
+  bool final_report = false;
+  PayloadType type = PayloadType::RapPackets;
+  std::span<const u8> payload;
+  std::span<const u8> mac;     ///< 32 bytes
+  std::span<const u8> mac_input;  ///< wire-backed only; empty otherwise
+
+  static ReportView of(const SignedReport& report);
+
+  /// MAC check from a precomputed key schedule, streamed off the backing
+  /// buffer. Equivalent to SignedReport::verify(key) for the same bytes.
+  bool verify(const crypto::HmacKeySchedule& schedule) const;
+
+  /// Batch-verification claim (wire-backed views only — field-backed views
+  /// have no contiguous MAC input and must use verify()).
+  crypto::MacClaim claim() const { return {mac_input, mac}; }
+
+  /// Field-and-payload byte equality, matching SignedReport::operator== on
+  /// the same reports (duplicate/equivocation detection during chain resync).
+  bool same_bytes(const ReportView& other) const;
+
+  /// Deep copy into an owning SignedReport.
+  SignedReport materialize() const;
+};
+
+/// Parse a report chain into views over `bytes` without copying payloads.
+/// Performs exactly the structural validation of try_decode_report_chain —
+/// same checks, same error strings — but defers all byte copies until (and
+/// unless) the caller materializes a view.
+Decoded<std::vector<ReportView>> try_parse_chain_views(
     std::span<const u8> bytes);
 
 }  // namespace raptrack::cfa

@@ -5,8 +5,12 @@
 
 namespace raptrack::crypto {
 
-HmacSha256::HmacSha256(std::span<const u8> key) {
-  constexpr size_t kBlock = 64;
+namespace {
+
+constexpr size_t kBlock = 64;
+
+/// RFC 2104 key normalization: hash long keys, zero-pad short ones.
+std::array<u8, kBlock> normalize_key(std::span<const u8> key) {
   std::array<u8, kBlock> key_block{};
   if (key.size() > kBlock) {
     const Digest hashed = Sha256::hash(key);
@@ -14,21 +18,55 @@ HmacSha256::HmacSha256(std::span<const u8> key) {
   } else {
     std::copy(key.begin(), key.end(), key_block.begin());
   }
+  return key_block;
+}
 
+}  // namespace
+
+HmacKeySchedule::HmacKeySchedule(std::span<const u8> key) {
+  const std::array<u8, kBlock> key_block = normalize_key(key);
   std::array<u8, kBlock> ipad{};
+  std::array<u8, kBlock> opad{};
   for (size_t i = 0; i < kBlock; ++i) {
     ipad[i] = key_block[i] ^ 0x36;
-    opad_[i] = key_block[i] ^ 0x5c;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+  inner_mid_.update(ipad);
+  outer_mid_.update(opad);
+}
+
+Digest HmacKeySchedule::mac(std::span<const u8> a,
+                            std::span<const u8> b) const {
+  HmacSha256 h(*this);
+  h.update(a);
+  if (!b.empty()) h.update(b);
+  return h.finalize();
+}
+
+bool HmacKeySchedule::check(std::span<const u8> message,
+                            const Digest& claimed) const {
+  return digest_equal(mac(message), claimed);
+}
+
+HmacSha256::HmacSha256(std::span<const u8> key) {
+  const std::array<u8, kBlock> key_block = normalize_key(key);
+  std::array<u8, kBlock> ipad{};
+  std::array<u8, kBlock> opad{};
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
   }
   inner_.update(ipad);
+  outer_.update(opad);
 }
+
+HmacSha256::HmacSha256(const HmacKeySchedule& schedule)
+    : inner_(schedule.inner_mid_), outer_(schedule.outer_mid_) {}
 
 Digest HmacSha256::finalize() {
   const Digest inner_digest = inner_.finalize();
-  Sha256 outer;
-  outer.update(opad_);
-  outer.update(inner_digest);
-  return outer.finalize();
+  outer_.update(inner_digest);
+  return outer_.finalize();
 }
 
 Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message) {
@@ -37,7 +75,24 @@ Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message) {
   return mac.finalize();
 }
 
+std::optional<size_t> hmac_verify_batch(const HmacKeySchedule& schedule,
+                                        std::span<const MacClaim> claims) {
+  for (size_t i = 0; i < claims.size(); ++i) {
+    if (!digest_equal(schedule.mac(claims[i].message), claims[i].claimed)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
 bool digest_equal(const Digest& a, const Digest& b) {
+  u8 difference = 0;
+  for (size_t i = 0; i < a.size(); ++i) difference |= a[i] ^ b[i];
+  return difference == 0;
+}
+
+bool digest_equal(const Digest& a, std::span<const u8> b) {
+  if (b.size() != a.size()) return false;
   u8 difference = 0;
   for (size_t i = 0; i < a.size(); ++i) difference |= a[i] ^ b[i];
   return difference == 0;

@@ -1,9 +1,17 @@
 // HMAC-SHA256 (RFC 2104). Used by the RoT to authenticate CFA reports in
 // the symmetric setting ("a MAC, in the symmetric setting" — §IV-F), with
 // the key provisioned to the Secure World and shared with the Verifier.
+//
+// The Verifier side is throughput-critical: a service instance MAC-checks
+// every report of every chain it admits. HmacKeySchedule precomputes the
+// ipad/opad compression (two SHA-256 blocks) once per key; every MAC under
+// that key then starts from the saved midstates instead of re-deriving
+// them, and hmac_verify_batch checks a whole admitted chain against one
+// schedule without copying any message bytes.
 #pragma once
 
 #include <array>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -18,6 +26,28 @@ using Key = std::vector<u8>;
 
 Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message);
 
+/// Precomputed per-key HMAC state: the SHA-256 midstates after absorbing the
+/// ipad and opad blocks. Immutable after construction and safe to share
+/// across threads — the verifier farm builds one per RoT key and every
+/// worker MACs against it concurrently.
+class HmacKeySchedule {
+ public:
+  explicit HmacKeySchedule(std::span<const u8> key);
+
+  /// hmac(key, a || b) from the midstates. The two-span form lets callers
+  /// MAC a header followed by a payload that live in different buffers
+  /// without concatenating them.
+  Digest mac(std::span<const u8> a, std::span<const u8> b = {}) const;
+
+  /// Constant-time check of a claimed MAC over `message`.
+  bool check(std::span<const u8> message, const Digest& claimed) const;
+
+ private:
+  friend class HmacSha256;
+  Sha256 inner_mid_;  ///< state after the ipad block
+  Sha256 outer_mid_;  ///< state after the opad block
+};
+
 /// Incremental HMAC-SHA256 over a message fed in pieces. Lets callers MAC a
 /// header followed by a large payload without first concatenating them into
 /// one buffer (report signing sits on the prover's per-run fixed-cost path).
@@ -25,16 +55,37 @@ Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message);
 class HmacSha256 {
  public:
   explicit HmacSha256(std::span<const u8> key);
+  /// Start from a precomputed key schedule: skips both key-block
+  /// compressions (the verifier-farm fast path).
+  explicit HmacSha256(const HmacKeySchedule& schedule);
 
   void update(std::span<const u8> data) { inner_.update(data); }
   Digest finalize();
 
  private:
   Sha256 inner_;
-  std::array<u8, 64> opad_{};
+  Sha256 outer_;  ///< midstate after the opad block
 };
+
+/// One report's authenticity claim: the exact MAC input bytes (for wire
+/// admission, a view into the receive buffer — no copy) and the MAC the
+/// sender attached (32 bytes, also typically a view into the buffer).
+struct MacClaim {
+  std::span<const u8> message;
+  std::span<const u8> claimed;
+};
+
+/// Check every claim under one schedule, in order. Returns the index of the
+/// first claim whose MAC does not verify, or nullopt when all pass. Each
+/// individual comparison is constant-time; the early exit only reveals
+/// *which* report failed, which the verdict reports anyway.
+std::optional<size_t> hmac_verify_batch(const HmacKeySchedule& schedule,
+                                        std::span<const MacClaim> claims);
 
 /// Constant-time digest comparison (the Verifier must not leak via timing).
 bool digest_equal(const Digest& a, const Digest& b);
+/// Same, against unowned bytes (e.g. a MAC still sitting in a wire buffer).
+/// False when `b` is not exactly digest-sized.
+bool digest_equal(const Digest& a, std::span<const u8> b);
 
 }  // namespace raptrack::crypto

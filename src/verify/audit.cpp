@@ -21,14 +21,6 @@ const char* kind_label(isa::BranchKind kind) {
   }
 }
 
-/// Original-program address for an event source: MTBAR slot sources map
-/// back to the rewritten site.
-Address original_site(Address source, const rewrite::Manifest* manifest) {
-  if (manifest == nullptr) return source;
-  if (const auto* slot = manifest->slot_containing(source)) return slot->site;
-  return source;
-}
-
 std::string symbol_for(const Program& program, Address addr) {
   for (const auto& [name, value] : program.symbols()) {
     if (value == addr) return name;
@@ -36,12 +28,15 @@ std::string symbol_for(const Program& program, Address addr) {
   return "";
 }
 
-}  // namespace
-
-AuditReport audit_verification(const VerificationResult& result,
-                               const Program& program,
-                               const rewrite::Manifest* manifest,
-                               size_t top_edges) {
+/// Shared audit core, parameterized over the slot→site reverse lookup:
+/// a linear manifest scan for the legacy overload, the Deployment cache's
+/// sorted index for the service path. `slot_containing(addr)` returns the
+/// SlotRecord covering `addr`, or nullptr (always nullptr when there is no
+/// RAP manifest — naive/TRACES deployments audit unmapped).
+template <typename SlotLookup>
+AuditReport audit_impl(const VerificationResult& result,
+                       const Program& program, SlotLookup&& slot_containing,
+                       size_t top_edges) {
   AuditReport report;
   report.accepted = result.accepted();
   report.verdict_class = result.verdict;
@@ -70,10 +65,13 @@ AuditReport audit_verification(const VerificationResult& result,
   // an MTBAR slot is dropped, and the slot's exit edge is reported at the
   // original site with the branch kind the *original* instruction had — the
   // audit speaks original-program addresses and semantics.
+  const auto original_site = [&](Address source) -> Address {
+    const auto* slot = slot_containing(source);
+    return slot != nullptr ? slot->site : source;
+  };
   const auto logical_kind = [&](const trace::OracleEvent& event)
       -> isa::BranchKind {
-    if (manifest == nullptr) return event.kind;
-    const auto* slot = manifest->slot_containing(event.source);
+    const auto* slot = slot_containing(event.source);
     if (slot == nullptr) return event.kind;
     switch (slot->kind) {
       case rewrite::SlotKind::IndirectCall: return isa::BranchKind::IndirectCall;
@@ -87,13 +85,12 @@ AuditReport audit_verification(const VerificationResult& result,
   };
 
   for (const auto& event : result.replay.events) {
-    if (manifest != nullptr &&
-        manifest->slot_containing(event.destination) != nullptr) {
+    if (slot_containing(event.destination) != nullptr) {
       continue;  // detour entry
     }
     const isa::BranchKind kind = logical_kind(event);
     ++report.transfers_by_kind[kind_label(kind)];
-    const Address site = original_site(event.source, manifest);
+    const Address site = original_site(event.source);
     ++edges[{site, event.destination, kind}];
 
     if (kind == isa::BranchKind::DirectCall ||
@@ -129,6 +126,31 @@ AuditReport audit_verification(const VerificationResult& result,
     report.hottest_edges.resize(top_edges);
   }
   return report;
+}
+
+}  // namespace
+
+AuditReport audit_verification(const VerificationResult& result,
+                               const Program& program,
+                               const rewrite::Manifest* manifest,
+                               size_t top_edges) {
+  return audit_impl(
+      result, program,
+      [manifest](Address addr) -> const rewrite::SlotRecord* {
+        return manifest != nullptr ? manifest->slot_containing(addr) : nullptr;
+      },
+      top_edges);
+}
+
+AuditReport audit_verification(const VerificationResult& result,
+                               const Deployment& deployment,
+                               size_t top_edges) {
+  return audit_impl(
+      result, deployment.program(),
+      [&index = deployment.index()](Address addr) {
+        return index.slot_containing(addr);
+      },
+      top_edges);
 }
 
 std::string format_audit(const AuditReport& report) {

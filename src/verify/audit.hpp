@@ -53,6 +53,14 @@ AuditReport audit_verification(const VerificationResult& result,
                                const rewrite::Manifest* manifest = nullptr,
                                size_t top_edges = 10);
 
+/// Same audit, resolved through a shared Deployment cache: symbols come from
+/// the deployment's program and the slot→original-site reverse map is the
+/// precomputed ReplayIndex one (O(log n) per event instead of a linear
+/// manifest scan) — the same index the verifier replays against.
+AuditReport audit_verification(const VerificationResult& result,
+                               const Deployment& deployment,
+                               size_t top_edges = 10);
+
 /// Render the audit as a human-readable multi-line string.
 std::string format_audit(const AuditReport& report);
 

@@ -1,0 +1,189 @@
+#include "verify/farm.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace raptrack::verify {
+
+namespace {
+
+VerificationResult rejection(std::string why) {
+  VerificationResult result;
+  result.verdict = Verdict::Reject;
+  result.detail = std::move(why);
+  return result;
+}
+
+}  // namespace
+
+VerifierFarm::VerifierFarm(crypto::Key key, FarmOptions options, u64 rng_seed)
+    : key_schedule_(key),
+      queue_capacity_(std::max<size_t>(options.queue_capacity, 1)),
+      rng_(rng_seed) {
+  size_t count = options.workers;
+  if (count == 0) count = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+VerifierFarm::~VerifierFarm() {
+  drain();
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void VerifierFarm::provision(DeviceId device,
+                             std::shared_ptr<const Deployment> deployment,
+                             VerifyConfig config) {
+  std::lock_guard lock(mu_);
+  DeviceState& state = devices_[device];
+  state.deployment = std::move(deployment);
+  state.config = std::move(config);
+}
+
+cfa::Challenge VerifierFarm::issue_challenge(DeviceId device) {
+  cfa::Challenge chal;
+  {
+    std::lock_guard lock(rng_mu_);
+    for (size_t i = 0; i < chal.size(); i += 8) {
+      const u64 word = rng_.next();
+      for (size_t j = 0; j < 8 && i + j < chal.size(); ++j) {
+        chal[i + j] = static_cast<u8>(word >> (8 * j));
+      }
+    }
+  }
+  sessions_.issue(device, chal);
+  return chal;
+}
+
+void VerifierFarm::adopt_challenge(DeviceId device,
+                                   const cfa::Challenge& chal) {
+  sessions_.issue(device, chal);
+}
+
+std::future<VerificationResult> VerifierFarm::submit(
+    DeviceId device, const cfa::Challenge& chal,
+    std::vector<cfa::SignedReport> reports) {
+  Job job;
+  job.chal = chal;
+  job.reports = std::move(reports);
+  return enqueue(device, std::move(job));
+}
+
+std::future<VerificationResult> VerifierFarm::submit_wire(
+    DeviceId device, const cfa::Challenge& chal, std::vector<u8> wire_chain) {
+  Job job;
+  job.chal = chal;
+  job.is_wire = true;
+  job.wire = std::move(wire_chain);
+  return enqueue(device, std::move(job));
+}
+
+std::future<VerificationResult> VerifierFarm::enqueue(DeviceId device,
+                                                      Job job) {
+  std::future<VerificationResult> future = job.promise.get_future();
+  std::unique_lock lock(mu_);
+  space_cv_.wait(lock,
+                 [this] { return queued_ < queue_capacity_ || stopping_; });
+  if (stopping_) {
+    lock.unlock();
+    job.promise.set_value(rejection("farm is shutting down"));
+    return future;
+  }
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    lock.unlock();
+    job.promise.set_value(rejection("unknown device"));
+    return future;
+  }
+  DeviceState& state = it->second;
+  state.mailbox.push_back(std::move(job));
+  ++queued_;
+  // Activation invariant: a device sits in ready_ exactly when its mailbox
+  // is non-empty and no worker is running it. If the mailbox already had
+  // jobs, the token is either in ready_ or will be re-enqueued by the
+  // worker currently running the device.
+  if (!state.scheduled && state.mailbox.size() == 1) {
+    ready_.push_back(device);
+    lock.unlock();
+    work_cv_.notify_one();
+  }
+  return future;
+}
+
+VerificationResult VerifierFarm::execute(DeviceId device,
+                                         const DeviceState& state, Job& job) {
+  if (!state.deployment) {
+    return rejection("verifier has no expected deployment");
+  }
+  if (!job.is_wire) {
+    std::vector<cfa::ReportView> views;
+    views.reserve(job.reports.size());
+    for (const auto& report : job.reports) {
+      views.push_back(cfa::ReportView::of(report));
+    }
+    return verify_report_chain(*state.deployment, state.config, key_schedule_,
+                               sessions_, device, job.chal, views);
+  }
+  // Zero-copy wire admission: parse views over the receive buffer, then
+  // batch-check every MAC off it before the protocol core runs.
+  auto parsed = cfa::try_parse_chain_views(job.wire);
+  if (!parsed.ok()) return rejection(std::move(parsed.error));
+  std::vector<crypto::MacClaim> claims;
+  claims.reserve(parsed->size());
+  for (const auto& view : *parsed) claims.push_back(view.claim());
+  if (const auto bad = crypto::hmac_verify_batch(key_schedule_, claims)) {
+    // Identical wording to the serial MAC pass, so wire and decoded
+    // submissions of the same chain yield byte-identical verdicts.
+    return rejection("report MAC invalid (seq " +
+                     std::to_string((*parsed)[*bad].sequence) + ")");
+  }
+  return verify_report_chain(*state.deployment, state.config, key_schedule_,
+                             sessions_, device, job.chal, *parsed,
+                             /*macs_verified=*/true);
+}
+
+void VerifierFarm::worker_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const DeviceId device = ready_.front();
+    ready_.pop_front();
+    DeviceState& state = devices_.at(device);  // node refs are rehash-stable
+    Job job = std::move(state.mailbox.front());
+    state.mailbox.pop_front();
+    state.scheduled = true;
+    lock.unlock();
+
+    VerificationResult result = execute(device, state, job);
+    job.promise.set_value(std::move(result));
+
+    lock.lock();
+    state.scheduled = false;
+    if (!state.mailbox.empty()) {
+      ready_.push_back(device);
+      work_cv_.notify_one();
+    }
+    --queued_;
+    space_cv_.notify_one();
+    if (queued_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void VerifierFarm::drain() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [this] { return queued_ == 0; });
+}
+
+}  // namespace raptrack::verify

@@ -1,0 +1,129 @@
+// Parallel verifier farm: a sharded, multi-threaded verification service
+// over the shared deployment caches.
+//
+// A fleet Verifier adjudicates report chains from many devices at once. The
+// work is embarrassingly parallel *across* devices but strictly ordered
+// *within* one: challenge bookkeeping for a device must observe its chains
+// in submission order (a retransmission racing its original must not
+// double-consume the challenge). The farm encodes exactly that rule:
+//
+//   * every device has a FIFO mailbox of submitted jobs;
+//   * a global ready-queue holds activation tokens — devices whose mailbox
+//     is non-empty and which no worker currently runs;
+//   * a worker pops one token, runs exactly one job for that device, then
+//     re-enqueues the token if the mailbox is still non-empty.
+//
+// Same-device chains therefore serialize in FIFO order while distinct
+// devices load-balance freely over the pool. Admission is bounded
+// (`queue_capacity`): submit() blocks once the farm holds that many
+// unfinished jobs, pushing backpressure onto the transport instead of
+// buffering unboundedly.
+//
+// Immutable state (Deployment caches, the HMAC key schedule, per-device
+// VerifyConfig) is shared read-only across workers; the only cross-thread
+// mutable state is the SessionStore (internally mutex-sharded by device)
+// and the queues under the farm mutex.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "verify/verifier.hpp"
+
+namespace raptrack::verify {
+
+struct FarmOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  size_t workers = 0;
+  /// Maximum unfinished jobs admitted before submit() blocks.
+  size_t queue_capacity = 1024;
+};
+
+class VerifierFarm {
+ public:
+  explicit VerifierFarm(crypto::Key key, FarmOptions options = {},
+                        u64 rng_seed = 0x5eed'cafe);
+  ~VerifierFarm();
+
+  VerifierFarm(const VerifierFarm&) = delete;
+  VerifierFarm& operator=(const VerifierFarm&) = delete;
+
+  /// Register `device` as running `deployment` under `config`. Deployments
+  /// are shared: provision any number of devices with the same pointer.
+  /// Must complete before the first submit for the device.
+  void provision(DeviceId device, std::shared_ptr<const Deployment> deployment,
+                 VerifyConfig config = {});
+
+  /// Issue a fresh challenge for `device` (recorded for replay-detection).
+  cfa::Challenge issue_challenge(DeviceId device);
+  /// Register an externally-issued challenge as outstanding for `device`.
+  void adopt_challenge(DeviceId device, const cfa::Challenge& chal);
+
+  /// Queue one decoded report chain. Blocks while the farm is at capacity.
+  /// The future yields the same VerificationResult a serial Verifier with
+  /// this device's deployment/config/session state would produce.
+  std::future<VerificationResult> submit(DeviceId device,
+                                         const cfa::Challenge& chal,
+                                         std::vector<cfa::SignedReport> reports);
+
+  /// Queue one wire-encoded report chain ("RPC1..."), verified zero-copy:
+  /// the worker parses views over `wire_chain` and batch-checks every MAC
+  /// straight off the buffer before the protocol core runs. Malformed
+  /// framing rejects with the parser's error string.
+  std::future<VerificationResult> submit_wire(DeviceId device,
+                                              const cfa::Challenge& chal,
+                                              std::vector<u8> wire_chain);
+
+  /// Block until every admitted job has completed.
+  void drain();
+
+  size_t worker_count() const { return workers_.size(); }
+  SessionStore& sessions() { return sessions_; }
+
+ private:
+  struct Job {
+    cfa::Challenge chal{};
+    bool is_wire = false;
+    std::vector<cfa::SignedReport> reports;  ///< decoded submissions
+    std::vector<u8> wire;                    ///< wire submissions (owned)
+    std::promise<VerificationResult> promise;
+  };
+  struct DeviceState {
+    std::shared_ptr<const Deployment> deployment;
+    VerifyConfig config;
+    std::deque<Job> mailbox;
+    bool scheduled = false;  ///< a worker is running a job for this device
+  };
+
+  std::future<VerificationResult> enqueue(DeviceId device, Job job);
+  VerificationResult execute(DeviceId device, const DeviceState& state,
+                             Job& job);
+  void worker_loop();
+
+  crypto::HmacKeySchedule key_schedule_;
+  SessionStore sessions_;
+
+  mutable std::mutex mu_;  ///< guards devices_, ready_, queued_, stopping_
+  std::condition_variable work_cv_;   ///< workers: ready_ non-empty / stop
+  std::condition_variable space_cv_;  ///< submitters: capacity available
+  std::condition_variable drain_cv_;  ///< drain(): queued_ reached zero
+  std::unordered_map<DeviceId, DeviceState> devices_;
+  std::deque<DeviceId> ready_;  ///< activation tokens (see file comment)
+  size_t queued_ = 0;           ///< admitted but not yet completed jobs
+  size_t queue_capacity_;
+  bool stopping_ = false;
+
+  std::mutex rng_mu_;
+  Xoshiro256 rng_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace raptrack::verify

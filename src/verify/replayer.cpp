@@ -1,10 +1,12 @@
 #include "verify/replayer.hpp"
 
 #include <bit>
+#include <optional>
 #include <set>
 
 #include "common/bits.hpp"
 #include "common/hex.hpp"
+#include "verify/deployment.hpp"
 
 namespace raptrack::verify {
 
@@ -254,6 +256,14 @@ PathReplayer::PathReplayer(const Program& program, Address entry,
                            ReplayMode mode)
     : program_(&program), entry_(entry), mode_(mode) {}
 
+PathReplayer::PathReplayer(const Deployment& deployment)
+    : program_(&deployment.program()),
+      entry_(deployment.entry()),
+      mode_(deployment.mode()),
+      rap_(deployment.rap_manifest()),
+      traces_(deployment.traces_manifest()),
+      index_(&deployment.index()) {}
+
 // ---------------------------------------------------------------------------
 // Replay engine with backtracking.
 //
@@ -273,16 +283,13 @@ namespace {
 
 class ReplayEngine {
  public:
-  ReplayEngine(const Program& program, Address entry, ReplayMode mode,
-               const rewrite::Manifest* rap,
-               const instr::TracesManifest* traces, const ReplayPolicy& policy,
-               const ReplayInputs& inputs, u64 max_steps,
+  ReplayEngine(const ReplayIndex& index, Address entry, ReplayMode mode,
+               const ReplayPolicy& policy, const ReplayInputs& inputs,
+               u64 max_steps,
                const std::vector<trace::OracleEvent>* script = nullptr,
                bool strict = false)
-      : program_(program),
+      : index_(index),
         mode_(mode),
-        rap_(rap),
-        traces_(traces),
         policy_(policy),
         inputs_(inputs),
         max_steps_(max_steps),
@@ -306,10 +313,10 @@ class ReplayEngine {
   };
 
   // -- state ---------------------------------------------------------------
-  const Program& program_;
+  /// Precomputed per-deployment lookups (instructions, branch targets, MTBAR
+  /// slots, veneers) — shared and read-only, see deployment.hpp.
+  const ReplayIndex& index_;
   ReplayMode mode_;
-  const rewrite::Manifest* rap_;
-  const instr::TracesManifest* traces_;
   const ReplayPolicy& policy_;
   const ReplayInputs& inputs_;
   u64 max_steps_;
@@ -370,10 +377,7 @@ class ReplayEngine {
     if (pending_failure_.empty()) pending_failure_ = why;
   }
 
-  bool in_mtbar(Address addr) const {
-    return mode_ == ReplayMode::Rap && rap_ != nullptr &&
-           addr >= rap_->mtbar_base && addr <= rap_->mtbar_limit;
-  }
+  bool in_mtbar(Address addr) const { return index_.in_mtbar(addr); }
 
   std::optional<BranchPacket> consume_packet(Address src) {
     if (packet_cursor_ >= inputs_.packets.size()) {
@@ -551,7 +555,7 @@ class ReplayEngine {
         return packet_cursor_ < inputs_.packets.size() &&
                inputs_.packets[packet_cursor_].source == pc_;
       case ReplayMode::Rap: {
-        if (const auto* slot = rap_->slot_for_site(pc_)) {
+        if (const auto* slot = index_.slot_for_site(pc_)) {
           const bool next_in_slot =
               packet_cursor_ < inputs_.packets.size() &&
               inputs_.packets[packet_cursor_].source >= slot->slot_base &&
@@ -583,7 +587,7 @@ class ReplayEngine {
         return evaluate_shadow(in.cond, val_.flags);
       }
       case ReplayMode::Traces: {
-        const auto* veneer = traces_->veneer_containing(pc_);
+        const auto* veneer = index_.traces_veneer_containing(pc_);
         if (veneer && veneer->kind == instr::VeneerKind::Conditional &&
             pc_ == veneer->veneer_base + 4) {
           if (bit_cursor_ >= inputs_.traces_log.direction_bits.size()) {
@@ -604,17 +608,30 @@ class ReplayEngine {
 };
 
 bool ReplayEngine::step() {
-  if (!program_.contains(pc_) || pc_ % 4 != 0) {
+  if (!index_.contains(pc_) || pc_ % 4 != 0) {
     fail("path left the program image at " + hex32(pc_));
     return false;
   }
-  const auto decoded = program_.instruction_at(pc_);
-  if (!decoded) {
-    fail("undefined instruction at " + hex32(pc_));
-    return false;
+  const Instruction* cached = index_.instruction_at(pc_);
+  Instruction fallback;
+  if (cached == nullptr) {
+    // Predecode declined this word (or it is data): the per-step decoder is
+    // the authoritative tie-break.
+    const auto decoded = index_.program().instruction_at(pc_);
+    if (!decoded) {
+      fail("undefined instruction at " + hex32(pc_));
+      return false;
+    }
+    fallback = *decoded;
   }
-  const Instruction in = *decoded;
+  const Instruction in = cached != nullptr ? *cached : fallback;
   const BranchKind kind = isa::branch_kind(in);
+  // Static branch destination: from the precomputed successor map on the
+  // cached path, recomputed only on the rare fallback path.
+  const auto static_target = [&]() -> Address {
+    return cached != nullptr ? index_.branch_target(pc_)
+                             : isa::branch_target(in, pc_);
+  };
 
   if (kind == BranchKind::Halt) {
     // All evidence must be accounted for; leftovers indicate injection or a
@@ -639,7 +656,7 @@ bool ReplayEngine::step() {
     case BranchKind::None: {
       if (in.op == Op::SVC) {
         if (mode_ == ReplayMode::Rap) {
-          const auto* veneer = rap_->veneer_at_svc(pc_);
+          const auto* veneer = index_.rap_veneer_at_svc(pc_);
           if (!veneer) {
             fail("unexpected SVC at " + hex32(pc_));
             break;
@@ -648,7 +665,7 @@ bool ReplayEngine::step() {
           if (!value) break;
           val_.write(veneer->loop.iterator, *value);
         } else if (mode_ == ReplayMode::Traces) {
-          const auto* veneer = traces_->veneer_at_svc(pc_);
+          const auto* veneer = index_.traces_veneer_at_svc(pc_);
           if (!veneer) {
             fail("unexpected SVC at " + hex32(pc_));
             break;
@@ -672,11 +689,11 @@ bool ReplayEngine::step() {
     }
 
     case BranchKind::Direct:
-      take_branch(isa::branch_target(in, pc_), BranchKind::Direct);
+      take_branch(static_target(), BranchKind::Direct);
       break;
 
     case BranchKind::DirectCall: {
-      const Address target = isa::branch_target(in, pc_);
+      const Address target = static_target();
       shadow_stack_.push_back(pc_ + 4);
       val_.write(Reg::LR, pc_ + 4);
       take_branch(target, BranchKind::DirectCall);
@@ -692,7 +709,7 @@ bool ReplayEngine::step() {
         break;
       }
       if (*taken) {
-        take_branch(isa::branch_target(in, pc_), BranchKind::Conditional);
+        take_branch(static_target(), BranchKind::Conditional);
       } else {
         pc_ += 4;
       }
@@ -719,12 +736,12 @@ bool ReplayEngine::step() {
       // BL at the original site already pushed the shadow stack; apply the
       // call-target policy here.
       if (mode_ == ReplayMode::Rap) {
-        if (const auto* slot = rap_->slot_containing(site);
+        if (const auto* slot = index_.slot_containing(site);
             slot && slot->kind == rewrite::SlotKind::IndirectCall) {
           check_call_policy(slot->site, *target);
         }
       } else if (mode_ == ReplayMode::Traces) {
-        if (const auto* veneer = traces_->veneer_containing(site);
+        if (const auto* veneer = index_.traces_veneer_containing(site);
             veneer && veneer->kind == instr::VeneerKind::IndirectCall) {
           check_call_policy(veneer->site, *target);
         }
@@ -800,16 +817,24 @@ ReplayResult PathReplayer::replay(const ReplayInputs& inputs, u64 max_steps) {
     result.failure = "traces manifest not set";
     return result;
   }
+  // Legacy (non-Deployment) construction: build the index once per call —
+  // both passes below share it, so even this path decodes each instruction
+  // at most once instead of once per replay step.
+  std::optional<ReplayIndex> local_index;
+  const ReplayIndex* index = index_;
+  if (index == nullptr) {
+    local_index.emplace(*program_, mode_, rap_, traces_);
+    index = &*local_index;
+  }
   // Pass 1 (strict): search for a finding-free parse — a benign execution
   // consistent with the evidence. Only when none exists does the lenient
   // pass attribute findings (the verifier accuses only when every parse of
   // the evidence is malicious).
-  ReplayEngine strict_engine(*program_, entry_, mode_, rap_, traces_, policy_,
-                             inputs, max_steps, nullptr, /*strict=*/true);
+  ReplayEngine strict_engine(*index, entry_, mode_, policy_, inputs, max_steps,
+                             nullptr, /*strict=*/true);
   ReplayResult strict_result = strict_engine.run();
   if (strict_result.complete) return strict_result;
-  ReplayEngine engine(*program_, entry_, mode_, rap_, traces_, policy_, inputs,
-                      max_steps);
+  ReplayEngine engine(*index, entry_, mode_, policy_, inputs, max_steps);
   return engine.run();
 }
 
@@ -826,8 +851,13 @@ ReplayResult PathReplayer::check_path(
     result.failure = "traces manifest not set";
     return result;
   }
-  ReplayEngine engine(*program_, entry_, mode_, rap_, traces_, policy_, inputs,
-                      max_steps, &path);
+  std::optional<ReplayIndex> local_index;
+  const ReplayIndex* index = index_;
+  if (index == nullptr) {
+    local_index.emplace(*program_, mode_, rap_, traces_);
+    index = &*local_index;
+  }
+  ReplayEngine engine(*index, entry_, mode_, policy_, inputs, max_steps, &path);
   return engine.run();
 }
 

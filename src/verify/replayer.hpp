@@ -69,9 +69,17 @@ struct ReplayPolicy {
   std::set<Address> valid_call_targets;
 };
 
+class Deployment;
+class ReplayIndex;
+
 class PathReplayer {
  public:
   PathReplayer(const Program& program, Address entry, ReplayMode mode);
+  /// Replay against a prebuilt deployment cache: program, manifests, entry
+  /// and the precomputed ReplayIndex all come from `deployment`, which must
+  /// outlive the replayer. This is the service fast path — the legacy
+  /// constructor above rebuilds the index on every replay()/check_path().
+  explicit PathReplayer(const Deployment& deployment);
 
   void set_rap_manifest(const rewrite::Manifest* manifest) { rap_ = manifest; }
   void set_traces_manifest(const instr::TracesManifest* manifest) {
@@ -95,6 +103,9 @@ class PathReplayer {
   ReplayMode mode_;
   const rewrite::Manifest* rap_ = nullptr;
   const instr::TracesManifest* traces_ = nullptr;
+  /// Shared precomputed index (Deployment constructor only); when null, a
+  /// local index is built per replay()/check_path() call.
+  const ReplayIndex* index_ = nullptr;
   ReplayPolicy policy_;
 };
 

@@ -1,0 +1,65 @@
+#include "verify/session_store.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace raptrack::verify {
+
+SessionStore::SessionStore(size_t shard_count)
+    : shards_(std::bit_ceil(std::max<size_t>(shard_count, 1))) {}
+
+void SessionStore::issue(DeviceId device, const cfa::Challenge& chal) {
+  Shard& shard = shard_for(device);
+  std::lock_guard lock(shard.mu);
+  DeviceSessions& sessions = shard.devices[device];
+  if (std::find(sessions.used.begin(), sessions.used.end(), chal) !=
+      sessions.used.end()) {
+    return;  // consumed challenges never come back
+  }
+  if (std::find(sessions.outstanding.begin(), sessions.outstanding.end(),
+                chal) == sessions.outstanding.end()) {
+    sessions.outstanding.push_back(chal);
+  }
+}
+
+SessionStore::ChallengeState SessionStore::state(
+    DeviceId device, const cfa::Challenge& chal) const {
+  Shard& shard = shard_for(device);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.devices.find(device);
+  if (it == shard.devices.end()) return ChallengeState::Unknown;
+  const DeviceSessions& sessions = it->second;
+  // Used wins: a challenge somehow present in both lists must stay dead.
+  if (std::find(sessions.used.begin(), sessions.used.end(), chal) !=
+      sessions.used.end()) {
+    return ChallengeState::Used;
+  }
+  if (std::find(sessions.outstanding.begin(), sessions.outstanding.end(),
+                chal) != sessions.outstanding.end()) {
+    return ChallengeState::Outstanding;
+  }
+  return ChallengeState::Unknown;
+}
+
+bool SessionStore::consume(DeviceId device, const cfa::Challenge& chal) {
+  Shard& shard = shard_for(device);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.devices.find(device);
+  if (it == shard.devices.end()) return false;
+  DeviceSessions& sessions = it->second;
+  const auto pos = std::find(sessions.outstanding.begin(),
+                             sessions.outstanding.end(), chal);
+  if (pos == sessions.outstanding.end()) return false;
+  sessions.outstanding.erase(pos);
+  sessions.used.push_back(chal);
+  return true;
+}
+
+size_t SessionStore::outstanding_count(DeviceId device) const {
+  Shard& shard = shard_for(device);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.devices.find(device);
+  return it == shard.devices.end() ? 0 : it->second.outstanding.size();
+}
+
+}  // namespace raptrack::verify

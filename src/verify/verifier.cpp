@@ -17,32 +17,21 @@ const char* verdict_name(Verdict verdict) {
 }
 
 Verifier::Verifier(crypto::Key key, u64 rng_seed)
-    : key_(std::move(key)), rng_(rng_seed) {}
+    : key_schedule_(key), rng_(rng_seed) {}
 
 void Verifier::expect_rap(const Program& program,
                           const rewrite::Manifest& manifest, Address entry) {
-  mode_ = ReplayMode::Rap;
-  program_ = &program;
-  rap_manifest_ = &manifest;
-  entry_ = entry;
-  expected_h_mem_ = crypto::Sha256::hash(program.bytes());
+  deployment_ = Deployment::rap(program, manifest, entry);
 }
 
 void Verifier::expect_naive(const Program& program, Address entry) {
-  mode_ = ReplayMode::Naive;
-  program_ = &program;
-  entry_ = entry;
-  expected_h_mem_ = crypto::Sha256::hash(program.bytes());
+  deployment_ = Deployment::naive(program, entry);
 }
 
 void Verifier::expect_traces(const Program& program,
                              const instr::TracesManifest& manifest,
                              Address entry) {
-  mode_ = ReplayMode::Traces;
-  program_ = &program;
-  traces_manifest_ = &manifest;
-  entry_ = entry;
-  expected_h_mem_ = crypto::Sha256::hash(program.bytes());
+  deployment_ = Deployment::traces(program, manifest, entry);
 }
 
 cfa::Challenge Verifier::fresh_challenge() {
@@ -53,22 +42,19 @@ cfa::Challenge Verifier::fresh_challenge() {
       chal[i + j] = static_cast<u8>(word >> (8 * j));
     }
   }
-  outstanding_.push_back(chal);
+  sessions_.issue(0, chal);
   return chal;
 }
 
 void Verifier::adopt_challenge(const cfa::Challenge& chal) {
-  if (std::find(outstanding_.begin(), outstanding_.end(), chal) ==
-      outstanding_.end()) {
-    outstanding_.push_back(chal);
-  }
+  sessions_.issue(0, chal);
 }
 
 namespace {
 
 /// Decode one report's payload into `inputs`. Returns an empty string on
 /// success, the rejection reason otherwise. Never throws.
-std::string decode_into(const cfa::SignedReport& report, ReplayMode mode,
+std::string decode_into(const cfa::ReportView& report, ReplayMode mode,
                         const cfa::SpeculationDict* speculation,
                         ReplayInputs& inputs) {
   using cfa::PayloadType;
@@ -152,8 +138,11 @@ std::string decode_into(const cfa::SignedReport& report, ReplayMode mode,
 
 }  // namespace
 
-VerificationResult Verifier::verify(
-    const cfa::Challenge& chal, const std::vector<cfa::SignedReport>& reports) {
+VerificationResult verify_report_chain(
+    const Deployment& deployment, const VerifyConfig& config,
+    const crypto::HmacKeySchedule& key, SessionStore& sessions,
+    DeviceId device, const cfa::Challenge& chal,
+    std::span<const cfa::ReportView> reports, bool macs_verified) {
   VerificationResult result;
   const auto reject = [&result](std::string why) -> VerificationResult& {
     result.verdict = Verdict::Reject;
@@ -161,16 +150,19 @@ VerificationResult Verifier::verify(
     return result;
   };
 
-  if (!mode_) return reject("verifier has no expected deployment");
   if (reports.empty()) return reject("no reports");
 
   // (1) Authenticity: every report carries a valid MAC under the RoT key.
   //     An invalid MAC is positive evidence of forgery or transport
-  //     corruption — reject before trusting any other field.
-  for (const auto& report : reports) {
-    if (!report.verify(key_)) {
-      return reject("report MAC invalid (seq " +
-                    std::to_string(report.sequence) + ")");
+  //     corruption — reject before trusting any other field. The wire
+  //     admission path batch-checks MACs straight off the receive buffer
+  //     and passes macs_verified to skip the duplicate work here.
+  if (!macs_verified) {
+    for (const auto& report : reports) {
+      if (!report.verify(key)) {
+        return reject("report MAC invalid (seq " +
+                      std::to_string(report.sequence) + ")");
+      }
     }
   }
   result.authentic = true;
@@ -179,11 +171,7 @@ VerificationResult Verifier::verify(
   //     report echoes it. The challenge is consumed only once a terminal
   //     verdict (Accept/Reject) is reached — an Inconclusive chain keeps it
   //     outstanding so the Prover can retransmit missing chunks.
-  const auto outstanding_it =
-      std::find(outstanding_.begin(), outstanding_.end(), chal);
-  const bool was_used =
-      std::find(used_.begin(), used_.end(), chal) != used_.end();
-  if (outstanding_it == outstanding_.end() || was_used) {
+  if (sessions.state(device, chal) != SessionStore::ChallengeState::Outstanding) {
     return reject("challenge not outstanding (replay?)");
   }
   for (const auto& report : reports) {
@@ -195,11 +183,7 @@ VerificationResult Verifier::verify(
     }
   }
   result.fresh = true;
-  const auto consume_challenge = [&] {
-    outstanding_.erase(
-        std::find(outstanding_.begin(), outstanding_.end(), chal));
-    used_.push_back(chal);
-  };
+  const auto consume_challenge = [&] { sessions.consume(device, chal); };
 
   // (3) Chain integrity: as received, sequence numbers must be 0..n-1 with
   //     exactly one final report in last position.
@@ -218,15 +202,15 @@ VerificationResult Verifier::verify(
   // authenticated sequence number, and map the gaps. Equivocation (two
   // different authentic reports claiming the same sequence) is a terminal
   // tamper signal, not damage.
-  std::vector<const cfa::SignedReport*> usable;
+  std::vector<const cfa::ReportView*> usable;
   if (strict_ok) {
     for (const auto& report : reports) usable.push_back(&report);
   } else {
-    std::map<u32, const cfa::SignedReport*> by_sequence;
+    std::map<u32, const cfa::ReportView*> by_sequence;
     for (const auto& report : reports) {
       auto [it, inserted] = by_sequence.emplace(report.sequence, &report);
       if (inserted) continue;
-      if (*it->second == report) {
+      if (it->second->same_bytes(report)) {
         result.chain_notes.push_back(
             "duplicate report seq " + std::to_string(report.sequence) +
             " dropped (identical retransmission)");
@@ -274,7 +258,7 @@ VerificationResult Verifier::verify(
 
   // (4) Memory integrity: H_MEM consistent and equal to the expected image.
   for (const auto& report : reports) {
-    if (!crypto::digest_equal(report.h_mem, expected_h_mem_)) {
+    if (!crypto::digest_equal(deployment.expected_h_mem(), report.h_mem)) {
       consume_challenge();
       return reject("H_MEM does not match the expected binary");
     }
@@ -283,11 +267,12 @@ VerificationResult Verifier::verify(
 
   // (5) Decode + concatenate the usable evidence (typed decoders: hostile
   //     payload bytes yield a rejection, never a crash).
+  const ReplayMode mode = deployment.mode();
   ReplayInputs inputs;
   for (const auto* report : usable) {
     const size_t packets_before = inputs.packets.size();
     const std::string error =
-        decode_into(*report, *mode_, speculation_, inputs);
+        decode_into(*report, mode, config.speculation, inputs);
     if (!error.empty()) {
       consume_challenge();
       return reject("payload decode failed: " + error);
@@ -297,9 +282,10 @@ VerificationResult Verifier::verify(
     // strictly fewer. A fatter final chunk means the watermark never fired
     // on the device — a glitched FLOW register silently wrapping the buffer
     // — and the evidence, though authentically signed, is not trustworthy.
-    if (expected_watermark_ != 0 && *mode_ != ReplayMode::Traces) {
+    if (config.expected_watermark != 0 && mode != ReplayMode::Traces) {
       const size_t chunk = inputs.packets.size() - packets_before;
-      const size_t limit = expected_watermark_ / trace::BranchPacket::kBytes;
+      const size_t limit =
+          config.expected_watermark / trace::BranchPacket::kBytes;
       if (!report->final_report && chunk != limit) {
         consume_challenge();
         return reject("partial report chunk (" + std::to_string(chunk) +
@@ -315,10 +301,8 @@ VerificationResult Verifier::verify(
   }
 
   // (6) Lossless path reconstruction + (7) attack policies.
-  PathReplayer replayer(*program_, entry_, *mode_);
-  replayer.set_rap_manifest(rap_manifest_);
-  replayer.set_traces_manifest(traces_manifest_);
-  replayer.set_policy(policy_);
+  PathReplayer replayer(deployment);
+  replayer.set_policy(config.policy);
   try {
     result.replay = replayer.replay(inputs);
   } catch (const Error& e) {
@@ -360,6 +344,21 @@ VerificationResult Verifier::verify(
       " (" + std::to_string(result.replay.events.size()) +
       " transfers recovered from the surviving prefix)";
   return result;
+}
+
+VerificationResult Verifier::verify(
+    const cfa::Challenge& chal, const std::vector<cfa::SignedReport>& reports) {
+  if (!deployment_) {
+    VerificationResult result;
+    result.verdict = Verdict::Reject;
+    result.detail = "verifier has no expected deployment";
+    return result;
+  }
+  std::vector<cfa::ReportView> views;
+  views.reserve(reports.size());
+  for (const auto& report : reports) views.push_back(cfa::ReportView::of(report));
+  return verify_report_chain(*deployment_, config_, key_schedule_, sessions_,
+                             /*device=*/0, chal, views);
 }
 
 }  // namespace raptrack::verify

@@ -22,14 +22,18 @@
 //                   damage as an audit trail (`gaps`, `chain_notes`).
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cfa/report.hpp"
 #include "cfa/speculation.hpp"
 #include "common/rng.hpp"
+#include "verify/deployment.hpp"
 #include "verify/replayer.hpp"
+#include "verify/session_store.hpp"
 
 namespace raptrack::verify {
 
@@ -71,22 +75,49 @@ struct VerificationResult {
   bool accepted() const { return verdict == Verdict::Accept; }
 };
 
+/// The verification core shared by the single-threaded Verifier facade and
+/// the VerifierFarm workers: authenticate, freshness-check, resync, decode
+/// and replay one report chain against an immutable Deployment.
+///
+/// All mutable protocol state (the challenge history) lives in `sessions`;
+/// everything else is read-only, so any number of concurrent calls may share
+/// one Deployment / key schedule / config. `macs_verified` skips the MAC
+/// pass when the caller already batch-checked the chain off the wire buffer
+/// (the zero-copy admission path). Total: returns a verdict for arbitrary
+/// input and never throws.
+VerificationResult verify_report_chain(
+    const Deployment& deployment, const VerifyConfig& config,
+    const crypto::HmacKeySchedule& key, SessionStore& sessions,
+    DeviceId device, const cfa::Challenge& chal,
+    std::span<const cfa::ReportView> reports, bool macs_verified = false);
+
 class Verifier {
  public:
   Verifier(crypto::Key key, u64 rng_seed = 0x5eed'cafe);
 
   /// Provision the expected RAP-Track deployment (rewritten image +
-  /// manifest, as produced by the Verifier-side offline phase).
+  /// manifest, as produced by the Verifier-side offline phase). Builds a
+  /// private Deployment cache — program and manifest are copied, so the
+  /// arguments need not outlive the call.
   void expect_rap(const Program& program, const rewrite::Manifest& manifest,
                   Address entry);
   void expect_naive(const Program& program, Address entry);
   void expect_traces(const Program& program,
                      const instr::TracesManifest& manifest, Address entry);
-  void set_policy(ReplayPolicy policy) { policy_ = std::move(policy); }
+  /// Share a prebuilt deployment cache (the farm/fleet provisioning path:
+  /// build once, expect() everywhere).
+  void expect(std::shared_ptr<const Deployment> deployment) {
+    deployment_ = std::move(deployment);
+  }
+  std::shared_ptr<const Deployment> deployment() const { return deployment_; }
+
+  void set_policy(ReplayPolicy policy) { config_.policy = std::move(policy); }
 
   /// Provision the SpecCFA-style sub-path dictionary shared with the RoT
   /// (must match the prover's, or speculated payloads fail to decode).
-  void set_speculation(const cfa::SpeculationDict* dict) { speculation_ = dict; }
+  void set_speculation(const cfa::SpeculationDict* dict) {
+    config_.speculation = dict;
+  }
 
   /// Provision the deployment's MTB watermark (bytes). When set, the §IV-E
   /// protocol shape is enforced: every partial report carries exactly
@@ -94,7 +125,9 @@ class Verifier {
   /// at or above the watermark means the FLOW event never fired on the
   /// device (glitched watermark, silent buffer wrap) and is rejected even
   /// though the report signs valid. 0 (default) disables the check.
-  void set_expected_watermark(u32 bytes) { expected_watermark_ = bytes; }
+  void set_expected_watermark(u32 bytes) { config_.expected_watermark = bytes; }
+
+  const VerifyConfig& config() const { return config_; }
 
   /// Issue a fresh challenge (recorded for replay-detection).
   cfa::Challenge fresh_challenge();
@@ -111,20 +144,11 @@ class Verifier {
                             const std::vector<cfa::SignedReport>& reports);
 
  private:
-  crypto::Key key_;
+  crypto::HmacKeySchedule key_schedule_;
   Xoshiro256 rng_;
-  std::vector<cfa::Challenge> outstanding_;
-  std::vector<cfa::Challenge> used_;
-
-  std::optional<ReplayMode> mode_;
-  const Program* program_ = nullptr;
-  const rewrite::Manifest* rap_manifest_ = nullptr;
-  const instr::TracesManifest* traces_manifest_ = nullptr;
-  Address entry_ = 0;
-  crypto::Digest expected_h_mem_{};
-  ReplayPolicy policy_;
-  const cfa::SpeculationDict* speculation_ = nullptr;
-  u32 expected_watermark_ = 0;
+  SessionStore sessions_;  ///< single implicit device (id 0)
+  std::shared_ptr<const Deployment> deployment_;
+  VerifyConfig config_;
 };
 
 }  // namespace raptrack::verify
