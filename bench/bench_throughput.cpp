@@ -2,7 +2,7 @@
 // execution paths (decode-per-step oracle vs predecoded fast path), written
 // as machine-readable JSON so CI and EXPERIMENTS.md can track the speedup.
 //
-//   bench_throughput [--quick] [--out FILE]
+//   bench_throughput [--quick] [--out FILE] [--metrics-out FILE]
 //
 // Emits BENCH_sim_throughput.json with one row per (app, method, path):
 //   { "app", "method", "path", "instructions", "wall_ns", "mips", "speedup" }
@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "apps/runner.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -187,13 +188,18 @@ bool validate(const std::string& text, size_t expected_rows,
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_sim_throughput.json";
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out FILE] [--metrics-out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -265,5 +271,22 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu rows, schema ok)\n", out_path.c_str(),
               all.size());
+
+  // Scrape the observability registry alongside the timing rows, so a bench
+  // run leaves the same counters CI dashboards consume (JSON-lines).
+  if (!metrics_path.empty()) {
+    if (!raptrack::obs::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: --metrics-out requested but this is a "
+                   "RAP_OBS=OFF build; writing an empty metrics file\n");
+    }
+    std::ofstream metrics(metrics_path);
+    if (!metrics) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    metrics << raptrack::obs::registry().scrape().json_lines();
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }

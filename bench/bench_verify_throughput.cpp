@@ -3,7 +3,7 @@
 // workers, written as machine-readable JSON so CI and EXPERIMENTS.md can
 // track the pipeline.
 //
-//   bench_verify_throughput [--quick] [--out FILE]
+//   bench_verify_throughput [--quick] [--out FILE] [--metrics-out FILE]
 //
 // Every job starts from the same place a real verifier frontend does — the
 // encoded wire bytes of one device's report chain — and runs to a terminal
@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "fault/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "verify/farm.hpp"
 
 namespace {
@@ -401,13 +402,18 @@ bool validate(const std::string& text, size_t expected_rows,
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_verify_throughput.json";
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out FILE] [--metrics-out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -483,5 +489,22 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu rows, schema ok)\n", out_path.c_str(),
               all.size());
+
+  // Farm/verify counters (queue depth, mailbox waits, verdict tallies) in
+  // JSON-lines, same registry the tests assert on.
+  if (!metrics_path.empty()) {
+    if (!raptrack::obs::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: --metrics-out requested but this is a "
+                   "RAP_OBS=OFF build; writing an empty metrics file\n");
+    }
+    std::ofstream metrics(metrics_path);
+    if (!metrics) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    metrics << raptrack::obs::registry().scrape().json_lines();
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }

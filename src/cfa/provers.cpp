@@ -1,8 +1,77 @@
 #include "cfa/provers.hpp"
 
 #include "common/hex.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace raptrack::cfa {
+
+namespace {
+
+// Per-session observability for the prover engines: a span session covering
+// the protocol phases (h_mem, trace_config, app_run with nested log_drain
+// spans, sign_final) plus a counter flush on completion. Machine-cumulative
+// trackers (MTB toggles, monitor world switches) are snapshotted at session
+// start so everything published is a per-session delta. Compiles away
+// entirely when RAP_OBS is off.
+struct AttestObs {
+  sim::Machine* machine = nullptr;
+  obs::SessionId session = 0;
+  u64 mtb_bytes0 = 0;
+  u64 mtb_packets0 = 0;
+  u64 tstart0 = 0;
+  u64 tstop0 = 0;
+  u64 watermark0 = 0;
+  u64 switches0 = 0;
+
+  AttestObs(const char* method, sim::Machine& m) {
+    if constexpr (obs::kEnabled) {
+      machine = &m;
+      session = obs::tracer().begin_session(std::string("attest.") + method);
+      const auto& mtb = m.mtb();
+      mtb_bytes0 = mtb.total_bytes_written();
+      mtb_packets0 = mtb.packets_recorded();
+      tstart0 = mtb.tstart_events();
+      tstop0 = mtb.tstop_events();
+      watermark0 = mtb.watermark_events();
+      switches0 = m.monitor().world_switches();
+    }
+  }
+
+  obs::SpanTracer::Scope phase(const char* name) {
+    return obs::tracer().span(session, name);
+  }
+
+  void finish(const char* method, const RunMetrics& metrics,
+              const std::vector<SignedReport>& reports, size_t loop_hits) {
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::registry();
+      reg.counter(std::string("cfa.sessions.") + method).inc();
+      reg.counter("cfa.partial_reports").inc(metrics.partial_reports);
+      reg.counter("cfa.report_bytes").inc(metrics.transmitted_evidence_bytes);
+      reg.counter("cfa.cflog_bytes").inc(metrics.cflog_bytes);
+      reg.counter("cfa.loop_svc_hits").inc(loop_hits);
+      obs::Histogram sizes = reg.histogram("cfa.report_size_bytes",
+                                           {64, 256, 1024, 4096, 16384});
+      for (const auto& report : reports) sizes.observe(report.payload.size());
+      const auto& mtb = machine->mtb();
+      reg.counter("trace.cflog_entries")
+          .inc(mtb.packets_recorded() - mtb_packets0);
+      reg.counter("trace.cflog_bytes")
+          .inc(mtb.total_bytes_written() - mtb_bytes0);
+      reg.counter("trace.mtb_tstart_events").inc(mtb.tstart_events() - tstart0);
+      reg.counter("trace.mtb_tstop_events").inc(mtb.tstop_events() - tstop0);
+      reg.counter("trace.watermark_events")
+          .inc(mtb.watermark_events() - watermark0);
+      reg.counter("tz.world_switches")
+          .inc(machine->monitor().world_switches() - switches0);
+    } else {
+      (void)method; (void)metrics; (void)reports; (void)loop_hits;
+    }
+  }
+};
+
+}  // namespace
 
 Cycles ProverBase::lock_and_measure(sim::Machine& machine, Address image_base,
                                     u32 image_bytes,
@@ -68,29 +137,38 @@ RapProver::RapProver(const Program& program, const rewrite::Manifest& manifest,
 
 AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
   AttestationRun run;
+  AttestObs aobs("rap", machine);
   machine.load_program(*program_);
   run.metrics.code_bytes = program_->size();
 
   crypto::Digest h_mem;
-  run.metrics.attest_setup_cycles =
-      lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+  {
+    auto span = aobs.phase("h_mem");
+    run.metrics.attest_setup_cycles =
+        lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+  }
 
   // Configure DWT range gating (§IV-B) and the MTB.
-  machine.dwt().configure_rap_track(manifest_->mtbar_base,
-                                    manifest_->mtbar_limit,
-                                    manifest_->mtbdr_base,
-                                    manifest_->mtbdr_limit);
   auto& mtb = machine.mtb();
-  mtb.set_enabled(true);
-  const u32 watermark = options_.watermark_bytes != 0 ? options_.watermark_bytes
-                                                      : mtb.buffer_bytes();
-  mtb.set_watermark(watermark);
+  {
+    auto span = aobs.phase("trace_config");
+    machine.dwt().configure_rap_track(manifest_->mtbar_base,
+                                      manifest_->mtbar_limit,
+                                      manifest_->mtbdr_base,
+                                      manifest_->mtbdr_limit);
+    mtb.set_enabled(true);
+    const u32 watermark = options_.watermark_bytes != 0
+                              ? options_.watermark_bytes
+                              : mtb.buffer_bytes();
+    mtb.set_watermark(watermark);
+  }
 
   u32 sequence = 0;
   mtb.set_watermark_handler([&] {
     // §IV-E: generate and transmit a partial report, reset the head pointer,
     // and resume APP over the same buffer memory. With a provisioned
     // sub-path dictionary the chunk travels in the speculated encoding.
+    auto drain_span = aobs.phase("log_drain");
     if (options_.pre_report_hook) options_.pre_report_hook(machine);
     auto report =
         options_.speculation != nullptr
@@ -100,6 +178,7 @@ AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
                                             *options_.speculation))
             : make_report(chal, h_mem, sequence++, false,
                           PayloadType::RapPackets, encode_packets(mtb));
+    drain_span.attr("bytes", report.payload.size());
     const Cycles pause = report_cost(machine, report.payload.size());
     machine.cpu().add_cycles(pause);
     run.metrics.pause_cycles += pause;
@@ -123,34 +202,42 @@ AttestationRun RapProver::attest(sim::Machine& machine, const Challenge& chal) {
 
   if (options_.post_config_hook) options_.post_config_hook(machine);
   machine.reset_cpu(entry_);
-  run.metrics.halt = machine.run(options_.max_instructions);
+  {
+    auto span = aobs.phase("app_run");
+    run.metrics.halt = machine.run(options_.max_instructions);
+  }
   run.metrics.fault = machine.cpu().fault();
   run.metrics.exec_cycles = machine.cpu().cycles();
   run.metrics.instructions = machine.cpu().instructions_retired();
   run.metrics.world_switches = machine.monitor().world_switches();
 
   // Final report: remaining packets + the loop-condition stream.
-  if (options_.pre_report_hook) options_.pre_report_hook(machine);
-  cfa::SignedReport final_report;
-  if (options_.speculation != nullptr) {
-    SpecFinalPayload payload{mtb.read_log(), loop_values};
-    final_report =
-        make_report(chal, h_mem, sequence, true, PayloadType::RapSpecFinal,
-                    encode_spec_final(payload, *options_.speculation));
-  } else {
-    final_report = make_report(chal, h_mem, sequence, true,
-                               PayloadType::RapFinal,
-                               encode_rap_final(mtb, loop_values));
+  {
+    auto span = aobs.phase("sign_final");
+    if (options_.pre_report_hook) options_.pre_report_hook(machine);
+    cfa::SignedReport final_report;
+    if (options_.speculation != nullptr) {
+      SpecFinalPayload payload{mtb.read_log(), loop_values};
+      final_report =
+          make_report(chal, h_mem, sequence, true, PayloadType::RapSpecFinal,
+                      encode_spec_final(payload, *options_.speculation));
+    } else {
+      final_report = make_report(chal, h_mem, sequence, true,
+                                 PayloadType::RapFinal,
+                                 encode_rap_final(mtb, loop_values));
+    }
+    span.attr("bytes", final_report.payload.size());
+    run.metrics.final_report_cycles =
+        report_cost(machine, final_report.payload.size());
+    run.reports.push_back(std::move(final_report));
   }
-  run.metrics.final_report_cycles =
-      report_cost(machine, final_report.payload.size());
-  run.reports.push_back(std::move(final_report));
 
   run.metrics.cflog_bytes =
       mtb.total_bytes_written() + loop_values.size() * 4;
   for (const auto& report : run.reports) {
     run.metrics.transmitted_evidence_bytes += report.payload.size();
   }
+  aobs.finish("rap", run.metrics, run.reports, loop_values.size());
   return run;
 }
 
@@ -165,26 +252,36 @@ NaiveProver::NaiveProver(const Program& program, Address entry, crypto::Key key,
 AttestationRun NaiveProver::attest(sim::Machine& machine,
                                    const Challenge& chal) {
   AttestationRun run;
+  AttestObs aobs("naive", machine);
   machine.load_program(*program_);
   run.metrics.code_bytes = program_->size();
 
   crypto::Digest h_mem;
-  run.metrics.attest_setup_cycles =
-      lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+  {
+    auto span = aobs.phase("h_mem");
+    run.metrics.attest_setup_cycles =
+        lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+  }
 
   auto& mtb = machine.mtb();
-  mtb.set_enabled(true);
-  mtb.set_tstart_enable(true);  // record every non-sequential transfer
-  const u32 watermark = options_.watermark_bytes != 0 ? options_.watermark_bytes
-                                                      : mtb.buffer_bytes();
-  mtb.set_watermark(watermark);
+  {
+    auto span = aobs.phase("trace_config");
+    mtb.set_enabled(true);
+    mtb.set_tstart_enable(true);  // record every non-sequential transfer
+    const u32 watermark = options_.watermark_bytes != 0
+                              ? options_.watermark_bytes
+                              : mtb.buffer_bytes();
+    mtb.set_watermark(watermark);
+  }
 
   u32 sequence = 0;
   mtb.set_watermark_handler([&] {
+    auto drain_span = aobs.phase("log_drain");
     if (options_.pre_report_hook) options_.pre_report_hook(machine);
     auto report = make_report(chal, h_mem, sequence++, false,
                               PayloadType::NaivePackets,
                               encode_packets(mtb));
+    drain_span.attr("bytes", report.payload.size());
     const Cycles pause = report_cost(machine, report.payload.size());
     machine.cpu().add_cycles(pause);
     run.metrics.pause_cycles += pause;
@@ -195,23 +292,32 @@ AttestationRun NaiveProver::attest(sim::Machine& machine,
 
   if (options_.post_config_hook) options_.post_config_hook(machine);
   machine.reset_cpu(entry_);
-  run.metrics.halt = machine.run(options_.max_instructions);
+  {
+    auto span = aobs.phase("app_run");
+    run.metrics.halt = machine.run(options_.max_instructions);
+  }
   run.metrics.fault = machine.cpu().fault();
   run.metrics.exec_cycles = machine.cpu().cycles();
   run.metrics.instructions = machine.cpu().instructions_retired();
   run.metrics.world_switches = machine.monitor().world_switches();
 
-  if (options_.pre_report_hook) options_.pre_report_hook(machine);
-  auto final = make_report(chal, h_mem, sequence, true,
-                           PayloadType::NaivePackets,
-                           encode_packets(mtb));
-  run.metrics.final_report_cycles = report_cost(machine, final.payload.size());
-  run.reports.push_back(std::move(final));
+  {
+    auto span = aobs.phase("sign_final");
+    if (options_.pre_report_hook) options_.pre_report_hook(machine);
+    auto final = make_report(chal, h_mem, sequence, true,
+                             PayloadType::NaivePackets,
+                             encode_packets(mtb));
+    span.attr("bytes", final.payload.size());
+    run.metrics.final_report_cycles =
+        report_cost(machine, final.payload.size());
+    run.reports.push_back(std::move(final));
+  }
 
   run.metrics.cflog_bytes = mtb.total_bytes_written();
   for (const auto& report : run.reports) {
     run.metrics.transmitted_evidence_bytes += report.payload.size();
   }
+  aobs.finish("naive", run.metrics, run.reports, /*loop_hits=*/0);
   return run;
 }
 
@@ -230,27 +336,36 @@ TracesProver::TracesProver(const Program& program,
 AttestationRun TracesProver::attest(sim::Machine& machine,
                                     const Challenge& chal) {
   AttestationRun run;
+  AttestObs aobs("traces", machine);
   machine.load_program(*program_);
   run.metrics.code_bytes = program_->size();
 
   crypto::Digest h_mem;
-  run.metrics.attest_setup_cycles =
-      lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+  {
+    auto span = aobs.phase("h_mem");
+    run.metrics.attest_setup_cycles =
+        lock_and_measure(machine, program_->base(), program_->size(), h_mem);
+  }
 
   instr::TracesEngine engine(*program_, *manifest_, machine.memory(),
                              options_.traces_capacity_bytes,
                              options_.traces_bit_packed);
-  engine.attach(machine.monitor());
+  {
+    auto span = aobs.phase("trace_config");
+    engine.attach(machine.monitor());
+  }
 
   // Partial reports: each capacity flush is signed and transmitted, pausing
   // the application (the instrumentation analogue of §IV-E).
   u32 sequence = 0;
   engine.set_flush_handler([&](const instr::TracesLog& window) {
+    auto drain_span = aobs.phase("log_drain");
     TracesChunkPayload payload{window.direction_bits, window.indirect_targets,
                                window.loop_conditions};
     auto report = make_report(chal, h_mem, sequence++, false,
                               PayloadType::TracesChunk,
                               encode_traces_chunk(payload));
+    drain_span.attr("bytes", report.payload.size());
     const Cycles pause = report_cost(machine, report.payload.size());
     machine.cpu().add_cycles(pause);
     run.metrics.pause_cycles += pause;
@@ -260,25 +375,34 @@ AttestationRun TracesProver::attest(sim::Machine& machine,
 
   if (options_.post_config_hook) options_.post_config_hook(machine);
   machine.reset_cpu(entry_);
-  run.metrics.halt = machine.run(options_.max_instructions);
+  {
+    auto span = aobs.phase("app_run");
+    run.metrics.halt = machine.run(options_.max_instructions);
+  }
   run.metrics.fault = machine.cpu().fault();
   run.metrics.instructions = machine.cpu().instructions_retired();
   run.metrics.world_switches = machine.monitor().world_switches();
   run.metrics.exec_cycles = machine.cpu().cycles();
 
-  const instr::TracesLog window = engine.window();
-  TracesChunkPayload payload{window.direction_bits, window.indirect_targets,
-                             window.loop_conditions};
-  auto final = make_report(chal, h_mem, sequence, true,
-                           PayloadType::TracesChunk,
-                           encode_traces_chunk(payload));
-  run.metrics.final_report_cycles = report_cost(machine, final.payload.size());
-  run.reports.push_back(std::move(final));
+  {
+    auto span = aobs.phase("sign_final");
+    const instr::TracesLog window = engine.window();
+    TracesChunkPayload payload{window.direction_bits, window.indirect_targets,
+                               window.loop_conditions};
+    auto final = make_report(chal, h_mem, sequence, true,
+                             PayloadType::TracesChunk,
+                             encode_traces_chunk(payload));
+    span.attr("bytes", final.payload.size());
+    run.metrics.final_report_cycles =
+        report_cost(machine, final.payload.size());
+    run.reports.push_back(std::move(final));
+  }
 
   run.metrics.cflog_bytes = engine.total_log_bytes();
   for (const auto& report : run.reports) {
     run.metrics.transmitted_evidence_bytes += report.payload.size();
   }
+  aobs.finish("traces", run.metrics, run.reports, /*loop_hits=*/0);
   return run;
 }
 
@@ -289,16 +413,21 @@ AttestationRun TracesProver::attest(sim::Machine& machine,
 RunMetrics BaselineRunner::run(sim::Machine& machine,
                                u64 max_instructions) const {
   RunMetrics metrics;
+  AttestObs aobs("baseline", machine);
   machine.load_program(*program_);
   metrics.code_bytes = program_->size();
   // No CFA session locks memory here, but predecode stays safe: the write
   // watch drops any line the app (or an injector) overwrites.
   machine.predecode(program_->base(), program_->size());
   machine.reset_cpu(entry_);
-  metrics.halt = machine.run(max_instructions);
+  {
+    auto span = aobs.phase("app_run");
+    metrics.halt = machine.run(max_instructions);
+  }
   metrics.fault = machine.cpu().fault();
   metrics.exec_cycles = machine.cpu().cycles();
   metrics.instructions = machine.cpu().instructions_retired();
+  aobs.finish("baseline", metrics, {}, /*loop_hits=*/0);
   return metrics;
 }
 

@@ -36,6 +36,7 @@ void Executor::reset(Address entry, Address stack_top) {
   state_.set_lr(0xffff'ffff);  // sentinel: returning to reset LR is a bug
   cycles_ = 0;
   instructions_ = 0;
+  oracle_dispatches_ = 0;
   fault_ = std::nullopt;
   halted_ = false;
   fetch_generation_seen_ = kNoGeneration;
@@ -98,6 +99,7 @@ std::optional<HaltReason> Executor::step_with(const Sinks& sinks) {
     }
     sinks.instruction(pc);
     ++instructions_;
+    ++oracle_dispatches_;
     execute(*decoded, pc, sinks, ModelCost{&cycle_model_, &*decoded});
     if (halted_) {
       return decoded->op == Op::BKPT ? HaltReason::Breakpoint : HaltReason::Halted;

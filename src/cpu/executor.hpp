@@ -65,6 +65,12 @@ class Executor {
   Cycles cycles() const { return cycles_; }
   void add_cycles(Cycles c) { cycles_ += c; }
   u64 instructions_retired() const { return instructions_; }
+  /// Instructions that went through the reference fetch+decode oracle
+  /// (step(), or a fast-path per-instruction fallback). Counted in
+  /// step_with() only, so run_fast()'s hot loop pays nothing for it.
+  u64 oracle_dispatches() const { return oracle_dispatches_; }
+  /// Instructions executed straight from the predecode cache.
+  u64 fast_dispatches() const { return instructions_ - oracle_dispatches_; }
   const std::optional<mem::Fault>& fault() const { return fault_; }
   const isa::CycleModel& cycle_model() const { return cycle_model_; }
 
@@ -171,6 +177,7 @@ class Executor {
   CpuState state_;
   Cycles cycles_ = 0;
   u64 instructions_ = 0;
+  u64 oracle_dispatches_ = 0;
   std::optional<mem::Fault> fault_;
   std::vector<TraceSink*> sinks_;
   SvcHandler svc_handler_;

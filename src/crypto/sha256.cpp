@@ -184,9 +184,17 @@ void Sha256::reset() {
   buffered_ = 0;
 }
 
+namespace {
+// Test hook (see Sha256::force_scalar): plain bool, flipped only from
+// single-threaded test setup before any hashing runs.
+bool g_force_scalar = false;
+}  // namespace
+
+void Sha256::force_scalar(bool force) { g_force_scalar = force; }
+
 void Sha256::process_blocks(const u8* data, std::size_t blocks) {
 #ifdef RAP_SHA_NI
-  if (has_sha_ni()) {
+  if (!g_force_scalar && has_sha_ni()) {
     process_blocks_shani(state_.data(), data, blocks);
     return;
   }

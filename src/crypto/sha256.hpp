@@ -26,6 +26,12 @@ class Sha256 {
   static Digest hash(std::span<const u8> data);
   static Digest hash(std::string_view text);
 
+  /// Force the portable scalar compression even when the CPU has SHA
+  /// extensions. Both paths implement the same FIPS 180-4 dataflow; the
+  /// differential test pins them against each other, and coverage runs use
+  /// this to exercise the path the host CPU would otherwise skip.
+  static void force_scalar(bool force);
+
  private:
   void process_blocks(const u8* data, std::size_t blocks);
 

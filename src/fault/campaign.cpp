@@ -1,8 +1,33 @@
 #include "fault/campaign.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace raptrack::fault {
 
 namespace {
+
+// Injected-vs-detected bookkeeping: one tally per campaign run, split by
+// whether the plan actually fired and by the resulting verdict class, so
+// tests can reconcile fault counts against Accept/Reject/Inconclusive.
+void record_outcome_metrics(const CampaignOutcome& outcome) {
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::registry();
+    reg.counter("fault.runs").inc();
+    if (outcome.fault_effective) reg.counter("fault.effective").inc();
+    if (outcome.wire_rejected) reg.counter("fault.wire_rejected").inc();
+    switch (outcome.verdict) {
+      case verify::Verdict::Accept:
+        reg.counter("fault.verdict.accept").inc();
+        break;
+      case verify::Verdict::Reject:
+        reg.counter("fault.verdict.reject").inc();
+        break;
+      case verify::Verdict::Inconclusive:
+        reg.counter("fault.verdict.inconclusive").inc();
+        break;
+    }
+  }
+}
 
 sim::MachineConfig machine_config(const CampaignOptions& options) {
   sim::MachineConfig config;
@@ -38,6 +63,7 @@ CampaignOutcome finish(const apps::PreparedApp& prepared, FaultPlan& plan,
   outcome.verdict = outcome.result.verdict;
   outcome.fault_effective = plan.effective();
   outcome.records = plan.records();
+  record_outcome_metrics(outcome);
   return outcome;
 }
 
@@ -85,6 +111,7 @@ CampaignOutcome verify_mutated(const apps::PreparedApp& prepared,
       outcome.fault_effective = plan.effective();
       outcome.records = plan.records();
       outcome.result.detail = "wire framing rejected the mutated chain";
+      record_outcome_metrics(outcome);
       return outcome;
     }
     chain = std::move(*survived);

@@ -1,0 +1,308 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace raptrack::obs {
+
+// ---------------------------------------------------------------------------
+// Snapshot — shared by both build flavours.
+
+Snapshot::Snapshot(std::vector<Sample> samples) : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+}
+
+const Sample* Snapshot::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), name,
+      [](const Sample& s, const std::string& n) { return s.name < n; });
+  if (it == samples_.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+u64 Snapshot::value(const std::string& name) const {
+  const Sample* sample = find(name);
+  return sample != nullptr ? sample->value : 0;
+}
+
+namespace {
+
+void append_json_array(std::ostringstream& out, const std::vector<u64>& xs) {
+  out << '[';
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out << ',';
+    out << xs[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string Snapshot::json_lines() const {
+  std::ostringstream out;
+  for (const Sample& s : samples_) {
+    switch (s.kind) {
+      case Sample::Kind::Counter:
+        out << R"({"type":"counter","name":")" << s.name << R"(","value":)"
+            << s.value << "}\n";
+        break;
+      case Sample::Kind::Gauge:
+        out << R"({"type":"gauge","name":")" << s.name << R"(","value":)"
+            << s.value << "}\n";
+        break;
+      case Sample::Kind::Histogram:
+        out << R"({"type":"histogram","name":")" << s.name << R"(","count":)"
+            << s.count << R"(,"sum":)" << s.sum << R"(,"bounds":)";
+        append_json_array(out, s.bounds);
+        out << R"(,"counts":)";
+        append_json_array(out, s.counts);
+        out << "}\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string Snapshot::dump() const {
+  size_t width = 0;
+  for (const Sample& s : samples_) width = std::max(width, s.name.size());
+  std::ostringstream out;
+  for (const Sample& s : samples_) {
+    out << s.name << std::string(width - s.name.size() + 2, ' ');
+    switch (s.kind) {
+      case Sample::Kind::Counter:
+        out << s.value << "\n";
+        break;
+      case Sample::Kind::Gauge:
+        out << s.value << " (gauge)\n";
+        break;
+      case Sample::Kind::Histogram: {
+        out << "count=" << s.count << " sum=" << s.sum << " [";
+        for (size_t i = 0; i < s.counts.size(); ++i) {
+          if (i != 0) out << ' ';
+          if (i < s.bounds.size()) {
+            out << "le" << s.bounds[i] << ':' << s.counts[i];
+          } else {
+            out << "inf:" << s.counts[i];
+          }
+        }
+        out << "]\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+#if RAP_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Striped cells.
+
+namespace detail {
+
+namespace {
+// The Cell value is only ever touched through std::atomic_ref-style
+// operations; C++20 atomic_ref keeps the storage a plain u64 so the struct
+// stays trivially constructible and cache-line sized.
+std::atomic<std::uint64_t>& atom(Cell& cell) {
+  static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t));
+  return reinterpret_cast<std::atomic<std::uint64_t>&>(cell.v);
+}
+const std::atomic<std::uint64_t>& atom(const Cell& cell) {
+  return reinterpret_cast<const std::atomic<std::uint64_t>&>(cell.v);
+}
+}  // namespace
+
+size_t shard_index() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+u64 cell_load(const Cell& cell) {
+  return atom(cell).load(std::memory_order_relaxed);
+}
+
+void cell_add(Cell& cell, u64 delta) {
+  atom(cell).fetch_add(delta, std::memory_order_relaxed);
+}
+
+void cell_store(Cell& cell, u64 value) {
+  atom(cell).store(value, std::memory_order_relaxed);
+}
+
+void cell_store_max(Cell& cell, u64 value) {
+  std::atomic<std::uint64_t>& a = atom(cell);
+  u64 cur = a.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !a.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+void Histogram::observe(u64 value) {
+  if (data_ == nullptr) return;
+  const size_t shard = detail::shard_index();
+  const auto& bounds = data_->bounds;
+  const size_t bucket =
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin();
+  detail::cell_add(data_->buckets[shard][bucket], 1);
+  detail::cell_add(data_->sums[shard], value);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+struct Registry::Impl {
+  mutable std::mutex mu;  ///< guards the name maps and deque growth
+  std::map<std::string, detail::CounterData*> counters;
+  std::map<std::string, detail::GaugeData*> gauges;
+  std::map<std::string, detail::HistogramData*> histograms;
+  std::deque<detail::CounterData> counter_store;
+  std::deque<detail::GaugeData> gauge_store;
+  std::deque<detail::HistogramData> histogram_store;
+
+  void check_unique(const std::string& name, const char* wanted) const {
+    const bool taken = (counters.count(name) + gauges.count(name) +
+                        histograms.count(name)) != 0;
+    if (taken) {
+      throw Error("obs: metric '" + name + "' already registered as a " +
+                  "different kind (wanted " + wanted + ")");
+    }
+  }
+};
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry& registry() { return Registry::global(); }
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  if (const auto it = impl_->counters.find(name);
+      it != impl_->counters.end()) {
+    return Counter(it->second);
+  }
+  impl_->check_unique(name, "counter");
+  impl_->counter_store.emplace_back();
+  detail::CounterData* data = &impl_->counter_store.back();
+  impl_->counters.emplace(name, data);
+  return Counter(data);
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  if (const auto it = impl_->gauges.find(name); it != impl_->gauges.end()) {
+    return Gauge(it->second);
+  }
+  impl_->check_unique(name, "gauge");
+  impl_->gauge_store.emplace_back();
+  detail::GaugeData* data = &impl_->gauge_store.back();
+  impl_->gauges.emplace(name, data);
+  return Gauge(data);
+}
+
+Histogram Registry::histogram(const std::string& name, std::vector<u64> bounds) {
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw Error("obs: histogram '" + name + "' bounds must strictly increase");
+  }
+  std::lock_guard lock(impl_->mu);
+  if (const auto it = impl_->histograms.find(name);
+      it != impl_->histograms.end()) {
+    if (it->second->bounds != bounds) {
+      throw Error("obs: histogram '" + name +
+                  "' re-registered with different bounds");
+    }
+    return Histogram(it->second);
+  }
+  impl_->check_unique(name, "histogram");
+  impl_->histogram_store.emplace_back();
+  detail::HistogramData* data = &impl_->histogram_store.back();
+  data->bounds = std::move(bounds);
+  data->buckets.resize(detail::kShards);
+  for (auto& shard : data->buckets) {
+    shard = std::vector<detail::Cell>(data->bounds.size() + 1);
+  }
+  impl_->histograms.emplace(name, data);
+  return Histogram(data);
+}
+
+Snapshot Registry::scrape() const {
+  std::vector<Sample> samples;
+  std::lock_guard lock(impl_->mu);
+  for (const auto& [name, data] : impl_->counters) {
+    Sample s;
+    s.kind = Sample::Kind::Counter;
+    s.name = name;
+    for (const auto& cell : data->shards) s.value += detail::cell_load(cell);
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, data] : impl_->gauges) {
+    Sample s;
+    s.kind = Sample::Kind::Gauge;
+    s.name = name;
+    for (const auto& cell : data->shards) {
+      s.value = std::max(s.value, detail::cell_load(cell));
+    }
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [name, data] : impl_->histograms) {
+    Sample s;
+    s.kind = Sample::Kind::Histogram;
+    s.name = name;
+    s.bounds = data->bounds;
+    s.counts.assign(data->bounds.size() + 1, 0);
+    for (size_t shard = 0; shard < detail::kShards; ++shard) {
+      for (size_t b = 0; b < s.counts.size(); ++b) {
+        s.counts[b] += detail::cell_load(data->buckets[shard][b]);
+      }
+      s.sum += detail::cell_load(data->sums[shard]);
+    }
+    for (const u64 c : s.counts) s.count += c;
+    samples.push_back(std::move(s));
+  }
+  return Snapshot(std::move(samples));
+}
+
+void Registry::reset() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& data : impl_->counter_store) {
+    for (auto& cell : data.shards) detail::cell_store(cell, 0);
+  }
+  for (auto& data : impl_->gauge_store) {
+    for (auto& cell : data.shards) detail::cell_store(cell, 0);
+  }
+  for (auto& data : impl_->histogram_store) {
+    for (auto& shard : data.buckets) {
+      for (auto& cell : shard) detail::cell_store(cell, 0);
+    }
+    for (auto& cell : data.sums) detail::cell_store(cell, 0);
+  }
+}
+
+#else  // !RAP_OBS_ENABLED
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry& registry() { return Registry::global(); }
+
+#endif  // RAP_OBS_ENABLED
+
+}  // namespace raptrack::obs

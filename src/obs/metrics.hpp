@@ -1,0 +1,241 @@
+// Lock-cheap metrics registry: monotonic counters, gauges and fixed-bucket
+// histograms, designed so the hot paths of the simulator and verifier farm
+// pay (almost) nothing for being observable.
+//
+// Write side. Every metric is striped across a small fixed set of shards
+// (cache-line-aligned atomic cells). A thread picks its stripe once, from a
+// thread_local round-robin index, and then only ever touches that cell with
+// relaxed atomics — no lock, no CAS loop, no false sharing between worker
+// threads of the verifier farm. Relaxed ordering is sufficient because the
+// scrape only needs per-cell atomicity, not cross-metric consistency, and it
+// keeps the whole registry TSan-clean under the `concurrency` test label.
+//
+// Read side. `scrape()` walks the shards under the registry mutex and folds
+// them into a `Snapshot` — a stable, name-sorted value set with JSON-lines
+// export (`json_lines()`) and a human `dump()`. Scraping concurrently with
+// updates is safe; a scrape observes each metric at *some* point between its
+// recent updates (monotonic counters never appear to go backwards within a
+// cell).
+//
+// Compile-time gate. `RAP_OBS_ENABLED` (CMake option RAP_OBS, default ON)
+// selects between the real registry and a no-op mirror with an identical
+// API. When OFF, every instrumentation site collapses to nothing: handles
+// are empty structs, `count()`/`observe()` are empty inline functions, and
+// `obs::kEnabled` lets tests and benches skip metric assertions entirely.
+//
+// Naming scheme (see DESIGN.md §12): dot-separated `<module>.<noun>[.<leaf>]`
+// in snake_case, e.g. `sim.oracle_dispatches`, `farm.queue_depth_hwm`,
+// `verify.verdict.accept`. Counters count events; gauges track level-style
+// values (high-water marks via `set_max`); histograms carry explicit upper
+// bounds plus an implicit +Inf bucket.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+#ifndef RAP_OBS_ENABLED
+#define RAP_OBS_ENABLED 1
+#endif
+
+#include <string>
+#include <vector>
+
+namespace raptrack::obs {
+
+#if RAP_OBS_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// One scraped value. Counters and gauges carry `value`; histograms carry
+/// `bounds`/`counts` (counts.size() == bounds.size() + 1, last is +Inf)
+/// plus `count`/`sum` aggregates.
+struct Sample {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind kind = Kind::Counter;
+  std::string name;
+  u64 value = 0;  ///< counter total or gauge level
+  u64 count = 0;  ///< histogram: number of observations
+  u64 sum = 0;    ///< histogram: sum of observed values
+  std::vector<u64> bounds;  ///< histogram: inclusive upper bounds
+  std::vector<u64> counts;  ///< histogram: per-bucket observation counts
+};
+
+/// Point-in-time view of every registered metric, sorted by name.
+class Snapshot {
+ public:
+  explicit Snapshot(std::vector<Sample> samples);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  /// Lookup by exact name; nullptr when the metric was never registered.
+  const Sample* find(const std::string& name) const;
+  /// Counter/gauge value by name; 0 when absent (absent == never touched).
+  u64 value(const std::string& name) const;
+
+  /// One JSON object per line, schema documented in DESIGN.md §12.
+  std::string json_lines() const;
+  /// Aligned human-readable table for terminals and test logs.
+  std::string dump() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+#if RAP_OBS_ENABLED
+
+namespace detail {
+
+/// Stripe count. Eight covers the farm's worker fan-out in this repo
+/// (benches cap at 8 workers) without bloating scrape cost.
+inline constexpr size_t kShards = 8;
+
+/// The stripe this thread writes. Assigned round-robin on first use so
+/// concurrent writers spread over cells instead of piling onto stripe 0.
+size_t shard_index();
+
+struct alignas(64) Cell {
+  std::uint64_t v = 0;
+};
+
+u64 cell_load(const Cell& cell);
+void cell_add(Cell& cell, u64 delta);
+void cell_store(Cell& cell, u64 value);
+void cell_store_max(Cell& cell, u64 value);
+
+struct CounterData {
+  Cell shards[kShards];
+};
+
+struct GaugeData {
+  Cell shards[kShards];  ///< folded with max() on scrape
+};
+
+struct HistogramData {
+  std::vector<u64> bounds;
+  // Per-shard bucket counts + sum: buckets[s] has bounds.size()+1 cells.
+  std::vector<std::vector<Cell>> buckets;
+  Cell sums[kShards];
+};
+
+}  // namespace detail
+
+/// Monotonic event counter handle. Cheap to copy; writes are one relaxed
+/// atomic add on this thread's stripe.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(u64 delta = 1) {
+    if (data_ != nullptr && delta != 0) {
+      detail::cell_add(data_->shards[detail::shard_index()], delta);
+    }
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterData* data) : data_(data) {}
+  detail::CounterData* data_ = nullptr;
+};
+
+/// Level gauge folded with max() across stripes: the natural shape for
+/// high-water marks (queue depth, mailbox backlog) written concurrently.
+class Gauge {
+ public:
+  Gauge() = default;
+  /// Raise this stripe's level to at least `value`.
+  void set_max(u64 value) {
+    if (data_ != nullptr) {
+      detail::cell_store_max(data_->shards[detail::shard_index()], value);
+    }
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeData* data) : data_(data) {}
+  detail::GaugeData* data_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. `observe(v)` finds the first bound >= v
+/// (binary search over the immutable bound list) and bumps that bucket on
+/// this thread's stripe; values above every bound land in the +Inf bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(u64 value);
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramData* data) : data_(data) {}
+  detail::HistogramData* data_ = nullptr;
+};
+
+/// The registry proper. Registration (name -> metric) takes a mutex; the
+/// returned handles write lock-free forever after. Metric storage lives in
+/// deques so handles stay valid across later registrations.
+class Registry {
+ public:
+  /// Process-wide instance used by all instrumentation in this repo.
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Repeated calls with one name return handles onto the
+  /// same underlying metric. A name registered as one kind throws Error if
+  /// re-requested as another.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// `bounds` must be strictly increasing; re-registration must repeat the
+  /// same bounds.
+  Histogram histogram(const std::string& name, std::vector<u64> bounds);
+
+  /// Fold all stripes into a consistent-enough snapshot (see file comment).
+  Snapshot scrape() const;
+
+  /// Zero every value while keeping registrations and handles valid.
+  /// For tests that assert on deltas from a clean slate.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Shorthand for Registry::global().
+Registry& registry();
+
+#else  // !RAP_OBS_ENABLED — no-op mirrors, byte-for-byte identical call sites
+
+class Counter {
+ public:
+  void inc(u64 = 1) {}
+};
+
+class Gauge {
+ public:
+  void set_max(u64) {}
+};
+
+class Histogram {
+ public:
+  void observe(u64) {}
+};
+
+class Registry {
+ public:
+  static Registry& global();
+  Counter counter(const std::string&) { return {}; }
+  Gauge gauge(const std::string&) { return {}; }
+  Histogram histogram(const std::string&, std::vector<u64>) { return {}; }
+  Snapshot scrape() const { return Snapshot({}); }
+  void reset() {}
+};
+
+Registry& registry();
+
+#endif  // RAP_OBS_ENABLED
+
+}  // namespace raptrack::obs

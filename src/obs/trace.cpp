@@ -1,0 +1,171 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace raptrack::obs {
+
+#if RAP_OBS_ENABLED
+
+namespace {
+
+u64 steady_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+struct SpanTracer::Impl {
+  mutable std::mutex mu;
+  Clock clock = &steady_ns;
+  SessionId next_session = 1;
+  u64 generation = 0;  ///< bumped by reset(); stale Scopes discard themselves
+  struct SessionState {
+    std::string kind;
+    u32 open_depth = 0;  ///< currently-open spans (next span's depth)
+    u64 next_seq = 0;
+  };
+  std::map<SessionId, SessionState> sessions;
+  std::vector<SpanRecord> committed;
+};
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer instance;
+  return instance;
+}
+
+SpanTracer& tracer() { return SpanTracer::global(); }
+
+SpanTracer::SpanTracer() : impl_(new Impl) {}
+SpanTracer::~SpanTracer() { delete impl_; }
+
+void SpanTracer::set_clock(Clock clock) {
+  std::lock_guard lock(impl_->mu);
+  impl_->clock = clock != nullptr ? clock : &steady_ns;
+}
+
+SessionId SpanTracer::begin_session(const std::string& kind) {
+  std::lock_guard lock(impl_->mu);
+  const SessionId id = impl_->next_session++;
+  impl_->sessions[id].kind = kind;
+  return id;
+}
+
+SpanTracer::Scope SpanTracer::span(SessionId session,
+                                   const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  auto& state = impl_->sessions[session];  // unknown session: fresh state
+  const u32 depth = state.open_depth++;
+  const u64 start = impl_->clock();
+  return Scope(this, session, name, depth, start, impl_->generation);
+}
+
+SpanTracer::Scope::Scope(SpanTracer* tracer, SessionId session,
+                         std::string name, u32 depth, u64 start,
+                         u64 generation)
+    : tracer_(tracer), generation_(generation) {
+  record_.session = session;
+  record_.name = std::move(name);
+  record_.depth = depth;
+  record_.start = start;
+}
+
+SpanTracer::Scope::Scope(Scope&& other) noexcept
+    : tracer_(other.tracer_),
+      record_(std::move(other.record_)),
+      generation_(other.generation_) {
+  other.tracer_ = nullptr;
+}
+
+void SpanTracer::Scope::attr(const std::string& key, u64 value) {
+  if (tracer_ != nullptr) record_.attrs.emplace_back(key, value);
+}
+
+SpanTracer::Scope::~Scope() {
+  if (tracer_ != nullptr) tracer_->commit(std::move(record_), generation_);
+}
+
+void SpanTracer::commit(SpanRecord record, u64 generation) {
+  std::lock_guard lock(impl_->mu);
+  record.end = impl_->clock();
+  if (generation != impl_->generation) return;  // tracer was reset meanwhile
+  auto& state = impl_->sessions[record.session];
+  if (state.open_depth > 0) --state.open_depth;
+  record.session_kind = state.kind;
+  record.seq = state.next_seq++;
+  impl_->committed.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> SpanTracer::records() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->committed;
+}
+
+std::string SpanTracer::json_lines() const {
+  std::lock_guard lock(impl_->mu);
+  std::ostringstream out;
+  for (const SpanRecord& r : impl_->committed) {
+    out << R"({"type":"span","session":)" << r.session << R"(,"kind":")"
+        << r.session_kind << R"(","name":")" << r.name << R"(","seq":)"
+        << r.seq << R"(,"depth":)" << r.depth << R"(,"start":)" << r.start
+        << R"(,"end":)" << r.end;
+    if (!r.attrs.empty()) {
+      out << R"(,"attrs":{)";
+      for (size_t i = 0; i < r.attrs.size(); ++i) {
+        if (i != 0) out << ',';
+        out << '"' << r.attrs[i].first << R"(":)" << r.attrs[i].second;
+      }
+      out << '}';
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::string SpanTracer::dump() const {
+  std::lock_guard lock(impl_->mu);
+  // Group by session id; within a session keep commit order, which closes
+  // children before parents — fine for a log-style listing.
+  std::map<SessionId, std::vector<const SpanRecord*>> by_session;
+  for (const SpanRecord& r : impl_->committed) {
+    by_session[r.session].push_back(&r);
+  }
+  std::ostringstream out;
+  for (const auto& [session, spans] : by_session) {
+    out << "session " << session << " (" << spans.front()->session_kind
+        << ")\n";
+    for (const SpanRecord* r : spans) {
+      out << std::string(2 * (r->depth + 1), ' ') << r->name << "  ["
+          << r->start << ".." << r->end << "]";
+      for (const auto& [key, value] : r->attrs) {
+        out << ' ' << key << '=' << value;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+void SpanTracer::reset() {
+  std::lock_guard lock(impl_->mu);
+  ++impl_->generation;
+  impl_->sessions.clear();
+  impl_->committed.clear();
+}
+
+#else  // !RAP_OBS_ENABLED
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer instance;
+  return instance;
+}
+
+SpanTracer& tracer() { return SpanTracer::global(); }
+
+#endif  // RAP_OBS_ENABLED
+
+}  // namespace raptrack::obs

@@ -1,0 +1,145 @@
+// Span-based session tracer: per-session timelines for the attestation
+// protocol's phase structure.
+//
+// A *session* is one attestation or verification episode: the prover's
+// `RapProver::attest` (phases: h_mem, trace_config, app_run with nested
+// log_drain spans, sign_final) or the verifier's `verify_report_chain`
+// (phases: mac_check, resync, decode, replay) and the farm's admission path
+// (admission, hmac_batch). A *span* is one named phase within a session,
+// carrying start/end timestamps, its nesting depth, a session-local sequence
+// number, and optional integer attributes (report bytes, CF_Log entries…).
+//
+// Spans are recorded RAII-style: `SpanTracer::span(session, "h_mem")`
+// returns a Scope whose destructor stamps the end time and commits the span.
+// Nesting is tracked per session (depth = open ancestor spans when the scope
+// began), so a drain span opened inside app_run records depth 1 under
+// app_run's 0 — the exporter reproduces the phase tree without the consumer
+// re-deriving it.
+//
+// The clock is injectable (`set_clock`): production uses a steady_clock
+// nanosecond reading; tests install a fake monotonic counter so the golden
+// JSON output is deterministic. Export is JSON-lines (one span per line,
+// sessions interleaved in commit order) plus a human `dump()` that indents
+// by depth.
+//
+// Tracing shares the compile-time gate with the metrics registry: when
+// RAP_OBS_ENABLED is 0, sessions and scopes are zero-size no-ops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"  // RAP_OBS_ENABLED + kEnabled
+
+namespace raptrack::obs {
+
+using SessionId = u64;
+
+/// One committed span. `seq` orders spans within a session by *completion*;
+/// `start`/`end` are clock readings (ns in production, fake ticks in tests).
+struct SpanRecord {
+  SessionId session = 0;
+  std::string session_kind;
+  std::string name;
+  u64 seq = 0;
+  u32 depth = 0;
+  u64 start = 0;
+  u64 end = 0;
+  std::vector<std::pair<std::string, u64>> attrs;
+};
+
+#if RAP_OBS_ENABLED
+
+class SpanTracer {
+ public:
+  using Clock = u64 (*)();
+
+  /// Process-wide instance used by all instrumentation in this repo.
+  static SpanTracer& global();
+
+  SpanTracer();
+  ~SpanTracer();
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Replace the timestamp source. nullptr restores the steady_clock ns
+  /// default. Tests install a deterministic counter before golden checks.
+  void set_clock(Clock clock);
+
+  /// Open a session of the given kind ("attest", "verify_chain", …).
+  /// Session ids are unique for the tracer's lifetime (reset() included).
+  SessionId begin_session(const std::string& kind);
+
+  /// RAII phase scope. Committed (with its end timestamp) on destruction.
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept;
+    Scope& operator=(Scope&&) = delete;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope();
+
+    /// Attach an integer attribute, e.g. `scope.attr("bytes", n)`.
+    void attr(const std::string& key, u64 value);
+
+   private:
+    friend class SpanTracer;
+    Scope(SpanTracer* tracer, SessionId session, std::string name, u32 depth,
+          u64 start, u64 generation);
+    SpanTracer* tracer_ = nullptr;
+    SpanRecord record_;
+    u64 generation_ = 0;  ///< reset() epoch; stale scopes commit nowhere
+  };
+
+  /// Open a span named `name` inside `session`. Depth and sequence are
+  /// assigned automatically from the session's currently-open spans.
+  Scope span(SessionId session, const std::string& name);
+
+  /// All spans committed so far, in commit order.
+  std::vector<SpanRecord> records() const;
+
+  /// One JSON object per committed span (commit order), schema in
+  /// DESIGN.md §12.
+  std::string json_lines() const;
+  /// Human-readable tree: sessions in id order, spans indented by depth.
+  std::string dump() const;
+
+  /// Drop every committed span and open-session record. Scopes still alive
+  /// from before the reset commit nothing when they close.
+  void reset();
+
+ private:
+  friend class Scope;
+  void commit(SpanRecord record, u64 generation);
+  struct Impl;
+  Impl* impl_;
+};
+
+#else  // !RAP_OBS_ENABLED
+
+class SpanTracer {
+ public:
+  using Clock = u64 (*)();
+  static SpanTracer& global();
+  void set_clock(Clock) {}
+  SessionId begin_session(const std::string&) { return 0; }
+
+  class Scope {
+   public:
+    void attr(const std::string&, u64) {}
+  };
+
+  Scope span(SessionId, const std::string&) { return {}; }
+  std::vector<SpanRecord> records() const { return {}; }
+  std::string json_lines() const { return {}; }
+  std::string dump() const { return {}; }
+  void reset() {}
+};
+
+#endif  // RAP_OBS_ENABLED
+
+/// Shorthand for SpanTracer::global().
+SpanTracer& tracer();
+
+}  // namespace raptrack::obs

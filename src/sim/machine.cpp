@@ -1,5 +1,7 @@
 #include "sim/machine.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace raptrack::sim {
 
 namespace {
@@ -63,11 +65,18 @@ void Machine::load_program(const Program& program) {
 
 void Machine::reset_cpu(Address entry) {
   cpu_.reset(entry, mem::MapLayout::kNsRamBase + mem::MapLayout::kNsRamSize);
+  // The executor's retirement counters restart from zero with it.
+  flushed_instructions_ = 0;
+  flushed_oracle_ = 0;
 }
 
 void Machine::predecode(Address base, u32 size) {
   if (!config_.fast_path || size < 4) return;
   drop_predecode();
+  if constexpr (obs::kEnabled) {
+    static obs::Counter builds = obs::registry().counter("sim.predecode_builds");
+    builds.inc();
+  }
   const auto bytes = memory_.dump(base, size);
   decoded_ = std::make_unique<isa::DecodedImage>(base, bytes, config_.cycle_model);
   isa::DecodedImage* image = decoded_.get();
@@ -81,6 +90,8 @@ void Machine::predecode(Address base, u32 size) {
 
 void Machine::drop_predecode() {
   if (!decoded_) return;
+  if constexpr (obs::kEnabled) flush_run_metrics();  // last invalidation delta
+  flushed_invalidations_ = 0;
   cpu_.detach_decoded_image();
   bus_.unwatch_writes(predecode_watch_);
   predecode_watch_ = -1;
@@ -88,7 +99,34 @@ void Machine::drop_predecode() {
 }
 
 cpu::HaltReason Machine::run(u64 max_instructions) {
-  return cpu_.run_fast(max_instructions);
+  const cpu::HaltReason reason = cpu_.run_fast(max_instructions);
+  if constexpr (obs::kEnabled) flush_run_metrics();
+  return reason;
+}
+
+void Machine::flush_run_metrics() {
+  struct Counters {
+    obs::Counter instructions = obs::registry().counter("sim.instructions");
+    obs::Counter fast = obs::registry().counter("sim.fast_dispatches");
+    obs::Counter oracle = obs::registry().counter("sim.oracle_dispatches");
+    obs::Counter invalidations =
+        obs::registry().counter("sim.decode_cache_invalidations");
+  };
+  static Counters counters;  // one registration, process-wide metrics
+
+  const u64 instructions = cpu_.instructions_retired();
+  const u64 oracle = cpu_.oracle_dispatches();
+  counters.instructions.inc(instructions - flushed_instructions_);
+  counters.oracle.inc(oracle - flushed_oracle_);
+  counters.fast.inc((instructions - oracle) -
+                    (flushed_instructions_ - flushed_oracle_));
+  flushed_instructions_ = instructions;
+  flushed_oracle_ = oracle;
+  if (decoded_) {
+    const u64 invalidations = decoded_->invalidations();
+    counters.invalidations.inc(invalidations - flushed_invalidations_);
+    flushed_invalidations_ = invalidations;
+  }
 }
 
 }  // namespace raptrack::sim

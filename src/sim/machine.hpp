@@ -66,9 +66,15 @@ class Machine {
 
   /// Run the loaded application to completion (through the fast path when a
   /// predecoded image is attached, the decode-per-step oracle otherwise).
+  /// Flushes the run's execution counters (instructions, fast vs oracle
+  /// dispatches, decode-cache invalidations) into the obs registry.
   cpu::HaltReason run(u64 max_instructions = 200'000'000);
 
  private:
+  /// Publish counter deltas since the previous flush. Deltas, not totals:
+  /// a machine may run several times per session and the registry counters
+  /// are global monotonic accumulators.
+  void flush_run_metrics();
   MachineConfig config_;
   mem::MemoryMap memory_;
   mem::Bus bus_;
@@ -80,6 +86,10 @@ class Machine {
   tz::SecureMonitor monitor_;
   std::unique_ptr<isa::DecodedImage> decoded_;
   int predecode_watch_ = -1;
+  // High-water marks of what flush_run_metrics() already published.
+  u64 flushed_instructions_ = 0;
+  u64 flushed_oracle_ = 0;
+  u64 flushed_invalidations_ = 0;  ///< against the *current* decoded_ image
 };
 
 }  // namespace raptrack::sim

@@ -75,6 +75,7 @@ void Mtb::write_packet(const BranchPacket& packet) {
   position_ += BranchPacket::kBytes;
   total_bytes_ += BranchPacket::kBytes;
   if (watermark_ != 0 && position_ == watermark_ && watermark_handler_) {
+    ++watermark_events_;
     watermark_handler_();  // handler typically calls reset_position()
   }
   if (position_ >= buffer_bytes_) {

@@ -63,6 +63,14 @@ class Mtb {
   u64 total_bytes_written() const { return total_bytes_; }
   u64 packets_recorded() const { return total_bytes_ / BranchPacket::kBytes; }
 
+  // Observability: trace on/off toggles and watermark firings. Counted on
+  // *transitions* only — tstart()/tstop() are signalled per retired
+  // instruction while the pc sits inside an MTBAR/MTBDR window, so raw call
+  // counts would be meaningless instruction tallies.
+  u64 tstart_events() const { return tstart_events_; }
+  u64 tstop_events() const { return tstop_events_; }
+  u64 watermark_events() const { return watermark_events_; }
+
   // -- signals from the DWT / CPU -------------------------------------------
 
   // These four run on every retired instruction / taken branch, so they are
@@ -72,12 +80,14 @@ class Mtb {
   void tstart() {
     if (started_ || always_on_) return;
     started_ = true;
+    ++tstart_events_;
     pending_activation_ = activation_latency_;
     restart_pending_ = true;
   }
   /// TSTOP input (DWT comparator matched inside MTBDR).
   void tstop() {
     if (always_on_) return;  // TSTARTEN overrides the stop input
+    if (started_) ++tstop_events_;
     started_ = false;
     pending_activation_ = 0;
   }
@@ -169,6 +179,9 @@ class Mtb {
   u32 watermark_ = 0;
   std::function<void()> watermark_handler_;
   u64 total_bytes_ = 0;
+  u64 tstart_events_ = 0;
+  u64 tstop_events_ = 0;
+  u64 watermark_events_ = 0;
 };
 
 }  // namespace raptrack::trace

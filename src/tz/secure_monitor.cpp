@@ -2,6 +2,7 @@
 
 #include "common/hex.hpp"
 #include "mem/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace raptrack::tz {
 
@@ -18,6 +19,10 @@ Cycles SecureMonitor::handle(u8 code, cpu::CpuState& state) {
                                "SVC to unknown service " + std::to_string(code)});
   }
   ++world_switches_;
+  if constexpr (obs::kEnabled) {
+    static obs::Counter svc_calls = obs::registry().counter("tz.svc_calls");
+    svc_calls.inc();
+  }
   const auto previous_world = state.world;
   state.world = mem::WorldSide::Secure;
   u32 dispatch_count = 1;

@@ -1,7 +1,11 @@
 #include "verify/farm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace raptrack::verify {
 
@@ -13,6 +17,29 @@ VerificationResult rejection(std::string why) {
   result.detail = std::move(why);
   return result;
 }
+
+u64 obs_now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+// Farm-wide metric handles, registered once. Looking these up per job would
+// mean a map find under the registry mutex on every submission.
+struct FarmMetrics {
+  obs::Counter submitted = obs::registry().counter("farm.jobs_submitted");
+  obs::Counter completed = obs::registry().counter("farm.jobs_completed");
+  obs::Counter hmac_rejects = obs::registry().counter("farm.hmac_batch_rejects");
+  obs::Counter parse_rejects = obs::registry().counter("farm.wire_parse_rejects");
+  obs::Gauge queue_hwm = obs::registry().gauge("farm.queue_depth_hwm");
+  obs::Histogram mailbox_wait = obs::registry().histogram(
+      "farm.mailbox_wait_us", {10, 100, 1000, 10'000, 100'000, 1'000'000});
+
+  static FarmMetrics& get() {
+    static FarmMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -104,8 +131,13 @@ std::future<VerificationResult> VerifierFarm::enqueue(DeviceId device,
     return future;
   }
   DeviceState& state = it->second;
+  if constexpr (obs::kEnabled) {
+    job.enqueue_ns = obs_now_ns();
+    FarmMetrics::get().submitted.inc();
+  }
   state.mailbox.push_back(std::move(job));
   ++queued_;
+  if constexpr (obs::kEnabled) FarmMetrics::get().queue_hwm.set_max(queued_);
   // Activation invariant: a device sits in ready_ exactly when its mailbox
   // is non-empty and no worker is running it. If the mailbox already had
   // jobs, the token is either in ready_ or will be re-enqueued by the
@@ -134,16 +166,28 @@ VerificationResult VerifierFarm::execute(DeviceId device,
   }
   // Zero-copy wire admission: parse views over the receive buffer, then
   // batch-check every MAC off it before the protocol core runs.
+  obs::SessionId obs_session = 0;
+  if constexpr (obs::kEnabled) {
+    obs_session = obs::tracer().begin_session("farm_wire");
+  }
+  auto admission_span = obs::tracer().span(obs_session, "admission");
   auto parsed = cfa::try_parse_chain_views(job.wire);
-  if (!parsed.ok()) return rejection(std::move(parsed.error));
-  std::vector<crypto::MacClaim> claims;
-  claims.reserve(parsed->size());
-  for (const auto& view : *parsed) claims.push_back(view.claim());
-  if (const auto bad = crypto::hmac_verify_batch(key_schedule_, claims)) {
-    // Identical wording to the serial MAC pass, so wire and decoded
-    // submissions of the same chain yield byte-identical verdicts.
-    return rejection("report MAC invalid (seq " +
-                     std::to_string((*parsed)[*bad].sequence) + ")");
+  if (!parsed.ok()) {
+    if constexpr (obs::kEnabled) FarmMetrics::get().parse_rejects.inc();
+    return rejection(std::move(parsed.error));
+  }
+  {
+    auto span = obs::tracer().span(obs_session, "hmac_batch");
+    std::vector<crypto::MacClaim> claims;
+    claims.reserve(parsed->size());
+    for (const auto& view : *parsed) claims.push_back(view.claim());
+    if (const auto bad = crypto::hmac_verify_batch(key_schedule_, claims)) {
+      if constexpr (obs::kEnabled) FarmMetrics::get().hmac_rejects.inc();
+      // Identical wording to the serial MAC pass, so wire and decoded
+      // submissions of the same chain yield byte-identical verdicts.
+      return rejection("report MAC invalid (seq " +
+                       std::to_string((*parsed)[*bad].sequence) + ")");
+    }
   }
   return verify_report_chain(*state.deployment, state.config, key_schedule_,
                              sessions_, device, job.chal, *parsed,
@@ -166,7 +210,13 @@ void VerifierFarm::worker_loop() {
     state.scheduled = true;
     lock.unlock();
 
+    if constexpr (obs::kEnabled) {
+      // Mailbox wait: admission to the moment a worker picks the job up.
+      FarmMetrics::get().mailbox_wait.observe(
+          (obs_now_ns() - job.enqueue_ns) / 1000);
+    }
     VerificationResult result = execute(device, state, job);
+    if constexpr (obs::kEnabled) FarmMetrics::get().completed.inc();
     job.promise.set_value(std::move(result));
 
     lock.lock();

@@ -94,6 +94,7 @@ class VerifierFarm {
     std::vector<cfa::SignedReport> reports;  ///< decoded submissions
     std::vector<u8> wire;                    ///< wire submissions (owned)
     std::promise<VerificationResult> promise;
+    u64 enqueue_ns = 0;  ///< admission timestamp (observability builds only)
   };
   struct DeviceState {
     std::shared_ptr<const Deployment> deployment;

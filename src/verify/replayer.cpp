@@ -625,6 +625,11 @@ bool ReplayEngine::step() {
     fallback = *decoded;
   }
   const Instruction in = cached != nullptr ? *cached : fallback;
+  if (cached != nullptr) {
+    ++result_.index_hits;
+  } else {
+    ++result_.index_fallbacks;
+  }
   const BranchKind kind = isa::branch_kind(in);
   // Static branch destination: from the precomputed successor map on the
   // cached path, recomputed only on the rare fallback path.

@@ -59,6 +59,12 @@ struct ReplayResult {
   std::vector<trace::OracleEvent> events;  ///< reconstructed branch history
   std::vector<AttackFinding> findings;     ///< policy violations observed
   u64 steps = 0;
+  /// Replay-index cache effectiveness: steps served from the precomputed
+  /// instruction array vs. per-step decode fallbacks (data words, predecode
+  /// declines). Deterministic for a given chain, so serial and farm
+  /// verification report identical values.
+  u64 index_hits = 0;
+  u64 index_fallbacks = 0;
 
   bool clean() const { return complete && findings.empty(); }
 };

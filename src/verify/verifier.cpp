@@ -4,6 +4,8 @@
 #include <map>
 
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace raptrack::verify {
 
@@ -136,6 +138,45 @@ std::string decode_into(const cfa::ReportView& report, ReplayMode mode,
   return "unknown payload type";
 }
 
+// RAII observability for one verify_report_chain call: a span session for
+// the phase timeline plus, on exit (any of the many return paths), verdict
+// tallies and replay-index cache counters. No-cost when RAP_OBS is off.
+struct ChainObs {
+  const VerificationResult* result;
+  obs::SessionId session = 0;
+
+  explicit ChainObs(const VerificationResult& r) : result(&r) {
+    if constexpr (obs::kEnabled) {
+      session = obs::tracer().begin_session("verify_chain");
+    }
+  }
+
+  obs::SpanTracer::Scope phase(const char* name) {
+    return obs::tracer().span(session, name);
+  }
+
+  ~ChainObs() {
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::registry();
+      reg.counter("verify.chains").inc();
+      switch (result->verdict) {
+        case Verdict::Accept:
+          reg.counter("verify.verdict.accept").inc();
+          break;
+        case Verdict::Reject:
+          reg.counter("verify.verdict.reject").inc();
+          break;
+        case Verdict::Inconclusive:
+          reg.counter("verify.verdict.inconclusive").inc();
+          break;
+      }
+      reg.counter("verify.replay_index_hits").inc(result->replay.index_hits);
+      reg.counter("verify.replay_index_fallbacks")
+          .inc(result->replay.index_fallbacks);
+    }
+  }
+};
+
 }  // namespace
 
 VerificationResult verify_report_chain(
@@ -150,6 +191,7 @@ VerificationResult verify_report_chain(
     return result;
   };
 
+  ChainObs cobs(result);
   if (reports.empty()) return reject("no reports");
 
   // (1) Authenticity: every report carries a valid MAC under the RoT key.
@@ -158,6 +200,7 @@ VerificationResult verify_report_chain(
   //     admission path batch-checks MACs straight off the receive buffer
   //     and passes macs_verified to skip the duplicate work here.
   if (!macs_verified) {
+    auto span = cobs.phase("mac_check");
     for (const auto& report : reports) {
       if (!report.verify(key)) {
         return reject("report MAC invalid (seq " +
@@ -206,6 +249,7 @@ VerificationResult verify_report_chain(
   if (strict_ok) {
     for (const auto& report : reports) usable.push_back(&report);
   } else {
+    auto span = cobs.phase("resync");
     std::map<u32, const cfa::ReportView*> by_sequence;
     for (const auto& report : reports) {
       auto [it, inserted] = by_sequence.emplace(report.sequence, &report);
@@ -269,6 +313,8 @@ VerificationResult verify_report_chain(
   //     payload bytes yield a rejection, never a crash).
   const ReplayMode mode = deployment.mode();
   ReplayInputs inputs;
+  {
+  auto decode_span = cobs.phase("decode");
   for (const auto* report : usable) {
     const size_t packets_before = inputs.packets.size();
     const std::string error =
@@ -299,11 +345,13 @@ VerificationResult verify_report_chain(
       }
     }
   }
+  }
 
   // (6) Lossless path reconstruction + (7) attack policies.
   PathReplayer replayer(deployment);
   replayer.set_policy(config.policy);
   try {
+    auto span = cobs.phase("replay");
     result.replay = replayer.replay(inputs);
   } catch (const Error& e) {
     consume_challenge();

@@ -90,6 +90,150 @@ TEST(Hmac, MessageSensitivity) {
   EXPECT_FALSE(digest_equal(a, b));
 }
 
+TEST(Sha256, Fips896BitVector) {
+  // FIPS 180-4 two-block example message (896 bits).
+  EXPECT_EQ(hex_digest(Sha256::hash(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, KnownAnswerVectors) {
+  EXPECT_EQ(hex_digest(Sha256::hash(
+                "The quick brown fox jumps over the lazy dog")),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+  // NIST CAVP SHA256ShortMsg: 1-byte and 4-byte messages.
+  const std::vector<u8> one_byte{0xd3};
+  EXPECT_EQ(hex_digest(Sha256::hash(one_byte)),
+            "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1");
+  const std::vector<u8> four_bytes{0x74, 0xba, 0x25, 0x21};
+  EXPECT_EQ(hex_digest(Sha256::hash(four_bytes)),
+            "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e");
+}
+
+TEST(Hmac, Rfc4231Case4) {
+  std::vector<u8> key(25);
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<u8>(i + 1);
+  const std::vector<u8> data(50, 0xcd);
+  EXPECT_EQ(hex_digest(hmac_sha256(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(Hmac, Rfc4231Case5FullDigest) {
+  // RFC 4231 truncates case 5 to 128 bits; this is the untruncated digest.
+  const std::vector<u8> key(20, 0x0c);
+  EXPECT_EQ(hex_digest(hmac_sha256(key, bytes_of("Test With Truncation"))),
+            "a3b6167473100ee06e0c796c2955552bfa6f7c0a6a8aef8b93f860aab0cd20c5");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyLongData) {
+  const std::vector<u8> key(131, 0xaa);
+  EXPECT_EQ(hex_digest(hmac_sha256(
+                key,
+                bytes_of("This is a test using a larger than block-size key "
+                         "and a larger than block-size data. The key needs "
+                         "to be hashed before being used by the HMAC "
+                         "algorithm."))),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Sha256, ScalarAndHardwarePathsAgree) {
+  // The x86 SHA-extension kernel and the portable scalar compression must
+  // be bit-exact. Hash a spread of sizes (sub-block, block-aligned, multi-
+  // block, padding-edge) through both paths and through every vector above.
+  std::vector<std::vector<u8>> inputs;
+  for (const size_t length : {0u, 1u, 3u, 55u, 56u, 63u, 64u, 65u, 127u,
+                              128u, 1000u, 4096u}) {
+    std::vector<u8> data(length);
+    for (size_t i = 0; i < length; ++i) {
+      data[i] = static_cast<u8>(i * 131 + 7);
+    }
+    inputs.push_back(std::move(data));
+  }
+  for (const auto& input : inputs) {
+    const Digest native = Sha256::hash(input);
+    Sha256::force_scalar(true);
+    const Digest scalar = Sha256::hash(input);
+    Sha256::force_scalar(false);
+    EXPECT_EQ(native, scalar) << "size " << input.size();
+  }
+  // FIPS vector through the forced-scalar path too.
+  Sha256::force_scalar(true);
+  EXPECT_EQ(hex_digest(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  Sha256::force_scalar(false);
+}
+
+// -- key schedule: the midstate path must be bit-exact with the direct path --
+
+TEST(HmacKeyScheduleTest, MidstateMatchesDirectHmacAcrossKeyLengths) {
+  // Short, block-sized, and longer-than-block keys all exercise the key
+  // normalization that the schedule performs once up front.
+  for (const size_t key_len : {1u, 20u, 63u, 64u, 65u, 131u}) {
+    std::vector<u8> key(key_len);
+    for (size_t i = 0; i < key_len; ++i) key[i] = static_cast<u8>(i * 7 + 3);
+    const HmacKeySchedule schedule(key);
+    for (const size_t msg_len : {0u, 1u, 55u, 64u, 200u}) {
+      std::vector<u8> msg(msg_len);
+      for (size_t i = 0; i < msg_len; ++i) msg[i] = static_cast<u8>(i);
+      EXPECT_EQ(schedule.mac(msg), hmac_sha256(key, msg))
+          << "key_len=" << key_len << " msg_len=" << msg_len;
+      EXPECT_TRUE(schedule.check(msg, hmac_sha256(key, msg)));
+    }
+  }
+}
+
+TEST(HmacKeyScheduleTest, TwoSpanMacConcatenatesExactly) {
+  const std::vector<u8> key = bytes_of("schedule-key");
+  const HmacKeySchedule schedule(key);
+  const std::vector<u8> header = bytes_of("header|");
+  const std::vector<u8> payload = bytes_of("payload-bytes");
+  std::vector<u8> joined = header;
+  joined.insert(joined.end(), payload.begin(), payload.end());
+  EXPECT_EQ(schedule.mac(header, payload), hmac_sha256(key, joined));
+  // RFC 4231 case 1 through the schedule: midstates reproduce the vector.
+  const std::vector<u8> rfc_key(20, 0x0b);
+  EXPECT_EQ(hex_digest(HmacKeySchedule(rfc_key).mac(bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacBatch, BatchMatchesSerialVerification) {
+  const std::vector<u8> key = bytes_of("batch-key");
+  const HmacKeySchedule schedule(key);
+  std::vector<std::vector<u8>> messages;
+  std::vector<Digest> macs;
+  for (size_t i = 0; i < 16; ++i) {
+    std::vector<u8> msg(i * 13 + 1);
+    for (size_t j = 0; j < msg.size(); ++j) {
+      msg[j] = static_cast<u8>(i * 31 + j);
+    }
+    macs.push_back(hmac_sha256(key, msg));
+    messages.push_back(std::move(msg));
+  }
+  const auto claims_over = [&](const std::vector<Digest>& mac_store) {
+    std::vector<MacClaim> claims;
+    for (size_t i = 0; i < messages.size(); ++i) {
+      claims.push_back(MacClaim{messages[i], mac_store[i]});
+    }
+    return claims;
+  };
+  // All valid: batch agrees with per-claim serial checks.
+  EXPECT_FALSE(hmac_verify_batch(schedule, claims_over(macs)).has_value());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_TRUE(schedule.check(messages[i], macs[i])) << i;
+  }
+  // Corrupt one MAC: batch pinpoints exactly the first bad index, matching
+  // what a serial left-to-right scan would report.
+  for (const size_t bad : {0u, 7u, 15u}) {
+    std::vector<Digest> tampered = macs;
+    tampered[bad][3] ^= 0x40;
+    const auto hit = hmac_verify_batch(schedule, claims_over(tampered));
+    ASSERT_TRUE(hit.has_value()) << bad;
+    EXPECT_EQ(*hit, bad);
+    EXPECT_FALSE(schedule.check(messages[bad], tampered[bad]));
+  }
+}
+
 TEST(DigestEqual, ExactMatchOnly) {
   Digest a = Sha256::hash("x");
   Digest b = a;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fault/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "verify/farm.hpp"
 
 namespace raptrack {
@@ -247,6 +248,67 @@ TEST(FarmScheduling, WireFramingErrorsRejectWithParserDetail) {
       farm.submit_wire(0, cfa::Challenge{}, {'X', 'X', 'X', 'X'}).get();
   EXPECT_EQ(result.verdict, Verdict::Reject);
   EXPECT_EQ(result.detail, "chain framing: bad magic");
+}
+
+// -- observability: farm counters must reconcile with the FIFO scenario ------
+
+TEST(FarmMetricsInvariants, CountersReconcileWithFifoScenario) {
+  if (!obs::kEnabled) GTEST_SKIP() << "RAP_OBS=OFF build";
+  const Corpus& fuzz = corpus();
+  const Case& clean = fuzz.cases.front();
+  ASSERT_EQ(clean.label, "gps/clean");
+
+  const obs::Snapshot before = obs::registry().scrape();
+  {
+    VerifierFarm farm(apps::demo_key(), {.workers = 2, .queue_capacity = 4});
+    constexpr size_t kJobs = 16;
+    std::vector<std::future<VerificationResult>> results;
+    for (size_t i = 0; i < kJobs; ++i) {
+      const DeviceId device = i;
+      farm.provision(device, fuzz.deployments[clean.app], fuzz.config);
+      farm.adopt_challenge(device, clean.chal);
+      results.push_back(farm.submit(device, clean.chal, clean.chain));
+    }
+    // One wire chain with a tampered MAC (caught by the batched HMAC check)
+    // and one with broken framing (caught by the zero-copy parser).
+    const DeviceId tampered_dev = 100;
+    farm.provision(tampered_dev, fuzz.deployments[clean.app], fuzz.config);
+    farm.adopt_challenge(tampered_dev, clean.chal);
+    std::vector<cfa::SignedReport> tampered = clean.chain;
+    tampered.front().mac[0] ^= 0x01;
+    auto bad_mac = farm.submit_wire(tampered_dev, clean.chal,
+                                    cfa::encode_report_chain(tampered));
+    const DeviceId garbled_dev = 101;  // provisioned, so admission parses it
+    farm.provision(garbled_dev, fuzz.deployments[clean.app], fuzz.config);
+    auto bad_frame = farm.submit_wire(garbled_dev, cfa::Challenge{},
+                                      {'X', 'X', 'X', 'X'});
+    for (auto& result : results) {
+      EXPECT_EQ(result.get().verdict, Verdict::Accept);
+    }
+    EXPECT_EQ(bad_mac.get().verdict, Verdict::Reject);
+    EXPECT_EQ(bad_frame.get().verdict, Verdict::Reject);
+  }
+  const obs::Snapshot after = obs::registry().scrape();
+  const auto delta = [&](const char* name) {
+    return after.value(name) - before.value(name);
+  };
+  EXPECT_EQ(delta("farm.jobs_submitted"), 18u);
+  EXPECT_EQ(delta("farm.jobs_completed"), 18u);
+  EXPECT_EQ(delta("farm.wire_parse_rejects"), 1u);
+  EXPECT_EQ(delta("farm.hmac_batch_rejects"), 1u);
+  // Every dequeued job records exactly one mailbox-wait observation. (The
+  // histogram may be unregistered in the `before` snapshot if this test runs
+  // first, so treat a missing sample as zero.)
+  const auto wait_count = [](const obs::Snapshot& snap) {
+    const obs::Sample* sample = snap.find("farm.mailbox_wait_us");
+    return sample != nullptr ? sample->count : 0u;
+  };
+  EXPECT_EQ(wait_count(after) - wait_count(before), 18u);
+  // The high-water mark is a lifetime max: it only ratchets up, and this
+  // scenario pushes at least one job through the bounded queue.
+  EXPECT_GE(after.value("farm.queue_depth_hwm"), 1u);
+  EXPECT_GE(after.value("farm.queue_depth_hwm"),
+            before.value("farm.queue_depth_hwm"));
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "fuzz_programs.hpp"
 #include "isa/decoded_image.hpp"
 #include "mem/bus.hpp"
+#include "obs/metrics.hpp"
 
 namespace raptrack {
 namespace {
@@ -460,6 +461,49 @@ TEST(FastPathCampaign, DeviceFaultVerdictsMatchSlowPathOn200SeededPlans) {
   }
   EXPECT_EQ(plans, 200u);
   RecordProperty("parity_plans", static_cast<int>(plans));
+}
+
+// -- observability: dispatch counters must reconcile with path parity --------
+
+TEST(FastPathMetrics, DispatchCountersReconcileAcrossPaths) {
+  if (!obs::kEnabled) GTEST_SKIP() << "RAP_OBS=OFF build";
+  const apps::PreparedApp prepared =
+      apps::prepare_app(apps::app_by_name("gps"));
+
+  const auto run_and_delta = [&](bool fast) {
+    sim::MachineConfig config;
+    config.fast_path = fast;
+    const obs::Snapshot before = obs::registry().scrape();
+    const apps::MethodRun run = apps::run_rap(prepared, 42, config);
+    EXPECT_TRUE(run.functional_ok);
+    const obs::Snapshot after = obs::registry().scrape();
+    struct Delta {
+      u64 instructions, fast_dispatches, oracle_dispatches;
+    } d{};
+    d.instructions =
+        after.value("sim.instructions") - before.value("sim.instructions");
+    d.fast_dispatches = after.value("sim.fast_dispatches") -
+                        before.value("sim.fast_dispatches");
+    d.oracle_dispatches = after.value("sim.oracle_dispatches") -
+                          before.value("sim.oracle_dispatches");
+    EXPECT_EQ(d.instructions, run.attestation.metrics.instructions)
+        << "counter delta must equal the run's own retire count";
+    EXPECT_EQ(d.instructions, d.fast_dispatches + d.oracle_dispatches)
+        << "every retired instruction is exactly one dispatch";
+    return d;
+  };
+
+  const auto slow = run_and_delta(/*fast=*/false);
+  const auto fast = run_and_delta(/*fast=*/true);
+  // Both paths retire the same instruction stream (the parity theorem the
+  // rest of this file proves); the counters must say so too.
+  EXPECT_EQ(slow.instructions, fast.instructions);
+  // The oracle path never touches the predecoded image...
+  EXPECT_EQ(slow.fast_dispatches, 0u);
+  EXPECT_EQ(slow.oracle_dispatches, slow.instructions);
+  // ...and the fast path retires the overwhelming majority from it (only
+  // invalidated or never-predecoded slots fall back to the oracle).
+  EXPECT_GT(fast.fast_dispatches, fast.oracle_dispatches);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "fault/campaign.hpp"
 #include "lossless_helpers.hpp"
+#include "obs/metrics.hpp"
 
 namespace raptrack {
 namespace {
@@ -206,6 +207,46 @@ TEST(FaultCampaign, ChainDamageProducesAuditableInconclusive) {
   verifier3.adopt_challenge(clean.chal);
   const auto equiv_result = verifier3.verify(clean.chal, equiv);
   EXPECT_EQ(equiv_result.verdict, Verdict::Reject) << equiv_result.detail;
+}
+
+// -- observability: injected-vs-detected tallies must reconcile --------------
+
+TEST(FaultMetricsInvariants, CampaignCountersReconcileWithVerdictTallies) {
+  if (!obs::kEnabled) GTEST_SKIP() << "RAP_OBS=OFF build";
+  const PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const AttestedRun clean = fault::attest_once(prepared);
+  ASSERT_GT(clean.reports.size(), 2u);
+
+  const obs::Snapshot before = obs::registry().scrape();
+  u64 runs = 0, effective = 0, wire_rejected = 0;
+  std::map<Verdict, u64> verdicts;
+  const auto tally = [&](const CampaignOutcome& outcome) {
+    ++runs;
+    if (outcome.fault_effective) ++effective;
+    if (outcome.wire_rejected) ++wire_rejected;
+    ++verdicts[outcome.verdict];
+  };
+
+  tally(fault::run_clean(prepared));
+  for (u64 seed = 1; seed <= 12; ++seed) {
+    tally(fault::verify_mutated(prepared, clean, InjectorKind::WireBitFlip,
+                                seed));
+  }
+  const obs::Snapshot after = obs::registry().scrape();
+  const auto delta = [&](const char* name) {
+    return after.value(name) - before.value(name);
+  };
+  EXPECT_EQ(delta("fault.runs"), runs);
+  EXPECT_EQ(delta("fault.effective"), effective);
+  EXPECT_EQ(delta("fault.wire_rejected"), wire_rejected);
+  EXPECT_EQ(delta("fault.verdict.accept"), verdicts[Verdict::Accept]);
+  EXPECT_EQ(delta("fault.verdict.reject"), verdicts[Verdict::Reject]);
+  EXPECT_EQ(delta("fault.verdict.inconclusive"),
+            verdicts[Verdict::Inconclusive]);
+  // The verdict classes partition the campaign: no run escapes the tally.
+  EXPECT_EQ(delta("fault.verdict.accept") + delta("fault.verdict.reject") +
+                delta("fault.verdict.inconclusive"),
+            delta("fault.runs"));
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "asm/assembler.hpp"
+#include "mem/mpu.hpp"
 #include "sim/machine.hpp"
+#include "trace/mtb.hpp"
 #include "tz/secure_monitor.hpp"
 
 namespace raptrack::tz {
@@ -122,6 +124,141 @@ _start:
   machine.reset_cpu(p.base());
   EXPECT_EQ(machine.run(), cpu::HaltReason::Fault);
   EXPECT_EQ(machine.cpu().fault()->type, mem::FaultType::SecurityFault);
+}
+
+// -- NS->S gateway edge cases ------------------------------------------------
+
+TEST(SecureMonitor, GlitchedReentryRunsServiceTwiceOnOneSwitch) {
+  SecureMonitor monitor;
+  int calls = 0;
+  monitor.register_service(Service::kRapLogLoopCondition,
+                           [&](cpu::CpuState&) -> Cycles {
+                             ++calls;
+                             return 7;
+                           });
+  bool after_ran = false;
+  SecureMonitor::GatewayFault fault;
+  fault.dispatch = [](u8, cpu::CpuState&) -> u32 { return 2; };
+  fault.after = [&](u8, cpu::CpuState&) { after_ran = true; };
+  monitor.set_gateway_fault(std::move(fault));
+  cpu::CpuState state;
+  const Cycles cost =
+      monitor.handle(static_cast<u8>(Service::kRapLogLoopCondition), state);
+  EXPECT_EQ(calls, 2);  // glitched re-entry: body runs twice
+  EXPECT_TRUE(after_ran);
+  EXPECT_EQ(monitor.world_switches(), 1u);  // but only one gateway entry
+  const CostModel costs;
+  EXPECT_EQ(cost, costs.ns_to_secure + 2 * 7 + costs.secure_to_ns);
+}
+
+TEST(SecureMonitor, SwallowedDispatchStillChargesTheWorldSwitch) {
+  SecureMonitor monitor;
+  int calls = 0;
+  monitor.register_service(Service::kRapLogLoopCondition,
+                           [&](cpu::CpuState&) -> Cycles {
+                             ++calls;
+                             return 7;
+                           });
+  SecureMonitor::GatewayFault fault;
+  fault.dispatch = [](u8, cpu::CpuState&) -> u32 { return 0; };
+  monitor.set_gateway_fault(std::move(fault));
+  cpu::CpuState state;
+  const Cycles cost =
+      monitor.handle(static_cast<u8>(Service::kRapLogLoopCondition), state);
+  EXPECT_EQ(calls, 0);  // the call was swallowed...
+  EXPECT_EQ(monitor.world_switches(), 1u);  // ...yet the gateway was entered
+  const CostModel costs;
+  EXPECT_EQ(cost, costs.secure_log_round_trip(0));
+  // Clearing the fault restores normal dispatch on the same monitor.
+  monitor.clear_gateway_fault();
+  monitor.handle(static_cast<u8>(Service::kRapLogLoopCondition), state);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Machine, SecureServiceWritesBypassTheLockedNsMpu) {
+  // §IV-A after lock_and_measure: the NS bank is locked, the region is
+  // non-writable from the Non-Secure world — but a Secure service invoked
+  // through the gateway still writes it (the NS-MPU only filters NS traffic).
+  sim::Machine machine;
+  const Address guarded = mem::MapLayout::kNsRamBase;
+  auto& mpu = machine.bus().ns_mpu();
+  mpu.configure(0, {.enabled = true,
+                    .base = guarded,
+                    .limit = guarded + 3,
+                    .allow_read = true,
+                    .allow_write = false,
+                    .allow_execute = false});
+  mpu.lock();
+  EXPECT_THROW(mpu.configure(0, mem::MpuRegion{}), Error);  // locked: no undo
+  EXPECT_THROW(mpu.clear(0), Error);
+  machine.monitor().register_service(
+      Service::kRapLogLoopCondition, [&](cpu::CpuState& s) -> Cycles {
+        machine.bus().write(guarded, 0xdeadbeef, 4, s.world, s.pc());
+        return 0;
+      });
+  const Program p = assemble("_start:\n    svc #1\n    hlt\n",
+                             mem::MapLayout::kNsFlashBase);
+  machine.load_program(p);
+  machine.reset_cpu(p.base());
+  EXPECT_EQ(machine.run(), cpu::HaltReason::Halted);
+  EXPECT_EQ(machine.bus().read(guarded, 4, mem::WorldSide::Secure, 0),
+            0xdeadbeefu);
+}
+
+TEST(Machine, NsStoreIntoLockedMpuRegionFaults) {
+  sim::Machine machine;
+  const Address guarded = mem::MapLayout::kNsRamBase;
+  auto& mpu = machine.bus().ns_mpu();
+  mpu.configure(0, {.enabled = true,
+                    .base = guarded,
+                    .limit = guarded + 3,
+                    .allow_read = true,
+                    .allow_write = false,
+                    .allow_execute = false});
+  mpu.lock();
+  const Program p = assemble(R"(
+_start:
+    li r1, =0x20200000   ; NS RAM base = the guarded word
+    movi r0, #1
+    str r0, [r1]
+    hlt
+  )",
+                             mem::MapLayout::kNsFlashBase);
+  machine.load_program(p);
+  machine.reset_cpu(p.base());
+  EXPECT_EQ(machine.run(), cpu::HaltReason::Fault);
+  EXPECT_EQ(machine.cpu().fault()->type, mem::FaultType::MpuViolation);
+}
+
+TEST(MtbDrain, SeuBetweenDrainReadsIsVisibleToTheSecondRead) {
+  // An SEU that lands in MTB SRAM *between* two drain reads must show up in
+  // the second read: the drain path reads live SRAM, never a stale copy.
+  // (The verifier catches the corruption downstream — see test_fault.)
+  mem::MemoryMap map = mem::MemoryMap::make_default();
+  trace::Mtb mtb(map, mem::MapLayout::kMtbSramBase, 64);
+  mtb.set_enabled(true);
+  mtb.set_tstart_enable(true);
+  mtb.on_branch(0x100, 0x200, isa::BranchKind::Direct);
+  mtb.on_branch(0x204, 0x300, isa::BranchKind::Direct);
+
+  std::vector<u8> first;
+  mtb.append_log_bytes(first);
+  ASSERT_EQ(first.size(), 2 * trace::BranchPacket::kBytes);
+
+  // Flip bit 5 of the second packet's destination word (byte offset 12).
+  mtb.corrupt_stored_word(12, 1u << 5);
+  std::vector<u8> second;
+  mtb.append_log_bytes(second);
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (i == 12) {
+      EXPECT_EQ(second[i], first[i] ^ 0x20) << i;  // exactly the SEU bit
+    } else {
+      EXPECT_EQ(second[i], first[i]) << i;  // every other byte untouched
+    }
+  }
+  // The decoded log sees the perturbed destination too.
+  EXPECT_NE(mtb.read_log()[1].destination, 0x300u);
 }
 
 TEST(Machine, OracleCanBeDisabled) {

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage into an lcov-format info file + summary.
+
+The container bakes in gcc/gcov but not lcov or gcovr, so this script drives
+`gcov --json-format --stdout` directly over every .gcda the test run left in
+the build tree, merges the per-object records, and emits:
+
+  <out>/coverage.info  -- lcov tracefile (SF/DA/LF/LH records), consumable by
+                          genhtml or any lcov-aware viewer
+  <out>/summary.txt    -- per-directory and per-file line-coverage table
+
+It also enforces the documented per-directory line-coverage floors (see
+README "Coverage"): if any floor is violated the script prints the deficit
+and exits nonzero, which fails the `coverage-report` build target and the CI
+coverage job.
+
+Only first-party sources under --source-root are reported; system headers,
+googletest, and the build tree itself are dropped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+# Documented line-coverage floors, per top-level source directory. Keep in
+# sync with README.md ("Coverage" section). Floors are deliberately a few
+# points below the currently measured value so routine refactors don't
+# flap the gate, but regressions (a new untested module, a dead test) trip it.
+FLOORS = {
+    "src/obs": 85.0,
+    "src/crypto": 90.0,
+    "src/tz": 85.0,
+}
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    hits = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                hits.append(os.path.join(root, name))
+    return hits
+
+
+def run_gcov(gcda: str, build_dir: str) -> dict | None:
+    """One gcov invocation -> parsed JSON intermediate record, or None."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        cwd=build_dir,
+        capture_output=True,
+    )
+    if proc.returncode != 0 or not proc.stdout:
+        return None
+    raw = proc.stdout
+    # gcov emits gzip when writing files; --stdout is plain JSON, but guard
+    # both so a toolchain change doesn't silently drop data.
+    if raw[:2] == b"\x1f\x8b":
+        raw = gzip.decompress(raw)
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+
+
+def relative_source(path: str, source_root: str) -> str | None:
+    """Repo-relative path for first-party sources, else None."""
+    absolute = os.path.normpath(
+        path if os.path.isabs(path) else os.path.join(source_root, path)
+    )
+    root = os.path.normpath(source_root) + os.sep
+    if not absolute.startswith(root):
+        return None
+    rel = absolute[len(root):]
+    if rel.startswith("build"):  # generated/copied files inside build trees
+        return None
+    return rel
+
+
+def collect(build_dir: str, source_root: str) -> dict[str, dict[int, int]]:
+    """Merge all gcov records: file -> line -> max execution count.
+
+    `max` (not sum) across objects is enough for a hit/miss line metric and
+    avoids double-counting headers compiled into many translation units.
+    """
+    coverage: dict[str, dict[int, int]] = defaultdict(dict)
+    gcda_files = find_gcda(build_dir)
+    if not gcda_files:
+        print(f"error: no .gcda files under {build_dir} — "
+              "run the test suite in a RAP_COVERAGE=ON build first",
+              file=sys.stderr)
+        sys.exit(2)
+    parsed = 0
+    for gcda in gcda_files:
+        record = run_gcov(gcda, build_dir)
+        if record is None:
+            continue
+        parsed += 1
+        for file_record in record.get("files", []):
+            rel = relative_source(file_record.get("file", ""), source_root)
+            if rel is None:
+                continue
+            lines = coverage[rel]
+            for line in file_record.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                lines[number] = max(lines.get(number, 0), count)
+    print(f"parsed {parsed}/{len(gcda_files)} .gcda files, "
+          f"{len(coverage)} first-party sources")
+    return coverage
+
+
+def write_lcov(coverage: dict[str, dict[int, int]], out_path: str,
+               source_root: str) -> None:
+    with open(out_path, "w") as out:
+        out.write("TN:raptrack\n")
+        for rel in sorted(coverage):
+            lines = coverage[rel]
+            out.write(f"SF:{os.path.join(source_root, rel)}\n")
+            for number in sorted(lines):
+                out.write(f"DA:{number},{lines[number]}\n")
+            hit = sum(1 for c in lines.values() if c > 0)
+            out.write(f"LH:{hit}\n")
+            out.write(f"LF:{len(lines)}\n")
+            out.write("end_of_record\n")
+
+
+def directory_of(rel: str) -> str:
+    parts = rel.split(os.sep)
+    return os.sep.join(parts[:2]) if len(parts) > 1 else parts[0]
+
+
+def summarize(coverage: dict[str, dict[int, int]]) -> tuple[str, list[str]]:
+    per_dir_hit: dict[str, int] = defaultdict(int)
+    per_dir_total: dict[str, int] = defaultdict(int)
+    rows = []
+    for rel in sorted(coverage):
+        lines = coverage[rel]
+        hit = sum(1 for c in lines.values() if c > 0)
+        total = len(lines)
+        rows.append((rel, hit, total))
+        directory = directory_of(rel)
+        per_dir_hit[directory] += hit
+        per_dir_total[directory] += total
+
+    def pct(hit: int, total: int) -> float:
+        return 100.0 * hit / total if total else 100.0
+
+    width = max((len(r[0]) for r in rows), default=10) + 2
+    text = ["per-file line coverage:"]
+    for rel, hit, total in rows:
+        text.append(f"  {rel:<{width}} {hit:>6}/{total:<6} "
+                    f"{pct(hit, total):6.1f}%")
+    text.append("")
+    text.append("per-directory line coverage:")
+    failures = []
+    for directory in sorted(per_dir_total):
+        hit, total = per_dir_hit[directory], per_dir_total[directory]
+        p = pct(hit, total)
+        floor = FLOORS.get(directory)
+        gate = ""
+        if floor is not None:
+            gate = f"  (floor {floor:.1f}%: {'ok' if p >= floor else 'FAIL'})"
+            if p < floor:
+                failures.append(
+                    f"{directory}: {p:.1f}% < documented floor {floor:.1f}%")
+        text.append(f"  {directory:<{width}} {hit:>6}/{total:<6} {p:6.1f}%{gate}")
+    return "\n".join(text) + "\n", failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", required=True)
+    parser.add_argument("--out", required=True,
+                        help="output directory for coverage.info + summary.txt")
+    args = parser.parse_args()
+
+    source_root = os.path.abspath(args.source_root)
+    coverage = collect(os.path.abspath(args.build_dir), source_root)
+    os.makedirs(args.out, exist_ok=True)
+    write_lcov(coverage, os.path.join(args.out, "coverage.info"), source_root)
+    summary, failures = summarize(coverage)
+    with open(os.path.join(args.out, "summary.txt"), "w") as out:
+        out.write(summary)
+    print(summary, end="")
+    print(f"wrote {args.out}/coverage.info and {args.out}/summary.txt")
+    if failures:
+        print("coverage floors violated:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
