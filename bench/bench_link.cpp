@@ -1,0 +1,273 @@
+// Link-resilience bench: the ARQ session protocol swept over datagram loss
+// 0/10/20/30/40% (with duplication and reordering at half the loss rate,
+// per LinkModel::lossy), written as machine-readable JSON so CI and
+// EXPERIMENTS.md can track goodput and retransmit overhead as the protocol
+// evolves.
+//
+//   bench_link [--quick] [--out FILE] [--metrics-out FILE]
+//
+// Unlike the wall-clock benches this one is fully deterministic — time is
+// the link's virtual tick counter and every random choice is seeded — so
+// the numbers are exact protocol properties, not host measurements, and the
+// same binary run twice emits byte-identical rows.
+//
+// Per loss level, N seeded sessions deliver the same attested report chain
+// through a fresh DuplexLink into one shared VerifierFarm. Emitted row:
+//   { "loss_permille", "sessions", "accepted", "gave_up", "accept_rate",
+//     "goodput", "datagrams_per_report", "avg_repair_rounds", "avg_ticks" }
+// where goodput = chain wire bytes / bytes offered to the prover->verifier
+// direction (1.0 means zero overhead), and datagrams_per_report counts
+// every Data transmission (first sends + retransmits + probes) per chain
+// report. The binary re-reads and validates the emitted file and exits
+// nonzero on any violation, so the bench-smoke-link ctest catches drift.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "net/endpoint.hpp"
+#include "obs/metrics.hpp"
+#include "verify/farm.hpp"
+
+namespace {
+
+using namespace raptrack;
+using verify::Verdict;
+using verify::VerifierFarm;
+
+struct Row {
+  u32 loss_permille = 0;
+  u64 sessions = 0;
+  u64 accepted = 0;
+  u64 gave_up = 0;
+  double accept_rate = 0.0;
+  double goodput = 0.0;            ///< chain bytes / offered bytes, uplink
+  double datagrams_per_report = 0.0;
+  double avg_repair_rounds = 0.0;
+  double avg_ticks = 0.0;
+};
+
+std::string render_json(const std::vector<Row>& rows, bool quick) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"link_resilience\",\n";
+  os << "  \"deterministic\": true,\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"loss_permille\": " << r.loss_permille
+       << ", \"sessions\": " << r.sessions << ", \"accepted\": " << r.accepted
+       << ", \"gave_up\": " << r.gave_up
+       << ", \"accept_rate\": " << r.accept_rate
+       << ", \"goodput\": " << r.goodput
+       << ", \"datagrams_per_report\": " << r.datagrams_per_report
+       << ", \"avg_repair_rounds\": " << r.avg_repair_rounds
+       << ", \"avg_ticks\": " << r.avg_ticks << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// Schema tripwire over the emitted text, same style as the other benches:
+/// every row carries all nine keys, rates and goodput are sane fractions,
+/// and zero loss must deliver zero give-ups.
+bool validate(const std::string& text, size_t expected_rows,
+              std::string& error) {
+  for (const char* key : {"\"bench\": \"link_resilience\"",
+                          "\"deterministic\": true", "\"rows\": ["}) {
+    if (text.find(key) == std::string::npos) {
+      error = std::string("missing top-level key: ") + key;
+      return false;
+    }
+  }
+  size_t rows = 0;
+  size_t at = 0;
+  while ((at = text.find("{\"loss_permille\": ", at)) != std::string::npos) {
+    const size_t end = text.find('}', at);
+    if (end == std::string::npos) {
+      error = "unterminated row object";
+      return false;
+    }
+    const std::string row = text.substr(at, end - at + 1);
+    for (const char* key :
+         {"\"loss_permille\": ", "\"sessions\": ", "\"accepted\": ",
+          "\"gave_up\": ", "\"accept_rate\": ", "\"goodput\": ",
+          "\"datagrams_per_report\": ", "\"avg_repair_rounds\": ",
+          "\"avg_ticks\": "}) {
+      if (row.find(key) == std::string::npos) {
+        error = "row " + std::to_string(rows) + " missing key " + key;
+        return false;
+      }
+    }
+    const auto number_after = [&](const char* key) {
+      return std::strtod(row.c_str() + row.find(key) + std::strlen(key),
+                         nullptr);
+    };
+    const double accept_rate = number_after("\"accept_rate\": ");
+    if (accept_rate < 0.0 || accept_rate > 1.0) {
+      error = "row " + std::to_string(rows) + " accept_rate out of [0,1]";
+      return false;
+    }
+    const double goodput = number_after("\"goodput\": ");
+    if (goodput <= 0.0 || goodput > 1.0) {
+      error = "row " + std::to_string(rows) + " goodput out of (0,1]";
+      return false;
+    }
+    if (number_after("\"loss_permille\": ") == 0.0 &&
+        number_after("\"gave_up\": ") != 0.0) {
+      error = "lossless row gave up sessions";
+      return false;
+    }
+    ++rows;
+    at = end;
+  }
+  if (rows != expected_rows) {
+    error = "expected " + std::to_string(expected_rows) + " rows, found " +
+            std::to_string(rows);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_link_resilience.json";
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out FILE] [--metrics-out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // One attested chain, reused by every session (the prover's evidence is
+  // fixed; only the link differs).
+  const apps::PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const fault::CampaignOptions options;  // small MTB: multi-report chain
+  const fault::AttestedRun clean = fault::attest_once(prepared, options);
+  if (!clean.functional_ok || clean.reports.size() < 3) {
+    std::fprintf(stderr, "error: fixture attestation failed\n");
+    return 1;
+  }
+  const auto deployment = verify::Deployment::rap(
+      prepared.rap.program, prepared.rap.manifest, prepared.built.entry);
+  verify::VerifyConfig config;
+  config.expected_watermark = options.watermark_bytes;
+  const double chain_wire_bytes =
+      static_cast<double>(cfa::encode_report_chain(clean.reports).size());
+
+  VerifierFarm farm(apps::demo_key(), {.workers = 4});
+  net::VerifierEndpoint endpoint(farm);
+
+  const u64 seeds_per_level = quick ? 4 : 40;
+  const std::vector<u32> levels = {0, 100, 200, 300, 400};
+  std::vector<Row> rows;
+  verify::DeviceId device = 1;
+  std::printf("loss    sessions  accept  goodput  dgrams/report  repairs  "
+              "ticks\n");
+  for (const u32 loss : levels) {
+    Row row;
+    row.loss_permille = loss;
+    const net::LinkModel model = net::LinkModel::lossy(loss);
+    u64 total_datagrams = 0, total_bytes = 0, total_repairs = 0,
+        total_ticks = 0;
+    const u64 repairs_before = endpoint.stats().repair_rounds;
+    for (u64 s = 0; s < seeds_per_level; ++s, ++device) {
+      const u64 seed = 0xbe9c'0000 + u64{loss} * 100 + s;
+      farm.provision(device, deployment, config);
+      farm.adopt_challenge(device, clean.chal);
+      net::DuplexLink link(model, model, seed);
+      net::ProverEndpoint prover(device, 1, clean.reports, {}, seed);
+      const net::SessionOutcome outcome = run_session(prover, endpoint, link);
+      ++row.sessions;
+      if (outcome.phase == net::ProverPhase::Done) {
+        if (!outcome.verdict.has_value() ||
+            outcome.verdict->verdict != Verdict::Accept) {
+          std::fprintf(stderr,
+                       "error: loss=%u seed=%llu terminated without Accept\n",
+                       loss, static_cast<unsigned long long>(seed));
+          return 1;
+        }
+        ++row.accepted;
+      } else {
+        ++row.gave_up;
+      }
+      total_datagrams += prover.stats().datagrams_sent;
+      total_bytes += link.to_verifier_stats().bytes_sent;
+      total_ticks += outcome.ticks;
+    }
+    total_repairs = endpoint.stats().repair_rounds - repairs_before;
+    row.accept_rate =
+        static_cast<double>(row.accepted) / static_cast<double>(row.sessions);
+    row.goodput = chain_wire_bytes * static_cast<double>(row.sessions) /
+                  static_cast<double>(total_bytes);
+    row.datagrams_per_report =
+        static_cast<double>(total_datagrams) /
+        static_cast<double>(row.sessions * clean.reports.size());
+    row.avg_repair_rounds = static_cast<double>(total_repairs) /
+                            static_cast<double>(row.sessions);
+    row.avg_ticks = static_cast<double>(total_ticks) /
+                    static_cast<double>(row.sessions);
+    std::printf("%3u%%  %9llu  %5.1f%%  %7.3f  %13.2f  %7.2f  %6.0f\n",
+                loss / 10, static_cast<unsigned long long>(row.sessions),
+                row.accept_rate * 100.0, row.goodput, row.datagrams_per_report,
+                row.avg_repair_rounds, row.avg_ticks);
+    rows.push_back(row);
+  }
+
+  const std::string json = render_json(rows, quick);
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json;
+  }
+
+  // Self-validate what actually landed on disk.
+  std::ifstream in(out_path);
+  std::stringstream readback;
+  readback << in.rdbuf();
+  std::string error;
+  if (!validate(readback.str(), rows.size(), error)) {
+    std::fprintf(stderr, "error: %s failed schema validation: %s\n",
+                 out_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows, schema ok)\n", out_path.c_str(),
+              rows.size());
+
+  // net.* / farm.* counters in JSON-lines, same registry the tests assert on.
+  if (!metrics_path.empty()) {
+    if (!raptrack::obs::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: --metrics-out requested but this is a "
+                   "RAP_OBS=OFF build; writing an empty metrics file\n");
+    }
+    std::ofstream metrics(metrics_path);
+    if (!metrics) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    metrics << raptrack::obs::registry().scrape().json_lines();
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Lossy-link delivery demo: attest the GPS parser once, then deliver the
+// signed report chain to a verifier farm across a simulated link that
+// drops a quarter of all datagrams and duplicates and reorders the rest.
+// The ARQ session protocol (windowed sender, cumulative ACK, selective
+// NACK gap repair, verdict probe) rides out the damage and converges to
+// the same Accept — with the same verdict digest — as a perfect link.
+//
+// The second act kills the verifier mid-session and restores a fresh farm
+// and endpoint from a checksummed snapshot; the prover never notices, and
+// the recovered verifier finishes the session to the identical digest.
+//
+//   $ ./lossy_link [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/campaign.hpp"
+#include "net/endpoint.hpp"
+#include "verify/farm.hpp"
+
+using namespace raptrack;
+
+namespace {
+
+void print_digest(const char* label, const crypto::Digest& digest) {
+  std::printf("%s", label);
+  for (size_t i = 0; i < 8; ++i) std::printf("%02x", digest[i]);
+  std::printf("...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 2026;
+  const auto prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const fault::CampaignOptions options;  // small MTB: multi-report chain
+  const auto clean = fault::attest_once(prepared, options);
+  const auto deployment = verify::Deployment::rap(
+      prepared.rap.program, prepared.rap.manifest, prepared.built.entry);
+  verify::VerifyConfig config;
+  config.expected_watermark = options.watermark_bytes;
+  std::printf("attested chain: %zu signed reports, seed %llu\n\n",
+              clean.reports.size(), static_cast<unsigned long long>(seed));
+
+  // -- act 1: a perfect link, for the reference digest ----------------------
+  crypto::Digest reference{};
+  {
+    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    farm.provision(1, deployment, config);
+    farm.adopt_challenge(1, clean.chal);
+    net::VerifierEndpoint endpoint(farm);
+    net::DuplexLink link(net::LinkModel{}, net::LinkModel{}, seed);
+    net::ProverEndpoint prover(1, 1, clean.reports, {}, seed);
+    const auto outcome = run_session(prover, endpoint, link);
+    if (outcome.phase != net::ProverPhase::Done) {
+      std::printf("lossless session did not finish?!\n");
+      return 1;
+    }
+    reference = outcome.verdict->digest;
+    std::printf("lossless link : %s in %llu ticks, %llu datagrams\n",
+                verify::verdict_name(outcome.verdict->verdict),
+                static_cast<unsigned long long>(outcome.ticks),
+                static_cast<unsigned long long>(prover.stats().datagrams_sent));
+    print_digest("                digest ", reference);
+  }
+
+  // -- act 2: 25% loss with duplication and reordering ----------------------
+  const net::LinkModel lossy = net::LinkModel::lossy(250);
+  {
+    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    farm.provision(1, deployment, config);
+    farm.adopt_challenge(1, clean.chal);
+    net::VerifierEndpoint endpoint(farm);
+    net::DuplexLink link(lossy, lossy, seed);
+    net::ProverEndpoint prover(1, 1, clean.reports, {}, seed);
+    const auto outcome = run_session(prover, endpoint, link);
+    if (outcome.phase != net::ProverPhase::Done) {
+      std::printf("lossy session gave up — rerun with another seed\n");
+      return 1;
+    }
+    const auto& up = link.to_verifier_stats();
+    std::printf("\n25%% loss link : %s in %llu ticks\n",
+                verify::verdict_name(outcome.verdict->verdict),
+                static_cast<unsigned long long>(outcome.ticks));
+    std::printf("                link dropped %llu, duplicated %llu, "
+                "reordered %llu of %llu uplink frames\n",
+                static_cast<unsigned long long>(up.dropped),
+                static_cast<unsigned long long>(up.duplicated),
+                static_cast<unsigned long long>(up.reordered),
+                static_cast<unsigned long long>(up.sent));
+    std::printf("                prover retransmits: %llu on timeout, "
+                "%llu on NACK; verifier repair rounds: %llu\n",
+                static_cast<unsigned long long>(
+                    prover.stats().retransmits_timeout),
+                static_cast<unsigned long long>(prover.stats().retransmits_nack),
+                static_cast<unsigned long long>(
+                    endpoint.stats().repair_rounds));
+    print_digest("                digest ", outcome.verdict->digest);
+    std::printf("                digest %s the lossless reference\n",
+                outcome.verdict->digest == reference ? "MATCHES" : "DIVERGES");
+  }
+
+  // -- act 3: verifier crash and snapshot recovery, same lossy link ---------
+  {
+    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    farm.provision(1, deployment, config);
+    farm.adopt_challenge(1, clean.chal);
+    auto endpoint = std::make_unique<net::VerifierEndpoint>(farm);
+    net::DuplexLink link(lossy, lossy, seed);
+    net::ProverEndpoint prover(1, 1, clean.reports, {}, seed);
+
+    for (u64 tick = 0; tick < 40 && prover.phase() == net::ProverPhase::Sending;
+         ++tick) {
+      prover.on_tick(link);
+      endpoint->on_tick(link);
+      link.advance();
+    }
+    const std::vector<u8> snapshot = endpoint->snapshot();
+    std::printf("\ncrash at tick : %llu — snapshot is %zu bytes "
+                "(challenge state + reassembly buffers, CRC-sealed)\n",
+                static_cast<unsigned long long>(link.now()), snapshot.size());
+
+    endpoint.reset();  // the verifier process dies here
+    verify::VerifierFarm recovered(apps::demo_key(), {.workers = 2});
+    recovered.provision(1, deployment, config);  // deployments re-provision
+    net::VerifierEndpoint restored(recovered);
+    if (!restored.restore(snapshot)) {
+      std::printf("snapshot restore failed?!\n");
+      return 1;
+    }
+    const auto outcome = run_session(prover, restored, link);
+    if (outcome.phase != net::ProverPhase::Done) {
+      std::printf("recovered session gave up — rerun with another seed\n");
+      return 1;
+    }
+    std::printf("recovered run : %s at tick %llu\n",
+                verify::verdict_name(outcome.verdict->verdict),
+                static_cast<unsigned long long>(link.now()));
+    print_digest("                digest ", outcome.verdict->digest);
+    std::printf("                digest %s the lossless reference\n",
+                outcome.verdict->digest == reference ? "MATCHES" : "DIVERGES");
+    if (outcome.verdict->digest != reference) return 1;
+  }
+  return 0;
+}

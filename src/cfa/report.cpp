@@ -422,12 +422,16 @@ Decoded<SignedReport> try_decode_report(std::span<const u8> bytes) {
   return report;
 }
 
-std::vector<u8> encode_report_chain(const std::vector<SignedReport>& chain) {
+std::vector<u8> encode_report_chain(std::span<const SignedReport> chain) {
   std::vector<u8> out;
   out.insert(out.end(), std::begin(kChainMagic), std::end(kChainMagic));
   put_u32(out, static_cast<u32>(chain.size()));
   for (const auto& report : chain) append_report(out, report);
   return out;
+}
+
+std::vector<u8> encode_report_chain(const std::vector<SignedReport>& chain) {
+  return encode_report_chain(std::span<const SignedReport>(chain));
 }
 
 Decoded<std::vector<SignedReport>> try_decode_report_chain(

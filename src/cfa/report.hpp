@@ -126,6 +126,9 @@ std::vector<u8> encode_report(const SignedReport& report);
 Decoded<SignedReport> try_decode_report(std::span<const u8> bytes);
 
 std::vector<u8> encode_report_chain(const std::vector<SignedReport>& chain);
+/// Span form: the delivery layer reassembles chains from per-datagram
+/// reports and re-frames them without first copying into a vector.
+std::vector<u8> encode_report_chain(std::span<const SignedReport> chain);
 Decoded<std::vector<SignedReport>> try_decode_report_chain(
     std::span<const u8> bytes);
 

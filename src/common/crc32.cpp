@@ -1,0 +1,40 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace raptrack {
+
+namespace {
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 n = 0; n < 256; ++n) {
+    u32 c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb8'8320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<u32, 256> kTable = make_table();
+
+}  // namespace
+
+u32 crc32_init() { return 0xffff'ffffu; }
+
+u32 crc32_update(u32 state, std::span<const u8> bytes) {
+  for (const u8 byte : bytes) {
+    state = kTable[(state ^ byte) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+u32 crc32_final(u32 state) { return state ^ 0xffff'ffffu; }
+
+u32 crc32(std::span<const u8> bytes) {
+  return crc32_final(crc32_update(crc32_init(), bytes));
+}
+
+}  // namespace raptrack

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for link framing and
+// snapshot integrity. This is an *error-detection* code, not authentication:
+// the datagram layer uses it to discard line-corrupted frames cheaply before
+// any crypto runs, and snapshot files use it to refuse torn/truncated state.
+// Anything adversarial must still pass the HMAC above this layer.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace raptrack {
+
+/// One-shot CRC over `bytes` (init 0xFFFFFFFF, final xor 0xFFFFFFFF — the
+/// common zlib/PNG convention, so golden values are easy to cross-check).
+u32 crc32(std::span<const u8> bytes);
+
+/// Streaming form: `state` starts at crc32_init(), feed chunks through
+/// crc32_update, read the value with crc32_final.
+u32 crc32_init();
+u32 crc32_update(u32 state, std::span<const u8> bytes);
+u32 crc32_final(u32 state);
+
+}  // namespace raptrack

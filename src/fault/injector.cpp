@@ -50,6 +50,13 @@ std::vector<InjectorKind> transport_injectors() {
           InjectorKind::ForgeReport,     InjectorKind::WireBitFlip};
 }
 
+std::vector<InjectorKind> mutating_transport_injectors() {
+  return {InjectorKind::PayloadBitFlip,  InjectorKind::PayloadTruncate,
+          InjectorKind::MacTamper,       InjectorKind::SequenceTamper,
+          InjectorKind::ChallengeTamper, InjectorKind::HmemTamper,
+          InjectorKind::FinalFlagTamper, InjectorKind::TypeConfusion};
+}
+
 std::vector<InjectorKind> device_injectors() {
   return {InjectorKind::MtbSramBitFlip, InjectorKind::MtbWatermarkGlitch,
           InjectorKind::SvcDropLoopValue, InjectorKind::SvcDoubleLoopValue};

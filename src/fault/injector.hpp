@@ -52,6 +52,10 @@ bool is_device_level(InjectorKind kind);
 std::vector<InjectorKind> transport_injectors();
 std::vector<InjectorKind> device_injectors();
 std::vector<InjectorKind> all_injectors();
+/// Transport injectors that mutate a single report in place (no chain
+/// reshuffling): the corruption source for per-datagram link tampering,
+/// where the adversary holds exactly one framed report at a time.
+std::vector<InjectorKind> mutating_transport_injectors();
 
 /// What one injector actually did (empty detail = nothing).
 struct FaultRecord {

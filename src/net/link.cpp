@@ -1,0 +1,117 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/injector.hpp"
+#include "net/wire.hpp"
+
+namespace raptrack::net {
+
+namespace {
+
+/// Adversarial in-path mutation of one frame. A Data frame's SignedReport
+/// is decoded, run through one seeded mutating transport injector (the PR-1
+/// corruption source), re-encoded and re-framed with a valid CRC — the
+/// datagram survives the link layer and the forgery must die at the MAC.
+/// Non-Data frames (and undecodable ones) fall back to a blind bit flip,
+/// which the receiver CRC converts into a drop.
+std::vector<u8> tamper_frame(Xoshiro256& rng, std::vector<u8> frame) {
+  auto decoded = try_decode_datagram(frame);
+  if (decoded.ok() && decoded->kind == DatagramKind::Data) {
+    auto report = cfa::try_decode_report(decoded->payload);
+    if (report.ok()) {
+      const auto kinds = fault::mutating_transport_injectors();
+      fault::FaultPlan plan(rng.next());
+      plan.add(kinds[rng.next_below(kinds.size())]);
+      std::vector<cfa::SignedReport> chain = {std::move(*report)};
+      fault::apply_transport_faults(plan, chain);
+      if (!chain.empty()) {
+        decoded->payload = cfa::encode_report(chain.front());
+        decoded->seq = chain.front().sequence;
+        return encode_datagram(*decoded);
+      }
+    }
+  }
+  if (!frame.empty()) {
+    const u64 bit = rng.next_below(frame.size() * 8);
+    frame[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+  }
+  return frame;
+}
+
+}  // namespace
+
+LinkModel LinkModel::lossy(u32 loss_permille) {
+  LinkModel model;
+  model.drop_permille = loss_permille;
+  model.dup_permille = loss_permille / 2;
+  model.reorder_permille = loss_permille / 2;
+  model.delay_min_ticks = 1;
+  model.delay_max_ticks = 4;
+  return model;
+}
+
+LossyLink::LossyLink(LinkModel model, u64 seed) : model_(model), rng_(seed) {
+  if (model_.delay_min_ticks == 0) model_.delay_min_ticks = 1;
+  if (model_.delay_max_ticks < model_.delay_min_ticks) {
+    model_.delay_max_ticks = model_.delay_min_ticks;
+  }
+}
+
+void LossyLink::enqueue(u64 now, std::vector<u8> frame, bool reordered) {
+  u64 delay = model_.delay_min_ticks +
+              rng_.next_below(model_.delay_max_ticks - model_.delay_min_ticks + 1);
+  if (reordered) {
+    // A delay spike of several base windows: later frames with normal
+    // delays overtake this one.
+    delay += 1 + rng_.next_below(4ull * model_.delay_max_ticks);
+    ++stats_.reordered;
+  }
+  queue_.emplace(std::pair{now + delay, arrivals_++}, std::move(frame));
+}
+
+void LossyLink::send(u64 now, std::vector<u8> frame) {
+  ++stats_.sent;
+  stats_.bytes_sent += frame.size();
+  if (model_.drop_permille != 0 && rng_.chance(model_.drop_permille, 1000)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (model_.tamper_permille != 0 && rng_.chance(model_.tamper_permille, 1000)) {
+    ++stats_.tampered;
+    frame = tamper_frame(rng_, std::move(frame));
+  } else if (model_.corrupt_permille != 0 &&
+             rng_.chance(model_.corrupt_permille, 1000)) {
+    ++stats_.corrupted;
+    if (!frame.empty()) {
+      const u64 bit = rng_.next_below(frame.size() * 8);
+      frame[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    }
+  }
+  const bool duplicate =
+      model_.dup_permille != 0 && rng_.chance(model_.dup_permille, 1000);
+  const bool reorder =
+      model_.reorder_permille != 0 && rng_.chance(model_.reorder_permille, 1000);
+  if (duplicate) {
+    ++stats_.duplicated;
+    enqueue(now, frame, /*reordered=*/false);
+  }
+  enqueue(now, std::move(frame), reorder);
+}
+
+std::vector<std::vector<u8>> LossyLink::deliver_due(u64 now) {
+  std::vector<std::vector<u8>> due;
+  while (!queue_.empty() && queue_.begin()->first.first <= now) {
+    due.push_back(std::move(queue_.begin()->second));
+    queue_.erase(queue_.begin());
+  }
+  stats_.delivered += due.size();
+  return due;
+}
+
+DuplexLink::DuplexLink(LinkModel to_verifier, LinkModel to_prover, u64 seed)
+    : to_verifier_(to_verifier, SplitMix64(seed).next()),
+      to_prover_(to_prover, SplitMix64(seed ^ 0x9e3779b97f4a7c15ull).next()) {}
+
+}  // namespace raptrack::net

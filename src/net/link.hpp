@@ -1,0 +1,116 @@
+// Simulated unreliable duplex link between prover and verifier.
+//
+// Time is a virtual tick counter owned by the DuplexLink — no wall clock
+// anywhere — and every random choice (loss, duplication, reordering delay,
+// corruption position, tamper mutation) comes from one seeded generator, so
+// an entire lossy-link campaign replays bit-for-bit from (models, seed).
+// Failing tests print that seed; re-running it reproduces the exact
+// datagram schedule.
+//
+// Each direction is an independent LossyLink applying, per frame:
+//   * drop      — the frame vanishes;
+//   * duplicate — a second copy is enqueued with its own delay;
+//   * delay     — uniform in [delay_min_ticks, delay_max_ticks];
+//   * reorder   — an extra delay spike, which inverts delivery order
+//                 against later traffic;
+//   * corrupt   — one random bit flipped anywhere in the frame (the
+//                 receiver's CRC turns this into a drop);
+//   * tamper    — an *adversarial* mutation: a Data frame's SignedReport is
+//                 run through one seeded fault::mutating_transport_injectors
+//                 kind and re-framed with a valid CRC. The frame parses; the
+//                 report's MAC no longer verifies. This is the PR-1
+//                 corruption source aimed at the delivery layer.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace raptrack::net {
+
+/// Per-direction fault model. Rates are permille (0..1000) per frame.
+struct LinkModel {
+  u32 drop_permille = 0;
+  u32 dup_permille = 0;
+  u32 reorder_permille = 0;
+  u32 corrupt_permille = 0;
+  u32 tamper_permille = 0;
+  u32 delay_min_ticks = 1;
+  u32 delay_max_ticks = 2;
+
+  /// A symmetric lossy profile: loss/dup/reorder at `loss_permille` each
+  /// (dup and reorder at half), short delays. The soak harness sweeps this.
+  static LinkModel lossy(u32 loss_permille);
+};
+
+struct LinkStats {
+  u64 sent = 0;        ///< frames offered to the link
+  u64 delivered = 0;   ///< frames handed to the receiver
+  u64 dropped = 0;
+  u64 duplicated = 0;
+  u64 reordered = 0;
+  u64 corrupted = 0;
+  u64 tampered = 0;
+  u64 bytes_sent = 0;  ///< offered bytes (goodput denominator)
+};
+
+/// One direction of the link: a seeded delay queue with faults.
+class LossyLink {
+ public:
+  LossyLink(LinkModel model, u64 seed);
+
+  /// Offer one frame at time `now`. Faults apply here; surviving copies are
+  /// scheduled for delivery at a later tick.
+  void send(u64 now, std::vector<u8> frame);
+
+  /// Frames due at or before `now`, in (due_tick, arrival order) — the
+  /// deterministic delivery order the seed fixes.
+  std::vector<std::vector<u8>> deliver_due(u64 now);
+
+  const LinkStats& stats() const { return stats_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  void enqueue(u64 now, std::vector<u8> frame, bool reordered);
+
+  LinkModel model_;
+  Xoshiro256 rng_;
+  LinkStats stats_;
+  u64 arrivals_ = 0;  ///< tie-break so equal due-ticks deliver in send order
+  std::map<std::pair<u64, u64>, std::vector<u8>> queue_;  ///< (due, arrival)
+};
+
+/// Both directions plus the shared virtual clock.
+class DuplexLink {
+ public:
+  DuplexLink(LinkModel to_verifier, LinkModel to_prover, u64 seed);
+
+  u64 now() const { return now_; }
+  void advance() { ++now_; }
+
+  void send_to_verifier(std::vector<u8> frame) {
+    to_verifier_.send(now_, std::move(frame));
+  }
+  void send_to_prover(std::vector<u8> frame) {
+    to_prover_.send(now_, std::move(frame));
+  }
+  std::vector<std::vector<u8>> receive_at_verifier() {
+    return to_verifier_.deliver_due(now_);
+  }
+  std::vector<std::vector<u8>> receive_at_prover() {
+    return to_prover_.deliver_due(now_);
+  }
+
+  const LinkStats& to_verifier_stats() const { return to_verifier_.stats(); }
+  const LinkStats& to_prover_stats() const { return to_prover_.stats(); }
+  bool idle() const { return to_verifier_.idle() && to_prover_.idle(); }
+
+ private:
+  u64 now_ = 0;
+  LossyLink to_verifier_;
+  LossyLink to_prover_;
+};
+
+}  // namespace raptrack::net

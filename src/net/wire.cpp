@@ -1,0 +1,207 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+
+#include "common/crc32.hpp"
+#include "crypto/sha256.hpp"
+
+namespace raptrack::net {
+
+namespace {
+
+constexpr u8 kMagic[4] = {'D', 'G', 'M', '1'};
+
+void put_u32(std::vector<u8>& out, u32 value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(value >> (8 * i)));
+}
+
+void put_u64(std::vector<u8>& out, u64 value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(value >> (8 * i)));
+}
+
+/// Non-throwing bounds-checked cursor (same discipline as the report
+/// codecs: hostile bytes yield an error value, never a crash).
+struct Reader {
+  std::span<const u8> data;
+  size_t pos = 0;
+  bool failed = false;
+
+  u8 u8_value() {
+    if (failed || data.size() - pos < 1) {
+      failed = true;
+      return 0;
+    }
+    return data[pos++];
+  }
+
+  u32 u32_value() {
+    if (failed || data.size() - pos < 4) {
+      failed = true;
+      return 0;
+    }
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  u64 u64_value() {
+    if (failed || data.size() - pos < 8) {
+      failed = true;
+      return 0;
+    }
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  std::span<const u8> subspan(size_t count) {
+    if (failed || data.size() - pos < count) {
+      failed = true;
+      return {};
+    }
+    const auto result = data.subspan(pos, count);
+    pos += count;
+    return result;
+  }
+
+  bool done() const { return !failed && pos == data.size(); }
+};
+
+template <typename T>
+cfa::Decoded<T> fail(std::string why) {
+  return cfa::Decoded<T>::failure(std::move(why));
+}
+
+}  // namespace
+
+bool datagram_kind_valid(u8 value) {
+  return value >= static_cast<u8>(DatagramKind::Data) &&
+         value <= static_cast<u8>(DatagramKind::Verdict);
+}
+
+std::vector<u8> encode_datagram(const Datagram& dgram) {
+  std::vector<u8> out;
+  out.reserve(33 + dgram.payload.size());
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  out.push_back(static_cast<u8>(dgram.kind));
+  put_u64(out, dgram.device);
+  put_u64(out, dgram.session);
+  put_u32(out, dgram.seq);
+  put_u32(out, static_cast<u32>(dgram.payload.size()));
+  out.insert(out.end(), dgram.payload.begin(), dgram.payload.end());
+  put_u32(out, crc32(out));
+  return out;
+}
+
+cfa::Decoded<Datagram> try_decode_datagram(std::span<const u8> bytes) {
+  using D = Datagram;
+  if (bytes.size() < 33) return fail<D>("datagram: truncated");
+  if (!std::equal(std::begin(kMagic), std::end(kMagic), bytes.begin())) {
+    return fail<D>("datagram: bad magic");
+  }
+  const auto body = bytes.first(bytes.size() - 4);
+  u32 stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<u32>(bytes[bytes.size() - 4 + i]) << (8 * i);
+  }
+  if (crc32(body) != stored) return fail<D>("datagram: CRC mismatch");
+
+  Reader reader{body.subspan(sizeof(kMagic))};
+  Datagram dgram;
+  const u8 kind = reader.u8_value();
+  if (!datagram_kind_valid(kind)) return fail<D>("datagram: unknown kind");
+  dgram.kind = static_cast<DatagramKind>(kind);
+  dgram.device = reader.u64_value();
+  dgram.session = reader.u64_value();
+  dgram.seq = reader.u32_value();
+  const u32 payload_len = reader.u32_value();
+  const auto payload = reader.subspan(payload_len);
+  dgram.payload.assign(payload.begin(), payload.end());
+  if (!reader.done()) return fail<D>("datagram: bad payload length");
+  return cfa::Decoded<D>::success(std::move(dgram));
+}
+
+std::vector<u8> encode_nack_ranges(std::span<const SeqRange> ranges) {
+  std::vector<u8> out;
+  put_u32(out, static_cast<u32>(ranges.size()));
+  for (const auto& range : ranges) {
+    put_u32(out, range.first);
+    put_u32(out, range.count);
+  }
+  return out;
+}
+
+cfa::Decoded<std::vector<SeqRange>> try_decode_nack_ranges(
+    std::span<const u8> payload) {
+  using Ranges = std::vector<SeqRange>;
+  Reader reader{payload};
+  const u32 count = reader.u32_value();
+  // 8 bytes per range; reject forged counts before allocating.
+  if (count > payload.size() / 8) return fail<Ranges>("nack: forged count");
+  Ranges ranges;
+  ranges.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    SeqRange range;
+    range.first = reader.u32_value();
+    range.count = reader.u32_value();
+    ranges.push_back(range);
+  }
+  if (!reader.done()) return fail<Ranges>("nack: trailing bytes");
+  return cfa::Decoded<Ranges>::success(std::move(ranges));
+}
+
+std::vector<u8> encode_verdict(const VerdictMessage& message) {
+  std::vector<u8> out;
+  out.push_back(static_cast<u8>(message.verdict));
+  out.insert(out.end(), message.digest.begin(), message.digest.end());
+  put_u32(out, static_cast<u32>(message.detail.size()));
+  out.insert(out.end(), message.detail.begin(), message.detail.end());
+  return out;
+}
+
+cfa::Decoded<VerdictMessage> try_decode_verdict(std::span<const u8> payload) {
+  using M = VerdictMessage;
+  Reader reader{payload};
+  const u8 verdict = reader.u8_value();
+  if (verdict > static_cast<u8>(verify::Verdict::Inconclusive)) {
+    return fail<M>("verdict: unknown discriminant");
+  }
+  VerdictMessage message;
+  message.verdict = static_cast<verify::Verdict>(verdict);
+  const auto digest = reader.subspan(message.digest.size());
+  if (reader.failed) return fail<M>("verdict: truncated");
+  std::copy(digest.begin(), digest.end(), message.digest.begin());
+  const u32 detail_len = reader.u32_value();
+  const auto detail = reader.subspan(detail_len);
+  message.detail.assign(detail.begin(), detail.end());
+  if (!reader.done()) return fail<M>("verdict: trailing bytes");
+  return cfa::Decoded<M>::success(std::move(message));
+}
+
+crypto::Digest result_digest(const verify::VerificationResult& result) {
+  crypto::Sha256 hasher;
+  hasher.update(std::string_view(verify::verdict_name(result.verdict)));
+  hasher.update(std::string_view("\n"));
+  hasher.update(std::string_view(result.detail));
+  hasher.update(std::string_view("\n"));
+  std::vector<u8> tail;
+  for (const auto& gap : result.gaps) {
+    for (int i = 0; i < 4; ++i) {
+      tail.push_back(static_cast<u8>(gap.first_missing >> (8 * i)));
+    }
+    for (int i = 0; i < 4; ++i) {
+      tail.push_back(static_cast<u8>(gap.missing_count >> (8 * i)));
+    }
+  }
+  const u8 flags = static_cast<u8>(result.authentic) |
+                   static_cast<u8>(result.fresh) << 1 |
+                   static_cast<u8>(result.chain_ok) << 2 |
+                   static_cast<u8>(result.reconstruction_ok) << 3;
+  tail.push_back(flags);
+  hasher.update(tail);
+  return hasher.finalize();
+}
+
+}  // namespace raptrack::net

@@ -1,0 +1,95 @@
+// Datagram wire format for the Prv -> Vrf delivery link.
+//
+// A SignedReport is the unit of *evidence*; a Datagram is the unit of
+// *delivery*. Each frame carries a kind, the (device, session) addressing
+// pair, a sequence field, an opaque payload, and a CRC-32 trailer:
+//
+//   "DGM1" | kind:u8 | device:u64 | session:u64 | seq:u32 |
+//   payload_len:u32 | payload | crc32:u32
+//
+// The CRC is error *detection* only — it lets a receiver discard
+// line-corrupted frames for the price of a table lookup per byte, before
+// any crypto runs. Authentication stays where it belongs: the HMAC on the
+// SignedReport inside a Data payload. An adversary can forge a CRC; they
+// cannot forge the MAC.
+//
+// Kinds and their payloads:
+//   Data    — one wire-encoded SignedReport ("RPT1..."); `seq` echoes the
+//             report's sequence number so ACK bookkeeping never needs to
+//             parse the payload.
+//   Ack     — `seq` is the cumulative ACK (every report sequence < seq has
+//             been received); the payload is a selective-NACK range list,
+//             the verifier's VerifyResult.gaps translated to "re-send
+//             exactly these" requests.
+//   Verdict — the terminal result of the session: verdict byte, canonical
+//             result digest, and the human-readable detail string.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cfa/report.hpp"
+#include "common/types.hpp"
+#include "verify/verifier.hpp"
+
+namespace raptrack::net {
+
+enum class DatagramKind : u8 {
+  Data = 1,
+  Ack = 2,
+  Verdict = 3,
+};
+
+/// Is `value` one of the defined DatagramKind discriminants?
+bool datagram_kind_valid(u8 value);
+
+struct Datagram {
+  DatagramKind kind = DatagramKind::Data;
+  u64 device = 0;   ///< verify::DeviceId of the prover
+  u64 session = 0;  ///< one attestation episode on that device
+  u32 seq = 0;      ///< Data: report sequence; Ack: cumulative ack
+  std::vector<u8> payload;
+};
+
+std::vector<u8> encode_datagram(const Datagram& dgram);
+/// CRC-checked, bounds-checked decode of one frame. Corrupted, truncated
+/// or trailing bytes fail (the link layer treats a failure as loss).
+cfa::Decoded<Datagram> try_decode_datagram(std::span<const u8> bytes);
+
+// -- Ack payload: selective-NACK ranges --------------------------------------
+
+/// One hole the verifier wants re-sent: report sequences
+/// [first, first + count). Mirrors verify::ChainGap.
+struct SeqRange {
+  u32 first = 0;
+  u32 count = 0;
+
+  friend bool operator==(const SeqRange&, const SeqRange&) = default;
+};
+
+std::vector<u8> encode_nack_ranges(std::span<const SeqRange> ranges);
+cfa::Decoded<std::vector<SeqRange>> try_decode_nack_ranges(
+    std::span<const u8> payload);
+
+// -- Verdict payload ---------------------------------------------------------
+
+struct VerdictMessage {
+  verify::Verdict verdict = verify::Verdict::Reject;
+  crypto::Digest digest{};  ///< result_digest() of the terminal result
+  std::string detail;
+
+  friend bool operator==(const VerdictMessage&, const VerdictMessage&) = default;
+};
+
+std::vector<u8> encode_verdict(const VerdictMessage& message);
+cfa::Decoded<VerdictMessage> try_decode_verdict(std::span<const u8> payload);
+
+/// Canonical digest of a terminal verification result: SHA-256 over the
+/// verdict name, the detail string, and the gap list. Two runs that decide
+/// a session identically — e.g. a straight-through campaign and one that
+/// crash-recovered from a SessionStore snapshot halfway — produce the same
+/// digest, which is the recovery invariant the tests pin.
+crypto::Digest result_digest(const verify::VerificationResult& result);
+
+}  // namespace raptrack::net

@@ -31,6 +31,15 @@ struct FarmMetrics {
   obs::Counter completed = obs::registry().counter("farm.jobs_completed");
   obs::Counter hmac_rejects = obs::registry().counter("farm.hmac_batch_rejects");
   obs::Counter parse_rejects = obs::registry().counter("farm.wire_parse_rejects");
+  obs::Counter worker_panics = obs::registry().counter("farm.worker_panics");
+  obs::Counter quarantine_opened =
+      obs::registry().counter("farm.quarantine.opened");
+  obs::Counter quarantine_closed =
+      obs::registry().counter("farm.quarantine.closed");
+  obs::Counter quarantine_probes =
+      obs::registry().counter("farm.quarantine.half_open_probes");
+  obs::Counter quarantine_door_rejects =
+      obs::registry().counter("farm.quarantine.door_rejects");
   obs::Gauge queue_hwm = obs::registry().gauge("farm.queue_depth_hwm");
   obs::Histogram mailbox_wait = obs::registry().histogram(
       "farm.mailbox_wait_us", {10, 100, 1000, 10'000, 100'000, 1'000'000});
@@ -46,6 +55,8 @@ struct FarmMetrics {
 VerifierFarm::VerifierFarm(crypto::Key key, FarmOptions options, u64 rng_seed)
     : key_schedule_(key),
       queue_capacity_(std::max<size_t>(options.queue_capacity, 1)),
+      quarantine_(options.quarantine),
+      fault_hook_(std::move(options.fault_hook)),
       rng_(rng_seed) {
   size_t count = options.workers;
   if (count == 0) count = std::max(1u, std::thread::hardware_concurrency());
@@ -131,6 +142,24 @@ std::future<VerificationResult> VerifierFarm::enqueue(DeviceId device,
     return future;
   }
   DeviceState& state = it->second;
+  // Quarantine door: an open breaker rejects without spending a worker; the
+  // cooldown counts these rejects down to the half-open probe admission.
+  if (quarantine_.enabled && state.breaker != Breaker::Closed) {
+    if (state.breaker == Breaker::HalfOpen || state.cooldown_left > 0) {
+      if (state.cooldown_left > 0) --state.cooldown_left;
+      lock.unlock();
+      if constexpr (obs::kEnabled) {
+        FarmMetrics::get().quarantine_door_rejects.inc();
+      }
+      job.promise.set_value(
+          rejection(state.breaker == Breaker::HalfOpen
+                        ? "device quarantined (probe in flight)"
+                        : "device quarantined (circuit open)"));
+      return future;
+    }
+    state.breaker = Breaker::HalfOpen;  // admit this job as the probe
+    if constexpr (obs::kEnabled) FarmMetrics::get().quarantine_probes.inc();
+  }
   if constexpr (obs::kEnabled) {
     job.enqueue_ns = obs_now_ns();
     FarmMetrics::get().submitted.inc();
@@ -151,7 +180,9 @@ std::future<VerificationResult> VerifierFarm::enqueue(DeviceId device,
 }
 
 VerificationResult VerifierFarm::execute(DeviceId device,
-                                         const DeviceState& state, Job& job) {
+                                         const DeviceState& state, Job& job,
+                                         bool* forgery) {
+  if (fault_hook_) fault_hook_(device);
   if (!state.deployment) {
     return rejection("verifier has no expected deployment");
   }
@@ -161,8 +192,15 @@ VerificationResult VerifierFarm::execute(DeviceId device,
     for (const auto& report : job.reports) {
       views.push_back(cfa::ReportView::of(report));
     }
-    return verify_report_chain(*state.deployment, state.config, key_schedule_,
-                               sessions_, device, job.chal, views);
+    auto result =
+        verify_report_chain(*state.deployment, state.config, key_schedule_,
+                            sessions_, device, job.chal, views);
+    // The serial MAC pass rejects with this exact wording; everything else
+    // that fails before `authentic` (empty chain, operator errors) is not
+    // evidence of forgery and must not trip the breaker.
+    *forgery = result.verdict == Verdict::Reject && !result.authentic &&
+               result.detail.rfind("report MAC invalid", 0) == 0;
+    return result;
   }
   // Zero-copy wire admission: parse views over the receive buffer, then
   // batch-check every MAC off it before the protocol core runs.
@@ -174,6 +212,7 @@ VerificationResult VerifierFarm::execute(DeviceId device,
   auto parsed = cfa::try_parse_chain_views(job.wire);
   if (!parsed.ok()) {
     if constexpr (obs::kEnabled) FarmMetrics::get().parse_rejects.inc();
+    *forgery = true;  // unparseable wire bytes: corruption or an attacker
     return rejection(std::move(parsed.error));
   }
   {
@@ -183,6 +222,7 @@ VerificationResult VerifierFarm::execute(DeviceId device,
     for (const auto& view : *parsed) claims.push_back(view.claim());
     if (const auto bad = crypto::hmac_verify_batch(key_schedule_, claims)) {
       if constexpr (obs::kEnabled) FarmMetrics::get().hmac_rejects.inc();
+      *forgery = true;
       // Identical wording to the serial MAC pass, so wire and decoded
       // submissions of the same chain yield byte-identical verdicts.
       return rejection("report MAC invalid (seq " +
@@ -215,11 +255,32 @@ void VerifierFarm::worker_loop() {
       FarmMetrics::get().mailbox_wait.observe(
           (obs_now_ns() - job.enqueue_ns) / 1000);
     }
-    VerificationResult result = execute(device, state, job);
+    // Panic containment: verification is adversary-facing and must be total,
+    // but a bug (or an injected fault) that escapes as an exception may not
+    // take the worker thread — and with it every queued device — down. The
+    // job resolves Inconclusive (the evidence was not adjudicated; the
+    // challenge stays outstanding for a retry) and the loop continues, so
+    // the device's remaining mailbox is re-queued as usual below.
+    VerificationResult result;
+    bool forgery = false;
+    try {
+      result = execute(device, state, job, &forgery);
+    } catch (const std::exception& e) {
+      if constexpr (obs::kEnabled) FarmMetrics::get().worker_panics.inc();
+      result = VerificationResult{};
+      result.verdict = Verdict::Inconclusive;
+      result.detail = std::string("verifier exception contained: ") + e.what();
+    } catch (...) {
+      if constexpr (obs::kEnabled) FarmMetrics::get().worker_panics.inc();
+      result = VerificationResult{};
+      result.verdict = Verdict::Inconclusive;
+      result.detail = "verifier exception contained: unknown exception";
+    }
     if constexpr (obs::kEnabled) FarmMetrics::get().completed.inc();
     job.promise.set_value(std::move(result));
 
     lock.lock();
+    if (quarantine_.enabled) update_breaker(state, forgery);
     state.scheduled = false;
     if (!state.mailbox.empty()) {
       ready_.push_back(device);
@@ -229,6 +290,50 @@ void VerifierFarm::worker_loop() {
     space_cv_.notify_one();
     if (queued_ == 0) drain_cv_.notify_all();
   }
+}
+
+void VerifierFarm::update_breaker(DeviceState& state, bool forgery) {
+  if (!forgery) {
+    state.strikes = 0;
+    if (state.breaker == Breaker::HalfOpen) {
+      // The probe came back clean: re-admit the device fully.
+      state.breaker = Breaker::Closed;
+      state.reopens = 0;
+      if constexpr (obs::kEnabled) FarmMetrics::get().quarantine_closed.inc();
+    }
+    return;
+  }
+  ++state.strikes;
+  const auto open_with_backoff = [&] {
+    state.breaker = Breaker::Open;
+    state.strikes = 0;
+    const u32 factor =
+        std::min<u32>(u32{1} << std::min<u32>(state.reopens, 31),
+                      std::max<u32>(quarantine_.backoff_cap, 1));
+    state.cooldown_left = std::max<u32>(quarantine_.cooldown, 1) * factor;
+    if constexpr (obs::kEnabled) FarmMetrics::get().quarantine_opened.inc();
+  };
+  if (state.breaker == Breaker::HalfOpen) {
+    // Probe failed: re-open with the cooldown doubled (capped).
+    ++state.reopens;
+    open_with_backoff();
+  } else if (state.breaker == Breaker::Closed &&
+             state.strikes >= std::max<u32>(quarantine_.strike_threshold, 1)) {
+    open_with_backoff();
+  }
+}
+
+VerifierFarm::Breaker VerifierFarm::breaker_state(DeviceId device) const {
+  std::lock_guard lock(mu_);
+  const auto it = devices_.find(device);
+  return it == devices_.end() ? Breaker::Closed : it->second.breaker;
+}
+
+void VerifierFarm::penalize(DeviceId device, u32 strikes) {
+  if (!quarantine_.enabled) return;
+  std::lock_guard lock(mu_);
+  DeviceState& state = devices_[device];
+  for (u32 i = 0; i < strikes; ++i) update_breaker(state, /*forgery=*/true);
 }
 
 void VerifierFarm::drain() {

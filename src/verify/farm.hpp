@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -39,11 +40,40 @@
 
 namespace raptrack::verify {
 
+/// Per-device circuit breaker for a long-lived verification service. A
+/// device whose submissions keep failing authentication (MAC forgeries,
+/// unparseable wire chains) — or which the delivery layer reports as
+/// flooding (`penalize`) — is quarantined: further submissions are rejected
+/// at the door without spending a worker. After `cooldown` door-rejected
+/// admissions the breaker goes half-open and admits exactly one probe job;
+/// a clean probe closes the breaker, another forgery re-opens it with the
+/// cooldown doubled (capped at `cooldown * backoff_cap`).
+///
+/// Disabled by default: a quarantining farm is deliberately *not*
+/// verdict-identical to a serial Verifier (the differential tests pin that
+/// equivalence), so services opt in per FarmOptions.
+struct QuarantinePolicy {
+  bool enabled = false;
+  /// Consecutive forgery strikes that open the breaker.
+  u32 strike_threshold = 3;
+  /// Door-rejected admissions while open before a half-open probe.
+  u32 cooldown = 8;
+  /// Cooldown growth cap across re-opens (exponential, 1x..backoff_cap x).
+  u32 backoff_cap = 8;
+};
+
 struct FarmOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
   size_t workers = 0;
   /// Maximum unfinished jobs admitted before submit() blocks.
   size_t queue_capacity = 1024;
+  /// Per-device quarantine circuit breaker (disabled by default).
+  QuarantinePolicy quarantine;
+  /// Fault-injection hook, run inside the worker's containment scope just
+  /// before verification. Tests install a throwing hook to prove a panic in
+  /// the verify path yields Inconclusive and leaves the worker alive.
+  /// Must be thread-safe; never set in production.
+  std::function<void(DeviceId)> fault_hook;
 };
 
 class VerifierFarm {
@@ -86,6 +116,20 @@ class VerifierFarm {
 
   size_t worker_count() const { return workers_.size(); }
   SessionStore& sessions() { return sessions_; }
+  /// The RoT key schedule, shared with trusted delivery-layer components
+  /// (the VerifierEndpoint MAC-checks datagrams at the door with it).
+  const crypto::HmacKeySchedule& key_schedule() const { return key_schedule_; }
+
+  /// Quarantine breaker state for `device` (Closed when unknown).
+  enum class Breaker : u8 { Closed, Open, HalfOpen };
+  Breaker breaker_state(DeviceId device) const;
+
+  /// External abuse signal: the delivery layer counts `strikes` forgery
+  /// strikes against `device` (e.g. datagrams whose report MAC fails at the
+  /// endpoint door, or a session exceeding its datagram flood budget).
+  /// Feeds the same circuit breaker as in-farm forgery rejects. No-op when
+  /// quarantine is disabled.
+  void penalize(DeviceId device, u32 strikes = 1);
 
  private:
   struct Job {
@@ -101,11 +145,18 @@ class VerifierFarm {
     VerifyConfig config;
     std::deque<Job> mailbox;
     bool scheduled = false;  ///< a worker is running a job for this device
+    // Circuit breaker (see QuarantinePolicy). Guarded by the farm mutex.
+    Breaker breaker = Breaker::Closed;
+    u32 strikes = 0;        ///< consecutive forgery strikes
+    u32 cooldown_left = 0;  ///< door rejects remaining before a probe
+    u32 reopens = 0;        ///< re-open count (cooldown backoff factor)
   };
 
   std::future<VerificationResult> enqueue(DeviceId device, Job job);
   VerificationResult execute(DeviceId device, const DeviceState& state,
-                             Job& job);
+                             Job& job, bool* forgery);
+  /// One breaker transition under mu_: a forgery strike or a clean result.
+  void update_breaker(DeviceState& state, bool forgery);
   void worker_loop();
 
   crypto::HmacKeySchedule key_schedule_;
@@ -119,6 +170,8 @@ class VerifierFarm {
   std::deque<DeviceId> ready_;  ///< activation tokens (see file comment)
   size_t queued_ = 0;           ///< admitted but not yet completed jobs
   size_t queue_capacity_;
+  QuarantinePolicy quarantine_;
+  std::function<void(DeviceId)> fault_hook_;
   bool stopping_ = false;
 
   std::mutex rng_mu_;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +46,25 @@ class SessionStore {
   bool consume(DeviceId device, const cfa::Challenge& chal);
 
   size_t outstanding_count(DeviceId device) const;
+
+  // -- crash recovery --------------------------------------------------------
+  //
+  // A verifier restart mid-campaign must not forget which challenges are
+  // outstanding (the prover would be stuck retransmitting against a dead
+  // session) nor which are consumed (a replayed chain would Accept twice).
+  // serialize() emits a deterministic, checksummed snapshot of every
+  // device's challenge state: "SST1" | device_count | per device (sorted by
+  // id): id | outstanding... | used... | crc32 trailer.
+
+  /// Point-in-time snapshot of all shards. Safe to call concurrently with
+  /// updates (takes each shard lock in turn); the snapshot is consistent
+  /// per device, which is the unit recovery cares about.
+  std::vector<u8> serialize() const;
+
+  /// Replace the store's entire contents from a serialize() blob. Returns
+  /// false (leaving the store untouched) on bad magic, truncation, trailing
+  /// bytes, or a checksum mismatch — a torn snapshot must never half-load.
+  bool deserialize(std::span<const u8> bytes);
 
  private:
   struct DeviceSessions {

@@ -11,7 +11,9 @@
 // ThreadSanitizer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
+#include <stdexcept>
 #include <vector>
 
 #include "fault/campaign.hpp"
@@ -309,6 +311,48 @@ TEST(FarmMetricsInvariants, CountersReconcileWithFifoScenario) {
   EXPECT_GE(after.value("farm.queue_depth_hwm"), 1u);
   EXPECT_GE(after.value("farm.queue_depth_hwm"),
             before.value("farm.queue_depth_hwm"));
+}
+
+// Fault-injected regression for worker panic containment: an exception
+// escaping the verification path must yield Inconclusive for that job —
+// with the worker thread surviving to serve its mailbox — not a dead
+// worker and a hung future. The farm's fault hook stands in for a bug in
+// verify_report_chain (the hook runs inside the worker's execute path).
+TEST(FarmRobustness, WorkerPanicIsContainedAndTheWorkerSurvives) {
+  const Corpus& fuzz = corpus();
+  const Case& clean = fuzz.cases.front();
+  ASSERT_EQ(clean.label, "gps/clean");
+
+  constexpr DeviceId kFaulty = 7;
+  std::atomic<int> detonations{0};
+  FarmOptions options;
+  options.workers = 2;
+  options.fault_hook = [&](DeviceId device) {
+    if (device == kFaulty && detonations.fetch_add(1) == 0) {
+      throw std::runtime_error("injected worker fault");
+    }
+  };
+  VerifierFarm farm(apps::demo_key(), options);
+
+  for (const DeviceId device : {kFaulty, DeviceId{8}}) {
+    farm.provision(device, fuzz.deployments[clean.app], fuzz.config);
+    farm.adopt_challenge(device, clean.chal);
+  }
+  // First submission on the faulty device detonates inside the worker.
+  const VerificationResult contained =
+      farm.submit(kFaulty, clean.chal, clean.chain).get();
+  EXPECT_EQ(contained.verdict, Verdict::Inconclusive);
+  EXPECT_EQ(contained.detail.rfind("verifier exception contained", 0), 0u)
+      << contained.detail;
+  EXPECT_EQ(detonations.load(), 1);
+
+  // The panic consumed nothing: the challenge is still outstanding, and the
+  // same worker pool (no respawn machinery exists) verifies the retry and
+  // an unrelated device's chain to Accept.
+  EXPECT_EQ(farm.submit(kFaulty, clean.chal, clean.chain).get().verdict,
+            Verdict::Accept);
+  EXPECT_EQ(farm.submit(8, clean.chal, clean.chain).get().verdict,
+            Verdict::Accept);
 }
 
 }  // namespace

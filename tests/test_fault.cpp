@@ -12,7 +12,9 @@
 
 #include "fault/campaign.hpp"
 #include "lossless_helpers.hpp"
+#include "net/endpoint.hpp"
 #include "obs/metrics.hpp"
+#include "verify/farm.hpp"
 
 namespace raptrack {
 namespace {
@@ -247,6 +249,70 @@ TEST(FaultMetricsInvariants, CampaignCountersReconcileWithVerdictTallies) {
   EXPECT_EQ(delta("fault.verdict.accept") + delta("fault.verdict.reject") +
                 delta("fault.verdict.inconclusive"),
             delta("fault.runs"));
+}
+
+// Link-level plans: the campaign's mutating injectors applied at the
+// datagram layer instead of the chain level. An adversarial prover that
+// substitutes a mutated report for a genuine one (every mutating kind, at
+// several seeds) must never reach Accept — the verifier endpoint drops the
+// forgery at the MAC door, the gap never fills, and the session dies by
+// bounded give-up instead of terminal verdict.
+TEST(FaultLinkPlans, MutatedReportsOverTheLinkNeverYieldAccept) {
+  const PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const CampaignOptions options;
+  const AttestedRun clean = fault::attest_once(prepared, options);
+  ASSERT_TRUE(clean.functional_ok);
+  ASSERT_GT(clean.reports.size(), 2u);
+  const auto deployment = verify::Deployment::rap(
+      prepared.rap.program, prepared.rap.manifest, prepared.built.entry);
+  verify::VerifyConfig config;
+  config.expected_watermark = options.watermark_bytes;
+
+  verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  net::VerifierEndpoint endpoint(farm);
+
+  u64 runs = 0, effective = 0;
+  verify::DeviceId device = 9000;
+  for (const InjectorKind kind : fault::mutating_transport_injectors()) {
+    for (u64 seed = 1; seed <= 4; ++seed, ++device, ++runs) {
+      fault::FaultPlan plan(seed);
+      plan.add(kind);
+      std::vector<cfa::SignedReport> chain = clean.reports;
+      // Mutate one interior report; the rest of the chain stays genuine.
+      std::vector<cfa::SignedReport> victim = {chain[1]};
+      fault::apply_transport_faults(plan, victim);
+      if (victim.empty() || victim.front() == chain[1]) {
+        continue;  // this (kind, seed) fired nothing at the link level
+      }
+      chain[1] = victim.front();
+      ++effective;
+
+      farm.provision(device, deployment, config);
+      farm.adopt_challenge(device, clean.chal);
+      net::DuplexLink link(net::LinkModel{}, net::LinkModel{}, seed);
+      // Short retry budget: the unfillable gap should give up fast.
+      net::ProverOptions prover_options;
+      prover_options.max_retries = 3;
+      net::ProverEndpoint prover(device, 1, chain, prover_options, seed);
+      const net::SessionOutcome outcome =
+          run_session(prover, endpoint, link);
+
+      const std::string label = std::string(fault::injector_name(kind)) +
+                                " seed " + std::to_string(seed);
+      EXPECT_NE(outcome.phase, net::ProverPhase::Done) << label;
+      if (outcome.verdict.has_value()) {
+        EXPECT_NE(outcome.verdict->verdict, Verdict::Accept) << label;
+      }
+      EXPECT_GT(endpoint.stats().mac_drops + endpoint.stats().decode_drops, 0u)
+          << label;
+      const auto info = endpoint.session_info(device, 1);
+      ASSERT_TRUE(info.has_value()) << label;
+      EXPECT_FALSE(info->terminal) << label;
+    }
+  }
+  // The sweep must actually exercise forged deliveries.
+  EXPECT_GE(effective, fault::mutating_transport_injectors().size());
+  EXPECT_GE(runs, 4 * fault::mutating_transport_injectors().size());
 }
 
 }  // namespace
