@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
   const double chain_wire_bytes =
       static_cast<double>(cfa::encode_report_chain(clean.reports).size());
 
-  VerifierFarm farm(apps::demo_key(), {.workers = 4});
+  VerifierFarm farm(apps::demo_key(), {.workers = 4, .clamp_workers = false});
   net::VerifierEndpoint endpoint(farm);
 
   const u64 seeds_per_level = quick ? 4 : 40;

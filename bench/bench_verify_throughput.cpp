@@ -7,15 +7,22 @@
 //
 // Every job starts from the same place a real verifier frontend does — the
 // encoded wire bytes of one device's report chain — and runs to a terminal
-// verdict. Three modes per (app, attestation method, damage mix):
+// verdict. Modes per (app, attestation method, damage mix):
 //
 //   serial_rebuild — fresh Verifier + expect_rap() per chain: the pre-farm
 //                    cost model, where every verification re-derives the
 //                    deployment (re-decode, re-hash, linear manifest scans).
 //   serial_shared  — fresh Verifier sharing one prebuilt Deployment cache:
 //                    the single-thread hot path the farm runs per worker.
-//   farm           — VerifierFarm::submit_wire at 1/2/4/8 workers: sharded
-//                    scheduling, shared deployment, batched zero-copy MACs.
+//                    Measured twice, memo=off and memo=on, as the ablation
+//                    for the verified sub-path memo cache: the same wire
+//                    chain repeats across devices, so a warm cache should
+//                    replay whole windows per lookup instead of per step.
+//   farm           — VerifierFarm::submit_wire at 1/2/4/8 *requested*
+//                    workers: sharded scheduling, shared deployment+memo,
+//                    batched multi-lane MACs. FarmOptions clamps requests to
+//                    hardware_concurrency by default, so each row records
+//                    both workers_requested and the effective worker count.
 //
 // Damage mixes cover the verdict taxonomy so the bench prices all three
 // terminal paths: "clean" (Accept), "damaged" (dropped report →
@@ -23,15 +30,21 @@
 // cheap early exit).
 //
 // Emits BENCH_verify_throughput.json with one row per (app, method, mix,
-// mode, workers):
-//   { "app", "method", "mix", "mode", "workers", "chains", "reports",
-//     "wall_ns", "chains_per_s", "reports_per_s", "efficiency" }
-// plus "host_cpus": scaling efficiency (farm throughput at w workers over
-// w x farm throughput at 1) is bounded by the physical cores actually
-// present — on a 1-CPU host every multi-worker row measures scheduling
-// overhead, not speedup. The binary re-reads and validates the emitted file
-// and exits nonzero on any violation, so the bench-smoke ctest catches
-// format drift.
+// mode, memo, workers):
+//   { "app", "method", "mix", "mode", "memo", "workers",
+//     "workers_requested", "chains", "reports", "wall_ns", "chains_per_s",
+//     "reports_per_s", "memo_hit_rate", "efficiency" }
+// plus top-level "host_cpus" (scaling efficiency is bounded by physical
+// cores — on a 1-CPU host every multi-worker request clamps to one worker),
+// "hmac_lanes" (SHA-256 lanes the batched MAC check dispatches to on this
+// host) and "memo_enabled" (RAP_MEMO compile switch).
+//
+// Correctness tripwires, all fatal (ride the bench-smoke-verify ctest):
+//   - every timed verification must reproduce the workload's probed verdict;
+//   - per workload, the canonical verification digest must be byte-identical
+//     memo-off vs memo-on-cold vs memo-on-warm (memoization may only change
+//     wall time and cache telemetry, never the verification outcome);
+//   - the emitted JSON must re-validate against the row schema.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -42,9 +55,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/hex.hpp"
+#include "crypto/sha256_mb.hpp"
 #include "fault/campaign.hpp"
 #include "obs/metrics.hpp"
 #include "verify/farm.hpp"
+#include "verify/memo.hpp"
 
 namespace {
 
@@ -71,27 +87,59 @@ struct Row {
   std::string method;
   std::string mix;
   std::string mode;  // "serial_rebuild" | "serial_shared" | "farm"
-  size_t workers = 1;
+  std::string memo = "off";
+  size_t workers = 1;            ///< effective (post-clamp) worker count
+  size_t workers_requested = 1;  ///< what FarmOptions asked for
   size_t chains = 0;
   size_t reports = 0;
   u64 wall_ns = 0;
   double chains_per_s = 0.0;
   double reports_per_s = 0.0;
-  double efficiency = 1.0;  ///< farm: chains_per_s / (workers * w1 rate)
+  double memo_hit_rate = 0.0;  ///< memo hits / lookups inside the timed row
+  double efficiency = 1.0;     ///< farm: chains_per_s / (workers * w1 rate)
 };
+
+/// One verification of `w` against its shared deployment with memoization
+/// toggled, returning the canonical digest of the full result. Used for the
+/// probe and for the memo-off/memo-on byte-identity tripwire.
+verify::VerificationResult verify_once(const Workload& w, bool memo) {
+  verify::Verifier verifier(apps::demo_key());
+  verifier.expect(w.deployment);
+  verifier.set_expected_watermark(w.config.expected_watermark);
+  verifier.set_memo(memo);
+  verifier.adopt_challenge(w.chal);
+  const auto decoded = cfa::try_decode_report_chain(w.wire);
+  if (!decoded.ok()) return {};
+  return verifier.verify(w.chal, *decoded);
+}
 
 /// The reference verdict for a workload: one serial verification against its
 /// shared deployment. Damage mixes are recorded against this (DropReport on
 /// a multi-report chain lands Inconclusive, MacTamper lands Reject), and
 /// every timed verification below must keep reproducing it.
-Verdict probe(const Workload& w) {
-  verify::Verifier verifier(apps::demo_key());
-  verifier.expect(w.deployment);
-  verifier.set_expected_watermark(w.config.expected_watermark);
-  verifier.adopt_challenge(w.chal);
-  const auto decoded = cfa::try_decode_report_chain(w.wire);
-  if (!decoded.ok()) return Verdict::Reject;
-  return verifier.verify(w.chal, *decoded).verdict;
+Verdict probe(const Workload& w) { return verify_once(w, false).verdict; }
+
+/// Memoization must be outcome-invisible: the canonical digest over the
+/// verification result (verdict, findings, events, replay outcome — cache
+/// telemetry excluded) has to be byte-identical with the memo off, with a
+/// cold cache, and with a warm cache. Fatal on divergence, so the
+/// bench-smoke-verify ctest doubles as a differential check.
+void check_memo_digests(const Workload& w) {
+  w.deployment->memo().clear();
+  const std::string off = hex_digest(verify::verification_digest(
+      verify_once(w, false)));
+  const std::string cold = hex_digest(verify::verification_digest(
+      verify_once(w, true)));
+  const std::string warm = hex_digest(verify::verification_digest(
+      verify_once(w, true)));
+  if (off != cold || off != warm) {
+    std::fprintf(stderr,
+                 "error: %s/%s/%s memoized digest diverged\n  off  %s\n"
+                 "  cold %s\n  warm %s\n",
+                 w.app.c_str(), w.method.c_str(), w.mix.c_str(), off.c_str(),
+                 cold.c_str(), warm.c_str());
+    std::exit(1);
+  }
 }
 
 /// Build the (app x method x damage-mix) workload grid: attest each app once
@@ -163,6 +211,7 @@ std::vector<Workload> build_workloads(bool quick) {
         w.reports_per_chain = chain.size();
         w.wire = cfa::encode_report_chain(chain);
         w.expected = probe(w);
+        check_memo_digests(w);
         out.push_back(std::move(w));
       };
 
@@ -194,18 +243,40 @@ std::vector<Workload> build_workloads(bool quick) {
   return out;
 }
 
+/// Memo-lookup hit rate across a timed region, from the deployment cache's
+/// counter deltas. Zero when the region issued no lookups (memo off, or a
+/// RAP_MEMO=OFF build where the cache ignores traffic).
+struct MemoDelta {
+  verify::MemoStats before;
+  explicit MemoDelta(const Workload& w) : before(w.deployment->memo().stats()) {}
+  double hit_rate(const Workload& w) const {
+    const verify::MemoStats after = w.deployment->memo().stats();
+    const u64 hits = after.hits - before.hits;
+    const u64 lookups = hits + (after.misses - before.misses);
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
 /// One serial measurement: `chains` verifications of `w`, each starting from
 /// the wire bytes with a fresh Verifier (so every chain gets an outstanding
-/// challenge, exactly like distinct devices reporting in).
-Row measure_serial(const Workload& w, bool rebuild, size_t chains, int reps) {
+/// challenge, exactly like distinct devices reporting in). Memo-on rows
+/// start from a cleared cache, so the reported hit rate is what the repeated
+/// workload itself earned.
+Row measure_serial(const Workload& w, bool rebuild, bool memo, size_t chains,
+                   int reps) {
   Row row;
   row.app = w.app;
   row.method = w.method;
   row.mix = w.mix;
   row.mode = rebuild ? "serial_rebuild" : "serial_shared";
+  row.memo = memo ? "on" : "off";
   row.chains = chains;
   row.reports = chains * w.reports_per_chain;
   row.wall_ns = ~0ull;
+  if (memo) w.deployment->memo().clear();
+  const MemoDelta delta(w);
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     for (size_t i = 0; i < chains; ++i) {
@@ -231,6 +302,7 @@ Row measure_serial(const Workload& w, bool rebuild, size_t chains, int reps) {
         verifier.expect(w.deployment);
       }
       verifier.set_expected_watermark(w.config.expected_watermark);
+      verifier.set_memo(memo);
       verifier.adopt_challenge(w.chal);
       const auto decoded = cfa::try_decode_report_chain(w.wire);
       const verify::VerificationResult result =
@@ -249,6 +321,7 @@ Row measure_serial(const Workload& w, bool rebuild, size_t chains, int reps) {
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                 .count()));
   }
+  row.memo_hit_rate = delta.hit_rate(w);
   if (row.wall_ns == 0) row.wall_ns = 1;
   row.chains_per_s = static_cast<double>(chains) * 1e9 /
                      static_cast<double>(row.wall_ns);
@@ -258,20 +331,25 @@ Row measure_serial(const Workload& w, bool rebuild, size_t chains, int reps) {
 }
 
 /// One farm measurement: `chains` devices provisioned up front (sharing the
-/// workload's Deployment), then every wire chain submitted and drained.
-/// Timed region = submission + verification, the steady-state service loop.
+/// workload's Deployment and its memo cache), then every wire chain
+/// submitted and drained. Timed region = submission + verification, the
+/// steady-state service loop. `workers` is the *request*; the row records
+/// the post-clamp count the farm actually spawned.
 Row measure_farm(const Workload& w, size_t workers, size_t chains, int reps) {
   Row row;
   row.app = w.app;
   row.method = w.method;
   row.mix = w.mix;
   row.mode = "farm";
-  row.workers = workers;
+  row.memo = "on";
+  row.workers_requested = workers;
   row.chains = chains;
   row.reports = chains * w.reports_per_chain;
   row.wall_ns = ~0ull;
+  const MemoDelta delta(w);
   for (int rep = 0; rep < reps; ++rep) {
     VerifierFarm farm(apps::demo_key(), {.workers = workers});
+    row.workers = farm.worker_count();
     for (DeviceId device = 0; device < chains; ++device) {
       farm.provision(device, w.deployment, w.config);
       farm.adopt_challenge(device, w.chal);
@@ -297,6 +375,7 @@ Row measure_farm(const Workload& w, size_t workers, size_t chains, int reps) {
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                 .count()));
   }
+  row.memo_hit_rate = delta.hit_rate(w);
   if (row.wall_ns == 0) row.wall_ns = 1;
   row.chains_per_s = static_cast<double>(chains) * 1e9 /
                      static_cast<double>(row.wall_ns);
@@ -322,16 +401,22 @@ std::string render_json(const std::vector<Row>& rows, unsigned host_cpus,
   os << "  \"release\": " << (release ? "true" : "false") << ",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"host_cpus\": " << host_cpus << ",\n";
+  os << "  \"hmac_lanes\": " << crypto::sha256_mb_lanes() << ",\n";
+  os << "  \"memo_enabled\": " << (verify::kMemoEnabled ? "true" : "false")
+     << ",\n";
   os << "  \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     os << "    {\"app\": \"" << json_escape(r.app) << "\", \"method\": \""
        << json_escape(r.method) << "\", \"mix\": \"" << json_escape(r.mix)
-       << "\", \"mode\": \"" << r.mode
-       << "\", \"workers\": " << r.workers << ", \"chains\": " << r.chains
+       << "\", \"mode\": \"" << r.mode << "\", \"memo\": \"" << r.memo
+       << "\", \"workers\": " << r.workers
+       << ", \"workers_requested\": " << r.workers_requested
+       << ", \"chains\": " << r.chains
        << ", \"reports\": " << r.reports << ", \"wall_ns\": " << r.wall_ns
        << ", \"chains_per_s\": " << r.chains_per_s
        << ", \"reports_per_s\": " << r.reports_per_s
+       << ", \"memo_hit_rate\": " << r.memo_hit_rate
        << ", \"efficiency\": " << r.efficiency << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -341,14 +426,15 @@ std::string render_json(const std::vector<Row>& rows, unsigned host_cpus,
 }
 
 /// Minimal schema check over the emitted text (same drift-tripwire style as
-/// bench_throughput): every row carries all ten keys, modes are from the
-/// known set, wall_ns is nonzero, and the top level carries the bench id and
-/// host_cpus.
+/// bench_throughput): every row carries all fourteen keys, modes and memo
+/// states are from the known sets, wall_ns is nonzero, and the top level
+/// carries the bench id, host_cpus, hmac_lanes and memo_enabled.
 bool validate(const std::string& text, size_t expected_rows,
               std::string& error) {
   for (const char* key :
        {"\"bench\": \"verify_throughput\"", "\"host_cpus\": ",
-        "\"release\": ", "\"quick\": ", "\"rows\": ["}) {
+        "\"hmac_lanes\": ", "\"memo_enabled\": ", "\"release\": ",
+        "\"quick\": ", "\"rows\": ["}) {
     if (text.find(key) == std::string::npos) {
       error = std::string("missing top-level key: ") + key;
       return false;
@@ -365,9 +451,10 @@ bool validate(const std::string& text, size_t expected_rows,
     const std::string row = text.substr(at, end - at + 1);
     for (const char* key :
          {"\"app\": \"", "\"method\": \"", "\"mix\": \"", "\"mode\": \"",
-          "\"workers\": ",
+          "\"memo\": \"", "\"workers\": ", "\"workers_requested\": ",
           "\"chains\": ", "\"reports\": ", "\"wall_ns\": ",
-          "\"chains_per_s\": ", "\"reports_per_s\": ", "\"efficiency\": "}) {
+          "\"chains_per_s\": ", "\"reports_per_s\": ",
+          "\"memo_hit_rate\": ", "\"efficiency\": "}) {
       if (row.find(key) == std::string::npos) {
         error = "row " + std::to_string(rows) + " missing key " + key;
         return false;
@@ -377,6 +464,11 @@ bool validate(const std::string& text, size_t expected_rows,
         row.find("\"mode\": \"serial_shared\"") == std::string::npos &&
         row.find("\"mode\": \"farm\"") == std::string::npos) {
       error = "row " + std::to_string(rows) + " has an unknown mode";
+      return false;
+    }
+    if (row.find("\"memo\": \"on\"") == std::string::npos &&
+        row.find("\"memo\": \"off\"") == std::string::npos) {
+      error = "row " + std::to_string(rows) + " has an unknown memo state";
       return false;
     }
     const u64 wall = std::strtoull(
@@ -434,37 +526,45 @@ int main(int argc, char** argv) {
 
   std::vector<Row> all;
   for (const Workload& w : build_workloads(quick)) {
-    Row rebuild = measure_serial(w, /*rebuild=*/true, chains, reps);
-    Row shared = measure_serial(w, /*rebuild=*/false, chains, reps);
+    Row rebuild = measure_serial(w, /*rebuild=*/true, /*memo=*/false, chains,
+                                 reps);
+    Row shared_off = measure_serial(w, /*rebuild=*/false, /*memo=*/false,
+                                    chains, reps);
+    Row shared_on = measure_serial(w, /*rebuild=*/false, /*memo=*/true,
+                                   chains, reps);
     std::printf("%-12s %-7s %-9s serial rebuild %9.0f chains/s   shared "
-                "%9.0f chains/s   (%.2fx)\n",
+                "%9.0f chains/s   memo %9.0f chains/s (%.2fx, hit %.2f)\n",
                 w.app.c_str(), w.method.c_str(), w.mix.c_str(),
-                rebuild.chains_per_s, shared.chains_per_s,
-                shared.chains_per_s / rebuild.chains_per_s);
+                rebuild.chains_per_s, shared_off.chains_per_s,
+                shared_on.chains_per_s,
+                shared_on.chains_per_s / shared_off.chains_per_s,
+                shared_on.memo_hit_rate);
     all.push_back(std::move(rebuild));
+    all.push_back(std::move(shared_off));
+    all.push_back(std::move(shared_on));
 
     double w1_rate = 0.0;
-    std::vector<Row> farm_rows;
     for (const size_t workers : worker_counts) {
       Row row = measure_farm(w, workers, chains, reps);
       if (workers == 1) w1_rate = row.chains_per_s;
       row.efficiency = w1_rate > 0.0 ? row.chains_per_s /
-                                           (static_cast<double>(workers) *
+                                           (static_cast<double>(row.workers) *
                                             w1_rate)
                                      : 1.0;
-      std::printf("%-12s %-7s %-9s farm w%zu %15.0f chains/s %12.0f "
-                  "reports/s  eff %.2f\n",
-                  w.app.c_str(), w.method.c_str(), w.mix.c_str(), workers,
-                  row.chains_per_s, row.reports_per_s, row.efficiency);
-      farm_rows.push_back(std::move(row));
+      std::printf("%-12s %-7s %-9s farm w%zu (req %zu) %12.0f chains/s "
+                  "%12.0f reports/s  eff %.2f  hit %.2f\n",
+                  w.app.c_str(), w.method.c_str(), w.mix.c_str(), row.workers,
+                  row.workers_requested, row.chains_per_s, row.reports_per_s,
+                  row.efficiency, row.memo_hit_rate);
+      all.push_back(std::move(row));
     }
-    all.push_back(std::move(shared));
-    for (auto& row : farm_rows) all.push_back(std::move(row));
   }
-  std::printf("host cpus: %u%s\n", host_cpus,
-              host_cpus < 8 ? "  (farm scaling is core-bound: multi-worker "
-                              "rows above the core count measure scheduling "
-                              "overhead, not speedup)"
+  std::printf("host cpus: %u, hmac lanes: %zu, memo: %s%s\n", host_cpus,
+              crypto::sha256_mb_lanes(),
+              verify::kMemoEnabled ? "enabled" : "disabled",
+              host_cpus < 8 ? "  (farm worker requests above the core count "
+                              "clamp to hardware_concurrency; see "
+                              "workers_requested vs workers per row)"
                             : "");
 
   const std::string json = render_json(all, host_cpus, release, quick);
@@ -490,8 +590,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s (%zu rows, schema ok)\n", out_path.c_str(),
               all.size());
 
-  // Farm/verify counters (queue depth, mailbox waits, verdict tallies) in
-  // JSON-lines, same registry the tests assert on.
+  // Farm/verify counters (queue depth, mailbox waits, verdict tallies,
+  // memo hits/evictions) in JSON-lines, same registry the tests assert on.
   if (!metrics_path.empty()) {
     if (!raptrack::obs::kEnabled) {
       std::fprintf(stderr,

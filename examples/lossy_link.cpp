@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   // -- act 1: a perfect link, for the reference digest ----------------------
   crypto::Digest reference{};
   {
-    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
     farm.provision(1, deployment, config);
     farm.adopt_challenge(1, clean.chal);
     net::VerifierEndpoint endpoint(farm);
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   // -- act 2: 25% loss with duplication and reordering ----------------------
   const net::LinkModel lossy = net::LinkModel::lossy(250);
   {
-    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
     farm.provision(1, deployment, config);
     farm.adopt_challenge(1, clean.chal);
     net::VerifierEndpoint endpoint(farm);
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
 
   // -- act 3: verifier crash and snapshot recovery, same lossy link ---------
   {
-    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    verify::VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
     farm.provision(1, deployment, config);
     farm.adopt_challenge(1, clean.chal);
     auto endpoint = std::make_unique<net::VerifierEndpoint>(farm);
@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(link.now()), snapshot.size());
 
     endpoint.reset();  // the verifier process dies here
-    verify::VerifierFarm recovered(apps::demo_key(), {.workers = 2});
+    verify::VerifierFarm recovered(apps::demo_key(), {.workers = 2, .clamp_workers = false});
     recovered.provision(1, deployment, config);  // deployments re-provision
     net::VerifierEndpoint restored(recovered);
     if (!restored.restore(snapshot)) {

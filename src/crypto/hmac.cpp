@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <vector>
+
+#include "crypto/sha256_mb.hpp"
 
 namespace raptrack::crypto {
 
@@ -77,7 +80,42 @@ Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message) {
 
 std::optional<size_t> hmac_verify_batch(const HmacKeySchedule& schedule,
                                         std::span<const MacClaim> claims) {
-  for (size_t i = 0; i < claims.size(); ++i) {
+  const size_t n = claims.size();
+  const size_t lanes = sha256_mb_lanes();
+  if (n >= 2 && lanes > 1) {
+    // Chunked at lane-width granularity with early exit: a valid chain
+    // pays the same two interleaved passes as one big batch, but a forged
+    // report stops the scan after its own chunk instead of pricing every
+    // MAC behind it — adversarial floods reject in O(lanes), not O(chain).
+    std::vector<MbMsg> messages(lanes);
+    std::vector<Digest> inner(lanes);
+    std::vector<Digest> macs(lanes);
+    for (size_t base = 0; base < n; base += lanes) {
+      const size_t count = std::min(lanes, n - base);
+      // Inner hashes: every message resumes from the shared ipad midstate
+      // (one block already absorbed), interleaved across the SIMD lanes.
+      for (size_t i = 0; i < count; ++i) {
+        messages[i] = {claims[base + i].message.data(),
+                       claims[base + i].message.size()};
+      }
+      sha256_mb_hash_with_state(
+          detail::Sha256Access::state(schedule.inner_mid_), kBlock,
+          std::span(messages.data(), count), inner.data());
+      // Outer hashes: opad midstate + 32-byte inner digest — uniformly one
+      // padded block per message, so the whole chunk lanes perfectly.
+      for (size_t i = 0; i < count; ++i) {
+        messages[i] = {inner[i].data(), inner[i].size()};
+      }
+      sha256_mb_hash_with_state(
+          detail::Sha256Access::state(schedule.outer_mid_), kBlock,
+          std::span(messages.data(), count), macs.data());
+      for (size_t i = 0; i < count; ++i) {
+        if (!digest_equal(macs[i], claims[base + i].claimed)) return base + i;
+      }
+    }
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < n; ++i) {
     if (!digest_equal(schedule.mac(claims[i].message), claims[i].claimed)) {
       return i;
     }

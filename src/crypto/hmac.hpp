@@ -26,6 +26,14 @@ using Key = std::vector<u8>;
 
 Digest hmac_sha256(std::span<const u8> key, std::span<const u8> message);
 
+/// One report's authenticity claim: the exact MAC input bytes (for wire
+/// admission, a view into the receive buffer — no copy) and the MAC the
+/// sender attached (32 bytes, also typically a view into the buffer).
+struct MacClaim {
+  std::span<const u8> message;
+  std::span<const u8> claimed;
+};
+
 /// Precomputed per-key HMAC state: the SHA-256 midstates after absorbing the
 /// ipad and opad blocks. Immutable after construction and safe to share
 /// across threads — the verifier farm builds one per RoT key and every
@@ -44,6 +52,8 @@ class HmacKeySchedule {
 
  private:
   friend class HmacSha256;
+  friend std::optional<size_t> hmac_verify_batch(
+      const HmacKeySchedule& schedule, std::span<const MacClaim> claims);
   Sha256 inner_mid_;  ///< state after the ipad block
   Sha256 outer_mid_;  ///< state after the opad block
 };
@@ -67,18 +77,13 @@ class HmacSha256 {
   Sha256 outer_;  ///< midstate after the opad block
 };
 
-/// One report's authenticity claim: the exact MAC input bytes (for wire
-/// admission, a view into the receive buffer — no copy) and the MAC the
-/// sender attached (32 bytes, also typically a view into the buffer).
-struct MacClaim {
-  std::span<const u8> message;
-  std::span<const u8> claimed;
-};
-
 /// Check every claim under one schedule, in order. Returns the index of the
-/// first claim whose MAC does not verify, or nullopt when all pass. Each
-/// individual comparison is constant-time; the early exit only reveals
-/// *which* report failed, which the verdict reports anyway.
+/// first claim whose MAC does not verify, or nullopt when all pass. Batches
+/// of two or more run the inner and outer hashes through the multi-buffer
+/// SHA-256 lanes (sha256_mb.hpp) — 4/8 MACs per compression pass — and fall
+/// back to the serial schedule when the host (or force_scalar) offers only
+/// one lane. Each individual comparison is constant-time; the early exit
+/// only reveals *which* report failed, which the verdict reports anyway.
 std::optional<size_t> hmac_verify_batch(const HmacKeySchedule& schedule,
                                         std::span<const MacClaim> claims);
 

@@ -266,4 +266,14 @@ Digest Sha256::hash(std::string_view text) {
   return h.finalize();
 }
 
+namespace detail {
+
+void compress_scalar(std::array<u32, 8>& state, const u8* block) {
+  process_block_scalar(state.data(), block);
+}
+
+bool force_scalar_active() { return g_force_scalar; }
+
+}  // namespace detail
+
 }  // namespace raptrack::crypto

@@ -13,6 +13,10 @@ namespace raptrack::crypto {
 
 using Digest = std::array<u8, 32>;
 
+namespace detail {
+struct Sha256Access;
+}
+
 class Sha256 {
  public:
   Sha256() { reset(); }
@@ -33,6 +37,8 @@ class Sha256 {
   static void force_scalar(bool force);
 
  private:
+  friend struct detail::Sha256Access;
+
   void process_blocks(const u8* data, std::size_t blocks);
 
   std::array<u32, 8> state_{};
@@ -40,5 +46,26 @@ class Sha256 {
   u64 total_bytes_ = 0;
   u32 buffered_ = 0;
 };
+
+namespace detail {
+
+/// Internal plumbing for the multi-buffer SHA-256 engine (sha256_mb.cpp) and
+/// the batched HMAC verifier: raw chaining-value access plus the scalar
+/// single-block compression, so many messages can be run through the same
+/// FIPS 180-4 dataflow in interleaved lanes without widening the public
+/// Sha256 surface. Not for general use.
+struct Sha256Access {
+  /// Chaining value of a block-aligned hasher (e.g. an HMAC pad midstate).
+  static const std::array<u32, 8>& state(const Sha256& h) { return h.state_; }
+};
+
+/// Compress one 64-byte block into `state` with the portable scalar kernel.
+void compress_scalar(std::array<u32, 8>& state, const u8* block);
+
+/// Is Sha256::force_scalar(true) in effect? The multi-buffer dispatcher
+/// honors the same test hook and falls back to one-lane scalar hashing.
+bool force_scalar_active();
+
+}  // namespace detail
 
 }  // namespace raptrack::crypto

@@ -1,0 +1,382 @@
+#include "crypto/sha256_mb.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RAP_SHA_MB_X86 1
+#include <immintrin.h>
+#endif
+
+namespace raptrack::crypto {
+
+namespace {
+
+constexpr std::array<u32, 64> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<u32, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+u32 load_be32(const u8* p) {
+  return (static_cast<u32>(p[0]) << 24) | (static_cast<u32>(p[1]) << 16) |
+         (static_cast<u32>(p[2]) << 8) | static_cast<u32>(p[3]);
+}
+
+// Test hook (see sha256_mb_force_lanes): plain value, flipped only from
+// single-threaded test setup — same discipline as Sha256::force_scalar.
+size_t g_forced_lanes = 0;
+
+size_t detect_lanes() {
+#ifdef RAP_SHA_MB_X86
+  // SSE2 is baseline x86-64; AVX2 doubles the interleave width.
+  return __builtin_cpu_supports("avx2") ? 8 : 4;
+#else
+  return 1;
+#endif
+}
+
+#ifdef RAP_SHA_MB_X86
+
+// Structure-of-arrays round function, one message per 32-bit lane. The
+// macros mirror the scalar kernel's rotr/sigma expressions; Maj uses the
+// or/and form (a&b)|(c&(a|b)), which equals the FIPS xor form and saves an
+// op per round on pre-ternary-logic ISAs.
+
+#define MB8_ROTR(x, r) \
+  _mm256_or_si256(_mm256_srli_epi32((x), (r)), _mm256_slli_epi32((x), 32 - (r)))
+#define MB8_XOR3(x, y, z) _mm256_xor_si256(_mm256_xor_si256((x), (y)), (z))
+#define MB8_SIGMA0(x) MB8_XOR3(MB8_ROTR(x, 2), MB8_ROTR(x, 13), MB8_ROTR(x, 22))
+#define MB8_SIGMA1(x) MB8_XOR3(MB8_ROTR(x, 6), MB8_ROTR(x, 11), MB8_ROTR(x, 25))
+#define MB8_GAMMA0(x) \
+  MB8_XOR3(MB8_ROTR(x, 7), MB8_ROTR(x, 18), _mm256_srli_epi32((x), 3))
+#define MB8_GAMMA1(x) \
+  MB8_XOR3(MB8_ROTR(x, 17), MB8_ROTR(x, 19), _mm256_srli_epi32((x), 10))
+
+__attribute__((target("avx2"))) void compress8_avx2(
+    std::array<u32, 8>* const* states, const u8* const* blocks, size_t n) {
+  // Gather the blocks and chaining values SoA; lanes past n replicate lane 0
+  // into scratch and are never stored back.
+  alignas(32) u32 words[16][8];
+  alignas(32) u32 chain[8][8];
+  for (size_t lane = 0; lane < 8; ++lane) {
+    const size_t src = lane < n ? lane : 0;
+    for (size_t t = 0; t < 16; ++t) {
+      words[t][lane] = load_be32(blocks[src] + 4 * t);
+    }
+    for (size_t j = 0; j < 8; ++j) chain[j][lane] = (*states[src])[j];
+  }
+
+  __m256i w[16];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = _mm256_load_si256(reinterpret_cast<const __m256i*>(words[t]));
+  }
+  __m256i a = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[0]));
+  __m256i b = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[1]));
+  __m256i c = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[2]));
+  __m256i d = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[3]));
+  __m256i e = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[4]));
+  __m256i f = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[5]));
+  __m256i g = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[6]));
+  __m256i h = _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[7]));
+
+  for (int t = 0; t < 64; ++t) {
+    __m256i wt;
+    if (t < 16) {
+      wt = w[t];
+    } else {
+      wt = _mm256_add_epi32(
+          _mm256_add_epi32(w[t & 15], MB8_GAMMA0(w[(t - 15) & 15])),
+          _mm256_add_epi32(w[(t - 7) & 15], MB8_GAMMA1(w[(t - 2) & 15])));
+      w[t & 15] = wt;
+    }
+    const __m256i ch =
+        _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+    const __m256i maj = _mm256_or_si256(
+        _mm256_and_si256(a, b), _mm256_and_si256(c, _mm256_or_si256(a, b)));
+    const __m256i t1 = _mm256_add_epi32(
+        _mm256_add_epi32(h, MB8_SIGMA1(e)),
+        _mm256_add_epi32(ch, _mm256_add_epi32(
+                                 _mm256_set1_epi32(static_cast<i32>(kK[t])),
+                                 wt)));
+    const __m256i t2 = _mm256_add_epi32(MB8_SIGMA0(a), maj);
+    h = g; g = f; f = e; e = _mm256_add_epi32(d, t1);
+    d = c; c = b; b = a; a = _mm256_add_epi32(t1, t2);
+  }
+
+  a = _mm256_add_epi32(a, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[0])));
+  b = _mm256_add_epi32(b, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[1])));
+  c = _mm256_add_epi32(c, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[2])));
+  d = _mm256_add_epi32(d, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[3])));
+  e = _mm256_add_epi32(e, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[4])));
+  f = _mm256_add_epi32(f, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[5])));
+  g = _mm256_add_epi32(g, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[6])));
+  h = _mm256_add_epi32(h, _mm256_load_si256(reinterpret_cast<const __m256i*>(chain[7])));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[0]), a);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[1]), b);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[2]), c);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[3]), d);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[4]), e);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[5]), f);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[6]), g);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(chain[7]), h);
+
+  for (size_t lane = 0; lane < n; ++lane) {
+    for (size_t j = 0; j < 8; ++j) (*states[lane])[j] = chain[j][lane];
+  }
+}
+
+#undef MB8_ROTR
+#undef MB8_XOR3
+#undef MB8_SIGMA0
+#undef MB8_SIGMA1
+#undef MB8_GAMMA0
+#undef MB8_GAMMA1
+
+#define MB4_ROTR(x, r) \
+  _mm_or_si128(_mm_srli_epi32((x), (r)), _mm_slli_epi32((x), 32 - (r)))
+#define MB4_XOR3(x, y, z) _mm_xor_si128(_mm_xor_si128((x), (y)), (z))
+#define MB4_SIGMA0(x) MB4_XOR3(MB4_ROTR(x, 2), MB4_ROTR(x, 13), MB4_ROTR(x, 22))
+#define MB4_SIGMA1(x) MB4_XOR3(MB4_ROTR(x, 6), MB4_ROTR(x, 11), MB4_ROTR(x, 25))
+#define MB4_GAMMA0(x) \
+  MB4_XOR3(MB4_ROTR(x, 7), MB4_ROTR(x, 18), _mm_srli_epi32((x), 3))
+#define MB4_GAMMA1(x) \
+  MB4_XOR3(MB4_ROTR(x, 17), MB4_ROTR(x, 19), _mm_srli_epi32((x), 10))
+
+void compress4_sse2(std::array<u32, 8>* const* states, const u8* const* blocks,
+                    size_t n) {
+  alignas(16) u32 words[16][4];
+  alignas(16) u32 chain[8][4];
+  for (size_t lane = 0; lane < 4; ++lane) {
+    const size_t src = lane < n ? lane : 0;
+    for (size_t t = 0; t < 16; ++t) {
+      words[t][lane] = load_be32(blocks[src] + 4 * t);
+    }
+    for (size_t j = 0; j < 8; ++j) chain[j][lane] = (*states[src])[j];
+  }
+
+  __m128i w[16];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = _mm_load_si128(reinterpret_cast<const __m128i*>(words[t]));
+  }
+  __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[0]));
+  __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[1]));
+  __m128i c = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[2]));
+  __m128i d = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[3]));
+  __m128i e = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[4]));
+  __m128i f = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[5]));
+  __m128i g = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[6]));
+  __m128i h = _mm_load_si128(reinterpret_cast<const __m128i*>(chain[7]));
+
+  for (int t = 0; t < 64; ++t) {
+    __m128i wt;
+    if (t < 16) {
+      wt = w[t];
+    } else {
+      wt = _mm_add_epi32(_mm_add_epi32(w[t & 15], MB4_GAMMA0(w[(t - 15) & 15])),
+                         _mm_add_epi32(w[(t - 7) & 15],
+                                       MB4_GAMMA1(w[(t - 2) & 15])));
+      w[t & 15] = wt;
+    }
+    const __m128i ch =
+        _mm_xor_si128(_mm_and_si128(e, f), _mm_andnot_si128(e, g));
+    const __m128i maj = _mm_or_si128(_mm_and_si128(a, b),
+                                     _mm_and_si128(c, _mm_or_si128(a, b)));
+    const __m128i t1 = _mm_add_epi32(
+        _mm_add_epi32(h, MB4_SIGMA1(e)),
+        _mm_add_epi32(ch, _mm_add_epi32(
+                              _mm_set1_epi32(static_cast<i32>(kK[t])), wt)));
+    const __m128i t2 = _mm_add_epi32(MB4_SIGMA0(a), maj);
+    h = g; g = f; f = e; e = _mm_add_epi32(d, t1);
+    d = c; c = b; b = a; a = _mm_add_epi32(t1, t2);
+  }
+
+  a = _mm_add_epi32(a, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[0])));
+  b = _mm_add_epi32(b, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[1])));
+  c = _mm_add_epi32(c, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[2])));
+  d = _mm_add_epi32(d, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[3])));
+  e = _mm_add_epi32(e, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[4])));
+  f = _mm_add_epi32(f, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[5])));
+  g = _mm_add_epi32(g, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[6])));
+  h = _mm_add_epi32(h, _mm_load_si128(reinterpret_cast<const __m128i*>(chain[7])));
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[0]), a);
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[1]), b);
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[2]), c);
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[3]), d);
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[4]), e);
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[5]), f);
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[6]), g);
+  _mm_store_si128(reinterpret_cast<__m128i*>(chain[7]), h);
+
+  for (size_t lane = 0; lane < n; ++lane) {
+    for (size_t j = 0; j < 8; ++j) (*states[lane])[j] = chain[j][lane];
+  }
+}
+
+#undef MB4_ROTR
+#undef MB4_XOR3
+#undef MB4_SIGMA0
+#undef MB4_SIGMA1
+#undef MB4_GAMMA0
+#undef MB4_GAMMA1
+
+#endif  // RAP_SHA_MB_X86
+
+/// One message's block layout: full 64-byte blocks straight from the caller's
+/// buffer, then a one- or two-block tail holding the remainder plus FIPS
+/// padding (0x80, zeros, 64-bit message length including the prefix).
+struct Prepared {
+  const u8* data = nullptr;
+  size_t full_blocks = 0;
+  size_t tail_blocks = 0;
+  size_t total_blocks = 0;
+  std::array<u8, 128> tail{};
+
+  const u8* block(size_t b) const {
+    return b < full_blocks ? data + 64 * b : tail.data() + 64 * (b - full_blocks);
+  }
+};
+
+Prepared prepare(const MbMsg& msg, u64 prefix_bytes) {
+  Prepared p;
+  p.data = msg.data;
+  p.full_blocks = msg.len / 64;
+  const size_t rem = msg.len % 64;
+  if (rem > 0) std::memcpy(p.tail.data(), msg.data + 64 * p.full_blocks, rem);
+  p.tail[rem] = 0x80;
+  p.tail_blocks = rem < 56 ? 1 : 2;
+  p.total_blocks = p.full_blocks + p.tail_blocks;
+  const u64 bits = (prefix_bytes + msg.len) * 8;
+  u8* length_field = p.tail.data() + 64 * p.tail_blocks - 8;
+  for (int i = 0; i < 8; ++i) {
+    length_field[i] = static_cast<u8>(bits >> (56 - 8 * i));
+  }
+  return p;
+}
+
+void store_digest(const std::array<u32, 8>& state, Digest& out) {
+  for (size_t j = 0; j < 8; ++j) {
+    out[4 * j] = static_cast<u8>(state[j] >> 24);
+    out[4 * j + 1] = static_cast<u8>(state[j] >> 16);
+    out[4 * j + 2] = static_cast<u8>(state[j] >> 8);
+    out[4 * j + 3] = static_cast<u8>(state[j]);
+  }
+}
+
+void hash_one_scalar(const std::array<u32, 8>& init, u64 prefix_bytes,
+                     const MbMsg& msg, Digest& out) {
+  std::array<u32, 8> state = init;
+  const Prepared p = prepare(msg, prefix_bytes);
+  for (size_t b = 0; b < p.total_blocks; ++b) {
+    detail::compress_scalar(state, p.block(b));
+  }
+  store_digest(state, out);
+}
+
+}  // namespace
+
+size_t sha256_mb_lanes() {
+  if (detail::force_scalar_active()) return 1;
+  static const size_t hw = detect_lanes();
+  size_t lanes = hw;
+  if (g_forced_lanes != 0 && g_forced_lanes < lanes) lanes = g_forced_lanes;
+  if (lanes >= 8) return 8;
+  if (lanes >= 4) return 4;
+  return 1;
+}
+
+void sha256_mb_force_lanes(size_t lanes) { g_forced_lanes = lanes; }
+
+void sha256_mb_compress(std::array<u32, 8>* const* states,
+                        const u8* const* blocks, size_t n) {
+  if (n == 0) return;
+  const size_t lanes = sha256_mb_lanes();
+#ifdef RAP_SHA_MB_X86
+  if (lanes == 8) {
+    compress8_avx2(states, blocks, std::min<size_t>(n, 8));
+    for (size_t i = 8; i < n; ++i) detail::compress_scalar(*states[i], blocks[i]);
+    return;
+  }
+  if (lanes == 4) {
+    for (size_t i = 0; i < n; i += 4) {
+      compress4_sse2(states + i, blocks + i, std::min<size_t>(4, n - i));
+    }
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) detail::compress_scalar(*states[i], blocks[i]);
+}
+
+void sha256_mb_hash_with_state(const std::array<u32, 8>& init,
+                               u64 prefix_bytes,
+                               std::span<const MbMsg> messages, Digest* out) {
+  const size_t n = messages.size();
+  if (n == 0) return;
+  const size_t lanes = sha256_mb_lanes();
+  if (lanes == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      hash_one_scalar(init, prefix_bytes, messages[i], out[i]);
+    }
+    return;
+  }
+
+  std::vector<Prepared> prepared;
+  prepared.reserve(n);
+  for (const MbMsg& msg : messages) prepared.push_back(prepare(msg, prefix_bytes));
+
+  // Lanes advance in lockstep, so only same-length (same padded block count)
+  // messages can share a batch. Group by block count — report chains are
+  // near-uniform (every partial report MACs the same watermark-sized chunk),
+  // so this typically yields one big group plus the final report.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return prepared[a].total_blocks < prepared[b].total_blocks;
+  });
+
+  std::vector<std::array<u32, 8>> states(n, init);
+  size_t group = 0;
+  while (group < n) {
+    size_t group_end = group;
+    const size_t blocks = prepared[order[group]].total_blocks;
+    while (group_end < n && prepared[order[group_end]].total_blocks == blocks) {
+      ++group_end;
+    }
+    for (size_t base = group; base < group_end; base += lanes) {
+      const size_t width = std::min(lanes, group_end - base);
+      std::array<u32, 8>* state_ptrs[kMaxShaLanes];
+      const u8* block_ptrs[kMaxShaLanes];
+      for (size_t l = 0; l < width; ++l) {
+        state_ptrs[l] = &states[order[base + l]];
+      }
+      for (size_t b = 0; b < blocks; ++b) {
+        for (size_t l = 0; l < width; ++l) {
+          block_ptrs[l] = prepared[order[base + l]].block(b);
+        }
+        sha256_mb_compress(state_ptrs, block_ptrs, width);
+      }
+    }
+    group = group_end;
+  }
+
+  for (size_t i = 0; i < n; ++i) store_digest(states[i], out[i]);
+}
+
+void sha256_mb_hash(std::span<const MbMsg> messages, Digest* out) {
+  sha256_mb_hash_with_state(kInitialState, 0, messages, out);
+}
+
+}  // namespace raptrack::crypto

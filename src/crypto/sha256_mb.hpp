@@ -1,0 +1,65 @@
+// Multi-buffer SHA-256: compress several *independent* messages in lockstep,
+// one message per SIMD lane. SHA-256 is strictly sequential within a message
+// (each block chains into the next), so a single long hash cannot be
+// vectorized — but the verifier's hot path is the opposite shape: a report
+// chain is dozens of short, independent HMAC inputs under one key. Laying
+// eight chaining values out structure-of-arrays and running the FIPS 180-4
+// round function over 8x32-bit vectors retires eight hashes for roughly the
+// cost of one scalar pass.
+//
+// Dispatch is by runtime CPU detection: AVX2 gives 8 lanes, baseline x86-64
+// SSE2 gives 4, anything else (or Sha256::force_scalar) degrades to a
+// one-lane scalar loop. All paths implement the same dataflow; test_crypto
+// pins them against Sha256 on the FIPS/RFC vectors and fuzzed inputs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace raptrack::crypto {
+
+/// Widest lane count any kernel uses; callers may size scratch arrays to it.
+inline constexpr size_t kMaxShaLanes = 8;
+
+/// Lane count the dispatcher would use right now: 8 (AVX2), 4 (SSE2), or 1
+/// (non-x86 build, Sha256::force_scalar, or sha256_mb_force_lanes(1)).
+size_t sha256_mb_lanes();
+
+/// Test hook: cap the dispatch at `lanes` lanes (values above the host's
+/// capability clamp down; 0 restores auto-detection). Lets the differential
+/// tests exercise the 4-lane kernel on an AVX2 host and the scalar fallback
+/// everywhere. Like Sha256::force_scalar, flip only from single-threaded
+/// test setup.
+void sha256_mb_force_lanes(size_t lanes);
+
+/// One 64-byte block per lane, compressed into `n` independent chaining
+/// values (n <= kMaxShaLanes; short batches pad internally with a scratch
+/// lane). states[i] is updated in place from blocks[i].
+void sha256_mb_compress(std::array<u32, 8>* const* states,
+                        const u8* const* blocks, size_t n);
+
+/// One independent message for a batched hash.
+struct MbMsg {
+  const u8* data = nullptr;
+  size_t len = 0;
+};
+
+/// Batched SHA-256 resuming from a common midstate: every message is hashed
+/// as if `prefix_bytes` of input had already been absorbed into `init`
+/// (which must therefore be block-aligned). This is exactly the HMAC shape —
+/// init = the ipad/opad midstate, prefix 64 — and with the FIPS initial
+/// state / prefix 0 it is a plain batched SHA-256. out[i] receives the
+/// digest of messages[i]; messages of differing lengths are grouped by
+/// padded block count internally.
+void sha256_mb_hash_with_state(const std::array<u32, 8>& init,
+                               u64 prefix_bytes,
+                               std::span<const MbMsg> messages, Digest* out);
+
+/// Batched plain SHA-256: out[i] = Sha256::hash(messages[i]).
+void sha256_mb_hash(std::span<const MbMsg> messages, Digest* out);
+
+}  // namespace raptrack::crypto

@@ -107,36 +107,40 @@ const instr::VeneerRecord* ReplayIndex::traces_veneer_at_svc(
 Deployment::Deployment(ReplayMode mode, Program program,
                        std::optional<rewrite::Manifest> rap,
                        std::optional<instr::TracesManifest> traces,
-                       Address entry)
+                       Address entry, MemoOptions memo)
     : mode_(mode),
       program_(std::move(program)),
       rap_(std::move(rap)),
       traces_(std::move(traces)),
       entry_(entry),
       h_mem_(crypto::Sha256::hash(program_.bytes())),
+      memo_(std::make_unique<MemoCache>(memo)),
       index_(program_, mode_, rap_ ? &*rap_ : nullptr,
              traces_ ? &*traces_ : nullptr) {}
 
 std::shared_ptr<const Deployment> Deployment::rap(Program program,
                                                   rewrite::Manifest manifest,
-                                                  Address entry) {
+                                                  Address entry,
+                                                  MemoOptions memo) {
   return std::shared_ptr<const Deployment>(
       new Deployment(ReplayMode::Rap, std::move(program), std::move(manifest),
-                     std::nullopt, entry));
+                     std::nullopt, entry, memo));
 }
 
 std::shared_ptr<const Deployment> Deployment::naive(Program program,
-                                                    Address entry) {
+                                                    Address entry,
+                                                    MemoOptions memo) {
   return std::shared_ptr<const Deployment>(new Deployment(
-      ReplayMode::Naive, std::move(program), std::nullopt, std::nullopt,
-      entry));
+      ReplayMode::Naive, std::move(program), std::nullopt, std::nullopt, entry,
+      memo));
 }
 
 std::shared_ptr<const Deployment> Deployment::traces(
-    Program program, instr::TracesManifest manifest, Address entry) {
+    Program program, instr::TracesManifest manifest, Address entry,
+    MemoOptions memo) {
   return std::shared_ptr<const Deployment>(
       new Deployment(ReplayMode::Traces, std::move(program), std::nullopt,
-                     std::move(manifest), entry));
+                     std::move(manifest), entry, memo));
 }
 
 }  // namespace raptrack::verify

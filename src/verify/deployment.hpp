@@ -31,6 +31,7 @@
 #include "instr/traces_rewriter.hpp"
 #include "isa/decoded_image.hpp"
 #include "rewrite/manifest.hpp"
+#include "verify/memo.hpp"
 #include "verify/replayer.hpp"
 
 namespace raptrack::cfa {
@@ -113,6 +114,10 @@ struct VerifyConfig {
   const cfa::SpeculationDict* speculation = nullptr;
   /// §IV-E watermark-shape check, in bytes; 0 disables.
   u32 expected_watermark = 0;
+  /// Consult the deployment's verified sub-path cache during replay. Off, or
+  /// with RAP_MEMO compiled out, every replay re-simulates from scratch
+  /// (the memo-off ablation leg). Verdicts are identical either way.
+  bool use_memo = true;
 };
 
 /// One expected deployed image, fully preprocessed for verification.
@@ -122,11 +127,15 @@ class Deployment {
  public:
   static std::shared_ptr<const Deployment> rap(Program program,
                                                rewrite::Manifest manifest,
-                                               Address entry);
+                                               Address entry,
+                                               MemoOptions memo = {});
   static std::shared_ptr<const Deployment> naive(Program program,
-                                                 Address entry);
-  static std::shared_ptr<const Deployment> traces(
-      Program program, instr::TracesManifest manifest, Address entry);
+                                                 Address entry,
+                                                 MemoOptions memo = {});
+  static std::shared_ptr<const Deployment> traces(Program program,
+                                                  instr::TracesManifest manifest,
+                                                  Address entry,
+                                                  MemoOptions memo = {});
 
   ReplayMode mode() const { return mode_; }
   const Program& program() const { return program_; }
@@ -139,6 +148,10 @@ class Deployment {
   }
   const crypto::Digest& expected_h_mem() const { return h_mem_; }
   const ReplayIndex& index() const { return index_; }
+  /// Verified sub-path cache for this image, shared by every verifier and
+  /// farm worker replaying against it (internally synchronized — the one
+  /// mutable structure behind a const Deployment).
+  MemoCache& memo() const { return *memo_; }
 
   Deployment(const Deployment&) = delete;
   Deployment& operator=(const Deployment&) = delete;
@@ -146,7 +159,8 @@ class Deployment {
  private:
   Deployment(ReplayMode mode, Program program,
              std::optional<rewrite::Manifest> rap,
-             std::optional<instr::TracesManifest> traces, Address entry);
+             std::optional<instr::TracesManifest> traces, Address entry,
+             MemoOptions memo);
 
   ReplayMode mode_;
   Program program_;  ///< owned copy; index_ points into it
@@ -154,6 +168,9 @@ class Deployment {
   std::optional<instr::TracesManifest> traces_;
   Address entry_;
   crypto::Digest h_mem_;
+  /// unique_ptr (not a direct member) because the cache's shard mutexes are
+  /// immovable and the factories hand the Deployment through shared_ptr.
+  std::unique_ptr<MemoCache> memo_;
   ReplayIndex index_;  ///< declared last: built over the members above
 };
 

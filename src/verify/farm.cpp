@@ -58,8 +58,14 @@ VerifierFarm::VerifierFarm(crypto::Key key, FarmOptions options, u64 rng_seed)
       quarantine_(options.quarantine),
       fault_hook_(std::move(options.fault_hook)),
       rng_(rng_seed) {
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
   size_t count = options.workers;
-  if (count == 0) count = std::max(1u, std::thread::hardware_concurrency());
+  if (count == 0) {
+    count = hardware;
+  } else if (options.clamp_workers) {
+    count = std::min(count, hardware);
+  }
   workers_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

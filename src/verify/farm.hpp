@@ -65,6 +65,12 @@ struct QuarantinePolicy {
 struct FarmOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
   size_t workers = 0;
+  /// Cap an explicit `workers` request at hardware_concurrency(). Replay is
+  /// CPU-bound, so oversubscribing threads onto fewer cores only buys
+  /// context-switch overhead (measured: 8 workers on 1 core ran at 0.11
+  /// parallel efficiency). Benchmarks that measure oversubscription on
+  /// purpose opt out.
+  bool clamp_workers = true;
   /// Maximum unfinished jobs admitted before submit() blocks.
   size_t queue_capacity = 1024;
   /// Per-device quarantine circuit breaker (disabled by default).

@@ -1,0 +1,230 @@
+// Verified sub-path memo cache: skip re-simulating control-flow segments the
+// deployment has already replayed and validated.
+//
+// MCU attestation traffic is dominated by repetition — every loop iteration,
+// every hot call path, and (for a fleet) every device running the same
+// firmware produces near-identical CF_Log windows. The replay engine
+// therefore memoizes *segments*: checkpoint-free, finding-free stretches of
+// its own execution, keyed by everything the stretch's behavior depends on
+// and valued by everything the stretch changes. On a later replay whose
+// state and evidence window match a stored segment exactly, the engine
+// splices the recorded effects (events, cursor advances, valuation, shadow
+// stack, step counters) and jumps straight to the exit state.
+//
+// Soundness rests on the engine's own determinism argument (the one that
+// justifies its backtracking failure memo): between checkpoints, every
+// decision is a pure function of (pc, valuation, shadow-stack top, the
+// evidence actually consumed or peeked, the immutable ReplayIndex, and the
+// call-target policy). A segment's key captures precisely that footprint —
+// consumed evidence is compared byte-for-byte, the one-packet lookahead the
+// decision logic may have peeked is pinned, and anything outside the
+// footprint (ambiguous RAP decisions, backtracking, findings, forced
+// decisions) aborts recording instead of being approximated. Memoization
+// may therefore change only wall-clock time and the memo_hits/memo_misses
+// telemetry — never a verdict, event, finding, or counter. tests/test_memo
+// enforces that bit-for-bit against the unmemoized engine.
+//
+// The cache lives on the Deployment (one per expected image) and is shared
+// by the serial Verifier and every VerifierFarm worker: sharded
+// open-addressed tables under per-shard mutexes, entries held as
+// shared_ptr<const MemoSegment> so a hit copies a pointer under the lock
+// and validates outside it. Memory is bounded per shard; insertion evicts
+// least-recently-used entries within the probe window (and clock-sweeps the
+// shard when the byte budget overflows).
+//
+// Compile-time gate: `RAP_MEMO_ENABLED` (CMake option RAP_MEMO, default ON)
+// mirrors RAP_OBS. When OFF, lookup/insert collapse to no-ops, kMemoEnabled
+// is false, and verify_report_chain never attaches the cache — the engine
+// runs exactly the pre-memo code path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/branch_packet.hpp"
+#include "trace/trace_fabric.hpp"
+
+#ifndef RAP_MEMO_ENABLED
+#define RAP_MEMO_ENABLED 1
+#endif
+
+namespace raptrack::verify {
+
+#if RAP_MEMO_ENABLED
+inline constexpr bool kMemoEnabled = true;
+#else
+inline constexpr bool kMemoEnabled = false;
+#endif
+
+/// Packed snapshot of the replay engine's constant-propagating valuation:
+/// sixteen optional registers (known mask + values) and the four optional
+/// NZCV flags (low nibble = values, high nibble = known). Exact equality of
+/// two snapshots means the engines would make identical flag/register
+/// decisions.
+struct MemoValuation {
+  std::array<u32, 16> regs{};
+  u16 known = 0;  ///< bit i set when regs[i] holds a known value
+  u8 flags = 0;   ///< bits 0-3 NZCV values, bits 4-7 NZCV known
+
+  u64 hash() const;
+
+  friend bool operator==(const MemoValuation&, const MemoValuation&) = default;
+};
+
+/// One memoized segment: the exact-match entry guards (key side) and the
+/// recorded effects to splice on a hit (value side). Immutable once
+/// inserted; shared across threads by const pointer.
+struct MemoSegment {
+  // -- key side: the segment applies only when ALL of these match ----------
+  Address entry_pc = 0;
+  MemoValuation entry_val;
+  u64 policy_hash = 0;  ///< call-target policy fingerprint (affects findings)
+  /// Shadow-stack entries the segment consumes, top-of-stack first.
+  std::vector<Address> popped;
+  /// Evidence consumed during the segment, compared byte-for-byte against
+  /// the live streams at the current cursors.
+  std::vector<trace::BranchPacket> packets;
+  std::vector<u32> loop_values;      ///< RAP or TRACES loop stream (per mode)
+  std::vector<u8> direction_bits;    ///< TRACES direction bits (0/1)
+  std::vector<Address> indirect_targets;
+  /// The engine peeked one packet past the consumed window (conditional
+  /// decisions look ahead without consuming); the live stream must hold the
+  /// same packet there.
+  bool peeked_next = false;
+  trace::BranchPacket peeked{};
+  /// The engine observed end-of-log just past the window (a peek that found
+  /// the stream exhausted); the live stream must end there too.
+  bool eos_observed = false;
+  /// Segment ends at a clean halt: every evidence stream must be *exactly*
+  /// exhausted by the window, and applying it completes the replay.
+  bool halted = false;
+
+  // -- value side: effects spliced into the engine on a hit ----------------
+  Address exit_pc = 0;
+  MemoValuation exit_val;
+  /// Shadow-stack entries live above the popped point at exit, bottom first.
+  std::vector<Address> pushed;
+  std::vector<trace::OracleEvent> events;
+  u64 steps = 0;
+  u64 index_hits = 0;
+  u64 index_fallbacks = 0;
+
+  /// Approximate heap footprint, for the shard byte budget.
+  size_t bytes() const;
+  /// Same entry guards as `other` (used to refresh instead of duplicate when
+  /// two workers record the same segment concurrently).
+  bool same_entry(const MemoSegment& other) const;
+};
+
+struct MemoOptions {
+  /// Shard count (lock granularity). Power of two.
+  size_t shards = 16;
+  /// Open-addressed slots per shard.
+  size_t slots_per_shard = 2048;
+  /// Byte budget across the whole cache (split evenly over shards).
+  /// Entries larger than one shard's budget are rejected outright.
+  size_t budget_bytes = size_t{48} << 20;
+  /// Segment length: packets consumed before the recorder closes a segment
+  /// and anchors the next one. Matches the per-report chunk size at the
+  /// default 128-byte watermark (16 packets), so whole repeated reports
+  /// memoize as chains of window hits.
+  u32 window_packets = 16;
+  /// Futility-backoff ceiling, in replay steps. Consecutive anchors that
+  /// neither hit the cache nor store a segment double a delay before the
+  /// next anchor attempt, up to this cap — checkpoint-dense RAP ambiguity
+  /// search aborts recording every few steps, and without backoff each
+  /// re-anchor pays a full pack+hash+lookup for a near-certain miss. Any
+  /// hit or stored segment resets the delay. 0 disables backoff (anchor on
+  /// every opportunity); the differential tests use that to force dense
+  /// cache traffic on RAP chains.
+  u32 anchor_backoff_cap = 512;
+};
+
+/// Point-in-time cache statistics (relaxed-atomic reads; exact only when
+/// quiescent).
+struct MemoStats {
+  u64 hits = 0;        ///< segments applied by some engine
+  u64 misses = 0;      ///< lookups that applied nothing
+  u64 inserts = 0;     ///< segments stored
+  u64 evictions = 0;   ///< segments displaced (LRU or budget sweep)
+  u64 rejects = 0;     ///< inserts refused (entry larger than a shard budget)
+  u64 bytes = 0;       ///< current resident segment bytes
+  u64 entries = 0;     ///< current resident segment count
+
+  double hit_rate() const {
+    const u64 total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class MemoCache {
+ public:
+  using Handle = std::shared_ptr<const MemoSegment>;
+
+  /// Most candidates one lookup returns (same key hash, different guards —
+  /// e.g. divergent chains sharing an entry state).
+  static constexpr size_t kLookupWidth = 4;
+
+  explicit MemoCache(MemoOptions options = {});
+
+  /// Copy up to `max` candidate handles whose key hash matches into `out`.
+  /// Returns the count. The caller re-validates the full entry guards;
+  /// a returned candidate is a *candidate*, not a hit.
+  size_t lookup(u64 key, Handle* out, size_t max) const;
+
+  /// Store a segment under its key hash. Duplicate-guard entries refresh in
+  /// place; otherwise an empty or least-recently-used slot in the probe
+  /// window takes it, and the shard clock-sweeps down to its byte budget.
+  void insert(u64 key, Handle segment);
+
+  /// Applied-hit / no-applicable-entry accounting, reported by the engines
+  /// (a lookup alone cannot tell whether a candidate survives its guards).
+  void note_hit() const;
+  void note_miss() const;
+
+  /// Drop every entry and reset statistics (bench/test isolation).
+  void clear();
+
+  MemoStats stats() const;
+  const MemoOptions& options() const { return options_; }
+
+  /// Global kill switch for differential tests that cannot reach every
+  /// internally-constructed Verifier: while disabled, lookup returns
+  /// nothing and insert drops. Flip only from single-threaded test setup.
+  static void force_disable(bool disable);
+
+ private:
+  struct Slot {
+    u64 key = 0;
+    u64 tick = 0;  ///< last touch (shard-local logical clock)
+    Handle segment;
+  };
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;
+    size_t bytes = 0;
+    u64 tick = 0;
+    size_t sweep_hand = 0;
+  };
+
+  Shard& shard_for(u64 key) const { return shards_[key & shard_mask_]; }
+
+  MemoOptions options_;
+  size_t shard_mask_ = 0;
+  size_t shard_budget_ = 0;
+  mutable std::vector<Shard> shards_;
+
+  mutable std::atomic<u64> hits_{0};
+  mutable std::atomic<u64> misses_{0};
+  std::atomic<u64> inserts_{0};
+  std::atomic<u64> evictions_{0};
+  std::atomic<u64> rejects_{0};
+  std::atomic<u64> bytes_{0};
+  std::atomic<u64> entries_{0};
+};
+
+}  // namespace raptrack::verify

@@ -1,12 +1,15 @@
 #include "verify/replayer.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <memory>
 #include <optional>
 #include <set>
 
 #include "common/bits.hpp"
 #include "common/hex.hpp"
 #include "verify/deployment.hpp"
+#include "verify/memo.hpp"
 
 namespace raptrack::verify {
 
@@ -250,6 +253,50 @@ struct Valuation {
   }
 };
 
+/// Pack the engine valuation into the memo cache's fixed-size snapshot.
+MemoValuation pack_valuation(const Valuation& val) {
+  MemoValuation out;
+  for (size_t i = 0; i < out.regs.size(); ++i) {
+    if (val.regs[i]) {
+      out.regs[i] = *val.regs[i];
+      out.known |= static_cast<u16>(u16{1} << i);
+    }
+  }
+  const auto pack_flag = [&out](const std::optional<bool>& flag, unsigned bit) {
+    if (flag) {
+      out.flags |= static_cast<u8>(u8{1} << (bit + 4));
+      if (*flag) out.flags |= static_cast<u8>(u8{1} << bit);
+    }
+  };
+  pack_flag(val.flags.n, 0);
+  pack_flag(val.flags.z, 1);
+  pack_flag(val.flags.c, 2);
+  pack_flag(val.flags.v, 3);
+  return out;
+}
+
+void unpack_valuation(const MemoValuation& in, Valuation& val) {
+  for (size_t i = 0; i < in.regs.size(); ++i) {
+    val.regs[i] = (in.known >> i) & 1 ? std::optional<u32>(in.regs[i])
+                                      : std::nullopt;
+  }
+  const auto unpack_flag = [&in](unsigned bit) -> std::optional<bool> {
+    if (((in.flags >> (bit + 4)) & 1) == 0) return std::nullopt;
+    return ((in.flags >> bit) & 1) != 0;
+  };
+  val.flags.n = unpack_flag(0);
+  val.flags.z = unpack_flag(1);
+  val.flags.c = unpack_flag(2);
+  val.flags.v = unpack_flag(3);
+}
+
+u64 memo_key(Address pc, const MemoValuation& val, u64 policy_hash) {
+  u64 h = pc * 0x9e3779b97f4a7c15ull;
+  h ^= val.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= policy_hash + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
 }  // namespace
 
 PathReplayer::PathReplayer(const Program& program, Address entry,
@@ -287,15 +334,28 @@ class ReplayEngine {
                const ReplayPolicy& policy, const ReplayInputs& inputs,
                u64 max_steps,
                const std::vector<trace::OracleEvent>* script = nullptr,
-               bool strict = false)
+               bool strict = false, MemoCache* memo = nullptr)
       : index_(index),
         mode_(mode),
         policy_(policy),
         inputs_(inputs),
         max_steps_(max_steps),
         script_(script),
-        strict_(strict) {
+        strict_(strict),
+        memo_(script == nullptr ? memo : nullptr) {
     pc_ = entry;
+    if (memo_ != nullptr) {
+      // Call-target-policy fingerprint for the memo key: the policy decides
+      // whether an indirect call raises a finding, so segments recorded
+      // under one policy must never apply under another.
+      u64 h = 0x243f6a8885a308d3ull;
+      const auto mix = [&h](u64 v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      };
+      mix(policy_.valid_call_targets.size());
+      for (const Address target : policy_.valid_call_targets) mix(target);
+      policy_hash_ = h;
+    }
   }
 
   ReplayResult run();
@@ -346,6 +406,48 @@ class ReplayEngine {
   std::optional<bool> forced_decision_;  // applied to the next Bcc
   std::string pending_failure_;
 
+  // -- verified sub-path memo (see memo.hpp) --------------------------------
+  /// In-progress segment recording: the anchor state plus the footprint
+  /// observed since (shadow-stack pops below the anchor, evidence peeks).
+  /// Everything else a segment needs is a cursor delta against the anchor.
+  struct MemoRecording {
+    bool active = false;
+    Address entry_pc = 0;
+    MemoValuation entry_val;
+    size_t entry_packets = 0;
+    size_t entry_loops = 0;
+    size_t entry_bits = 0;
+    size_t entry_targets = 0;
+    size_t entry_events = 0;
+    size_t entry_stack = 0;
+    u64 entry_steps = 0;
+    u64 entry_index_hits = 0;
+    u64 entry_index_fallbacks = 0;
+    /// Lowest shadow-stack depth seen since the anchor; entries popped from
+    /// below the anchor depth are part of the segment's key.
+    size_t min_stack = 0;
+    std::vector<Address> popped;  ///< top-of-anchor-stack first
+    /// Last one-packet lookahead (conditional decisions peek the next packet
+    /// without consuming it). Only a peek past the consumed window survives
+    /// into the segment's guards; earlier peeks are covered by the window.
+    bool have_peek = false;
+    size_t peek_rel = 0;
+    BranchPacket peek_pkt{};
+    bool have_eos = false;  ///< a peek found the packet stream exhausted
+    size_t eos_rel = 0;
+  };
+
+  /// Shared cache, or null when memoization is off (checker mode always).
+  MemoCache* memo_ = nullptr;
+  MemoRecording rec_;
+  /// A halted segment was spliced: the replay is complete.
+  bool memo_halted_ = false;
+  u64 policy_hash_ = 0;
+  /// Futility backoff for re-anchoring (see memo_tick): current step delay
+  /// and the step count at which the next anchor attempt is allowed.
+  u32 memo_backoff_ = 0;
+  u64 memo_resume_step_ = 0;
+
   static constexpr u64 kMaxBacktracks = 2'000'000;
 
   /// Hash of the complete decision-relevant engine state.
@@ -374,6 +476,7 @@ class ReplayEngine {
 
   // -- helpers ---------------------------------------------------------------
   void fail(const std::string& why) {
+    rec_.active = false;  // a failing stretch must never become a segment
     if (pending_failure_.empty()) pending_failure_ = why;
   }
 
@@ -428,6 +531,10 @@ class ReplayEngine {
   }
 
   void report_finding(AttackFinding finding) {
+    // Findings are path-level judgments; keep them out of memo segments so
+    // strict and lenient passes can share the cache (finding-free segments
+    // behave identically in both).
+    rec_.active = false;
     if (strict_) {
       fail("strict pass: " + finding.description);
       return;
@@ -448,6 +555,12 @@ class ReplayEngine {
     if (shadow_stack_.empty()) {
       report_finding({site, 0, target, "return with empty shadow call stack"});
       return;
+    }
+    if (rec_.active && shadow_stack_.size() <= rec_.min_stack) {
+      // Popping below the recording anchor: the popped value steered this
+      // segment, so it becomes part of the segment's entry guards.
+      rec_.popped.push_back(shadow_stack_.back());
+      rec_.min_stack = shadow_stack_.size() - 1;
     }
     const Address expected = shadow_stack_.back();
     shadow_stack_.pop_back();
@@ -503,6 +616,7 @@ class ReplayEngine {
   }
 
   void save_checkpoint(bool alternative) {
+    rec_.active = false;  // speculative stretch: not a verified segment yet
     checkpoints_.push_back({pc_, val_, shadow_stack_, packet_cursor_,
                             bit_cursor_, target_cursor_, loop_cursor_,
                             result_.events.size(), result_.findings.size(),
@@ -512,6 +626,7 @@ class ReplayEngine {
   /// Restore the most recent checkpoint and arm its alternative decision.
   bool backtrack() {
     if (checkpoints_.empty() || backtracks_ >= kMaxBacktracks) return false;
+    rec_.active = false;  // the recording anchor no longer matches the state
     ++backtracks_;
     // The greedy branch of this checkpoint failed: memoize (state, greedy
     // decision) so equivalent states elsewhere fail immediately. The greedy
@@ -552,10 +667,12 @@ class ReplayEngine {
       case ReplayMode::Naive:
         // Every taken branch is logged, and any path returning to this site
         // passes through another logged taken branch first: unambiguous.
+        memo_note_peek();
         return packet_cursor_ < inputs_.packets.size() &&
                inputs_.packets[packet_cursor_].source == pc_;
       case ReplayMode::Rap: {
         if (const auto* slot = index_.slot_for_site(pc_)) {
+          memo_note_peek();
           const bool next_in_slot =
               packet_cursor_ < inputs_.packets.size() &&
               inputs_.packets[packet_cursor_].source >= slot->slot_base &&
@@ -570,7 +687,10 @@ class ReplayEngine {
           // Ambiguous: the packet may belong to a later dynamic instance of
           // this site. Greedy = attribute it to now; checkpoint the
           // alternative. The failure memo skips decisions already proven
-          // futile from an identical state.
+          // futile from an identical state. The decision depends on search
+          // history (failed_states_), which is outside a memo segment's
+          // footprint — abort any recording.
+          rec_.active = false;
           const u64 here = state_hash();
           const u64 greedy_key = here ^ (logged_direction ? 1u : 0u);
           const u64 alt_key = here ^ (logged_direction ? 0u : 1u);
@@ -600,6 +720,251 @@ class ReplayEngine {
       }
     }
     return std::nullopt;
+  }
+
+  // -- memo engine ----------------------------------------------------------
+  // Called once per run()-loop iteration, before the step executes. Closes
+  // a full recording window, splices any stored segments that apply at the
+  // current state, and (re-)anchors recording. All memoization flows through
+  // here; the step itself only feeds the recording via the hooks above.
+
+  /// The loop stream this mode consumes (RAP SVC values or TRACES
+  /// loop-condition values — disjoint, so one slice covers both).
+  const std::vector<u32>& loop_stream() const {
+    return mode_ == ReplayMode::Traces ? inputs_.traces_log.loop_conditions
+                                       : inputs_.loop_values;
+  }
+
+  void memo_tick() {
+    if (!pending_failure_.empty()) return;
+    if (forced_decision_) {
+      // A backtracked decision is pending: neither record through it (the
+      // decision comes from search history) nor splice past the site it
+      // targets.
+      rec_.active = false;
+      return;
+    }
+    if (rec_.active) {
+      if (packet_cursor_ - rec_.entry_packets <
+          memo_->options().window_packets) {
+        return;
+      }
+      if (memo_close(/*halted=*/false)) memo_backoff_ = 0;
+    }
+    // Futility backoff: checkpoint-dense replays (RAP ambiguity search)
+    // abort recording every few steps, so each re-anchor would pay a full
+    // pack+hash+lookup for a near-certain miss. Consecutive anchors that
+    // neither hit nor insert double a step delay before the next attempt;
+    // any hit or stored segment resets it, so memoizable replays keep
+    // anchoring back-to-back. Capped (and disabled at cap 0) via
+    // MemoOptions::anchor_backoff_cap.
+    if (result_.steps < memo_resume_step_) return;
+    bool hit = false;
+    while (memo_try_apply()) {
+      hit = true;
+      if (memo_halted_) return;
+    }
+    const u32 backoff_cap = memo_->options().anchor_backoff_cap;
+    if (hit || backoff_cap == 0) {
+      memo_backoff_ = 0;
+    } else {
+      memo_backoff_ = std::min<u32>(
+          memo_backoff_ == 0 ? 1 : memo_backoff_ * 2, backoff_cap);
+      memo_resume_step_ = result_.steps + memo_backoff_;
+    }
+    memo_begin();
+  }
+
+  void memo_begin() {
+    rec_.active = true;
+    rec_.entry_pc = pc_;
+    rec_.entry_val = pack_valuation(val_);
+    rec_.entry_packets = packet_cursor_;
+    rec_.entry_loops = loop_cursor_;
+    rec_.entry_bits = bit_cursor_;
+    rec_.entry_targets = target_cursor_;
+    rec_.entry_events = result_.events.size();
+    rec_.entry_stack = shadow_stack_.size();
+    rec_.min_stack = shadow_stack_.size();
+    rec_.entry_steps = result_.steps;
+    rec_.entry_index_hits = result_.index_hits;
+    rec_.entry_index_fallbacks = result_.index_fallbacks;
+    rec_.popped.clear();
+    rec_.have_peek = false;
+    rec_.have_eos = false;
+  }
+
+  /// Record the one-packet lookahead a conditional decision is about to
+  /// take. Peeks inside the consumed window are pinned by the window itself;
+  /// memo_close keeps only a final peek past it.
+  void memo_note_peek() {
+    if (!rec_.active) return;
+    const size_t rel = packet_cursor_ - rec_.entry_packets;
+    if (packet_cursor_ < inputs_.packets.size()) {
+      rec_.have_peek = true;
+      rec_.peek_rel = rel;
+      rec_.peek_pkt = inputs_.packets[packet_cursor_];
+    } else {
+      rec_.have_eos = true;
+      rec_.eos_rel = rel;
+    }
+  }
+
+  /// Package the stretch since the anchor into an immutable segment and
+  /// store it. `halted` marks a segment that ends in the clean-halt check
+  /// (exact evidence exhaustion becomes part of its guards). Returns true
+  /// when a segment was handed to the cache (feeds the futility backoff).
+  bool memo_close(bool halted) {
+    const bool was_active = rec_.active;
+    rec_.active = false;
+    if (!was_active) return false;
+    const u64 steps_delta = result_.steps - rec_.entry_steps;
+    if (steps_delta == 0) return false;  // empty segment would splice nothing
+    auto seg = std::make_shared<MemoSegment>();
+    seg->entry_pc = rec_.entry_pc;
+    seg->entry_val = rec_.entry_val;
+    seg->policy_hash = policy_hash_;
+    seg->popped = rec_.popped;
+    seg->packets.assign(inputs_.packets.begin() + rec_.entry_packets,
+                        inputs_.packets.begin() + packet_cursor_);
+    const auto& loops = loop_stream();
+    seg->loop_values.assign(loops.begin() + rec_.entry_loops,
+                            loops.begin() + loop_cursor_);
+    const auto& bits = inputs_.traces_log.direction_bits;
+    seg->direction_bits.reserve(bit_cursor_ - rec_.entry_bits);
+    for (size_t i = rec_.entry_bits; i < bit_cursor_; ++i) {
+      seg->direction_bits.push_back(bits[i] ? 1 : 0);
+    }
+    seg->indirect_targets.assign(
+        inputs_.traces_log.indirect_targets.begin() + rec_.entry_targets,
+        inputs_.traces_log.indirect_targets.begin() + target_cursor_);
+    const size_t n_packets = seg->packets.size();
+    if (rec_.have_peek && rec_.peek_rel == n_packets) {
+      seg->peeked_next = true;
+      seg->peeked = rec_.peek_pkt;
+    }
+    if (rec_.have_eos && rec_.eos_rel == n_packets) seg->eos_observed = true;
+    seg->halted = halted;
+    seg->exit_pc = pc_;
+    seg->exit_val = pack_valuation(val_);
+    seg->pushed.assign(shadow_stack_.begin() + rec_.min_stack,
+                       shadow_stack_.end());
+    seg->events.assign(result_.events.begin() + rec_.entry_events,
+                       result_.events.end());
+    seg->steps = steps_delta;
+    seg->index_hits = result_.index_hits - rec_.entry_index_hits;
+    seg->index_fallbacks = result_.index_fallbacks - rec_.entry_index_fallbacks;
+    const u64 key = memo_key(seg->entry_pc, seg->entry_val, policy_hash_);
+    memo_->insert(key, std::move(seg));
+    return true;
+  }
+
+  /// Full entry-guard validation of a candidate against the live state.
+  bool memo_matches(const MemoSegment& seg, const MemoValuation& val) const {
+    if (seg.entry_pc != pc_ || seg.policy_hash != policy_hash_ ||
+        !(seg.entry_val == val)) {
+      return false;
+    }
+    // Live execution of the segment's steps would need this much budget.
+    if (result_.steps + seg.steps > max_steps_) return false;
+    if (seg.popped.size() > shadow_stack_.size()) return false;
+    for (size_t i = 0; i < seg.popped.size(); ++i) {
+      if (shadow_stack_[shadow_stack_.size() - 1 - i] != seg.popped[i]) {
+        return false;
+      }
+    }
+    // Consumed evidence must match byte-for-byte at the live cursors. A
+    // halted segment additionally requires each stream *exactly* exhausted —
+    // the clean-halt check it memoized demands that.
+    const size_t pkt_rem = inputs_.packets.size() - packet_cursor_;
+    if (seg.halted ? pkt_rem != seg.packets.size()
+                   : pkt_rem < seg.packets.size()) {
+      return false;
+    }
+    if (!std::equal(seg.packets.begin(), seg.packets.end(),
+                    inputs_.packets.begin() + packet_cursor_)) {
+      return false;
+    }
+    if (seg.peeked_next) {
+      if (pkt_rem < seg.packets.size() + 1) return false;
+      if (!(inputs_.packets[packet_cursor_ + seg.packets.size()] ==
+            seg.peeked)) {
+        return false;
+      }
+    }
+    if (seg.eos_observed && pkt_rem != seg.packets.size()) return false;
+    const auto& loops = loop_stream();
+    const size_t loop_rem = loops.size() - loop_cursor_;
+    if (seg.halted ? loop_rem != seg.loop_values.size()
+                   : loop_rem < seg.loop_values.size()) {
+      return false;
+    }
+    if (!std::equal(seg.loop_values.begin(), seg.loop_values.end(),
+                    loops.begin() + loop_cursor_)) {
+      return false;
+    }
+    const auto& bits = inputs_.traces_log.direction_bits;
+    const size_t bit_rem = bits.size() - bit_cursor_;
+    if (seg.halted ? bit_rem != seg.direction_bits.size()
+                   : bit_rem < seg.direction_bits.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < seg.direction_bits.size(); ++i) {
+      if (static_cast<u8>(bits[bit_cursor_ + i] ? 1 : 0) !=
+          seg.direction_bits[i]) {
+        return false;
+      }
+    }
+    const auto& targets = inputs_.traces_log.indirect_targets;
+    const size_t tgt_rem = targets.size() - target_cursor_;
+    if (seg.halted ? tgt_rem != seg.indirect_targets.size()
+                   : tgt_rem < seg.indirect_targets.size()) {
+      return false;
+    }
+    if (!std::equal(seg.indirect_targets.begin(), seg.indirect_targets.end(),
+                    targets.begin() + target_cursor_)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Splice a matched segment: exactly the state live execution of the
+  /// stretch would have produced.
+  void memo_apply(const MemoSegment& seg) {
+    shadow_stack_.resize(shadow_stack_.size() - seg.popped.size());
+    shadow_stack_.insert(shadow_stack_.end(), seg.pushed.begin(),
+                         seg.pushed.end());
+    result_.events.insert(result_.events.end(), seg.events.begin(),
+                          seg.events.end());
+    packet_cursor_ += seg.packets.size();
+    loop_cursor_ += seg.loop_values.size();
+    bit_cursor_ += seg.direction_bits.size();
+    target_cursor_ += seg.indirect_targets.size();
+    unpack_valuation(seg.exit_val, val_);
+    pc_ = seg.exit_pc;
+    result_.steps += seg.steps;
+    result_.index_hits += seg.index_hits;
+    result_.index_fallbacks += seg.index_fallbacks;
+    if (seg.halted) memo_halted_ = true;
+  }
+
+  bool memo_try_apply() {
+    const MemoValuation here = pack_valuation(val_);
+    const u64 key = memo_key(pc_, here, policy_hash_);
+    MemoCache::Handle candidates[MemoCache::kLookupWidth];
+    const size_t count =
+        memo_->lookup(key, candidates, MemoCache::kLookupWidth);
+    for (size_t i = 0; i < count; ++i) {
+      if (memo_matches(*candidates[i], here)) {
+        memo_apply(*candidates[i]);
+        ++result_.memo_hits;
+        memo_->note_hit();
+        return true;
+      }
+    }
+    ++result_.memo_misses;
+    memo_->note_miss();
+    return false;
   }
 
   /// Execute one instruction of the walk. Returns true when the program
@@ -793,9 +1158,19 @@ bool ReplayEngine::step() {
 
 ReplayResult ReplayEngine::run() {
   while (result_.steps < max_steps_) {
+    if (memo_ != nullptr) {
+      memo_tick();
+      if (memo_halted_) {
+        // A halted segment was spliced: its guards proved the exact
+        // clean-halt conditions, so the replay is complete.
+        result_.complete = true;
+        return result_;
+      }
+    }
     ++result_.steps;
     const bool halted = step();
     if (halted) {
+      if (memo_ != nullptr) memo_close(/*halted=*/true);
       result_.complete = true;
       return result_;
     }
@@ -836,10 +1211,11 @@ ReplayResult PathReplayer::replay(const ReplayInputs& inputs, u64 max_steps) {
   // pass attribute findings (the verifier accuses only when every parse of
   // the evidence is malicious).
   ReplayEngine strict_engine(*index, entry_, mode_, policy_, inputs, max_steps,
-                             nullptr, /*strict=*/true);
+                             nullptr, /*strict=*/true, memo_);
   ReplayResult strict_result = strict_engine.run();
   if (strict_result.complete) return strict_result;
-  ReplayEngine engine(*index, entry_, mode_, policy_, inputs, max_steps);
+  ReplayEngine engine(*index, entry_, mode_, policy_, inputs, max_steps,
+                      nullptr, /*strict=*/false, memo_);
   return engine.run();
 }
 

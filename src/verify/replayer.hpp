@@ -65,6 +65,13 @@ struct ReplayResult {
   /// verification report identical values.
   u64 index_hits = 0;
   u64 index_fallbacks = 0;
+  /// Memo-cache effectiveness (verified sub-path cache, memo.hpp): segment
+  /// anchors spliced from a stored segment vs. anchors that missed and
+  /// recorded fresh. NOT part of the verification outcome — the values
+  /// depend on which other replays warmed the shared cache, so digests and
+  /// result comparisons must exclude them (verification_digest does).
+  u64 memo_hits = 0;
+  u64 memo_misses = 0;
 
   bool clean() const { return complete && findings.empty(); }
 };
@@ -76,6 +83,7 @@ struct ReplayPolicy {
 };
 
 class Deployment;
+class MemoCache;
 class ReplayIndex;
 
 class PathReplayer {
@@ -92,6 +100,12 @@ class PathReplayer {
     traces_ = manifest;
   }
   void set_policy(ReplayPolicy policy) { policy_ = std::move(policy); }
+  /// Attach a verified sub-path cache (normally the Deployment's). replay()
+  /// then splices previously-verified segments instead of re-simulating
+  /// them; verdicts, events, findings and deterministic counters are
+  /// bit-identical either way (tests/test_memo enforces this). check_path()
+  /// never consults the cache — the checker must walk every instruction.
+  void set_memo(MemoCache* memo) { memo_ = memo; }
 
   ReplayResult replay(const ReplayInputs& inputs, u64 max_steps = 100'000'000);
 
@@ -112,6 +126,7 @@ class PathReplayer {
   /// Shared precomputed index (Deployment constructor only); when null, a
   /// local index is built per replay()/check_path() call.
   const ReplayIndex* index_ = nullptr;
+  MemoCache* memo_ = nullptr;
   ReplayPolicy policy_;
 };
 

@@ -21,6 +21,88 @@ const char* verdict_name(Verdict verdict) {
 Verifier::Verifier(crypto::Key key, u64 rng_seed)
     : key_schedule_(key), rng_(rng_seed) {}
 
+namespace {
+
+/// Length-prefixed, fixed-width field streaming so distinct results can
+/// never collide by concatenation ambiguity.
+struct DigestStream {
+  crypto::Sha256 h;
+
+  void u64le(u64 v) {
+    u8 bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<u8>(v >> (8 * i));
+    h.update(bytes);
+  }
+  void u32le(u32 v) { u64le(v); }
+  void boolean(bool v) { u64le(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64le(s.size());
+    h.update(std::span<const u8>(reinterpret_cast<const u8*>(s.data()),
+                                 s.size()));
+  }
+};
+
+}  // namespace
+
+crypto::Digest verification_digest(const VerificationResult& result) {
+  DigestStream out;
+  out.u64le(static_cast<u64>(result.verdict));
+  out.boolean(result.authentic);
+  out.boolean(result.fresh);
+  out.boolean(result.chain_ok);
+  out.boolean(result.memory_ok);
+  out.boolean(result.reconstruction_ok);
+  out.boolean(result.policy_ok);
+  out.boolean(result.partial_reconstruction);
+  out.str(result.detail);
+  out.u64le(result.gaps.size());
+  for (const auto& gap : result.gaps) {
+    out.u32le(gap.first_missing);
+    out.u32le(gap.missing_count);
+  }
+  out.u64le(result.chain_notes.size());
+  for (const auto& note : result.chain_notes) out.str(note);
+  const ReplayResult& replay = result.replay;
+  out.boolean(replay.complete);
+  out.str(replay.failure);
+  out.u64le(replay.steps);
+  out.u64le(replay.index_hits);
+  out.u64le(replay.index_fallbacks);
+  // memo_hits / memo_misses intentionally omitted: cache-warmth telemetry,
+  // not part of the verification outcome.
+  out.u64le(replay.events.size());
+  for (const auto& event : replay.events) {
+    out.u32le(event.source);
+    out.u32le(event.destination);
+    out.u64le(static_cast<u64>(event.kind));
+  }
+  out.u64le(replay.findings.size());
+  for (const auto& finding : replay.findings) {
+    out.u32le(finding.site);
+    out.u32le(finding.expected);
+    out.u32le(finding.observed);
+    out.str(finding.description);
+  }
+  const ReplayInputs& inputs = result.inputs;
+  out.u64le(inputs.packets.size());
+  for (const auto& packet : inputs.packets) {
+    out.u32le(packet.source);
+    out.u32le(packet.destination);
+    out.boolean(packet.atomic_restart);
+  }
+  out.u64le(inputs.loop_values.size());
+  for (const u32 value : inputs.loop_values) out.u32le(value);
+  out.u64le(inputs.traces_log.direction_bits.size());
+  for (const bool bit : inputs.traces_log.direction_bits) out.boolean(bit);
+  out.u64le(inputs.traces_log.indirect_targets.size());
+  for (const Address target : inputs.traces_log.indirect_targets) {
+    out.u32le(target);
+  }
+  out.u64le(inputs.traces_log.loop_conditions.size());
+  for (const u32 value : inputs.traces_log.loop_conditions) out.u32le(value);
+  return out.h.finalize();
+}
+
 void Verifier::expect_rap(const Program& program,
                           const rewrite::Manifest& manifest, Address entry) {
   deployment_ = Deployment::rap(program, manifest, entry);
@@ -201,10 +283,29 @@ VerificationResult verify_report_chain(
   //     and passes macs_verified to skip the duplicate work here.
   if (!macs_verified) {
     auto span = cobs.phase("mac_check");
-    for (const auto& report : reports) {
-      if (!report.verify(key)) {
+    // Wire-backed views expose their contiguous MAC input: feed the whole
+    // chain to the multi-buffer HMAC lanes in one batch. Field-backed views
+    // (no contiguous input) keep the streaming check.
+    const bool batchable =
+        reports.size() >= 2 &&
+        std::all_of(reports.begin(), reports.end(),
+                    [](const cfa::ReportView& r) { return !r.mac_input.empty(); });
+    if (batchable) {
+      std::vector<crypto::MacClaim> claims;
+      claims.reserve(reports.size());
+      for (const auto& report : reports) claims.push_back(report.claim());
+      if (const auto bad = crypto::hmac_verify_batch(key, claims)) {
+        // Identical wording to the serial check below, so batched and serial
+        // admission of the same chain yield byte-identical verdicts.
         return reject("report MAC invalid (seq " +
-                      std::to_string(report.sequence) + ")");
+                      std::to_string(reports[*bad].sequence) + ")");
+      }
+    } else {
+      for (const auto& report : reports) {
+        if (!report.verify(key)) {
+          return reject("report MAC invalid (seq " +
+                        std::to_string(report.sequence) + ")");
+        }
       }
     }
   }
@@ -350,6 +451,7 @@ VerificationResult verify_report_chain(
   // (6) Lossless path reconstruction + (7) attack policies.
   PathReplayer replayer(deployment);
   replayer.set_policy(config.policy);
+  if (config.use_memo && kMemoEnabled) replayer.set_memo(&deployment.memo());
   try {
     auto span = cobs.phase("replay");
     result.replay = replayer.replay(inputs);

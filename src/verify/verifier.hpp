@@ -75,6 +75,14 @@ struct VerificationResult {
   bool accepted() const { return verdict == Verdict::Accept; }
 };
 
+/// Canonical digest of everything a VerificationResult *decides*: verdict,
+/// flags, detail, gaps, notes, and the deterministic replay outcome (events,
+/// findings, counters, decoded evidence). Deliberately excludes the memo
+/// hit/miss telemetry, which depends on what other replays warmed the shared
+/// cache. The differential suites pin memoized against unmemoized (and SIMD
+/// against scalar) verification by comparing these digests byte-for-byte.
+crypto::Digest verification_digest(const VerificationResult& result);
+
 /// The verification core shared by the single-threaded Verifier facade and
 /// the VerifierFarm workers: authenticate, freshness-check, resync, decode
 /// and replay one report chain against an immutable Deployment.
@@ -126,6 +134,11 @@ class Verifier {
   /// device (glitched watermark, silent buffer wrap) and is rejected even
   /// though the report signs valid. 0 (default) disables the check.
   void set_expected_watermark(u32 bytes) { config_.expected_watermark = bytes; }
+
+  /// Toggle the verified sub-path memo cache (default on; no-op when
+  /// RAP_MEMO is compiled out). The memo-off ablation path of the benches
+  /// and the differential tests run through this.
+  void set_memo(bool enabled) { config_.use_memo = enabled; }
 
   const VerifyConfig& config() const { return config_; }
 

@@ -5,6 +5,7 @@
 #include "common/hex.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_mb.hpp"
 
 namespace raptrack::crypto {
 namespace {
@@ -232,6 +233,158 @@ TEST(HmacBatch, BatchMatchesSerialVerification) {
     EXPECT_EQ(*hit, bad);
     EXPECT_FALSE(schedule.check(messages[bad], tampered[bad]));
   }
+}
+
+// -- multi-buffer (interleaved-lane) SHA-256 ---------------------------------
+
+/// Run `body` under every lane width the host can express (scalar spill,
+/// 4-lane SSE2, 8-lane AVX2 where present) plus the auto-dispatched width.
+template <typename Body>
+void for_each_lane_width(Body&& body) {
+  for (const size_t lanes : {size_t{1}, size_t{4}, size_t{8}, size_t{0}}) {
+    sha256_mb_force_lanes(lanes);
+    body(sha256_mb_lanes());
+  }
+  sha256_mb_force_lanes(0);
+}
+
+TEST(Sha256MultiBuffer, FipsVectorsAcrossLaneWidths) {
+  const std::vector<u8> abc = bytes_of("abc");
+  const std::vector<u8> empty;
+  const std::vector<u8> two_block = bytes_of(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  const std::vector<u8> four_block = bytes_of(
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu");
+  // A deliberately ragged batch: the grouping by padded block count must
+  // still land every digest in its original slot.
+  const std::vector<MbMsg> batch = {
+      {abc.data(), abc.size()},
+      {empty.data(), empty.size()},
+      {two_block.data(), two_block.size()},
+      {four_block.data(), four_block.size()},
+      {abc.data(), abc.size()},
+  };
+  for_each_lane_width([&](size_t lanes) {
+    std::vector<Digest> out(batch.size());
+    sha256_mb_hash(batch, out.data());
+    EXPECT_EQ(hex_digest(out[0]),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+        << "lanes=" << lanes;
+    EXPECT_EQ(hex_digest(out[1]),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+        << "lanes=" << lanes;
+    EXPECT_EQ(hex_digest(out[2]),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1")
+        << "lanes=" << lanes;
+    EXPECT_EQ(hex_digest(out[3]),
+              "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1")
+        << "lanes=" << lanes;
+    EXPECT_EQ(out[4], out[0]) << "lanes=" << lanes;
+  });
+}
+
+TEST(Sha256MultiBuffer, MatchesScalarOnFuzzedLengths) {
+  // 37 messages spanning sub-block to multi-block sizes, including both
+  // padding-tail shapes (rem < 56 and rem >= 56).
+  std::vector<std::vector<u8>> inputs;
+  for (size_t n = 0; n < 37; ++n) {
+    std::vector<u8> data((n * 53 + n * n * 7) % 513);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<u8>(i * 167 + n * 29 + 3);
+    }
+    inputs.push_back(std::move(data));
+  }
+  std::vector<MbMsg> batch;
+  for (const auto& input : inputs) batch.push_back({input.data(), input.size()});
+  for_each_lane_width([&](size_t lanes) {
+    std::vector<Digest> out(batch.size());
+    sha256_mb_hash(batch, out.data());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(out[i], Sha256::hash(inputs[i]))
+          << "lanes=" << lanes << " msg=" << i;
+    }
+  });
+}
+
+TEST(Sha256MultiBuffer, MidstateResumeMatchesIncremental) {
+  // Resume from a one-block midstate (the HMAC ipad/opad shape): the lanes
+  // must account for the already-absorbed prefix in the padding length.
+  std::array<u8, 64> prefix;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    prefix[i] = static_cast<u8>(i ^ 0x36);
+  }
+  Sha256 mid;
+  mid.update(prefix);
+  const auto& state = detail::Sha256Access::state(mid);
+  std::vector<std::vector<u8>> tails;
+  for (const size_t length : {0u, 1u, 31u, 55u, 56u, 64u, 200u}) {
+    std::vector<u8> tail(length);
+    for (size_t i = 0; i < length; ++i) tail[i] = static_cast<u8>(i * 11 + 5);
+    tails.push_back(std::move(tail));
+  }
+  std::vector<MbMsg> batch;
+  for (const auto& tail : tails) batch.push_back({tail.data(), tail.size()});
+  for_each_lane_width([&](size_t lanes) {
+    std::vector<Digest> out(batch.size());
+    sha256_mb_hash_with_state(state, prefix.size(), batch, out.data());
+    for (size_t i = 0; i < tails.size(); ++i) {
+      Sha256 reference;
+      reference.update(prefix);
+      reference.update(tails[i]);
+      EXPECT_EQ(out[i], reference.finalize())
+          << "lanes=" << lanes << " tail=" << tails[i].size();
+    }
+  });
+}
+
+TEST(HmacBatch, MultiLaneAgreesWithSerialAndPinpointsFailures) {
+  const std::vector<u8> key = bytes_of("lane-batch-key");
+  const HmacKeySchedule schedule(key);
+  std::vector<std::vector<u8>> messages;
+  std::vector<Digest> macs;
+  for (size_t n = 0; n < 19; ++n) {
+    std::vector<u8> msg((n * 37 + 11) % 300);
+    for (size_t i = 0; i < msg.size(); ++i) {
+      msg[i] = static_cast<u8>(i + n * 13);
+    }
+    macs.push_back(schedule.mac(msg));
+    messages.push_back(std::move(msg));
+  }
+  const auto claims_over = [&](const std::vector<Digest>& attached) {
+    std::vector<MacClaim> claims;
+    for (size_t i = 0; i < messages.size(); ++i) {
+      claims.push_back({messages[i], attached[i]});
+    }
+    return claims;
+  };
+  for_each_lane_width([&](size_t lanes) {
+    EXPECT_FALSE(hmac_verify_batch(schedule, claims_over(macs)).has_value())
+        << "lanes=" << lanes;
+    for (const size_t bad : {0u, 9u, 18u}) {
+      std::vector<Digest> tampered = macs;
+      tampered[bad][17] ^= 0x02;
+      const auto hit = hmac_verify_batch(schedule, claims_over(tampered));
+      ASSERT_TRUE(hit.has_value()) << "lanes=" << lanes;
+      EXPECT_EQ(*hit, bad) << "lanes=" << lanes;
+    }
+  });
+}
+
+TEST(Sha256MultiBuffer, ForceScalarCollapsesToOneLane) {
+  Sha256::force_scalar(true);
+  EXPECT_EQ(sha256_mb_lanes(), 1u);
+  // Even through the scalar-only path the batched API stays correct.
+  const std::vector<u8> abc = bytes_of("abc");
+  const std::vector<MbMsg> batch = {{abc.data(), abc.size()},
+                                    {abc.data(), abc.size()}};
+  std::vector<Digest> out(batch.size());
+  sha256_mb_hash(batch, out.data());
+  Sha256::force_scalar(false);
+  EXPECT_EQ(hex_digest(out[0]),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(out[1], out[0]);
+  EXPECT_GE(sha256_mb_lanes(), 1u);
 }
 
 TEST(DigestEqual, ExactMatchOnly) {

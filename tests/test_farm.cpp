@@ -146,7 +146,7 @@ TEST_P(FarmDifferential, MatchesSerialOnFuzzedChains) {
   ASSERT_GE(fuzz.cases.size(), 200u)
       << "corpus shrank below the differential coverage floor";
 
-  VerifierFarm farm(apps::demo_key(), {.workers = GetParam()});
+  VerifierFarm farm(apps::demo_key(), {.workers = GetParam(), .clamp_workers = false});
   // One device per (case, submission path): challenge histories must not
   // interfere, exactly as distinct provers' sessions don't.
   std::vector<std::future<VerificationResult>> decoded;
@@ -193,7 +193,7 @@ TEST(FarmScheduling, SameDeviceChainsSerializeInSubmissionOrder) {
   const Case& clean = fuzz.cases.front();
   ASSERT_EQ(clean.label, "gps/clean");
 
-  VerifierFarm farm(apps::demo_key(), {.workers = 8});
+  VerifierFarm farm(apps::demo_key(), {.workers = 8, .clamp_workers = false});
   // For every device: the original chain, then the same chain replayed.
   // Same-device FIFO guarantees the original always wins the challenge and
   // the replay always rejects — any ordering race would flip verdicts.
@@ -220,7 +220,7 @@ TEST(FarmScheduling, BackpressureBoundsTheQueueWithoutDeadlock) {
   // Tiny admission window: submit blocks until workers free capacity, and
   // every job must still complete.
   VerifierFarm farm(apps::demo_key(),
-                    {.workers = 2, .queue_capacity = 2});
+                    {.workers = 2, .clamp_workers = false, .queue_capacity = 2});
   constexpr size_t kJobs = 32;
   std::vector<std::future<VerificationResult>> results;
   for (size_t i = 0; i < kJobs; ++i) {
@@ -235,7 +235,7 @@ TEST(FarmScheduling, BackpressureBoundsTheQueueWithoutDeadlock) {
 }
 
 TEST(FarmScheduling, UnknownDeviceRejectsWithoutCrashing) {
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   const VerificationResult result =
       farm.submit(/*device=*/99, cfa::Challenge{}, {}).get();
   EXPECT_EQ(result.verdict, Verdict::Reject);
@@ -244,7 +244,7 @@ TEST(FarmScheduling, UnknownDeviceRejectsWithoutCrashing) {
 
 TEST(FarmScheduling, WireFramingErrorsRejectWithParserDetail) {
   const Corpus& fuzz = corpus();
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   farm.provision(0, fuzz.deployments[0], fuzz.config);
   const VerificationResult result =
       farm.submit_wire(0, cfa::Challenge{}, {'X', 'X', 'X', 'X'}).get();
@@ -262,7 +262,7 @@ TEST(FarmMetricsInvariants, CountersReconcileWithFifoScenario) {
 
   const obs::Snapshot before = obs::registry().scrape();
   {
-    VerifierFarm farm(apps::demo_key(), {.workers = 2, .queue_capacity = 4});
+    VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false, .queue_capacity = 4});
     constexpr size_t kJobs = 16;
     std::vector<std::future<VerificationResult>> results;
     for (size_t i = 0; i < kJobs; ++i) {
@@ -327,6 +327,7 @@ TEST(FarmRobustness, WorkerPanicIsContainedAndTheWorkerSurvives) {
   std::atomic<int> detonations{0};
   FarmOptions options;
   options.workers = 2;
+  options.clamp_workers = false;
   options.fault_hook = [&](DeviceId device) {
     if (device == kFaulty && detonations.fetch_add(1) == 0) {
       throw std::runtime_error("injected worker fault");

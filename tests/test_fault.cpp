@@ -268,7 +268,7 @@ TEST(FaultLinkPlans, MutatedReportsOverTheLinkNeverYieldAccept) {
   verify::VerifyConfig config;
   config.expected_watermark = options.watermark_bytes;
 
-  verify::VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  verify::VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   net::VerifierEndpoint endpoint(farm);
 
   u64 runs = 0, effective = 0;

@@ -1,0 +1,337 @@
+// Differential suite for the verified sub-path memo cache (verify/memo.*).
+//
+// The contract under test: memoization may change wall-clock time and the
+// memo_hits/memo_misses telemetry, and NOTHING else. Every test here pins a
+// memoized verification against an unmemoized one (set_memo(false)) via
+// verification_digest() — a canonical SHA-256 over verdict, flags, detail,
+// gaps, notes, events, findings, counters and decoded evidence — so any
+// divergence, however subtle, is a byte-level failure:
+//   * ~200 fuzzed transport-fault plans across two apps (the fault-campaign
+//     injector set), cold and warm;
+//   * every registry app, cold cache then warm cache (warm must actually
+//     hit);
+//   * eviction under a tiny byte budget (pressure must not corrupt results);
+//   * concurrent farm workers warming one shared cache (run under the
+//     `concurrency` label; the tsan preset builds this with TSan).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "fault/campaign.hpp"
+#include "verify/farm.hpp"
+#include "verify/memo.hpp"
+#include "verify/verifier.hpp"
+
+namespace raptrack {
+namespace {
+
+using apps::PreparedApp;
+using fault::AttestedRun;
+using fault::FaultPlan;
+using fault::InjectorKind;
+using verify::Deployment;
+using verify::MemoCache;
+using verify::MemoOptions;
+using verify::MemoSegment;
+using verify::VerificationResult;
+using verify::verification_digest;
+
+std::string digest_hex(const VerificationResult& result) {
+  return hex_digest(verification_digest(result));
+}
+
+// Verify `chain` against `deployment` with the memo cache on or off. A
+// fresh Verifier (fresh session store) per call; the memo cache itself
+// lives on the shared Deployment, so warmth carries across calls.
+VerificationResult run_verify(std::shared_ptr<const Deployment> deployment,
+                              u32 watermark, const cfa::Challenge& chal,
+                              const std::vector<cfa::SignedReport>& chain,
+                              bool memo) {
+  verify::Verifier verifier(apps::demo_key());
+  verifier.expect(std::move(deployment));
+  verifier.set_expected_watermark(watermark);
+  verifier.set_memo(memo);
+  verifier.adopt_challenge(chal);
+  return verifier.verify(chal, chain);
+}
+
+// -- MemoCache unit behavior --------------------------------------------------
+
+MemoCache::Handle make_segment(Address entry_pc, u64 padding = 0) {
+  auto seg = std::make_shared<MemoSegment>();
+  seg->entry_pc = entry_pc;
+  seg->exit_pc = entry_pc + 4;
+  seg->steps = 1;
+  seg->packets.resize(padding);  // inflate bytes() for budget tests
+  return seg;
+}
+
+TEST(MemoCacheUnit, InsertLookupRefreshAndClear) {
+  MemoCache cache({.shards = 4, .slots_per_shard = 64});
+  MemoCache::Handle out[MemoCache::kLookupWidth];
+  EXPECT_EQ(cache.lookup(42, out, MemoCache::kLookupWidth), 0u);
+
+  cache.insert(42, make_segment(0x100));
+  if constexpr (verify::kMemoEnabled) {
+    ASSERT_EQ(cache.lookup(42, out, MemoCache::kLookupWidth), 1u);
+    EXPECT_EQ(out[0]->entry_pc, 0x100u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+
+    // Same key, same entry guards: refreshes in place, no duplicate.
+    cache.insert(42, make_segment(0x100));
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    cache.note_hit();
+    cache.note_miss();
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_GT(cache.stats().bytes, 0u);
+
+    cache.clear();
+    EXPECT_EQ(cache.lookup(42, out, MemoCache::kLookupWidth), 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+  } else {
+    EXPECT_EQ(cache.lookup(42, out, MemoCache::kLookupWidth), 0u);
+  }
+}
+
+TEST(MemoCacheUnit, ForceDisableDropsTraffic) {
+  MemoCache cache;
+  MemoCache::Handle out[MemoCache::kLookupWidth];
+  MemoCache::force_disable(true);
+  cache.insert(7, make_segment(0x200));
+  EXPECT_EQ(cache.lookup(7, out, MemoCache::kLookupWidth), 0u);
+  MemoCache::force_disable(false);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(MemoCacheUnit, ByteBudgetEnforcedByEviction) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  const MemoOptions options{
+      .shards = 1, .slots_per_shard = 256, .budget_bytes = 16 * 1024};
+  MemoCache cache(options);
+  // Distinct keys, each segment ~1.5 KiB: far past the budget in total.
+  for (u64 key = 0; key < 64; ++key) {
+    cache.insert(key * 0x10001, make_segment(0x100 + 4 * key, /*padding=*/128));
+    EXPECT_LE(cache.stats().bytes, options.budget_bytes)
+        << "budget exceeded after insert " << key;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 64u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LT(stats.entries, 64u);
+  // An entry bigger than one shard's whole budget is refused outright.
+  cache.insert(999, make_segment(0x900, /*padding=*/4096));
+  EXPECT_GT(cache.stats().rejects, 0u);
+}
+
+// -- fuzzed-chain differential (the ~200-plan fault campaign) -----------------
+
+struct Case {
+  size_t app = 0;
+  cfa::Challenge chal{};
+  std::vector<cfa::SignedReport> chain;
+  std::string label;
+};
+
+struct Corpus {
+  std::vector<std::shared_ptr<const Deployment>> deployments;
+  u32 watermark = 0;
+  std::vector<Case> cases;
+};
+
+// Same corpus shape as the farm differential: per app, the clean chain plus
+// every transport injector at several seeds.
+const Corpus& corpus() {
+  static const Corpus corpus = [] {
+    Corpus out;
+    const fault::CampaignOptions options;
+    out.watermark = options.watermark_bytes;
+    constexpr u64 kSeedsPerKind = 8;
+    for (const char* name : {"gps", "temperature"}) {
+      const PreparedApp prepared = apps::prepare_app(apps::app_by_name(name));
+      const AttestedRun clean = fault::attest_once(prepared, options);
+      EXPECT_TRUE(clean.functional_ok) << name;
+      const size_t app = out.deployments.size();
+      out.deployments.push_back(Deployment::rap(
+          prepared.rap.program, prepared.rap.manifest, prepared.built.entry));
+      out.cases.push_back(
+          {app, clean.chal, clean.reports, std::string(name) + "/clean"});
+      for (const InjectorKind kind : fault::transport_injectors()) {
+        for (u64 seed = 1; seed <= kSeedsPerKind; ++seed) {
+          FaultPlan plan(seed);
+          plan.add(kind);
+          std::vector<cfa::SignedReport> chain = clean.reports;
+          if (kind == InjectorKind::WireBitFlip) {
+            auto survived = fault::apply_wire_fault(plan, chain);
+            if (!survived.has_value()) continue;
+            chain = std::move(*survived);
+          } else {
+            fault::apply_transport_faults(plan, chain);
+          }
+          out.cases.push_back({app, clean.chal, std::move(chain),
+                               std::string(name) + "/" +
+                                   fault::injector_name(kind) + "/" +
+                                   std::to_string(seed)});
+        }
+      }
+    }
+    return out;
+  }();
+  return corpus;
+}
+
+TEST(MemoDifferential, FuzzedFaultPlansMatchUnmemoizedDigests) {
+  const Corpus& fuzz = corpus();
+  ASSERT_GE(fuzz.cases.size(), 200u)
+      << "fault-plan corpus shrank below the differential coverage floor";
+
+  // Fresh deployments for the memoized side so this test controls its own
+  // cache warmth (the corpus deployments are shared with other tests).
+  size_t accepts = 0;
+  for (const Case& c : fuzz.cases) {
+    const VerificationResult plain = run_verify(
+        fuzz.deployments[c.app], fuzz.watermark, c.chal, c.chain, false);
+    // Twice memoized: cold-ish (whatever earlier cases warmed) and warm.
+    const VerificationResult memo1 = run_verify(
+        fuzz.deployments[c.app], fuzz.watermark, c.chal, c.chain, true);
+    const VerificationResult memo2 = run_verify(
+        fuzz.deployments[c.app], fuzz.watermark, c.chal, c.chain, true);
+    EXPECT_EQ(digest_hex(memo1), digest_hex(plain)) << c.label;
+    EXPECT_EQ(digest_hex(memo2), digest_hex(plain)) << c.label << " (warm)";
+    if (plain.accepted()) ++accepts;
+  }
+  EXPECT_GT(accepts, 0u);
+  if constexpr (verify::kMemoEnabled) {
+    u64 hits = 0;
+    for (const auto& deployment : fuzz.deployments) {
+      hits += deployment->memo().stats().hits;
+    }
+    EXPECT_GT(hits, 0u) << "the differential never exercised the hit path";
+  }
+}
+
+// -- registry-wide app differential -------------------------------------------
+
+TEST(MemoDifferential, EveryRegistryAppWarmCacheMatchesAndHits) {
+  const fault::CampaignOptions options;
+  // RAP replay aborts recording at every ambiguous-branch checkpoint, and
+  // the futility backoff then anchors sparsely; short windows plus backoff
+  // disabled keep enough abort-free stretches recordable that the warm-hit
+  // assertion stays meaningful on the RAP path (digest equality holds for
+  // any window/backoff setting — only traffic volume changes).
+  const MemoOptions short_window{.window_packets = 4, .anchor_backoff_cap = 0};
+  for (const auto& app : apps::app_registry()) {
+    const PreparedApp prepared = apps::prepare_app(app);
+    const AttestedRun clean = fault::attest_once(prepared, options);
+    ASSERT_TRUE(clean.functional_ok) << app.name;
+    const auto deployment =
+        Deployment::rap(prepared.rap.program, prepared.rap.manifest,
+                        prepared.built.entry, short_window);
+
+    const VerificationResult plain = run_verify(
+        deployment, options.watermark_bytes, clean.chal, clean.reports, false);
+    ASSERT_TRUE(plain.accepted()) << app.name << ": " << plain.detail;
+    const VerificationResult cold = run_verify(
+        deployment, options.watermark_bytes, clean.chal, clean.reports, true);
+    const VerificationResult warm = run_verify(
+        deployment, options.watermark_bytes, clean.chal, clean.reports, true);
+    EXPECT_EQ(digest_hex(cold), digest_hex(plain)) << app.name << " cold";
+    EXPECT_EQ(digest_hex(warm), digest_hex(plain)) << app.name << " warm";
+    if constexpr (verify::kMemoEnabled) {
+      EXPECT_GT(warm.replay.memo_hits, 0u)
+          << app.name << ": repeated replay never hit the cache";
+    }
+  }
+}
+
+// -- eviction under pressure --------------------------------------------------
+
+TEST(MemoEviction, TinyBudgetEvictsWithoutChangingDigests) {
+  const fault::CampaignOptions options;
+  const PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const AttestedRun clean = fault::attest_once(prepared, options);
+  ASSERT_TRUE(clean.functional_ok);
+  // A cache far too small for the run: short windows make many segments and
+  // a ~2 KiB budget forces continuous eviction while verifying.
+  const MemoOptions tiny{.shards = 1,
+                         .slots_per_shard = 8,
+                         .budget_bytes = 2048,
+                         .window_packets = 4};
+  const auto pressured =
+      Deployment::rap(prepared.rap.program, prepared.rap.manifest,
+                      prepared.built.entry, tiny);
+  const auto roomy = Deployment::rap(prepared.rap.program,
+                                     prepared.rap.manifest,
+                                     prepared.built.entry);
+
+  const VerificationResult plain = run_verify(
+      roomy, options.watermark_bytes, clean.chal, clean.reports, false);
+  ASSERT_TRUE(plain.accepted()) << plain.detail;
+  for (int round = 0; round < 4; ++round) {
+    const VerificationResult squeezed =
+        run_verify(pressured, options.watermark_bytes, clean.chal,
+                   clean.reports, true);
+    EXPECT_EQ(digest_hex(squeezed), digest_hex(plain)) << "round " << round;
+  }
+  if constexpr (verify::kMemoEnabled) {
+    const auto stats = pressured->memo().stats();
+    EXPECT_LE(stats.bytes, tiny.budget_bytes);
+    EXPECT_GT(stats.inserts, 0u);
+    EXPECT_GT(stats.evictions, 0u)
+        << "pressure test never actually evicted (budget too roomy?)";
+  }
+}
+
+// -- concurrent farm workers sharing one cache --------------------------------
+
+TEST(MemoConcurrency, FarmWorkersWarmOneCacheAndMatchSerial) {
+  const fault::CampaignOptions options;
+  const PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const AttestedRun clean = fault::attest_once(prepared, options);
+  ASSERT_TRUE(clean.functional_ok);
+  // Short windows + no backoff for the same reason as the registry
+  // differential above: they guarantee cache traffic on this
+  // checkpoint-dense RAP chain, which is what makes the shared-cache
+  // hit/insert assertions below meaningful.
+  const auto deployment = Deployment::rap(
+      prepared.rap.program, prepared.rap.manifest, prepared.built.entry,
+      MemoOptions{.window_packets = 4, .anchor_backoff_cap = 0});
+
+  const VerificationResult plain = run_verify(
+      deployment, options.watermark_bytes, clean.chal, clean.reports, false);
+  ASSERT_TRUE(plain.accepted()) << plain.detail;
+  const std::string expected = digest_hex(plain);
+
+  verify::VerifierFarm farm(apps::demo_key(),
+                            {.workers = 4, .clamp_workers = false});
+  verify::VerifyConfig config;
+  config.expected_watermark = options.watermark_bytes;
+  constexpr size_t kDevices = 48;
+  std::vector<std::future<VerificationResult>> results;
+  for (size_t device = 0; device < kDevices; ++device) {
+    farm.provision(device, deployment, config);
+    farm.adopt_challenge(device, clean.chal);
+    results.push_back(farm.submit(device, clean.chal, clean.reports));
+  }
+  farm.drain();
+  for (size_t device = 0; device < kDevices; ++device) {
+    const VerificationResult result = results[device].get();
+    EXPECT_TRUE(result.accepted()) << "device " << device;
+    EXPECT_EQ(digest_hex(result), expected) << "device " << device;
+  }
+  if constexpr (verify::kMemoEnabled) {
+    const auto stats = deployment->memo().stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.inserts, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace raptrack

@@ -88,7 +88,7 @@ SessionOutcome run_fixture_session(VerifierFarm& farm,
 /// The lossless ground-truth digest every lossy run must reproduce.
 const crypto::Digest& lossless_digest() {
   static const crypto::Digest digest = [] {
-    VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
     VerifierEndpoint endpoint(farm);
     DuplexLink link(LinkModel{}, LinkModel{}, /*seed=*/1);
     const SessionOutcome outcome =
@@ -220,7 +220,7 @@ TEST(NetLink, LossyModelActuallyDropsDuplicatesAndReorders) {
 // -- session protocol --------------------------------------------------------
 
 TEST(NetSession, CleanLinkAcceptsFirstTry) {
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   VerifierEndpoint endpoint(farm);
   DuplexLink link(LinkModel{}, LinkModel{}, /*seed=*/2);
   const SessionOutcome outcome = run_fixture_session(
@@ -247,7 +247,7 @@ TEST(NetSession, TwentyFivePercentLossConvergesToAccept) {
   SCOPED_TRACE("replay seed: 0xc0ffee");
   const LinkModel lossy = LinkModel::lossy(250);
 
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   VerifierEndpoint endpoint(farm);
   DuplexLink link(lossy, lossy, kSeed);
   const SessionOutcome outcome = run_fixture_session(
@@ -279,7 +279,7 @@ TEST(NetSession, NackRepairConvertsInconclusiveToAccept) {
   ASSERT_GT(chain.size(), 2u);
   const size_t withheld = 1;
 
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   provision(farm, /*device=*/30);
   VerifierEndpoint endpoint(farm);
   DuplexLink link(LinkModel{}, LinkModel{}, /*seed=*/3);
@@ -331,7 +331,7 @@ TEST(NetSession, NackRepairConvertsInconclusiveToAccept) {
 TEST(NetSession, ProverRetransmitsUnderLoss) {
   constexpr u64 kSeed = 0x5eed5;
   const LinkModel lossy = LinkModel::lossy(300);
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   VerifierEndpoint endpoint(farm);
   provision(farm, /*device=*/40);
   DuplexLink link(lossy, lossy, kSeed);
@@ -370,7 +370,7 @@ TEST(NetSession, InPathTamperingDiesAtTheMacDoorAndStillAccepts) {
   constexpr u64 kSeed = 0x7a3b;
   LinkModel hostile;
   hostile.tamper_permille = 200;
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   VerifierEndpoint endpoint(farm);
   DuplexLink link(hostile, LinkModel{}, kSeed);
   const SessionOutcome outcome = run_fixture_session(
@@ -523,7 +523,7 @@ TEST(NetRecovery, SnapshotRestoreMidSessionResumesToSameDigest) {
   // Uninterrupted baseline.
   crypto::Digest baseline;
   {
-    VerifierFarm farm(apps::demo_key(), {.workers = 2});
+    VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
     VerifierEndpoint endpoint(farm);
     DuplexLink link(lossy, lossy, kSeed);
     const SessionOutcome outcome = run_fixture_session(
@@ -534,7 +534,7 @@ TEST(NetRecovery, SnapshotRestoreMidSessionResumesToSameDigest) {
   }
 
   // Same seeds, but the verifier crashes mid-flight.
-  VerifierFarm farm(apps::demo_key(), {.workers = 2});
+  VerifierFarm farm(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   provision(farm, /*device=*/100);
   auto endpoint = std::make_unique<VerifierEndpoint>(farm);
   DuplexLink link(lossy, lossy, kSeed);
@@ -553,7 +553,7 @@ TEST(NetRecovery, SnapshotRestoreMidSessionResumesToSameDigest) {
   // Crash: endpoint and farm die. A new farm re-provisions its deployments
   // (not part of the snapshot), then restores challenge + session state.
   endpoint.reset();
-  VerifierFarm recovered(apps::demo_key(), {.workers = 2});
+  VerifierFarm recovered(apps::demo_key(), {.workers = 2, .clamp_workers = false});
   recovered.provision(100, fixture().deployment, fixture().config);
   VerifierEndpoint restored(recovered);
   ASSERT_TRUE(restored.restore(snapshot));
@@ -590,7 +590,7 @@ TEST(NetRecovery, SnapshotRejectsCorruptionTruncationAndBadMagic) {
 // must terminate (Accept or bounded give-up), and every Accept must carry
 // the lossless digest. One farm serves all sessions, as in deployment.
 TEST(NetSoak, ThreeHundredSeededSessionsAcrossTheLossSweep) {
-  VerifierFarm farm(apps::demo_key(), {.workers = 4});
+  VerifierFarm farm(apps::demo_key(), {.workers = 4, .clamp_workers = false});
   VerifierEndpoint endpoint(farm);
 
   const std::vector<u32> loss_levels = {0, 50, 100, 150, 200, 250, 300, 350,

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_verify_throughput.json runs and flag regressions.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                         [--require-speedup ROWSPEC:FACTOR]
+
+Rows are matched on their identity key (app, method, mix, mode, memo,
+workers_requested); throughput is compared on reports_per_s. A row whose
+candidate throughput drops more than --threshold percent (default 10) below
+the baseline is a regression; the script prints every regressed row and
+exits nonzero so CI can gate on it. Rows present on only one side are
+reported but never fatal (the grid legitimately grows with new modes).
+
+--require-speedup asserts a minimum ratio *within* the candidate file
+between a memo=on row and its memo=off sibling, e.g.:
+
+  --require-speedup gps/traces/clean/serial_shared:1.5
+
+which enforces the memoization acceptance bar (memo-on reports_per_s must
+be at least 1.5x memo-off on that repeated-workload row) without needing a
+baseline file at all (pass the candidate as both arguments).
+
+Wall-clock benches are noisy; compare like with like ("release" and "quick"
+flags must match between the two files, or the comparison is refused).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def row_key(row: dict) -> tuple:
+    return (
+        row.get("app"),
+        row.get("method"),
+        row.get("mix"),
+        row.get("mode"),
+        row.get("memo", "off"),
+        row.get("workers_requested", row.get("workers", 1)),
+    )
+
+
+def fmt_key(key: tuple) -> str:
+    app, method, mix, mode, memo, workers = key
+    return f"{app}/{method}/{mix}/{mode}/memo={memo}/w{workers}"
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if doc.get("bench") != "verify_throughput":
+        sys.exit(f"error: {path} is not a verify_throughput bench file")
+    return doc
+
+
+def index_rows(doc: dict, path: str) -> dict:
+    rows = {}
+    for row in doc.get("rows", []):
+        key = row_key(row)
+        if key in rows:
+            sys.exit(f"error: {path} has duplicate row {fmt_key(key)}")
+        rows[key] = row
+    return rows
+
+
+def check_speedup(rows: dict, spec: str) -> list[str]:
+    """ROWSPEC:FACTOR — memo=on vs memo=off ratio floor on one row family."""
+    try:
+        rowspec, factor_text = spec.rsplit(":", 1)
+        app, method, mix, mode = rowspec.split("/")
+        factor = float(factor_text)
+    except ValueError:
+        sys.exit(f"error: bad --require-speedup spec: {spec!r} "
+                 "(want app/method/mix/mode:factor)")
+    failures = []
+    on = off = None
+    for key, row in rows.items():
+        if key[:4] == (app, method, mix, mode):
+            if key[4] == "on":
+                on = row
+            elif key[4] == "off":
+                off = row
+    if on is None or off is None:
+        return [f"{rowspec}: missing memo=on/off row pair"]
+    ratio = on["reports_per_s"] / max(off["reports_per_s"], 1e-9)
+    if ratio < factor:
+        failures.append(
+            f"{rowspec}: memo-on is {ratio:.2f}x memo-off "
+            f"({on['reports_per_s']:.0f} vs {off['reports_per_s']:.0f} "
+            f"reports/s), below the required {factor:.2f}x")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated reports_per_s drop, percent "
+                             "(default: 10)")
+    parser.add_argument("--require-speedup", action="append", default=[],
+                        metavar="ROWSPEC:FACTOR",
+                        help="assert memo-on/memo-off ratio within the "
+                             "candidate, e.g. gps/traces/clean/"
+                             "serial_shared:1.5 (repeatable)")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    for flag in ("release", "quick"):
+        if base_doc.get(flag) != cand_doc.get(flag):
+            sys.exit(f"error: refusing to compare: '{flag}' differs "
+                     f"({base_doc.get(flag)} vs {cand_doc.get(flag)}) — "
+                     "wall-clock rows are only comparable like for like")
+
+    base = index_rows(base_doc, args.baseline)
+    cand = index_rows(cand_doc, args.candidate)
+
+    regressions = []
+    improved = 0
+    for key, base_row in sorted(base.items()):
+        cand_row = cand.get(key)
+        if cand_row is None:
+            print(f"note: row only in baseline: {fmt_key(key)}")
+            continue
+        before = base_row["reports_per_s"]
+        after = cand_row["reports_per_s"]
+        if before <= 0:
+            continue
+        delta_pct = (after - before) * 100.0 / before
+        if delta_pct < -args.threshold:
+            regressions.append(
+                f"{fmt_key(key)}: {before:.0f} -> {after:.0f} reports/s "
+                f"({delta_pct:+.1f}%)")
+        elif delta_pct > args.threshold:
+            improved += 1
+    for key in sorted(set(cand) - set(base)):
+        print(f"note: new row in candidate: {fmt_key(key)}")
+
+    speedup_failures = []
+    for spec in args.require_speedup:
+        speedup_failures.extend(check_speedup(cand, spec))
+
+    print(f"compared {len(set(base) & set(cand))} rows: "
+          f"{len(regressions)} regressed beyond {args.threshold:.0f}%, "
+          f"{improved} improved beyond it")
+    for line in regressions:
+        print(f"REGRESSION: {line}")
+    for line in speedup_failures:
+        print(f"SPEEDUP MISSED: {line}")
+    return 1 if regressions or speedup_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
