@@ -14,10 +14,14 @@
 //                    deployment (re-decode, re-hash, linear manifest scans).
 //   serial_shared  — fresh Verifier sharing one prebuilt Deployment cache:
 //                    the single-thread hot path the farm runs per worker.
-//                    Measured twice, memo=off and memo=on, as the ablation
-//                    for the verified sub-path memo cache: the same wire
-//                    chain repeats across devices, so a warm cache should
-//                    replay whole windows per lookup instead of per step.
+//                    Measured memo=off and memo=on (sub-path memo only, the
+//                    pre-frontier cost model), and on RAP workloads also as
+//                    the {frontier on/off} x {cold/warm-restored} ablation:
+//                    "on+frontier" adds the checkpoint-frontier memo that
+//                    skips re-searching resolved RAP ambiguities, and the
+//                    "+warm" variants start from a cache rebuilt via
+//                    serialize_warm/restore_warm (the persistent warm-start
+//                    path a restored verifier endpoint takes).
 //   farm           — VerifierFarm::submit_wire at 1/2/4/8 *requested*
 //                    workers: sharded scheduling, shared deployment+memo,
 //                    batched multi-lane MACs. FarmOptions clamps requests to
@@ -42,8 +46,9 @@
 // Correctness tripwires, all fatal (ride the bench-smoke-verify ctest):
 //   - every timed verification must reproduce the workload's probed verdict;
 //   - per workload, the canonical verification digest must be byte-identical
-//     memo-off vs memo-on-cold vs memo-on-warm (memoization may only change
-//     wall time and cache telemetry, never the verification outcome);
+//     memo-off vs memo-on-cold vs memo-on-warm vs frontier-on-cold vs
+//     frontier-on-warm vs warm-restored-from-snapshot (memoization may only
+//     change wall time and cache telemetry, never the verification outcome);
 //   - the emitted JSON must re-validate against the row schema.
 #include <algorithm>
 #include <chrono>
@@ -100,13 +105,15 @@ struct Row {
 };
 
 /// One verification of `w` against its shared deployment with memoization
-/// toggled, returning the canonical digest of the full result. Used for the
-/// probe and for the memo-off/memo-on byte-identity tripwire.
-verify::VerificationResult verify_once(const Workload& w, bool memo) {
+/// (and optionally the checkpoint-frontier tier) toggled, returning the full
+/// result. Used for the probe and for the digest byte-identity tripwire.
+verify::VerificationResult verify_once(const Workload& w, bool memo,
+                                       bool frontier = false) {
   verify::Verifier verifier(apps::demo_key());
   verifier.expect(w.deployment);
   verifier.set_expected_watermark(w.config.expected_watermark);
   verifier.set_memo(memo);
+  verifier.set_frontier(memo && frontier);
   verifier.adopt_challenge(w.chal);
   const auto decoded = cfa::try_decode_report_chain(w.wire);
   if (!decoded.ok()) return {};
@@ -132,12 +139,27 @@ void check_memo_digests(const Workload& w) {
       verify_once(w, true)));
   const std::string warm = hex_digest(verify::verification_digest(
       verify_once(w, true)));
-  if (off != cold || off != warm) {
+  // Frontier tier: cold, warm, and warm-restored-from-snapshot (the exact
+  // bytes a recovered verifier endpoint would rehydrate from).
+  w.deployment->memo().clear();
+  const std::string frontier_cold = hex_digest(verify::verification_digest(
+      verify_once(w, true, true)));
+  const std::string frontier_warm = hex_digest(verify::verification_digest(
+      verify_once(w, true, true)));
+  const std::vector<u8> snapshot = w.deployment->memo().serialize_warm();
+  w.deployment->memo().clear();
+  w.deployment->memo().restore_warm(snapshot);
+  const std::string restored = hex_digest(verify::verification_digest(
+      verify_once(w, true, true)));
+  w.deployment->memo().clear();
+  if (off != cold || off != warm || off != frontier_cold ||
+      off != frontier_warm || off != restored) {
     std::fprintf(stderr,
                  "error: %s/%s/%s memoized digest diverged\n  off  %s\n"
-                 "  cold %s\n  warm %s\n",
+                 "  cold %s\n  warm %s\n  fcold %s\n  fwarm %s\n  rest %s\n",
                  w.app.c_str(), w.method.c_str(), w.mix.c_str(), off.c_str(),
-                 cold.c_str(), warm.c_str());
+                 cold.c_str(), warm.c_str(), frontier_cold.c_str(),
+                 frontier_warm.c_str(), restored.c_str());
     std::exit(1);
   }
 }
@@ -240,6 +262,96 @@ std::vector<Workload> build_workloads(bool quick) {
       }
     }
   }
+
+  {
+    // Checkpoint-dense acceptance workload ("leafamb"): N unrolled direct
+    // calls to a leaf whose rare-alarm conditional fires only on the final
+    // call. BX LR leaf returns are unmonitored, so the alarm packet is
+    // attributable to ANY call instance — every instance is RAP-ambiguous.
+    // Greedy attributes it to the current instance, burns a deterministic
+    // spin loop in the alarm arm, and is refuted by the POP {pc} return
+    // packet (wrong per-site return address -> strict-pass failure), so a
+    // cold replay backtracks once per call. The frontier memo caches each
+    // resolved decision; warm repeats replay linearly. This is the worst
+    // case for the backtracking search and the workload the
+    // checkpoint-frontier memo is built for. RAP/clean only: the grid
+    // above already prices the other methods and verdict paths.
+    constexpr int kCalls = 48;
+    constexpr int kSpin = 120;
+    std::string source = R"asm(
+.equ RES,     0x20200000
+.equ COUNTER, 0x20200040
+
+_start:
+    li r3, =COUNTER
+    movi r5, #0
+)asm";
+    for (int i = 0; i < kCalls; ++i) source += "    bl check\n";
+    source += R"asm(
+    li r1, =RES
+    str r5, [r1, #0]
+    hlt
+
+check:
+    ldr r1, [r3, #0]
+    addi r1, r1, #1
+    str r1, [r3, #0]
+    cmp r1, #)asm";
+    source += std::to_string(kCalls);
+    source += R"asm(
+    beq alarm
+    bx lr
+alarm:
+    addi r5, r5, #1
+    movi r7, #0
+spin:
+    addi r7, r7, #1
+    cmp r7, #)asm";
+    source += std::to_string(kSpin);
+    source += R"asm(
+    blt spin
+    push {lr}
+    pop {pc}
+__code_end:
+)asm";
+    apps::App app;
+    app.name = "leafamb";
+    app.description = "unrolled leaf calls with a rare-alarm ambiguity";
+    app.source = source;
+    app.setup = [](sim::Machine& machine, u64) {
+      auto periph = std::make_shared<apps::Peripherals>();
+      periph->attach(machine);
+      return periph;
+    };
+    app.check = [](sim::Machine&, const apps::Peripherals&, u64) {
+      return true;
+    };
+    const apps::PreparedApp prepared = apps::prepare_app(app);
+    cfa::SessionOptions options;
+    options.watermark_bytes = 128;
+    sim::MachineConfig config;
+    config.mtb_buffer_bytes = 256;
+    Workload w;
+    w.app = "leafamb";
+    w.method = "rap";
+    w.mix = "clean";
+    w.deployment = Deployment::rap(prepared.rap.program, prepared.rap.manifest,
+                                   prepared.built.entry);
+    w.config.expected_watermark = options.watermark_bytes;
+    w.chal = fault::campaign_challenge(1);
+    const auto chain =
+        apps::run_rap(prepared, 42, config, options, w.chal)
+            .attestation.reports;
+    w.reports_per_chain = chain.size();
+    w.wire = cfa::encode_report_chain(chain);
+    w.expected = probe(w);
+    check_memo_digests(w);
+    if (w.expected != Verdict::Accept) {
+      std::fprintf(stderr, "error: leafamb/rap clean chain does not verify\n");
+      std::exit(1);
+    }
+    out.push_back(std::move(w));
+  }
   return out;
 }
 
@@ -251,8 +363,10 @@ struct MemoDelta {
   explicit MemoDelta(const Workload& w) : before(w.deployment->memo().stats()) {}
   double hit_rate(const Workload& w) const {
     const verify::MemoStats after = w.deployment->memo().stats();
-    const u64 hits = after.hits - before.hits;
-    const u64 lookups = hits + (after.misses - before.misses);
+    const u64 hits = (after.hits - before.hits) +
+                     (after.frontier_hits - before.frontier_hits);
+    const u64 lookups = hits + (after.misses - before.misses) +
+                        (after.frontier_misses - before.frontier_misses);
     return lookups == 0 ? 0.0
                         : static_cast<double>(hits) /
                               static_cast<double>(lookups);
@@ -263,19 +377,33 @@ struct MemoDelta {
 /// the wire bytes with a fresh Verifier (so every chain gets an outstanding
 /// challenge, exactly like distinct devices reporting in). Memo-on rows
 /// start from a cleared cache, so the reported hit rate is what the repeated
-/// workload itself earned.
+/// workload itself earned. `frontier` enables the checkpoint-frontier tier
+/// on top of the sub-path memo; `warm_restart` primes the cache, snapshots
+/// it with serialize_warm, clears, and restores before the timed region —
+/// the first-session-after-recovery cost a persistent warm start pays.
 Row measure_serial(const Workload& w, bool rebuild, bool memo, size_t chains,
-                   int reps) {
+                   int reps, bool frontier = false, bool warm_restart = false) {
   Row row;
   row.app = w.app;
   row.method = w.method;
   row.mix = w.mix;
   row.mode = rebuild ? "serial_rebuild" : "serial_shared";
-  row.memo = memo ? "on" : "off";
+  row.memo = !memo ? "off"
+                   : std::string("on") + (frontier ? "+frontier" : "") +
+                         (warm_restart ? "+warm" : "");
   row.chains = chains;
   row.reports = chains * w.reports_per_chain;
   row.wall_ns = ~0ull;
-  if (memo) w.deployment->memo().clear();
+  if (memo) {
+    w.deployment->memo().clear();
+    if (warm_restart) {
+      verify_once(w, true, frontier);
+      verify_once(w, true, frontier);
+      const std::vector<u8> snapshot = w.deployment->memo().serialize_warm();
+      w.deployment->memo().clear();
+      w.deployment->memo().restore_warm(snapshot);
+    }
+  }
   const MemoDelta delta(w);
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -303,6 +431,7 @@ Row measure_serial(const Workload& w, bool rebuild, bool memo, size_t chains,
       }
       verifier.set_expected_watermark(w.config.expected_watermark);
       verifier.set_memo(memo);
+      verifier.set_frontier(memo && frontier);
       verifier.adopt_challenge(w.chal);
       const auto decoded = cfa::try_decode_report_chain(w.wire);
       const verify::VerificationResult result =
@@ -341,7 +470,9 @@ Row measure_farm(const Workload& w, size_t workers, size_t chains, int reps) {
   row.method = w.method;
   row.mix = w.mix;
   row.mode = "farm";
-  row.memo = "on";
+  // The farm runs the production VerifyConfig defaults: sub-path memo plus
+  // the checkpoint-frontier tier.
+  row.memo = "on+frontier";
   row.workers_requested = workers;
   row.chains = chains;
   row.reports = chains * w.reports_per_chain;
@@ -467,7 +598,10 @@ bool validate(const std::string& text, size_t expected_rows,
       return false;
     }
     if (row.find("\"memo\": \"on\"") == std::string::npos &&
-        row.find("\"memo\": \"off\"") == std::string::npos) {
+        row.find("\"memo\": \"off\"") == std::string::npos &&
+        row.find("\"memo\": \"on+frontier\"") == std::string::npos &&
+        row.find("\"memo\": \"on+warm\"") == std::string::npos &&
+        row.find("\"memo\": \"on+frontier+warm\"") == std::string::npos) {
       error = "row " + std::to_string(rows) + " has an unknown memo state";
       return false;
     }
@@ -539,9 +673,36 @@ int main(int argc, char** argv) {
                 shared_on.chains_per_s,
                 shared_on.chains_per_s / shared_off.chains_per_s,
                 shared_on.memo_hit_rate);
+    const double shared_on_rate = shared_on.reports_per_s;
     all.push_back(std::move(rebuild));
     all.push_back(std::move(shared_off));
     all.push_back(std::move(shared_on));
+
+    // Frontier ablation, RAP only (naive/traces replay has no RAP-ambiguous
+    // checkpoints, so the frontier tier would be a no-op there):
+    // {frontier on/off} x {cold/warm-restored}, all against the "on" row
+    // above as the sub-path-memo-only baseline.
+    if (w.method == "rap") {
+      Row on_warm = measure_serial(w, /*rebuild=*/false, /*memo=*/true,
+                                   chains, reps, /*frontier=*/false,
+                                   /*warm_restart=*/true);
+      Row frontier_cold = measure_serial(w, /*rebuild=*/false, /*memo=*/true,
+                                         chains, reps, /*frontier=*/true);
+      Row frontier_warm = measure_serial(w, /*rebuild=*/false, /*memo=*/true,
+                                         chains, reps, /*frontier=*/true,
+                                         /*warm_restart=*/true);
+      std::printf("%-12s %-7s %-9s frontier cold %9.0f chains/s (%.2fx vs "
+                  "memo, hit %.2f)   warm %9.0f chains/s (%.2fx, hit %.2f)\n",
+                  w.app.c_str(), w.method.c_str(), w.mix.c_str(),
+                  frontier_cold.chains_per_s,
+                  frontier_cold.reports_per_s / shared_on_rate,
+                  frontier_cold.memo_hit_rate, frontier_warm.chains_per_s,
+                  frontier_warm.reports_per_s / shared_on_rate,
+                  frontier_warm.memo_hit_rate);
+      all.push_back(std::move(on_warm));
+      all.push_back(std::move(frontier_cold));
+      all.push_back(std::move(frontier_warm));
+    }
 
     double w1_rate = 0.0;
     for (const size_t workers : worker_counts) {

@@ -272,6 +272,19 @@ void compress_scalar(std::array<u32, 8>& state, const u8* block) {
   process_block_scalar(state.data(), block);
 }
 
+void compress_blocks(std::array<u32, 8>& state, const u8* data,
+                     std::size_t blocks) {
+#ifdef RAP_SHA_NI
+  if (!g_force_scalar && has_sha_ni()) {
+    process_blocks_shani(state.data(), data, blocks);
+    return;
+  }
+#endif
+  for (; blocks > 0; --blocks, data += 64) {
+    process_block_scalar(state.data(), data);
+  }
+}
+
 bool force_scalar_active() { return g_force_scalar; }
 
 }  // namespace detail

@@ -62,6 +62,14 @@ struct Sha256Access {
 /// Compress one 64-byte block into `state` with the portable scalar kernel.
 void compress_scalar(std::array<u32, 8>& state, const u8* block);
 
+/// Compress `blocks` consecutive 64-byte blocks into `state`, dispatching to
+/// the SHA-NI kernel when the CPU has it (and Sha256::force_scalar is off),
+/// falling back to the scalar kernel otherwise. This is the single-message
+/// fast path the multi-buffer engine uses for tails, odd lanes, and one-off
+/// messages that cannot fill an interleaved batch.
+void compress_blocks(std::array<u32, 8>& state, const u8* data,
+                     std::size_t blocks);
+
 /// Is Sha256::force_scalar(true) in effect? The multi-buffer dispatcher
 /// honors the same test hook and falls back to one-lane scalar hashing.
 bool force_scalar_active();

@@ -276,13 +276,15 @@ void store_digest(const std::array<u32, 8>& state, Digest& out) {
   }
 }
 
-void hash_one_scalar(const std::array<u32, 8>& init, u64 prefix_bytes,
+/// Single-message path: runs of consecutive blocks (the caller's buffer,
+/// then the padded tail) go through detail::compress_blocks so the SHA-NI
+/// kernel covers non-batched messages too, not just interleaved lanes.
+void hash_one_single(const std::array<u32, 8>& init, u64 prefix_bytes,
                      const MbMsg& msg, Digest& out) {
   std::array<u32, 8> state = init;
   const Prepared p = prepare(msg, prefix_bytes);
-  for (size_t b = 0; b < p.total_blocks; ++b) {
-    detail::compress_scalar(state, p.block(b));
-  }
+  if (p.full_blocks > 0) detail::compress_blocks(state, p.data, p.full_blocks);
+  detail::compress_blocks(state, p.tail.data(), p.tail_blocks);
   store_digest(state, out);
 }
 
@@ -307,7 +309,7 @@ void sha256_mb_compress(std::array<u32, 8>* const* states,
 #ifdef RAP_SHA_MB_X86
   if (lanes == 8) {
     compress8_avx2(states, blocks, std::min<size_t>(n, 8));
-    for (size_t i = 8; i < n; ++i) detail::compress_scalar(*states[i], blocks[i]);
+    for (size_t i = 8; i < n; ++i) detail::compress_blocks(*states[i], blocks[i], 1);
     return;
   }
   if (lanes == 4) {
@@ -317,7 +319,7 @@ void sha256_mb_compress(std::array<u32, 8>* const* states,
     return;
   }
 #endif
-  for (size_t i = 0; i < n; ++i) detail::compress_scalar(*states[i], blocks[i]);
+  for (size_t i = 0; i < n; ++i) detail::compress_blocks(*states[i], blocks[i], 1);
 }
 
 void sha256_mb_hash_with_state(const std::array<u32, 8>& init,
@@ -328,7 +330,7 @@ void sha256_mb_hash_with_state(const std::array<u32, 8>& init,
   const size_t lanes = sha256_mb_lanes();
   if (lanes == 1 || n == 1) {
     for (size_t i = 0; i < n; ++i) {
-      hash_one_scalar(init, prefix_bytes, messages[i], out[i]);
+      hash_one_single(init, prefix_bytes, messages[i], out[i]);
     }
     return;
   }

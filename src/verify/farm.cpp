@@ -104,12 +104,47 @@ cfa::Challenge VerifierFarm::issue_challenge(DeviceId device) {
     }
   }
   sessions_.issue(device, chal);
+  prefetch_for(device);
   return chal;
 }
 
 void VerifierFarm::adopt_challenge(DeviceId device,
                                    const cfa::Challenge& chal) {
   sessions_.issue(device, chal);
+  prefetch_for(device);
+}
+
+void VerifierFarm::prefetch_for(DeviceId device) {
+  if (!kMemoEnabled) return;
+  std::shared_ptr<const Deployment> deployment;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = devices_.find(device);
+    if (it == devices_.end() || !it->second.config.use_memo) return;
+    deployment = it->second.deployment;
+  }
+  if (deployment) deployment->memo().prefetch(device);
+}
+
+std::vector<std::shared_ptr<const Deployment>> VerifierFarm::deployments()
+    const {
+  std::vector<std::shared_ptr<const Deployment>> unique;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, state] : devices_) {
+      if (!state.deployment) continue;
+      const bool seen = std::any_of(
+          unique.begin(), unique.end(),
+          [&](const auto& d) { return d.get() == state.deployment.get(); });
+      if (!seen) unique.push_back(state.deployment);
+    }
+  }
+  std::sort(unique.begin(), unique.end(), [](const auto& a, const auto& b) {
+    return std::lexicographical_compare(
+        a->expected_h_mem().begin(), a->expected_h_mem().end(),
+        b->expected_h_mem().begin(), b->expected_h_mem().end());
+  });
+  return unique;
 }
 
 std::future<VerificationResult> VerifierFarm::submit(

@@ -334,7 +334,10 @@ class ReplayEngine {
                const ReplayPolicy& policy, const ReplayInputs& inputs,
                u64 max_steps,
                const std::vector<trace::OracleEvent>* script = nullptr,
-               bool strict = false, MemoCache* memo = nullptr)
+               bool strict = false, MemoCache* memo = nullptr,
+               bool use_frontier = true,
+               std::vector<u64>* touched_segments = nullptr,
+               std::vector<u64>* touched_frontier = nullptr)
       : index_(index),
         mode_(mode),
         policy_(policy),
@@ -342,7 +345,10 @@ class ReplayEngine {
         max_steps_(max_steps),
         script_(script),
         strict_(strict),
-        memo_(script == nullptr ? memo : nullptr) {
+        memo_(script == nullptr ? memo : nullptr),
+        use_frontier_(use_frontier),
+        touched_segments_(touched_segments),
+        touched_frontier_(touched_frontier) {
     pc_ = entry;
     if (memo_ != nullptr) {
       // Call-target-policy fingerprint for the memo key: the policy decides
@@ -360,6 +366,18 @@ class ReplayEngine {
 
   ReplayResult run();
 
+  /// Did this run consult shared frontier state in a way that steered the
+  /// search — a decision hit taken, or shared dead-branch knowledge the
+  /// local failure memo lacked? A *failing* influenced run must be re-run
+  /// with the frontier detached (see PathReplayer::replay): a true hit
+  /// guarantees completion, so an influenced failure implies either shared
+  /// failure bits pruning the search tree (changing which dead end is
+  /// reported first) or an astronomically unlikely fingerprint collision.
+  /// Either way the retry reproduces the unmemoized result byte-for-byte.
+  bool frontier_influenced() const {
+    return frontier_hit_taken_ || used_shared_failure_;
+  }
+
  private:
   /// Mutable cursor/valuation state captured at a checkpoint.
   struct Snapshot {
@@ -368,6 +386,11 @@ class ReplayEngine {
     std::vector<Address> shadow_stack;
     size_t packet_cursor, bit_cursor, target_cursor, loop_cursor;
     size_t events_size, findings_size;
+    /// Step/index counters are *path-local*: restored on backtrack so the
+    /// final result counts only the accepted parse, independent of how much
+    /// dead-end exploration the search (or a frontier skip of it) performed.
+    u64 steps, index_hits, index_fallbacks;
+    size_t journal_size;   ///< frontier journal high-water mark to truncate to
     bool forced_decision;  ///< the alternative to take after restoring
     u64 state_hash;        ///< pre-decision state (for the failure memo)
   };
@@ -401,8 +424,21 @@ class ReplayEngine {
   /// (pc, cursors, shadow stack, valuation); prevents chronological
   /// backtracking from re-exploring the same subtree exponentially
   /// (deep recursion makes this essential — see the fibcall workload).
+  /// Bounded by kMaxFailedStates (lowest-hash eviction — effectively random
+  /// for uniform hashes) so an adversarial chain cannot grow it without
+  /// limit; the cap is an engine constant, NOT a memo option, so memoized
+  /// and unmemoized runs prune identically.
   std::set<u64> failed_states_;
   u64 backtracks_ = 0;
+  /// Counter values captured at the top of the current step, before the
+  /// step's own increments. Checkpoints must store these — not the live
+  /// counters — so a backtrack that re-executes the ambiguous site counts
+  /// its step (and decode) exactly once. Otherwise `steps` would depend on
+  /// how much searching happened, and the frontier memo (which skips
+  /// searches) would perturb the verification digest.
+  u64 pre_step_steps_ = 0;
+  u64 pre_step_index_hits_ = 0;
+  u64 pre_step_index_fallbacks_ = 0;
   std::optional<bool> forced_decision_;  // applied to the next Bcc
   std::string pending_failure_;
 
@@ -448,7 +484,137 @@ class ReplayEngine {
   u32 memo_backoff_ = 0;
   u64 memo_resume_step_ = 0;
 
+  // -- frontier memo (resolved RAP-ambiguity decisions, see memo.hpp) -------
+  /// One ambiguous-site decision on the path being explored. Committed to
+  /// the shared cache only when the replay completes (the journal truncates
+  /// on backtrack, so committed entries all lie on the accepted parse).
+  struct JournalEntry {
+    FrontierEntry guards;
+    bool decision = false;
+    u64 steps_at = 0;
+    /// Decision came from a frontier hit: already resident in the shared
+    /// cache (the lookup refreshed its recency), so commit_journal skips the
+    /// redundant locked re-insert.
+    bool from_hit = false;
+  };
+
+  bool use_frontier_ = false;
+  std::vector<u64>* touched_segments_ = nullptr;
+  std::vector<u64>* touched_frontier_ = nullptr;
+  /// A frontier decision hit was taken: exploration after it is not
+  /// exhaustive under a (vanishingly unlikely) fingerprint collision, so
+  /// failure promotion stops for the rest of this engine.
+  bool frontier_hit_taken_ = false;
+  /// Shared dead-branch bits added knowledge the local failure memo lacked.
+  bool used_shared_failure_ = false;
+  std::vector<JournalEntry> journal_;
+  /// Whole-chain evidence fingerprint, computed lazily on the first
+  /// frontier consult (never on deterministic replays). Combined with the
+  /// exact cursor positions it pins the remaining evidence suffix of every
+  /// stream — strictly stronger than a per-suffix hash (two chains sharing
+  /// a tail no longer alias) at a fraction of the cost: one pass, no
+  /// per-stream suffix arrays.
+  mutable std::optional<u64> chain_fp_;
+  /// Frontier futility gate (the §14 backoff idea applied to the frontier
+  /// tier): consults that keep returning nothing actionable — misses, or
+  /// decision hits that never carried dead-branch knowledge — stop after
+  /// kFrontierProbeWindow in a row, bounding the per-replay frontier cost
+  /// on chains whose greedy parse never needs the search. Any backtrack or
+  /// any hit with failure bits proves the workload searches and re-arms
+  /// consulting for the rest of the engine.
+  u32 frontier_futile_streak_ = 0;
+  bool frontier_proven_ = false;
+
   static constexpr u64 kMaxBacktracks = 2'000'000;
+  static constexpr size_t kMaxFailedStates = size_t{1} << 20;
+  static constexpr u32 kFrontierProbeWindow = 8;
+
+  bool frontier_active() const { return memo_ != nullptr && use_frontier_; }
+
+  /// Should this ambiguous site consult (and journal into) the frontier?
+  bool frontier_consult_ok() const {
+    return frontier_active() &&
+           (frontier_proven_ || backtracks_ > 0 ||
+            frontier_futile_streak_ < kFrontierProbeWindow);
+  }
+
+  u64 chain_fp() const {
+    if (chain_fp_) return *chain_fp_;
+    u64 h = 0x517cc1b727220a95ull;
+    const auto mix = [&h](u64 v) {
+      h = (h ^ v) * 0x9e3779b97f4a7c15ull + 0x243f6a8885a308d3ull;
+    };
+    for (const auto& pkt : inputs_.packets) {
+      mix((static_cast<u64>(pkt.source_word()) << 32) | pkt.destination);
+    }
+    for (const u32 v : loop_stream()) mix(v);
+    for (const bool b : inputs_.traces_log.direction_bits) mix(b ? 2 : 1);
+    for (const u32 t : inputs_.traces_log.indirect_targets) mix(t);
+    chain_fp_ = h;
+    return h;
+  }
+
+  /// Frontier guards for the *current* engine state: total-state fingerprint
+  /// (pc, valuation, policy, strictness, full shadow stack, and the whole
+  /// chain's evidence fingerprint pinned at the exact cursor positions —
+  /// equivalently, the full remaining suffix of every stream — plus exact
+  /// remaining counts).
+  FrontierEntry frontier_guards() const {
+    FrontierEntry e;
+    e.pc = pc_;
+    e.val = pack_valuation(val_);
+    e.policy_hash = policy_hash_;
+    e.strict = strict_;
+    u64 sh = 0x9216d5d98979fb1bull;
+    const auto mix = [](u64& h, u64 v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(sh, shadow_stack_.size());
+    for (const Address a : shadow_stack_) mix(sh, a);
+    e.stack_hash = sh;
+    u64 fp = 0x452821e638d01377ull;
+    mix(fp, chain_fp());
+    mix(fp, packet_cursor_);
+    mix(fp, loop_cursor_);
+    mix(fp, bit_cursor_);
+    mix(fp, target_cursor_);
+    e.evidence_fp = fp;
+    e.packet_rem = static_cast<u32>(inputs_.packets.size() - packet_cursor_);
+    e.loop_rem = static_cast<u32>(loop_stream().size() - loop_cursor_);
+    e.bit_rem = static_cast<u32>(inputs_.traces_log.direction_bits.size() -
+                                 bit_cursor_);
+    e.target_rem = static_cast<u32>(inputs_.traces_log.indirect_targets.size() -
+                                    target_cursor_);
+    return e;
+  }
+
+  /// Journal a decision taken at the current (ambiguous) site, for promotion
+  /// to the shared frontier if this path turns out to be the accepted parse.
+  /// `guards` lets callers that already computed the frontier key for this
+  /// exact state (the lookup path) avoid hashing it a second time.
+  void journal_decision(bool decision, const FrontierEntry* guards = nullptr) {
+    if (!frontier_consult_ok()) return;
+    journal_.push_back({guards != nullptr ? *guards : frontier_guards(),
+                        decision, result_.steps});
+  }
+
+  /// The path completed: every journaled decision lies on the accepted
+  /// parse. Promote each to the shared frontier with the steps the parse
+  /// still needed from that site (budget guard for future skips).
+  void commit_journal() {
+    if (!frontier_active()) return;
+    for (JournalEntry& entry : journal_) {
+      if (entry.from_hit) continue;  // already resident, recency refreshed
+      entry.guards.has_decision = true;
+      entry.guards.decision = entry.decision;
+      entry.guards.failed_mask = 0;
+      entry.guards.steps_to_complete = result_.steps - entry.steps_at;
+      memo_->frontier_insert(entry.guards);
+      if (touched_frontier_ != nullptr) {
+        touched_frontier_->push_back(entry.guards.key_hash());
+      }
+    }
+  }
 
   /// Hash of the complete decision-relevant engine state.
   u64 state_hash() const {
@@ -620,6 +786,8 @@ class ReplayEngine {
     checkpoints_.push_back({pc_, val_, shadow_stack_, packet_cursor_,
                             bit_cursor_, target_cursor_, loop_cursor_,
                             result_.events.size(), result_.findings.size(),
+                            pre_step_steps_, pre_step_index_hits_,
+                            pre_step_index_fallbacks_, journal_.size(),
                             alternative, state_hash()});
   }
 
@@ -634,6 +802,9 @@ class ReplayEngine {
     const bool failed_decision = !checkpoints_.back().forced_decision;
     failed_states_.insert(checkpoints_.back().state_hash ^
                           (failed_decision ? 1u : 0u));
+    if (failed_states_.size() > kMaxFailedStates) {
+      failed_states_.erase(failed_states_.begin());
+    }
     Snapshot snap = std::move(checkpoints_.back());
     checkpoints_.pop_back();
     pc_ = snap.pc;
@@ -645,8 +816,28 @@ class ReplayEngine {
     loop_cursor_ = snap.loop_cursor;
     result_.events.resize(snap.events_size);
     result_.findings.resize(snap.findings_size);
+    result_.steps = snap.steps;
+    result_.index_hits = snap.index_hits;
+    result_.index_fallbacks = snap.index_fallbacks;
+    journal_.resize(snap.journal_size);
     forced_decision_ = snap.forced_decision;
     pending_failure_.clear();
+    // The restored state IS the checkpoint's pre-decision state, so this is
+    // the one place the frontier key for "greedy from here is a dead branch"
+    // can be computed exactly. Promote it to the shared cache — unless a
+    // frontier hit was taken earlier in this engine (under a collision the
+    // exploration below the hit would not have been exhaustive).
+    if (frontier_active() && !frontier_hit_taken_) {
+      FrontierEntry promo = frontier_guards();
+      promo.failed_mask = failed_decision ? u8{2} : u8{1};
+      memo_->frontier_insert(promo);
+      if (touched_frontier_ != nullptr) {
+        touched_frontier_->push_back(promo.key_hash());
+      }
+    }
+    // Search pressure exists on this chain: keep (or resume) consulting the
+    // frontier for the rest of the engine regardless of the futility gate.
+    frontier_proven_ = true;
     return true;
   }
 
@@ -661,6 +852,10 @@ class ReplayEngine {
     if (forced_decision_) {
       const bool decision = *forced_decision_;
       forced_decision_ = std::nullopt;
+      // Re-executing a backtracked ambiguous site with the alternative: this
+      // decision is on the path now being explored, so journal it (the state
+      // here is identical to the checkpoint's pre-decision state).
+      journal_decision(decision);
       return decision;
     }
     switch (mode_) {
@@ -694,14 +889,72 @@ class ReplayEngine {
           const u64 here = state_hash();
           const u64 greedy_key = here ^ (logged_direction ? 1u : 0u);
           const u64 alt_key = here ^ (logged_direction ? 0u : 1u);
-          const bool greedy_failed = failed_states_.count(greedy_key) != 0;
-          const bool alt_failed = failed_states_.count(alt_key) != 0;
+          bool greedy_failed = failed_states_.count(greedy_key) != 0;
+          bool alt_failed = failed_states_.count(alt_key) != 0;
+          FrontierEntry guards;
+          bool have_guards = false;
+          if (frontier_consult_ok()) {
+            // Consult the shared frontier before saving a checkpoint: a
+            // recorded known-good decision from this exact total state skips
+            // the search entirely, and shared dead-branch bits prune
+            // directions some other replay already proved futile.
+            guards = frontier_guards();
+            have_guards = true;
+            FrontierEntry known;
+            if (memo_->frontier_lookup(guards, &known)) {
+              // A resident entry that carries dead-branch bits came from a
+              // replay that actually searched here: the frontier earns its
+              // keep on this workload. Decision-only entries just skip a
+              // checkpoint save — cheap, but not worth consulting forever
+              // on chains whose greedy parse never backtracks.
+              if (known.failed_mask != 0) {
+                frontier_proven_ = true;
+                frontier_futile_streak_ = 0;
+              } else {
+                ++frontier_futile_streak_;
+              }
+              if (known.has_decision &&
+                  result_.steps + known.steps_to_complete <= max_steps_) {
+                // Skip straight to the known-good decision — no checkpoint,
+                // no speculative stretch, so segment recording resumes at
+                // the next anchor instead of staying backed off.
+                frontier_hit_taken_ = true;
+                memo_backoff_ = 0;
+                memo_resume_step_ = 0;
+                journal_.push_back({guards, known.decision, result_.steps,
+                                    /*from_hit=*/true});
+                if (touched_frontier_ != nullptr) {
+                  touched_frontier_->push_back(guards.key_hash());
+                }
+                return known.decision;
+              }
+              // failed_mask bit 0 = decision `false` is a dead branch,
+              // bit 1 = decision `true` is.
+              const bool shared_greedy =
+                  ((known.failed_mask >> (logged_direction ? 1 : 0)) & 1) != 0;
+              const bool shared_alt =
+                  ((known.failed_mask >> (logged_direction ? 0 : 1)) & 1) != 0;
+              if ((shared_greedy && !greedy_failed) ||
+                  (shared_alt && !alt_failed)) {
+                used_shared_failure_ = true;
+              }
+              greedy_failed = greedy_failed || shared_greedy;
+              alt_failed = alt_failed || shared_alt;
+            } else {
+              ++frontier_futile_streak_;
+            }
+          }
           if (greedy_failed && alt_failed) {
             fail("no consistent parse from this state");
             return std::nullopt;
           }
-          if (greedy_failed) return !logged_direction;
+          if (greedy_failed) {
+            journal_decision(!logged_direction,
+                            have_guards ? &guards : nullptr);
+            return !logged_direction;
+          }
           if (!alt_failed) save_checkpoint(/*alternative=*/!logged_direction);
+          journal_decision(logged_direction, have_guards ? &guards : nullptr);
           return logged_direction;
         }
         return evaluate_shadow(in.cond, val_.flags);
@@ -856,6 +1109,7 @@ class ReplayEngine {
     seg->index_fallbacks = result_.index_fallbacks - rec_.entry_index_fallbacks;
     const u64 key = memo_key(seg->entry_pc, seg->entry_val, policy_hash_);
     memo_->insert(key, std::move(seg));
+    if (touched_segments_ != nullptr) touched_segments_->push_back(key);
     return true;
   }
 
@@ -959,6 +1213,7 @@ class ReplayEngine {
         memo_apply(*candidates[i]);
         ++result_.memo_hits;
         memo_->note_hit();
+        if (touched_segments_ != nullptr) touched_segments_->push_back(key);
         return true;
       }
     }
@@ -1164,14 +1419,21 @@ ReplayResult ReplayEngine::run() {
         // A halted segment was spliced: its guards proved the exact
         // clean-halt conditions, so the replay is complete.
         result_.complete = true;
+        result_.backtracks = backtracks_;
+        commit_journal();
         return result_;
       }
     }
+    pre_step_steps_ = result_.steps;
+    pre_step_index_hits_ = result_.index_hits;
+    pre_step_index_fallbacks_ = result_.index_fallbacks;
     ++result_.steps;
     const bool halted = step();
     if (halted) {
       if (memo_ != nullptr) memo_close(/*halted=*/true);
       result_.complete = true;
+      result_.backtracks = backtracks_;
+      commit_journal();
       return result_;
     }
     if (!pending_failure_.empty() && !backtrack()) break;
@@ -1181,6 +1443,7 @@ ReplayResult ReplayEngine::run() {
   }
   result_.failure = pending_failure_;
   result_.complete = false;
+  result_.backtracks = backtracks_;
   return result_;
 }
 
@@ -1206,17 +1469,37 @@ ReplayResult PathReplayer::replay(const ReplayInputs& inputs, u64 max_steps) {
     local_index.emplace(*program_, mode_, rap_, traces_);
     index = &*local_index;
   }
+  touched_segment_keys_.clear();
+  touched_frontier_keys_.clear();
+  // One search pass (strict or lenient). A pass that fails *after being
+  // steered by shared frontier state* is re-run with the frontier detached:
+  // a genuine frontier hit guarantees completion (the recorded decision led
+  // to a full parse from an identical total state), so an influenced failure
+  // means shared dead-branch pruning changed which dead end surfaces first
+  // (or a fingerprint collision occurred) — the retry reproduces the
+  // unmemoized failure byte-for-byte. Completing passes never pay this; the
+  // sub-path memo stays attached throughout (its on/off equivalence is
+  // unconditional).
+  const auto run_pass = [&](bool strict) {
+    ReplayEngine engine(*index, entry_, mode_, policy_, inputs, max_steps,
+                        nullptr, strict, memo_, use_frontier_,
+                        &touched_segment_keys_, &touched_frontier_keys_);
+    ReplayResult result = engine.run();
+    if (!result.complete && engine.frontier_influenced()) {
+      ReplayEngine retry(*index, entry_, mode_, policy_, inputs, max_steps,
+                         nullptr, strict, memo_, /*use_frontier=*/false,
+                         &touched_segment_keys_, &touched_frontier_keys_);
+      result = retry.run();
+    }
+    return result;
+  };
   // Pass 1 (strict): search for a finding-free parse — a benign execution
   // consistent with the evidence. Only when none exists does the lenient
   // pass attribute findings (the verifier accuses only when every parse of
   // the evidence is malicious).
-  ReplayEngine strict_engine(*index, entry_, mode_, policy_, inputs, max_steps,
-                             nullptr, /*strict=*/true, memo_);
-  ReplayResult strict_result = strict_engine.run();
+  ReplayResult strict_result = run_pass(/*strict=*/true);
   if (strict_result.complete) return strict_result;
-  ReplayEngine engine(*index, entry_, mode_, policy_, inputs, max_steps,
-                      nullptr, /*strict=*/false, memo_);
-  return engine.run();
+  return run_pass(/*strict=*/false);
 }
 
 ReplayResult PathReplayer::check_path(

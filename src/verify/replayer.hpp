@@ -72,6 +72,11 @@ struct ReplayResult {
   /// result comparisons must exclude them (verification_digest does).
   u64 memo_hits = 0;
   u64 memo_misses = 0;
+  /// Backtracking-search telemetry: checkpoints restored during the parse
+  /// search. Depends on shared frontier-cache warmth (a frontier hit skips
+  /// the exploration that would have backtracked), so — like the memo
+  /// counters — excluded from verification_digest.
+  u64 backtracks = 0;
 
   bool clean() const { return complete && findings.empty(); }
 };
@@ -106,6 +111,22 @@ class PathReplayer {
   /// bit-identical either way (tests/test_memo enforces this). check_path()
   /// never consults the cache — the checker must walk every instruction.
   void set_memo(MemoCache* memo) { memo_ = memo; }
+  /// Enable/disable the frontier memo tier (resolved RAP-ambiguity
+  /// decisions) on the attached cache. On by default; only meaningful with
+  /// set_memo. Off restores PR-7 behavior: futility backoff alone, every
+  /// ambiguity re-searched. Either way results are bit-identical (a failing
+  /// frontier-influenced pass re-runs with the frontier detached).
+  void set_frontier(bool enabled) { use_frontier_ = enabled; }
+
+  /// Cache keys the most recent replay() touched (hits and inserts), for
+  /// cross-session prefetch tagging (MemoCache::note_session). Valid until
+  /// the next replay() call.
+  const std::vector<u64>& touched_segment_keys() const {
+    return touched_segment_keys_;
+  }
+  const std::vector<u64>& touched_frontier_keys() const {
+    return touched_frontier_keys_;
+  }
 
   ReplayResult replay(const ReplayInputs& inputs, u64 max_steps = 100'000'000);
 
@@ -127,6 +148,9 @@ class PathReplayer {
   /// local index is built per replay()/check_path() call.
   const ReplayIndex* index_ = nullptr;
   MemoCache* memo_ = nullptr;
+  bool use_frontier_ = true;
+  std::vector<u64> touched_segment_keys_;
+  std::vector<u64> touched_frontier_keys_;
   ReplayPolicy policy_;
 };
 

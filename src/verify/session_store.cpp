@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/crc32.hpp"
+#include "verify/memo.hpp"
 
 namespace raptrack::verify {
 
@@ -112,7 +113,7 @@ bool SessionStore::consume(DeviceId device, const cfa::Challenge& chal) {
   return true;
 }
 
-std::vector<u8> SessionStore::serialize() const {
+std::vector<u8> SessionStore::serialize(const MemoCache* memo) const {
   // Collect per-device state under the shard locks, sorted by device id so
   // the blob is deterministic regardless of hash-map iteration order.
   std::map<DeviceId, DeviceSessions> devices;
@@ -134,23 +135,24 @@ std::vector<u8> SessionStore::serialize() const {
     }
   }
   put_u32(out, crc32(out));
+  if (memo != nullptr) {
+    const std::vector<u8> warm = memo->serialize_warm();
+    out.insert(out.end(), warm.begin(), warm.end());
+  }
   return out;
 }
 
-bool SessionStore::deserialize(std::span<const u8> bytes) {
+bool SessionStore::deserialize(std::span<const u8> bytes, MemoCache* memo) {
   if (bytes.size() < sizeof(kSnapshotMagic) + 8) return false;
   if (!std::equal(std::begin(kSnapshotMagic), std::end(kSnapshotMagic),
                   bytes.begin())) {
     return false;
   }
-  const auto body = bytes.first(bytes.size() - 4);
-  u32 stored = 0;
-  for (int i = 0; i < 4; ++i) {
-    stored |= static_cast<u32>(bytes[bytes.size() - 4 + i]) << (8 * i);
-  }
-  if (crc32(body) != stored) return false;
-
-  SnapReader reader{body.subspan(sizeof(kSnapshotMagic))};
+  // The SST1 section is self-delimiting (the crc trailer sits right after
+  // the last device), so parse first and locate the trailer, then verify
+  // the checksum over exactly the section it covers. Anything after the
+  // trailer must be a MEM1 warm-cache section, not trailing garbage.
+  SnapReader reader{bytes.subspan(sizeof(kSnapshotMagic))};
   std::map<DeviceId, DeviceSessions> devices;
   const u32 device_count = reader.u32_value();
   for (u32 d = 0; d < device_count && !reader.failed; ++d) {
@@ -170,8 +172,15 @@ bool SessionStore::deserialize(std::span<const u8> bytes) {
     }
     devices[id] = std::move(sessions);
   }
-  if (reader.failed || reader.pos != body.size() - sizeof(kSnapshotMagic)) {
-    return false;
+  if (reader.failed) return false;
+  const size_t sst_end = sizeof(kSnapshotMagic) + reader.pos;
+  const u32 stored = reader.u32_value();
+  if (reader.failed) return false;
+  if (crc32(bytes.first(sst_end)) != stored) return false;
+  const auto warm = bytes.subspan(sst_end + 4);
+  if (!warm.empty() && !(warm.size() >= 4 && warm[0] == 'M' &&
+                         warm[1] == 'E' && warm[2] == 'M' && warm[3] == '1')) {
+    return false;  // trailing bytes that are not a warm section
   }
 
   for (Shard& shard : shards_) {
@@ -183,6 +192,10 @@ bool SessionStore::deserialize(std::span<const u8> bytes) {
     std::lock_guard lock(shard.mu);
     shard.devices[id] = std::move(sessions);
   }
+  // Warm-cache section last, after session state committed: a corrupt MEM1
+  // degrades to a cold cache but never fails the (correctness-critical)
+  // session restore.
+  if (memo != nullptr && !warm.empty()) memo->restore_warm(warm);
   return true;
 }
 

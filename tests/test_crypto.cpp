@@ -371,6 +371,41 @@ TEST(HmacBatch, MultiLaneAgreesWithSerialAndPinpointsFailures) {
   });
 }
 
+TEST(Sha256MultiBuffer, SingleMessageDispatchMatchesForcedScalar) {
+  // The non-batched path (one message, or the one-lane spill) dispatches
+  // block compression through detail::compress_blocks, which picks the
+  // SHA-NI kernel when the host has it. Differential: hardware dispatch vs
+  // forced scalar must be bit-exact on every padding shape, and both must
+  // land the FIPS 180-4 two-block vector.
+  std::vector<std::vector<u8>> inputs;
+  for (const size_t length :
+       {0u, 1u, 55u, 56u, 63u, 64u, 65u, 128u, 997u}) {
+    std::vector<u8> data(length);
+    for (size_t i = 0; i < length; ++i) data[i] = static_cast<u8>(i * 191 + 13);
+    inputs.push_back(std::move(data));
+  }
+  for (const auto& input : inputs) {
+    const MbMsg one[] = {{input.data(), input.size()}};
+    Digest native;
+    sha256_mb_hash(one, &native);
+    Sha256::force_scalar(true);
+    Digest scalar;
+    sha256_mb_hash(one, &scalar);
+    Sha256::force_scalar(false);
+    EXPECT_EQ(native, scalar) << "size " << input.size();
+    EXPECT_EQ(native, Sha256::hash(input)) << "size " << input.size();
+  }
+  const std::vector<u8> two_block = bytes_of(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  const MbMsg fips[] = {{two_block.data(), two_block.size()}};
+  Sha256::force_scalar(true);
+  Digest out;
+  sha256_mb_hash(fips, &out);
+  Sha256::force_scalar(false);
+  EXPECT_EQ(hex_digest(out),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
 TEST(Sha256MultiBuffer, ForceScalarCollapsesToOneLane) {
   Sha256::force_scalar(true);
   EXPECT_EQ(sha256_mb_lanes(), 1u);

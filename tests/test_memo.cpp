@@ -47,14 +47,16 @@ std::string digest_hex(const VerificationResult& result) {
 // Verify `chain` against `deployment` with the memo cache on or off. A
 // fresh Verifier (fresh session store) per call; the memo cache itself
 // lives on the shared Deployment, so warmth carries across calls.
+// `frontier` toggles the second (RAP-ambiguity decision) cache tier on top.
 VerificationResult run_verify(std::shared_ptr<const Deployment> deployment,
                               u32 watermark, const cfa::Challenge& chal,
                               const std::vector<cfa::SignedReport>& chain,
-                              bool memo) {
+                              bool memo, bool frontier = true) {
   verify::Verifier verifier(apps::demo_key());
   verifier.expect(std::move(deployment));
   verifier.set_expected_watermark(watermark);
   verifier.set_memo(memo);
+  verifier.set_frontier(frontier);
   verifier.adopt_challenge(chal);
   return verifier.verify(chal, chain);
 }
@@ -129,6 +131,88 @@ TEST(MemoCacheUnit, ByteBudgetEnforcedByEviction) {
   // An entry bigger than one shard's whole budget is refused outright.
   cache.insert(999, make_segment(0x900, /*padding=*/4096));
   EXPECT_GT(cache.stats().rejects, 0u);
+}
+
+// -- frontier tier unit behavior ----------------------------------------------
+
+verify::FrontierEntry make_frontier(Address pc, u64 fingerprint) {
+  verify::FrontierEntry entry;
+  entry.pc = pc;
+  entry.policy_hash = 0x1234;
+  entry.stack_hash = 0x5678;
+  entry.evidence_fp = fingerprint;
+  entry.packet_rem = 10;
+  return entry;
+}
+
+TEST(MemoFrontierUnit, InsertLookupAndKnowledgeMerge) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  MemoCache cache({.shards = 2, .frontier_slots_per_shard = 64});
+  verify::FrontierEntry known;
+  EXPECT_FALSE(cache.frontier_lookup(make_frontier(0x100, 1), &known));
+
+  // A promoted failure and a resolved decision for the same frontier state
+  // merge into one entry carrying both kinds of knowledge.
+  verify::FrontierEntry failure = make_frontier(0x100, 1);
+  failure.failed_mask = 1;  // decision `false` known futile
+  cache.frontier_insert(failure);
+  verify::FrontierEntry decision = make_frontier(0x100, 1);
+  decision.has_decision = true;
+  decision.decision = true;
+  decision.steps_to_complete = 77;
+  cache.frontier_insert(decision);
+
+  ASSERT_TRUE(cache.frontier_lookup(make_frontier(0x100, 1), &known));
+  EXPECT_EQ(known.failed_mask, 1u);
+  EXPECT_TRUE(known.has_decision);
+  EXPECT_TRUE(known.decision);
+  EXPECT_EQ(known.steps_to_complete, 77u);
+  EXPECT_EQ(cache.stats().frontier_entries, 1u);
+
+  // A different evidence fingerprint is a different frontier state: the
+  // guards must miss even though the pc collides.
+  EXPECT_FALSE(cache.frontier_lookup(make_frontier(0x100, 2), &known));
+  EXPECT_GT(cache.stats().frontier_misses, 0u);
+}
+
+TEST(MemoFrontierUnit, FrontierEntriesChargeTheByteBudget) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  // Budget sized for a handful of frontier entries (192 bytes charged each):
+  // inserting far more must evict instead of growing without bound
+  // (satellite: promoted failure knowledge rides the same budget).
+  const MemoOptions options{
+      .shards = 1, .frontier_slots_per_shard = 256, .budget_bytes = 2048};
+  MemoCache cache(options);
+  for (u64 i = 0; i < 64; ++i) {
+    verify::FrontierEntry entry = make_frontier(0x100 + 4 * i, i);
+    entry.failed_mask = 1;
+    cache.frontier_insert(entry);
+    EXPECT_LE(cache.stats().bytes, options.budget_bytes)
+        << "budget exceeded after frontier insert " << i;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.frontier_inserts, 64u);
+  EXPECT_LT(stats.frontier_entries, 64u)
+      << "tiny budget never evicted a frontier entry";
+}
+
+TEST(MemoPrefetch, NoteSessionThenPrefetchWarmsTaggedEntries) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  MemoCache cache({.shards = 2});
+  cache.insert(42, make_segment(0x100));
+  verify::FrontierEntry entry = make_frontier(0x200, 9);
+  entry.has_decision = true;
+  cache.frontier_insert(entry);
+
+  const u64 seg_keys[] = {42};
+  const u64 frontier_keys[] = {entry.key_hash()};
+  cache.note_session(7, seg_keys, frontier_keys);
+  EXPECT_EQ(cache.prefetch(7), 2u) << "both tagged entries should re-touch";
+  EXPECT_EQ(cache.stats().prefetch_hits, 1u);
+  EXPECT_EQ(cache.stats().prefetch_warmed, 2u);
+  // Unknown device: nothing tagged, nothing warmed, no hit counted.
+  EXPECT_EQ(cache.prefetch(99), 0u);
+  EXPECT_EQ(cache.stats().prefetch_hits, 1u);
 }
 
 // -- fuzzed-chain differential (the ~200-plan fault campaign) -----------------
@@ -331,6 +415,215 @@ TEST(MemoConcurrency, FarmWorkersWarmOneCacheAndMatchSerial) {
     EXPECT_GT(stats.hits, 0u);
     EXPECT_GT(stats.inserts, 0u);
   }
+}
+
+// -- frontier differential ----------------------------------------------------
+
+// The frontier tier must be outcome-invisible exactly like the sub-path
+// tier: over the whole fault-plan corpus, digests with {memo+frontier},
+// {memo only} and {no memo} are byte-identical. The corpus deployments are
+// fresh here so this test controls its own warmth.
+TEST(MemoFrontierDifferential, FuzzedFaultPlansMatchAcrossFrontierToggle) {
+  const Corpus& fuzz = corpus();
+  ASSERT_GE(fuzz.cases.size(), 200u)
+      << "fault-plan corpus shrank below the differential coverage floor";
+  std::vector<std::shared_ptr<const Deployment>> fresh;
+  for (const auto& deployment : fuzz.deployments) {
+    fresh.push_back(Deployment::rap(deployment->program(),
+                                    *deployment->rap_manifest(),
+                                    deployment->entry()));
+  }
+  for (const Case& c : fuzz.cases) {
+    const VerificationResult plain = run_verify(
+        fresh[c.app], fuzz.watermark, c.chal, c.chain, false);
+    const VerificationResult no_frontier = run_verify(
+        fresh[c.app], fuzz.watermark, c.chal, c.chain, true, false);
+    const VerificationResult frontier_cold = run_verify(
+        fresh[c.app], fuzz.watermark, c.chal, c.chain, true, true);
+    const VerificationResult frontier_warm = run_verify(
+        fresh[c.app], fuzz.watermark, c.chal, c.chain, true, true);
+    EXPECT_EQ(digest_hex(no_frontier), digest_hex(plain)) << c.label;
+    EXPECT_EQ(digest_hex(frontier_cold), digest_hex(plain)) << c.label;
+    EXPECT_EQ(digest_hex(frontier_warm), digest_hex(plain))
+        << c.label << " (warm)";
+  }
+}
+
+// On a checkpoint-dense repeated RAP chain the frontier must actually fire:
+// the second verification should take known-good decisions without saving
+// checkpoints, and still land on the memo-off digest.
+TEST(MemoFrontierDifferential, DenseRepeatedChainHitsFrontierAndMatches) {
+  const fault::CampaignOptions options;
+  const PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const AttestedRun clean = fault::attest_once(prepared, options);
+  ASSERT_TRUE(clean.functional_ok);
+  const auto deployment = Deployment::rap(
+      prepared.rap.program, prepared.rap.manifest, prepared.built.entry,
+      MemoOptions{.window_packets = 4, .anchor_backoff_cap = 0});
+
+  const VerificationResult plain = run_verify(
+      deployment, options.watermark_bytes, clean.chal, clean.reports, false);
+  ASSERT_TRUE(plain.accepted()) << plain.detail;
+  for (int round = 0; round < 3; ++round) {
+    const VerificationResult result =
+        run_verify(deployment, options.watermark_bytes, clean.chal,
+                   clean.reports, true, true);
+    EXPECT_EQ(digest_hex(result), digest_hex(plain)) << "round " << round;
+  }
+  if constexpr (verify::kMemoEnabled) {
+    const auto stats = deployment->memo().stats();
+    EXPECT_GT(stats.frontier_inserts, 0u)
+        << "dense RAP chain never journaled a frontier decision";
+    EXPECT_GT(stats.frontier_hits, 0u)
+        << "repeated identical chain never hit the frontier memo";
+  }
+}
+
+// -- warm snapshot / restore --------------------------------------------------
+
+// The acceptance criterion for persistent warm start: snapshot a warmed
+// cache, "kill" it (build a fresh deployment of the same image), restore,
+// and the first post-restore session must (a) produce the byte-identical
+// digest and (b) reach at least 80% of the steady-state hit rate.
+TEST(MemoWarmRestart, SnapshotRestoreKeepsDigestsAndHitRate) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  const fault::CampaignOptions options;
+  const PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const AttestedRun clean = fault::attest_once(prepared, options);
+  ASSERT_TRUE(clean.functional_ok);
+  const MemoOptions dense{.window_packets = 4, .anchor_backoff_cap = 0};
+  const auto warm_deployment = Deployment::rap(
+      prepared.rap.program, prepared.rap.manifest, prepared.built.entry,
+      dense);
+
+  const VerificationResult plain =
+      run_verify(warm_deployment, options.watermark_bytes, clean.chal,
+                 clean.reports, false);
+  ASSERT_TRUE(plain.accepted()) << plain.detail;
+
+  // Warm up, then measure the steady-state hit deltas of one session.
+  run_verify(warm_deployment, options.watermark_bytes, clean.chal,
+             clean.reports, true);
+  run_verify(warm_deployment, options.watermark_bytes, clean.chal,
+             clean.reports, true);
+  const verify::MemoStats before = warm_deployment->memo().stats();
+  run_verify(warm_deployment, options.watermark_bytes, clean.chal,
+             clean.reports, true);
+  const verify::MemoStats after = warm_deployment->memo().stats();
+  const u64 steady_hits = (after.hits - before.hits) +
+                          (after.frontier_hits - before.frontier_hits);
+  ASSERT_GT(steady_hits, 0u) << "steady state never hits: test is vacuous";
+
+  const std::vector<u8> blob = warm_deployment->memo().serialize_warm();
+  ASSERT_FALSE(blob.empty());
+
+  // "Restart": a brand-new deployment of the same image, restored from the
+  // snapshot, must serve the first session nearly as well as steady state.
+  const auto restored = Deployment::rap(prepared.rap.program,
+                                        prepared.rap.manifest,
+                                        prepared.built.entry, dense);
+  ASSERT_TRUE(restored->memo().restore_warm(blob));
+  const VerificationResult first =
+      run_verify(restored, options.watermark_bytes, clean.chal, clean.reports,
+                 true);
+  EXPECT_EQ(digest_hex(first), digest_hex(plain)) << "post-restore digest";
+  const verify::MemoStats fresh = restored->memo().stats();
+  const u64 restored_hits = fresh.hits + fresh.frontier_hits;
+  EXPECT_GE(static_cast<double>(restored_hits),
+            0.8 * static_cast<double>(steady_hits))
+      << "warm-restored start fell below 80% of the steady-state hit rate ("
+      << restored_hits << " vs " << steady_hits << ")";
+}
+
+// A corrupt or truncated MEM1 blob must be refused atomically: the cache
+// stays cold (never half-loaded) and verification stays byte-correct.
+TEST(MemoWarmRestart, CorruptSnapshotDegradesToColdNeverWrongVerdict) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  const fault::CampaignOptions options;
+  const PreparedApp prepared = apps::prepare_app(apps::app_by_name("gps"));
+  const AttestedRun clean = fault::attest_once(prepared, options);
+  ASSERT_TRUE(clean.functional_ok);
+  const MemoOptions dense{.window_packets = 4, .anchor_backoff_cap = 0};
+  const auto source = Deployment::rap(prepared.rap.program,
+                                      prepared.rap.manifest,
+                                      prepared.built.entry, dense);
+  const VerificationResult plain = run_verify(
+      source, options.watermark_bytes, clean.chal, clean.reports, false);
+  run_verify(source, options.watermark_bytes, clean.chal, clean.reports, true);
+  const std::vector<u8> good = source->memo().serialize_warm();
+  ASSERT_GT(good.size(), 16u);
+
+  const auto expect_cold_refusal = [&](std::vector<u8> bad,
+                                       const std::string& label) {
+    const auto victim = Deployment::rap(prepared.rap.program,
+                                        prepared.rap.manifest,
+                                        prepared.built.entry, dense);
+    EXPECT_FALSE(victim->memo().restore_warm(bad)) << label;
+    EXPECT_EQ(victim->memo().stats().entries, 0u) << label << ": half-loaded";
+    EXPECT_EQ(victim->memo().stats().frontier_entries, 0u)
+        << label << ": half-loaded frontier";
+    const VerificationResult result = run_verify(
+        victim, options.watermark_bytes, clean.chal, clean.reports, true);
+    EXPECT_EQ(digest_hex(result), digest_hex(plain)) << label;
+  };
+
+  std::vector<u8> flipped = good;
+  flipped[good.size() / 2] ^= 0x40;
+  expect_cold_refusal(std::move(flipped), "bit flip mid-blob");
+  expect_cold_refusal({good.begin(), good.end() - 5}, "truncated");
+  expect_cold_refusal({good.begin(), good.begin() + 3}, "shorter than magic");
+  std::vector<u8> wrong_magic = good;
+  wrong_magic[0] = 'X';
+  expect_cold_refusal(std::move(wrong_magic), "wrong magic");
+
+  // The intact blob still restores after all the refusals.
+  const auto victim = Deployment::rap(prepared.rap.program,
+                                      prepared.rap.manifest,
+                                      prepared.built.entry, dense);
+  EXPECT_TRUE(victim->memo().restore_warm(good));
+  EXPECT_GT(victim->memo().stats().entries, 0u);
+}
+
+// SST1 with a warm section: session state and cache warmth round-trip
+// together; a legacy (memo-less) blob still loads; a corrupt warm section
+// degrades to cold without failing the session restore.
+TEST(MemoWarmRestart, SessionStoreCarriesWarmSection) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  MemoCache cache({.shards = 2});
+  cache.insert(42, make_segment(0x100));
+  verify::FrontierEntry entry = make_frontier(0x300, 5);
+  entry.has_decision = true;
+  cache.frontier_insert(entry);
+
+  verify::SessionStore store;
+  cfa::Challenge chal{};
+  chal[0] = 0xaa;
+  store.issue(3, chal);
+  const std::vector<u8> blob = store.serialize(&cache);
+
+  verify::SessionStore recovered;
+  MemoCache recovered_cache({.shards = 2});
+  ASSERT_TRUE(recovered.deserialize(blob, &recovered_cache));
+  EXPECT_EQ(recovered.state(3, chal),
+            verify::SessionStore::ChallengeState::Outstanding);
+  EXPECT_EQ(recovered_cache.stats().entries, 1u);
+  EXPECT_EQ(recovered_cache.stats().frontier_entries, 1u);
+
+  // Legacy blob (no warm section) into a memo-aware restore: cold cache.
+  verify::SessionStore legacy;
+  MemoCache cold_cache;
+  ASSERT_TRUE(legacy.deserialize(store.serialize(), &cold_cache));
+  EXPECT_EQ(cold_cache.stats().entries, 0u);
+
+  // Corrupt warm section: session state restores, cache stays cold.
+  std::vector<u8> corrupt = blob;
+  corrupt.back() ^= 0x01;  // inside the MEM1 section (its crc trailer)
+  verify::SessionStore damaged;
+  MemoCache damaged_cache({.shards = 2});
+  ASSERT_TRUE(damaged.deserialize(corrupt, &damaged_cache));
+  EXPECT_EQ(damaged.state(3, chal),
+            verify::SessionStore::ChallengeState::Outstanding);
+  EXPECT_EQ(damaged_cache.stats().entries, 0u);
 }
 
 }  // namespace

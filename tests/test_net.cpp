@@ -566,6 +566,47 @@ TEST(NetRecovery, SnapshotRestoreMidSessionResumesToSameDigest) {
   EXPECT_EQ(outcome.verdict->digest, baseline) << "seed=" << kSeed;
 }
 
+// The VSS1 v2 snapshot carries one warm memo-cache section per provisioned
+// deployment, keyed by expected H_MEM: a recovered endpoint whose farm
+// re-provisions the same image starts with the cache warm, not cold.
+TEST(NetRecovery, SnapshotCarriesWarmMemoCacheAcrossRestore) {
+  if constexpr (!verify::kMemoEnabled) GTEST_SKIP() << "RAP_MEMO off";
+  // A private deployment so this test controls its own cache warmth; short
+  // memo windows with backoff disabled guarantee cache traffic on this
+  // checkpoint-dense RAP chain (same settings as the memo differentials).
+  const verify::MemoOptions dense{.window_packets = 4,
+                                  .anchor_backoff_cap = 0};
+  const auto warm_deployment = Deployment::rap(fixture().prepared.rap.program,
+                                               fixture().prepared.rap.manifest,
+                                               fixture().prepared.built.entry,
+                                               dense);
+  VerifierFarm farm(apps::demo_key(), {.workers = 1});
+  farm.provision(120, warm_deployment, fixture().config);
+  farm.adopt_challenge(120, fixture().clean.chal);
+  VerifierEndpoint endpoint(farm);
+  DuplexLink link(LinkModel{}, LinkModel{}, /*seed=*/9);
+  ProverEndpoint prover(120, 1, fixture().clean.reports, {}, /*seed=*/9);
+  const SessionOutcome outcome = run_session(prover, endpoint, link);
+  ASSERT_EQ(outcome.phase, ProverPhase::Done);
+  ASSERT_EQ(outcome.verdict->verdict, Verdict::Accept);
+  ASSERT_GT(warm_deployment->memo().stats().entries, 0u)
+      << "session never warmed the cache; the test is vacuous";
+  const auto snapshot = endpoint.snapshot();
+
+  // Crash: fresh farm, fresh deployment of the same image (fresh = cold
+  // cache), restore. The warm section must land in the new cache.
+  const auto fresh_deployment = Deployment::rap(
+      fixture().prepared.rap.program, fixture().prepared.rap.manifest,
+      fixture().prepared.built.entry, dense);
+  ASSERT_EQ(fresh_deployment->memo().stats().entries, 0u);
+  VerifierFarm recovered(apps::demo_key(), {.workers = 1});
+  recovered.provision(120, fresh_deployment, fixture().config);
+  VerifierEndpoint restored(recovered);
+  ASSERT_TRUE(restored.restore(snapshot));
+  EXPECT_GT(fresh_deployment->memo().stats().entries, 0u)
+      << "restore never warmed the re-provisioned deployment's cache";
+}
+
 TEST(NetRecovery, SnapshotRejectsCorruptionTruncationAndBadMagic) {
   VerifierFarm farm(apps::demo_key(), {.workers = 1});
   provision(farm, /*device=*/110);

@@ -19,7 +19,14 @@ between a memo=on row and its memo=off sibling, e.g.:
 
 which enforces the memoization acceptance bar (memo-on reports_per_s must
 be at least 1.5x memo-off on that repeated-workload row) without needing a
-baseline file at all (pass the candidate as both arguments).
+baseline file at all (pass the candidate as both arguments). A six-part
+rowspec names the two memo variants explicitly, e.g.:
+
+  --require-speedup leafamb/rap/clean/serial_shared/on+frontier/on:1.5
+
+which enforces the frontier-memo acceptance bar (frontier-on must be at
+least 1.5x the pre-frontier memo=on cost model on the checkpoint-dense
+repeated chain).
 
 Wall-clock benches are noisy; compare like with like ("release" and "quick"
 flags must match between the two files, or the comparison is refused).
@@ -70,29 +77,38 @@ def index_rows(doc: dict, path: str) -> dict:
 
 
 def check_speedup(rows: dict, spec: str) -> list[str]:
-    """ROWSPEC:FACTOR — memo=on vs memo=off ratio floor on one row family."""
+    """ROWSPEC:FACTOR — ratio floor between two memo variants of one row.
+
+    Four-part rowspec (app/method/mix/mode) compares memo=on vs memo=off;
+    six-part (app/method/mix/mode/memoA/memoB) names the variants.
+    """
     try:
         rowspec, factor_text = spec.rsplit(":", 1)
-        app, method, mix, mode = rowspec.split("/")
+        parts = rowspec.split("/")
+        if len(parts) == 4:
+            app, method, mix, mode = parts
+            memo_num, memo_den = "on", "off"
+        else:
+            app, method, mix, mode, memo_num, memo_den = parts
         factor = float(factor_text)
     except ValueError:
         sys.exit(f"error: bad --require-speedup spec: {spec!r} "
-                 "(want app/method/mix/mode:factor)")
-    failures = []
-    on = off = None
+                 "(want app/method/mix/mode[/memoA/memoB]:factor)")
+    num = den = None
     for key, row in rows.items():
         if key[:4] == (app, method, mix, mode):
-            if key[4] == "on":
-                on = row
-            elif key[4] == "off":
-                off = row
-    if on is None or off is None:
-        return [f"{rowspec}: missing memo=on/off row pair"]
-    ratio = on["reports_per_s"] / max(off["reports_per_s"], 1e-9)
+            if key[4] == memo_num:
+                num = row
+            elif key[4] == memo_den:
+                den = row
+    if num is None or den is None:
+        return [f"{rowspec}: missing memo={memo_num}/memo={memo_den} row pair"]
+    failures = []
+    ratio = num["reports_per_s"] / max(den["reports_per_s"], 1e-9)
     if ratio < factor:
         failures.append(
-            f"{rowspec}: memo-on is {ratio:.2f}x memo-off "
-            f"({on['reports_per_s']:.0f} vs {off['reports_per_s']:.0f} "
+            f"{rowspec}: memo={memo_num} is {ratio:.2f}x memo={memo_den} "
+            f"({num['reports_per_s']:.0f} vs {den['reports_per_s']:.0f} "
             f"reports/s), below the required {factor:.2f}x")
     return failures
 
