@@ -37,7 +37,7 @@
 // mode, memo, workers):
 //   { "app", "method", "mix", "mode", "memo", "workers",
 //     "workers_requested", "chains", "reports", "wall_ns", "chains_per_s",
-//     "reports_per_s", "memo_hit_rate", "efficiency" }
+//     "reports_per_s", "memo_hit_rate", "segment_hit_rate", "efficiency" }
 // plus top-level "host_cpus" (scaling efficiency is bounded by physical
 // cores — on a 1-CPU host every multi-worker request clamps to one worker),
 // "hmac_lanes" (SHA-256 lanes the batched MAC check dispatches to on this
@@ -101,6 +101,10 @@ struct Row {
   double chains_per_s = 0.0;
   double reports_per_s = 0.0;
   double memo_hit_rate = 0.0;  ///< memo hits / lookups inside the timed row
+  /// §14 sub-path tier alone (frontier excluded): segment splices / segment
+  /// lookups inside the timed row. The guarded-segments floor in CI gates on
+  /// this — before guarded recording it was ~0 on checkpoint-dense chains.
+  double segment_hit_rate = 0.0;
   double efficiency = 1.0;     ///< farm: chains_per_s / (workers * w1 rate)
 };
 
@@ -371,6 +375,14 @@ struct MemoDelta {
                         : static_cast<double>(hits) /
                               static_cast<double>(lookups);
   }
+  double segment_hit_rate(const Workload& w) const {
+    const verify::MemoStats after = w.deployment->memo().stats();
+    const u64 hits = after.hits - before.hits;
+    const u64 lookups = hits + (after.misses - before.misses);
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
 };
 
 /// One serial measurement: `chains` verifications of `w`, each starting from
@@ -451,6 +463,7 @@ Row measure_serial(const Workload& w, bool rebuild, bool memo, size_t chains,
                 .count()));
   }
   row.memo_hit_rate = delta.hit_rate(w);
+  row.segment_hit_rate = delta.segment_hit_rate(w);
   if (row.wall_ns == 0) row.wall_ns = 1;
   row.chains_per_s = static_cast<double>(chains) * 1e9 /
                      static_cast<double>(row.wall_ns);
@@ -507,6 +520,7 @@ Row measure_farm(const Workload& w, size_t workers, size_t chains, int reps) {
                 .count()));
   }
   row.memo_hit_rate = delta.hit_rate(w);
+  row.segment_hit_rate = delta.segment_hit_rate(w);
   if (row.wall_ns == 0) row.wall_ns = 1;
   row.chains_per_s = static_cast<double>(chains) * 1e9 /
                      static_cast<double>(row.wall_ns);
@@ -548,6 +562,7 @@ std::string render_json(const std::vector<Row>& rows, unsigned host_cpus,
        << ", \"chains_per_s\": " << r.chains_per_s
        << ", \"reports_per_s\": " << r.reports_per_s
        << ", \"memo_hit_rate\": " << r.memo_hit_rate
+       << ", \"segment_hit_rate\": " << r.segment_hit_rate
        << ", \"efficiency\": " << r.efficiency << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -557,7 +572,7 @@ std::string render_json(const std::vector<Row>& rows, unsigned host_cpus,
 }
 
 /// Minimal schema check over the emitted text (same drift-tripwire style as
-/// bench_throughput): every row carries all fourteen keys, modes and memo
+/// bench_throughput): every row carries all fifteen keys, modes and memo
 /// states are from the known sets, wall_ns is nonzero, and the top level
 /// carries the bench id, host_cpus, hmac_lanes and memo_enabled.
 bool validate(const std::string& text, size_t expected_rows,
@@ -585,7 +600,8 @@ bool validate(const std::string& text, size_t expected_rows,
           "\"memo\": \"", "\"workers\": ", "\"workers_requested\": ",
           "\"chains\": ", "\"reports\": ", "\"wall_ns\": ",
           "\"chains_per_s\": ", "\"reports_per_s\": ",
-          "\"memo_hit_rate\": ", "\"efficiency\": "}) {
+          "\"memo_hit_rate\": ", "\"segment_hit_rate\": ",
+          "\"efficiency\": "}) {
       if (row.find(key) == std::string::npos) {
         error = "row " + std::to_string(rows) + " missing key " + key;
         return false;
@@ -601,7 +617,8 @@ bool validate(const std::string& text, size_t expected_rows,
         row.find("\"memo\": \"off\"") == std::string::npos &&
         row.find("\"memo\": \"on+frontier\"") == std::string::npos &&
         row.find("\"memo\": \"on+warm\"") == std::string::npos &&
-        row.find("\"memo\": \"on+frontier+warm\"") == std::string::npos) {
+        row.find("\"memo\": \"on+frontier+warm\"") == std::string::npos &&
+        row.find("\"memo\": \"on+frontier+noguard\"") == std::string::npos) {
       error = "row " + std::to_string(rows) + " has an unknown memo state";
       return false;
     }
@@ -692,16 +709,40 @@ int main(int argc, char** argv) {
                                          chains, reps, /*frontier=*/true,
                                          /*warm_restart=*/true);
       std::printf("%-12s %-7s %-9s frontier cold %9.0f chains/s (%.2fx vs "
-                  "memo, hit %.2f)   warm %9.0f chains/s (%.2fx, hit %.2f)\n",
+                  "memo, hit %.2f)   warm %9.0f chains/s (%.2fx, hit %.2f, "
+                  "seg %.2f)\n",
                   w.app.c_str(), w.method.c_str(), w.mix.c_str(),
                   frontier_cold.chains_per_s,
                   frontier_cold.reports_per_s / shared_on_rate,
                   frontier_cold.memo_hit_rate, frontier_warm.chains_per_s,
                   frontier_warm.reports_per_s / shared_on_rate,
-                  frontier_warm.memo_hit_rate);
+                  frontier_warm.memo_hit_rate,
+                  frontier_warm.segment_hit_rate);
       all.push_back(std::move(on_warm));
+      const double frontier_rate = frontier_cold.reports_per_s;
       all.push_back(std::move(frontier_cold));
       all.push_back(std::move(frontier_warm));
+
+      // Guarded-segments ablation: the same chain against a deployment whose
+      // memo runs the PR-7 abort-on-ambiguity rule (guarded_segments off).
+      // Shows what the §14 segment tier contributes on top of the frontier
+      // memo — on checkpoint-dense chains its hit rate collapses to ~0 here.
+      Workload noguard = w;
+      noguard.deployment = Deployment::rap(
+          w.deployment->program(), *w.deployment->rap_manifest(),
+          w.deployment->entry(),
+          verify::MemoOptions{.guarded_segments = false});
+      Row frontier_noguard = measure_serial(noguard, /*rebuild=*/false,
+                                            /*memo=*/true, chains, reps,
+                                            /*frontier=*/true);
+      frontier_noguard.memo = "on+frontier+noguard";
+      std::printf("%-12s %-7s %-9s noguard       %9.0f chains/s (%.2fx vs "
+                  "guarded, seg %.2f)\n",
+                  w.app.c_str(), w.method.c_str(), w.mix.c_str(),
+                  frontier_noguard.chains_per_s,
+                  frontier_noguard.reports_per_s / frontier_rate,
+                  frontier_noguard.segment_hit_rate);
+      all.push_back(std::move(frontier_noguard));
     }
 
     double w1_rate = 0.0;

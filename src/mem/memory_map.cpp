@@ -1,6 +1,7 @@
 #include "mem/memory_map.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
@@ -34,7 +35,10 @@ namespace {
 /// Process-wide cache of zeroed mmap blocks, keyed by exact byte size. Every
 /// cached block has been MADV_DONTNEED'd, so its pages read as zero-fill on
 /// next touch — acquire() can hand it out with the same semantics as a fresh
-/// anonymous mapping, minus the VMA create/destroy syscalls.
+/// anonymous mapping, minus the VMA create/destroy syscalls. The pool is
+/// shared by every Machine in the process, so concurrent provers (e.g. a
+/// parallel test harness) hit it from multiple threads; the mutex guards the
+/// free list only — region construction/teardown, never the access hot path.
 struct BlockPool {
   static constexpr std::size_t kMaxCachedBytes = 64u << 20;
 
@@ -42,6 +46,7 @@ struct BlockPool {
     std::size_t bytes;
     void* p;
   };
+  std::mutex mu;
   std::vector<Entry> free_blocks;
   std::size_t cached_bytes = 0;
 
@@ -59,12 +64,16 @@ BlockPool& block_pool() {
 
 void* detail_pool_acquire(std::size_t bytes) {
   BlockPool& pool = block_pool();
-  for (auto it = pool.free_blocks.rbegin(); it != pool.free_blocks.rend(); ++it) {
-    if (it->bytes != bytes) continue;
-    void* p = it->p;
-    pool.free_blocks.erase(std::next(it).base());
-    pool.cached_bytes -= bytes;
-    return p;
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    for (auto it = pool.free_blocks.rbegin(); it != pool.free_blocks.rend();
+         ++it) {
+      if (it->bytes != bytes) continue;
+      void* p = it->p;
+      pool.free_blocks.erase(std::next(it).base());
+      pool.cached_bytes -= bytes;
+      return p;
+    }
   }
   return detail_map_zeroed(bytes);
 }
@@ -72,11 +81,17 @@ void* detail_pool_acquire(std::size_t bytes) {
 void detail_pool_release(void* p, std::size_t bytes) noexcept {
 #if defined(__linux__)
   BlockPool& pool = block_pool();
-  if (pool.cached_bytes + bytes <= BlockPool::kMaxCachedBytes &&
-      ::madvise(p, bytes, MADV_DONTNEED) == 0) {
-    pool.free_blocks.push_back({bytes, p});
-    pool.cached_bytes += bytes;
-    return;
+  std::unique_lock<std::mutex> lock(pool.mu);
+  if (pool.cached_bytes + bytes <= BlockPool::kMaxCachedBytes) {
+    lock.unlock();  // madvise is slow; only the list needs the lock
+    if (::madvise(p, bytes, MADV_DONTNEED) == 0) {
+      lock.lock();
+      if (pool.cached_bytes + bytes <= BlockPool::kMaxCachedBytes) {
+        pool.free_blocks.push_back({bytes, p});
+        pool.cached_bytes += bytes;
+        return;
+      }
+    }
   }
 #endif
   detail_unmap(p, bytes);

@@ -54,13 +54,12 @@ struct MemoObsMetrics {
 constexpr size_t kMaxPrefetchKeys = 256;
 constexpr size_t kMaxPrefetchDevices = 1024;
 
-/// Budget charge for one resident frontier entry (slot storage is inline).
-constexpr size_t kFrontierEntryBytes = 192;
-
 // ---- MEM1 warm-start codec helpers ----------------------------------------
 
 constexpr std::array<u8, 4> kMemMagic = {'M', 'E', 'M', '1'};
-constexpr u32 kMemVersion = 1;
+/// v2 appended the per-segment guard list (frontier-guarded recording). v1
+/// blobs are rejected wholesale — a cold start, never a stale-guard splice.
+constexpr u32 kMemVersion = 2;
 
 void put_u8(std::vector<u8>& out, u8 v) { out.push_back(v); }
 
@@ -168,7 +167,26 @@ void put_segment(std::vector<u8>& out, const MemoSegment& seg) {
   put_u64(out, seg.steps);
   put_u64(out, seg.index_hits);
   put_u64(out, seg.index_fallbacks);
+  put_u32(out, static_cast<u32>(seg.guards.size()));
+  for (const SegmentGuard& g : seg.guards) {
+    put_u32(out, g.pc);
+    put_valuation(out, g.val);
+    put_u32(out, g.d_packets);
+    put_u32(out, g.d_loops);
+    put_u32(out, g.d_bits);
+    put_u32(out, g.d_targets);
+    put_u32(out, g.pops);
+    put_u32(out, static_cast<u32>(g.suffix.size()));
+    for (const Address a : g.suffix) put_u32(out, a);
+    put_u8(out, g.decision ? 1 : 0);
+    put_u8(out, g.failed_mask);
+    put_u64(out, g.steps_delta);
+  }
 }
+
+/// Minimum serialized footprint of one guard (empty suffix): pc + valuation
+/// + four deltas + pops + suffix count + decision/failed_mask + steps_delta.
+constexpr size_t kGuardMinBytes = 4 + (16 * 4 + 4 + 4) + 4 * 4 + 4 + 4 + 2 + 8;
 
 MemoSegment read_segment(MemReader& r) {
   MemoSegment seg;
@@ -225,6 +243,28 @@ MemoSegment read_segment(MemReader& r) {
   seg.steps = r.u64_value();
   seg.index_hits = r.u64_value();
   seg.index_fallbacks = r.u64_value();
+  n = r.u32_value();
+  if (r.fits(n, kGuardMinBytes)) {
+    seg.guards.reserve(n);
+    for (u32 i = 0; i < n && r.ok; ++i) {
+      SegmentGuard g;
+      g.pc = r.u32_value();
+      g.val = read_valuation(r);
+      g.d_packets = r.u32_value();
+      g.d_loops = r.u32_value();
+      g.d_bits = r.u32_value();
+      g.d_targets = r.u32_value();
+      g.pops = r.u32_value();
+      const u32 ns = r.u32_value();
+      if (!r.fits(ns, 4)) break;
+      g.suffix.reserve(ns);
+      for (u32 j = 0; j < ns; ++j) g.suffix.push_back(r.u32_value());
+      g.decision = r.u8_value() != 0;
+      g.failed_mask = r.u8_value();
+      g.steps_delta = r.u64_value();
+      seg.guards.push_back(std::move(g));
+    }
+  }
   return seg;
 }
 
@@ -301,13 +341,18 @@ bool FrontierEntry::same_guards(const FrontierEntry& other) const {
 }
 
 size_t MemoSegment::bytes() const {
-  return sizeof(MemoSegment) + popped.capacity() * sizeof(Address) +
-         packets.capacity() * sizeof(trace::BranchPacket) +
-         loop_values.capacity() * sizeof(u32) +
-         direction_bits.capacity() * sizeof(u8) +
-         indirect_targets.capacity() * sizeof(Address) +
-         pushed.capacity() * sizeof(Address) +
-         events.capacity() * sizeof(trace::OracleEvent);
+  size_t total = sizeof(MemoSegment) + popped.capacity() * sizeof(Address) +
+                 packets.capacity() * sizeof(trace::BranchPacket) +
+                 loop_values.capacity() * sizeof(u32) +
+                 direction_bits.capacity() * sizeof(u8) +
+                 indirect_targets.capacity() * sizeof(Address) +
+                 pushed.capacity() * sizeof(Address) +
+                 events.capacity() * sizeof(trace::OracleEvent) +
+                 guards.capacity() * sizeof(SegmentGuard);
+  for (const SegmentGuard& g : guards) {
+    total += g.suffix.capacity() * sizeof(Address);
+  }
+  return total;
 }
 
 bool MemoSegment::same_entry(const MemoSegment& other) const {
@@ -318,7 +363,8 @@ bool MemoSegment::same_entry(const MemoSegment& other) const {
          indirect_targets == other.indirect_targets &&
          peeked_next == other.peeked_next &&
          (!peeked_next || peeked == other.peeked) &&
-         eos_observed == other.eos_observed && halted == other.halted;
+         eos_observed == other.eos_observed && halted == other.halted &&
+         guards == other.guards;
 }
 
 MemoCache::MemoCache(MemoOptions options) : options_(options) {
@@ -402,17 +448,7 @@ void MemoCache::insert(u64 key, Handle segment) {
     shard.bytes += size;
     bytes_.fetch_add(size, std::memory_order_relaxed);
     entries_.fetch_add(1, std::memory_order_relaxed);
-    // Budget overflow: clock-sweep the shard, skipping the fresh entry.
-    // Terminates because the fresh entry alone fits the shard budget.
-    while (shard.bytes > shard_budget_) {
-      Slot& victim = shard.slots[shard.sweep_hand++ % shard.slots.size()];
-      if (&victim == dest || victim.segment == nullptr) continue;
-      shard.bytes -= victim.segment->bytes();
-      bytes_.fetch_sub(victim.segment->bytes(), std::memory_order_relaxed);
-      entries_.fetch_sub(1, std::memory_order_relaxed);
-      victim.segment.reset();
-      ++evicted;
-    }
+    evicted += sweep_to_budget(shard, dest, nullptr);
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
   if (evicted != 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
@@ -477,6 +513,11 @@ bool MemoCache::frontier_lookup(const FrontierEntry& guards,
 void MemoCache::frontier_insert(const FrontierEntry& entry) {
 #if RAP_MEMO_ENABLED
   if (g_memo_disabled) return;
+  if (kFrontierEntryBytes > shard_budget_) {
+    // A budget smaller than one slot cannot hold any frontier entry.
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const u64 key = entry.key_hash();
   Shard& shard = shard_for(key);
   u64 evicted = 0;
@@ -523,21 +564,7 @@ void MemoCache::frontier_insert(const FrontierEntry& entry) {
       dest->tick = ++shard.ftick;
       dest->hits = 0;
       dest->used = true;
-      // Budget overflow: clock-sweep the frontier tier (its own hand and
-      // clock — segment sweeps never pay for frontier pressure and vice
-      // versa). Stops when the shard fits or only the fresh entry remains;
-      // segment-side overflow is the segment sweep's job.
-      while (shard.bytes > shard_budget_ && shard.fcount > 1) {
-        FrontierSlot& victim =
-            shard.fslots[shard.fsweep_hand++ % shard.fslots.size()];
-        if (&victim == dest || !victim.used) continue;
-        victim.used = false;
-        --shard.fcount;
-        shard.bytes -= kFrontierEntryBytes;
-        bytes_.fetch_sub(kFrontierEntryBytes, std::memory_order_relaxed);
-        frontier_entries_.fetch_sub(1, std::memory_order_relaxed);
-        ++evicted;
-      }
+      evicted += sweep_to_budget(shard, nullptr, dest);
     }
   }
   frontier_inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -550,6 +577,77 @@ void MemoCache::frontier_insert(const FrontierEntry& entry) {
   }
 #else
   (void)entry;
+#endif
+}
+
+u64 MemoCache::sweep_to_budget(Shard& shard, const Slot* keep_slot,
+                               const FrontierSlot* keep_fslot) {
+  // Two-tier clock sweep with scanned-count termination: the inserting tier
+  // evicts its own entries first, then the other tier pays if the shard is
+  // still over budget. Each tier's scan visits every slot at most once, so
+  // the sweep cannot spin on empty slots (the old single-tier loop could,
+  // when frontier bytes alone kept the shard over budget with no segment
+  // victims left). Post-condition: shard.bytes <= shard_budget_, because the
+  // protected fresh entry alone fits the budget (both insert paths reject
+  // oversize entries before getting here).
+  u64 evicted = 0;
+  const bool frontier_first = keep_fslot != nullptr;
+  for (int tier = 0; tier < 2 && shard.bytes > shard_budget_; ++tier) {
+    const bool frontier = (tier == 0) == frontier_first;
+    if (frontier) {
+      for (size_t scanned = 0;
+           shard.bytes > shard_budget_ && scanned < shard.fslots.size();
+           ++scanned) {
+        FrontierSlot& victim =
+            shard.fslots[shard.fsweep_hand++ % shard.fslots.size()];
+        if (&victim == keep_fslot || !victim.used) continue;
+        victim.used = false;
+        --shard.fcount;
+        shard.bytes -= kFrontierEntryBytes;
+        bytes_.fetch_sub(kFrontierEntryBytes, std::memory_order_relaxed);
+        frontier_entries_.fetch_sub(1, std::memory_order_relaxed);
+        ++evicted;
+      }
+    } else {
+      for (size_t scanned = 0;
+           shard.bytes > shard_budget_ && scanned < shard.slots.size();
+           ++scanned) {
+        Slot& victim = shard.slots[shard.sweep_hand++ % shard.slots.size()];
+        if (&victim == keep_slot || victim.segment == nullptr) continue;
+        shard.bytes -= victim.segment->bytes();
+        bytes_.fetch_sub(victim.segment->bytes(), std::memory_order_relaxed);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        victim.segment.reset();
+        ++evicted;
+      }
+    }
+  }
+  return evicted;
+}
+
+bool MemoCache::chain_fp_lookup(u64 key, u64* fp) const {
+#if RAP_MEMO_ENABLED
+  if (g_memo_disabled) return false;
+  std::lock_guard lock(chain_fp_mu_);
+  const ChainFpSlot& slot = chain_fp_slots_[key % kChainFpSlots];
+  if (!slot.valid || slot.key != key) return false;
+  if (fp != nullptr) *fp = slot.fp;
+  return true;
+#else
+  (void)key;
+  (void)fp;
+  return false;
+#endif
+}
+
+void MemoCache::chain_fp_store(u64 key, u64 fp) {
+#if RAP_MEMO_ENABLED
+  if (g_memo_disabled) return;
+  std::lock_guard lock(chain_fp_mu_);
+  chain_fp_slots_[key % kChainFpSlots] = {key, fp, true};
+#else
+  (void)key;
+  (void)fp;
 #endif
 }
 
@@ -809,6 +907,10 @@ void MemoCache::clear() {
     std::lock_guard lock(device_mu_);
     device_tags_.clear();
     device_stamp_ = 0;
+  }
+  {
+    std::lock_guard lock(chain_fp_mu_);
+    chain_fp_slots_.fill({});
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);

@@ -77,6 +77,34 @@ struct MemoValuation {
   friend bool operator==(const MemoValuation&, const MemoValuation&) = default;
 };
 
+/// One frontier-guarded decision absorbed into a recorded segment: at this
+/// point inside the segment (cursor/step deltas are relative to the segment
+/// entry), the engine took `decision` because a resident frontier entry
+/// covered the exact total state. The segment may only splice when an
+/// equivalent entry still covers the live state — splice-time re-validation
+/// rebuilds the frontier guards from the live chain (stack prefix below the
+/// anchor comes from the live stack, the recorded suffix above it from the
+/// guard) and requires a resident decision entry with the same decision and
+/// at least the dead-branch knowledge recorded here.
+struct SegmentGuard {
+  Address pc = 0;     ///< the ambiguous site the decision was taken at
+  MemoValuation val;  ///< packed valuation at the site
+  u32 d_packets = 0;  ///< evidence-cursor deltas vs. the segment entry
+  u32 d_loops = 0;
+  u32 d_bits = 0;
+  u32 d_targets = 0;
+  /// Shadow-stack shape at the site: `pops` entries of the anchor stack had
+  /// been consumed (a prefix of MemoSegment::popped), and `suffix` (bottom
+  /// first) sat above that point. The guard-time stack is therefore
+  /// live_stack[0 .. L-pops) ++ suffix for a live stack of depth L.
+  u32 pops = 0;
+  std::vector<Address> suffix;
+  bool decision = false;  ///< the frontier-recorded decision taken
+  u8 failed_mask = 0;     ///< dead-branch bits the entry carried at the time
+  u64 steps_delta = 0;    ///< steps from segment entry to the site
+  friend bool operator==(const SegmentGuard&, const SegmentGuard&) = default;
+};
+
 /// One memoized segment: the exact-match entry guards (key side) and the
 /// recorded effects to splice on a hit (value side). Immutable once
 /// inserted; shared across threads by const pointer.
@@ -104,6 +132,11 @@ struct MemoSegment {
   /// Segment ends at a clean halt: every evidence stream must be *exactly*
   /// exhausted by the window, and applying it completes the replay.
   bool halted = false;
+  /// Frontier-guarded decisions the recording absorbed instead of aborting
+  /// at a RAP-ambiguous site. Empty for ordinary segments. Non-empty guards
+  /// are re-validated against the live frontier on every splice attempt; a
+  /// detached engine (frontier off) never splices a guarded segment.
+  std::vector<SegmentGuard> guards;
 
   // -- value side: effects spliced into the engine on a hit ----------------
   Address exit_pc = 0;
@@ -192,6 +225,13 @@ struct MemoOptions {
   /// every opportunity); the differential tests use that to force dense
   /// cache traffic on RAP chains.
   u32 anchor_backoff_cap = 512;
+  /// Frontier-aware segment recording: when a RAP-ambiguous site resolves
+  /// through a frontier decision hit, the in-flight recording absorbs the
+  /// decision as a SegmentGuard and keeps going instead of aborting. Off
+  /// restores the PR-7 rule (any ambiguity aborts recording) — the §14 tier
+  /// then stays dead on checkpoint-dense chains. Ablation switch; results
+  /// are bit-identical either way.
+  bool guarded_segments = true;
 };
 
 /// Point-in-time cache statistics (relaxed-atomic reads; exact only when
@@ -262,6 +302,18 @@ class MemoCache {
   /// frontier-local eviction clock.
   void frontier_insert(const FrontierEntry& entry);
 
+  // -- whole-chain fingerprint cache ----------------------------------------
+
+  /// Cross-call cache of the whole-chain evidence fingerprint, keyed by a
+  /// caller-computed chain identity hash (challenge + report MACs — already
+  /// authenticated, so the key pins the evidence content). Repeated
+  /// verifications of an identical chain (farm retries, re-deliveries) seed
+  /// PathReplayer::seed_chain_fingerprint from here and skip the full-stream
+  /// hash pass. Fixed-size direct-mapped table; a collision merely replaces
+  /// the cached value.
+  bool chain_fp_lookup(u64 key, u64* fp) const;
+  void chain_fp_store(u64 key, u64 fp);
+
   // -- cross-session prefetch -----------------------------------------------
 
   /// Tag `device` with the cache keys its just-completed session touched.
@@ -313,6 +365,13 @@ class MemoCache {
     bool used = false;
     FrontierEntry entry;
   };
+
+ public:
+  /// Budget charge for one resident frontier entry: the full inline slot
+  /// footprint, so the byte budget never undercounts the tier.
+  static constexpr size_t kFrontierEntryBytes = sizeof(FrontierSlot);
+
+ private:
   struct alignas(64) Shard {
     mutable std::mutex mu;
     std::vector<Slot> slots;
@@ -334,6 +393,14 @@ class MemoCache {
   Shard& shard_for(u64 key) const { return shards_[key & shard_mask_]; }
   /// Touch a key in both tiers of its shard; returns entries found resident.
   size_t touch_key(u64 key, bool frontier);
+  /// Clock-sweep `shard` down to the byte budget without evicting the
+  /// protected fresh entry (`keep_slot`/`keep_fslot`). Sweeps the segment
+  /// tier, then the frontier tier; each scan is bounded by its slot count,
+  /// so the sweep terminates (and the budget invariant holds) even when one
+  /// tier alone cannot free enough. Caller holds the shard mutex. Returns
+  /// entries evicted.
+  u64 sweep_to_budget(Shard& shard, const Slot* keep_slot,
+                      const FrontierSlot* keep_fslot);
 
   MemoOptions options_;
   size_t shard_mask_ = 0;
@@ -343,6 +410,16 @@ class MemoCache {
   mutable std::mutex device_mu_;
   std::unordered_map<u64, DeviceTags> device_tags_;
   u64 device_stamp_ = 0;
+
+  /// Direct-mapped whole-chain fingerprint cache (chain_fp_lookup/store).
+  struct ChainFpSlot {
+    u64 key = 0;
+    u64 fp = 0;
+    bool valid = false;
+  };
+  static constexpr size_t kChainFpSlots = 256;
+  mutable std::mutex chain_fp_mu_;
+  std::array<ChainFpSlot, kChainFpSlots> chain_fp_slots_{};
 
   mutable std::atomic<u64> hits_{0};
   mutable std::atomic<u64> misses_{0};

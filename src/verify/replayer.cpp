@@ -8,6 +8,7 @@
 
 #include "common/bits.hpp"
 #include "common/hex.hpp"
+#include "obs/metrics.hpp"
 #include "verify/deployment.hpp"
 #include "verify/memo.hpp"
 
@@ -297,6 +298,22 @@ u64 memo_key(Address pc, const MemoValuation& val, u64 policy_hash) {
   return h;
 }
 
+/// Amortization telemetry for the whole-chain evidence fingerprint: one
+/// `computed` per engine that hashed the streams itself, one `reused` per
+/// engine that found the shared slot already filled. tests/test_memo proves
+/// repeated verifications of one chain compute exactly once.
+struct FingerprintObs {
+  obs::Counter computed =
+      obs::registry().counter("verify.memo.fingerprint.computed");
+  obs::Counter reused =
+      obs::registry().counter("verify.memo.fingerprint.reused");
+
+  static FingerprintObs& get() {
+    static FingerprintObs metrics;
+    return metrics;
+  }
+};
+
 }  // namespace
 
 PathReplayer::PathReplayer(const Program& program, Address entry,
@@ -337,7 +354,8 @@ class ReplayEngine {
                bool strict = false, MemoCache* memo = nullptr,
                bool use_frontier = true,
                std::vector<u64>* touched_segments = nullptr,
-               std::vector<u64>* touched_frontier = nullptr)
+               std::vector<u64>* touched_frontier = nullptr,
+               bool* chain_fp_valid = nullptr, u64* chain_fp_slot = nullptr)
       : index_(index),
         mode_(mode),
         policy_(policy),
@@ -348,7 +366,9 @@ class ReplayEngine {
         memo_(script == nullptr ? memo : nullptr),
         use_frontier_(use_frontier),
         touched_segments_(touched_segments),
-        touched_frontier_(touched_frontier) {
+        touched_frontier_(touched_frontier),
+        chain_fp_valid_(chain_fp_valid),
+        chain_fp_slot_(chain_fp_slot) {
     pc_ = entry;
     if (memo_ != nullptr) {
       // Call-target-policy fingerprint for the memo key: the policy decides
@@ -471,6 +491,10 @@ class ReplayEngine {
     BranchPacket peek_pkt{};
     bool have_eos = false;  ///< a peek found the packet stream exhausted
     size_t eos_rel = 0;
+    /// Frontier-guarded decisions absorbed since the anchor: instead of
+    /// aborting the recording at a decision-hit, the segment carries one
+    /// guard per absorbed site and re-validates them all at splice time.
+    std::vector<SegmentGuard> guards;
   };
 
   /// Shared cache, or null when memoization is off (checker mode always).
@@ -513,8 +537,15 @@ class ReplayEngine {
   /// exact cursor positions it pins the remaining evidence suffix of every
   /// stream — strictly stronger than a per-suffix hash (two chains sharing
   /// a tail no longer alias) at a fraction of the cost: one pass, no
-  /// per-stream suffix arrays.
-  mutable std::optional<u64> chain_fp_;
+  /// per-stream suffix arrays. The PathReplayer owns a shared slot
+  /// (chain_fp_valid_/chain_fp_slot_) so the strict pass, lenient pass and
+  /// detached retries of one replay — and, seeded through
+  /// MemoCache::chain_fp_{lookup,store}, later verifications of the same
+  /// chain — all hash the streams at most once.
+  bool* chain_fp_valid_ = nullptr;
+  u64* chain_fp_slot_ = nullptr;
+  mutable std::optional<u64> chain_fp_local_;  ///< fallback when no slot
+  mutable bool chain_fp_counted_ = false;      ///< one obs count per engine
   /// Frontier futility gate (the §14 backoff idea applied to the frontier
   /// tier): consults that keep returning nothing actionable — misses, or
   /// decision hits that never carried dead-branch knowledge — stop after
@@ -539,7 +570,14 @@ class ReplayEngine {
   }
 
   u64 chain_fp() const {
-    if (chain_fp_) return *chain_fp_;
+    if (chain_fp_slot_ != nullptr && *chain_fp_valid_) {
+      if (!chain_fp_counted_) {
+        chain_fp_counted_ = true;
+        if constexpr (obs::kEnabled) FingerprintObs::get().reused.inc();
+      }
+      return *chain_fp_slot_;
+    }
+    if (chain_fp_local_) return *chain_fp_local_;
     u64 h = 0x517cc1b727220a95ull;
     const auto mix = [&h](u64 v) {
       h = (h ^ v) * 0x9e3779b97f4a7c15ull + 0x243f6a8885a308d3ull;
@@ -550,7 +588,16 @@ class ReplayEngine {
     for (const u32 v : loop_stream()) mix(v);
     for (const bool b : inputs_.traces_log.direction_bits) mix(b ? 2 : 1);
     for (const u32 t : inputs_.traces_log.indirect_targets) mix(t);
-    chain_fp_ = h;
+    if (chain_fp_slot_ != nullptr) {
+      *chain_fp_slot_ = h;
+      *chain_fp_valid_ = true;
+    } else {
+      chain_fp_local_ = h;
+    }
+    if (!chain_fp_counted_) {
+      chain_fp_counted_ = true;
+      if constexpr (obs::kEnabled) FingerprintObs::get().computed.inc();
+    }
     return h;
   }
 
@@ -884,8 +931,9 @@ class ReplayEngine {
           // alternative. The failure memo skips decisions already proven
           // futile from an identical state. The decision depends on search
           // history (failed_states_), which is outside a memo segment's
-          // footprint — abort any recording.
-          rec_.active = false;
+          // footprint — recording must abort on every exit below EXCEPT a
+          // frontier decision-hit, where the in-flight segment absorbs the
+          // decided branch under a splice-time-revalidated guard.
           const u64 here = state_hash();
           const u64 greedy_key = here ^ (logged_direction ? 1u : 0u);
           const u64 alt_key = here ^ (logged_direction ? 0u : 1u);
@@ -926,6 +974,33 @@ class ReplayEngine {
                 if (touched_frontier_ != nullptr) {
                   touched_frontier_->push_back(guards.key_hash());
                 }
+                if (rec_.active) {
+                  if (memo_->options().guarded_segments) {
+                    // Absorb the decided branch: the segment stays valid
+                    // only while an equivalent frontier entry still covers
+                    // this exact state (re-validated at splice time), so
+                    // record the guard instead of aborting.
+                    SegmentGuard g;
+                    g.pc = pc_;
+                    g.val = guards.val;
+                    g.d_packets =
+                        static_cast<u32>(packet_cursor_ - rec_.entry_packets);
+                    g.d_loops =
+                        static_cast<u32>(loop_cursor_ - rec_.entry_loops);
+                    g.d_bits = static_cast<u32>(bit_cursor_ - rec_.entry_bits);
+                    g.d_targets =
+                        static_cast<u32>(target_cursor_ - rec_.entry_targets);
+                    g.pops = static_cast<u32>(rec_.popped.size());
+                    g.suffix.assign(shadow_stack_.begin() + rec_.min_stack,
+                                    shadow_stack_.end());
+                    g.decision = known.decision;
+                    g.failed_mask = known.failed_mask;
+                    g.steps_delta = result_.steps - rec_.entry_steps;
+                    rec_.guards.push_back(std::move(g));
+                  } else {
+                    rec_.active = false;
+                  }
+                }
                 return known.decision;
               }
               // failed_mask bit 0 = decision `false` is a dead branch,
@@ -944,6 +1019,9 @@ class ReplayEngine {
               ++frontier_futile_streak_;
             }
           }
+          // Every non-hit exit — fail, forced-greedy, checkpoint — depends
+          // on search history, so recording aborts as before.
+          rec_.active = false;
           if (greedy_failed && alt_failed) {
             fail("no consistent parse from this state");
             return std::nullopt;
@@ -1045,6 +1123,7 @@ class ReplayEngine {
     rec_.popped.clear();
     rec_.have_peek = false;
     rec_.have_eos = false;
+    rec_.guards.clear();
   }
 
   /// Record the one-packet lookahead a conditional decision is about to
@@ -1107,6 +1186,7 @@ class ReplayEngine {
     seg->steps = steps_delta;
     seg->index_hits = result_.index_hits - rec_.entry_index_hits;
     seg->index_fallbacks = result_.index_fallbacks - rec_.entry_index_fallbacks;
+    seg->guards = std::move(rec_.guards);
     const u64 key = memo_key(seg->entry_pc, seg->entry_val, policy_hash_);
     memo_->insert(key, std::move(seg));
     if (touched_segments_ != nullptr) touched_segments_->push_back(key);
@@ -1114,7 +1194,11 @@ class ReplayEngine {
   }
 
   /// Full entry-guard validation of a candidate against the live state.
-  bool memo_matches(const MemoSegment& seg, const MemoValuation& val) const {
+  /// For frontier-guarded segments, `guard_keys` (required non-null on the
+  /// splice path) collects the live frontier key of every validated guard so
+  /// the caller can tag them as touched.
+  bool memo_matches(const MemoSegment& seg, const MemoValuation& val,
+                    std::vector<u64>* guard_keys) const {
     if (seg.entry_pc != pc_ || seg.policy_hash != policy_hash_ ||
         !(seg.entry_val == val)) {
       return false;
@@ -1179,6 +1263,61 @@ class ReplayEngine {
                     targets.begin() + target_cursor_)) {
       return false;
     }
+    // Frontier guards: every decision the recorded stretch absorbed must
+    // still be covered by an equivalent resident frontier entry, rebuilt
+    // against the LIVE state (stack prefix + recorded suffix, live cursors
+    // plus the recorded deltas — the window checks above guarantee those
+    // land inside the streams). Splicing across a guard is equivalent to
+    // taking the same frontier hit live, so detached retries must never
+    // splice a guarded segment.
+    if (!seg.guards.empty()) {
+      if (!frontier_active() || !memo_->options().guarded_segments) {
+        return false;
+      }
+      const auto mix = [](u64& h, u64 v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      };
+      for (const SegmentGuard& g : seg.guards) {
+        FrontierEntry live;
+        live.pc = g.pc;
+        live.val = g.val;
+        live.policy_hash = policy_hash_;
+        live.strict = strict_;
+        // g.pops <= seg.popped.size() <= shadow_stack_.size() (prefix check
+        // above), so `keep` cannot underflow.
+        const size_t keep = shadow_stack_.size() - g.pops;
+        u64 sh = 0x9216d5d98979fb1bull;
+        mix(sh, keep + g.suffix.size());
+        for (size_t i = 0; i < keep; ++i) mix(sh, shadow_stack_[i]);
+        for (const Address a : g.suffix) mix(sh, a);
+        live.stack_hash = sh;
+        u64 fp = 0x452821e638d01377ull;
+        mix(fp, chain_fp());
+        mix(fp, packet_cursor_ + g.d_packets);
+        mix(fp, loop_cursor_ + g.d_loops);
+        mix(fp, bit_cursor_ + g.d_bits);
+        mix(fp, target_cursor_ + g.d_targets);
+        live.evidence_fp = fp;
+        live.packet_rem = static_cast<u32>(inputs_.packets.size() -
+                                           (packet_cursor_ + g.d_packets));
+        live.loop_rem =
+            static_cast<u32>(loop_stream().size() - (loop_cursor_ + g.d_loops));
+        live.bit_rem = static_cast<u32>(
+            inputs_.traces_log.direction_bits.size() - (bit_cursor_ + g.d_bits));
+        live.target_rem =
+            static_cast<u32>(inputs_.traces_log.indirect_targets.size() -
+                             (target_cursor_ + g.d_targets));
+        FrontierEntry known;
+        if (!memo_->frontier_lookup(live, &known)) return false;
+        if (!known.has_decision || known.decision != g.decision) return false;
+        if ((known.failed_mask & g.failed_mask) != g.failed_mask) return false;
+        if (result_.steps + g.steps_delta + known.steps_to_complete >
+            max_steps_) {
+          return false;
+        }
+        if (guard_keys != nullptr) guard_keys->push_back(live.key_hash());
+      }
+    }
     return true;
   }
 
@@ -1208,12 +1347,25 @@ class ReplayEngine {
     MemoCache::Handle candidates[MemoCache::kLookupWidth];
     const size_t count =
         memo_->lookup(key, candidates, MemoCache::kLookupWidth);
+    std::vector<u64> guard_keys;
     for (size_t i = 0; i < count; ++i) {
-      if (memo_matches(*candidates[i], here)) {
+      guard_keys.clear();
+      if (memo_matches(*candidates[i], here, &guard_keys)) {
         memo_apply(*candidates[i]);
         ++result_.memo_hits;
         memo_->note_hit();
         if (touched_segments_ != nullptr) touched_segments_->push_back(key);
+        if (!candidates[i]->guards.empty()) {
+          // Splicing across frontier-guarded decisions is equivalent to
+          // taking those decision hits live: exploration beyond them is not
+          // exhaustive under a fingerprint collision, so the rerun-detached
+          // rule applies to this pass too.
+          frontier_hit_taken_ = true;
+          if (touched_frontier_ != nullptr) {
+            touched_frontier_->insert(touched_frontier_->end(),
+                                      guard_keys.begin(), guard_keys.end());
+          }
+        }
         return true;
       }
     }
@@ -1471,6 +1623,12 @@ ReplayResult PathReplayer::replay(const ReplayInputs& inputs, u64 max_steps) {
   }
   touched_segment_keys_.clear();
   touched_frontier_keys_.clear();
+  // Whole-chain fingerprint amortization: a seeded value (chain_fp_lookup
+  // hit for this exact chain) survives into this call; otherwise any stale
+  // value from a previous chain is invalidated and the first engine that
+  // needs the fingerprint recomputes it once for every pass and retry.
+  if (!chain_fp_seeded_) chain_fp_valid_ = false;
+  chain_fp_seeded_ = false;
   // One search pass (strict or lenient). A pass that fails *after being
   // steered by shared frontier state* is re-run with the frontier detached:
   // a genuine frontier hit guarantees completion (the recorded decision led
@@ -1483,12 +1641,14 @@ ReplayResult PathReplayer::replay(const ReplayInputs& inputs, u64 max_steps) {
   const auto run_pass = [&](bool strict) {
     ReplayEngine engine(*index, entry_, mode_, policy_, inputs, max_steps,
                         nullptr, strict, memo_, use_frontier_,
-                        &touched_segment_keys_, &touched_frontier_keys_);
+                        &touched_segment_keys_, &touched_frontier_keys_,
+                        &chain_fp_valid_, &chain_fp_);
     ReplayResult result = engine.run();
     if (!result.complete && engine.frontier_influenced()) {
       ReplayEngine retry(*index, entry_, mode_, policy_, inputs, max_steps,
                          nullptr, strict, memo_, /*use_frontier=*/false,
-                         &touched_segment_keys_, &touched_frontier_keys_);
+                         &touched_segment_keys_, &touched_frontier_keys_,
+                         &chain_fp_valid_, &chain_fp_);
       result = retry.run();
     }
     return result;
@@ -1500,6 +1660,16 @@ ReplayResult PathReplayer::replay(const ReplayInputs& inputs, u64 max_steps) {
   ReplayResult strict_result = run_pass(/*strict=*/true);
   if (strict_result.complete) return strict_result;
   return run_pass(/*strict=*/false);
+}
+
+void PathReplayer::seed_chain_fingerprint(u64 fp) {
+  chain_fp_ = fp;
+  chain_fp_valid_ = true;
+  chain_fp_seeded_ = true;
+}
+
+std::optional<u64> PathReplayer::chain_fingerprint() const {
+  return chain_fp_valid_ ? std::optional<u64>(chain_fp_) : std::nullopt;
 }
 
 ReplayResult PathReplayer::check_path(

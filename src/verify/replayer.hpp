@@ -118,6 +118,17 @@ class PathReplayer {
   /// frontier-influenced pass re-runs with the frontier detached).
   void set_frontier(bool enabled) { use_frontier_ = enabled; }
 
+  /// Seed the whole-chain evidence fingerprint for the next replay() call
+  /// (e.g. from MemoCache::chain_fp_lookup when the identical chain was
+  /// verified before): every engine of that replay then reuses the value
+  /// instead of hashing all four evidence streams. Consumed by the next
+  /// replay() only — an unseeded replay() always recomputes lazily.
+  void seed_chain_fingerprint(u64 fp);
+  /// Fingerprint computed (or reused) by the most recent replay(), if any
+  /// engine needed it. Feed it back via MemoCache::chain_fp_store so farm
+  /// retries of the same chain skip the hash pass entirely.
+  std::optional<u64> chain_fingerprint() const;
+
   /// Cache keys the most recent replay() touched (hits and inserts), for
   /// cross-session prefetch tagging (MemoCache::note_session). Valid until
   /// the next replay() call.
@@ -151,6 +162,13 @@ class PathReplayer {
   bool use_frontier_ = true;
   std::vector<u64> touched_segment_keys_;
   std::vector<u64> touched_frontier_keys_;
+  /// Whole-chain evidence fingerprint shared across one replay()'s engines
+  /// (strict pass, lenient pass, detached retries): the first engine that
+  /// consults the frontier computes it once; the rest reuse it. Engines run
+  /// sequentially within replay(), so plain members suffice.
+  bool chain_fp_valid_ = false;
+  bool chain_fp_seeded_ = false;
+  u64 chain_fp_ = 0;
   ReplayPolicy policy_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "asm/assembler.hpp"
 #include "cfa/provers.hpp"
+#include "gen_corpus.hpp"
 #include "rewrite/rap_rewriter.hpp"
 #include "sim/machine.hpp"
 #include "verify/replayer.hpp"
@@ -286,6 +287,35 @@ __code_end:
   EXPECT_EQ(result.events.size(), run.oracle.size());
   const ReplayResult checked = replayer.check_path(run.oracle, run.inputs);
   EXPECT_TRUE(checked.complete) << checked.failure;
+}
+
+// Losslessness over the generative checkpoint-dense corpus (gen_corpus.hpp):
+// one representative per (nesting depth x alarm-loop shape). Every synthesized
+// program must parse completely with no findings, reconstruct the oracle's
+// edge multiset, and accept the true path in checker mode — the same
+// contract the hand-written shapes above pin, now over the grid the memo
+// differential fuzzes.
+TEST(ReplaySearch, GeneratedCorpusSamplesStayLossless) {
+  for (const int depth : {1, 2, 3}) {
+    for (const int shape : {0, 1, 2}) {
+      const gen::GenParams p{.depth = depth,
+                             .alarm_every = 4,
+                             .loop_shape = shape,
+                             .seed = static_cast<u64>(depth + shape)};
+      const std::string name = gen::corpus_name(p);
+      const Built b = build(gen::corpus_source(p));
+      const RapRun run = run_rap(b);
+      PathReplayer replayer(run.rewritten.program, b.entry, ReplayMode::Rap);
+      replayer.set_rap_manifest(&run.rewritten.manifest);
+      const ReplayResult result = replayer.replay(run.inputs);
+      EXPECT_TRUE(result.complete) << name << ": " << result.failure;
+      EXPECT_TRUE(result.findings.empty()) << name;
+      EXPECT_EQ(result.events.size(), run.oracle.size()) << name;
+      const ReplayResult checked = replayer.check_path(run.oracle, run.inputs);
+      EXPECT_TRUE(checked.complete) << name << ": " << checked.failure;
+      EXPECT_EQ(checked.events, run.oracle) << name;
+    }
+  }
 }
 
 }  // namespace

@@ -28,6 +28,15 @@ which enforces the frontier-memo acceptance bar (frontier-on must be at
 least 1.5x the pre-frontier memo=on cost model on the checkpoint-dense
 repeated chain).
 
+--require-hit-rate asserts a segment_hit_rate floor on a single candidate
+row, named by a five-part rowspec (app/method/mix/mode/memo), e.g.:
+
+  --require-hit-rate leafamb/rap/clean/serial_shared/on+frontier:0.5
+
+which enforces the guarded-segments acceptance bar: the §14 sub-path tier
+(frontier hits excluded) must actually splice on the checkpoint-dense
+repeated chain — before guarded recording its hit rate there was ~0.
+
 Wall-clock benches are noisy; compare like with like ("release" and "quick"
 flags must match between the two files, or the comparison is refused).
 """
@@ -113,6 +122,33 @@ def check_speedup(rows: dict, spec: str) -> list[str]:
     return failures
 
 
+def check_hit_rate(rows: dict, spec: str) -> list[str]:
+    """ROWSPEC:FLOOR — minimum segment_hit_rate on one candidate row.
+
+    Rowspec is five-part (app/method/mix/mode/memo). The gated metric is the
+    sub-path (segment) tier alone; rate floors are hit-count ratios, so they
+    are deterministic for a fixed chain, unlike wall-clock columns.
+    """
+    try:
+        rowspec, floor_text = spec.rsplit(":", 1)
+        app, method, mix, mode, memo = rowspec.split("/")
+        floor = float(floor_text)
+    except ValueError:
+        sys.exit(f"error: bad --require-hit-rate spec: {spec!r} "
+                 "(want app/method/mix/mode/memo:floor)")
+    target = None
+    for key, row in rows.items():
+        if key[:5] == (app, method, mix, mode, memo):
+            target = row
+    if target is None:
+        return [f"{rowspec}: no such row in candidate"]
+    rate = target.get("segment_hit_rate", 0.0)
+    if rate < floor:
+        return [f"{rowspec}: segment_hit_rate {rate:.3f} below the "
+                f"required {floor:.3f} floor"]
+    return []
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -125,6 +161,11 @@ def main() -> int:
                         help="assert memo-on/memo-off ratio within the "
                              "candidate, e.g. gps/traces/clean/"
                              "serial_shared:1.5 (repeatable)")
+    parser.add_argument("--require-hit-rate", action="append", default=[],
+                        metavar="ROWSPEC:FLOOR",
+                        help="assert a segment_hit_rate floor on one "
+                             "candidate row, e.g. leafamb/rap/clean/"
+                             "serial_shared/on+frontier:0.5 (repeatable)")
     args = parser.parse_args()
 
     base_doc = load(args.baseline)
@@ -162,6 +203,9 @@ def main() -> int:
     speedup_failures = []
     for spec in args.require_speedup:
         speedup_failures.extend(check_speedup(cand, spec))
+    hit_rate_failures = []
+    for spec in args.require_hit_rate:
+        hit_rate_failures.extend(check_hit_rate(cand, spec))
 
     print(f"compared {len(set(base) & set(cand))} rows: "
           f"{len(regressions)} regressed beyond {args.threshold:.0f}%, "
@@ -170,7 +214,9 @@ def main() -> int:
         print(f"REGRESSION: {line}")
     for line in speedup_failures:
         print(f"SPEEDUP MISSED: {line}")
-    return 1 if regressions or speedup_failures else 0
+    for line in hit_rate_failures:
+        print(f"HIT RATE MISSED: {line}")
+    return 1 if regressions or speedup_failures or hit_rate_failures else 0
 
 
 if __name__ == "__main__":

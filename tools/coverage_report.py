@@ -36,6 +36,7 @@ FLOORS = {
     "src/obs": 85.0,
     "src/crypto": 90.0,
     "src/tz": 85.0,
+    "src/verify": 80.0,
 }
 
 
