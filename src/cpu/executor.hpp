@@ -71,6 +71,10 @@ class Executor {
   u64 oracle_dispatches() const { return oracle_dispatches_; }
   /// Instructions executed straight from the predecode cache.
   u64 fast_dispatches() const { return instructions_ - oracle_dispatches_; }
+  /// Instructions retired inside fused superblocks (a subset of
+  /// fast_dispatches — they skipped even the per-slot sink dispatch and
+  /// bookkeeping in favor of one batched retirement per window).
+  u64 fused_dispatches() const { return fused_retired_; }
   const std::optional<mem::Fault>& fault() const { return fault_; }
   const isa::CycleModel& cycle_model() const { return cycle_model_; }
 
@@ -110,9 +114,21 @@ class Executor {
   // Compiled-per-configuration sink dispatch: run_fast() selects one of
   // these once, so the straight-line MTBDR majority of instructions does
   // not walk the sink vector.
+  //
+  // Each policy additionally answers fuse_window()/retire_batch() for the
+  // superblock path: fuse_window(pc, len) decides whether a fused run of
+  // `len` instructions at `pc` may retire as one unit (no per-instruction
+  // sink effect inside the window), and retire_batch(n) applies the batched
+  // per-instruction side effects for `n` retirements. Policies carrying
+  // arbitrary TraceSinks must answer false — a generic sink observes every
+  // pc, so fusing would drop events. The fabric-backed policies (defined in
+  // executor.cpp) answer via Dwt::inert_window, which proves observe() is a
+  // no-op across the window.
   struct SinksNone {
     void instruction(Address) const {}
     void branch(Address, Address, isa::BranchKind) const {}
+    bool fuse_window(Address, u32) const { return true; }
+    void retire_batch(u32) const {}
   };
   struct SinksOne {
     TraceSink* sink;
@@ -120,6 +136,8 @@ class Executor {
     void branch(Address source, Address destination, isa::BranchKind kind) const {
       sink->on_branch(source, destination, kind);
     }
+    bool fuse_window(Address, u32) const { return false; }
+    void retire_batch(u32) const {}
   };
   struct SinksMany {
     const std::vector<TraceSink*>* sinks;
@@ -129,6 +147,8 @@ class Executor {
     void branch(Address source, Address destination, isa::BranchKind kind) const {
       for (auto* sink : *sinks) sink->on_branch(source, destination, kind);
     }
+    bool fuse_window(Address, u32) const { return false; }
+    void retire_batch(u32) const {}
   };
 
   // Cycle-cost providers for execute(): the reference path evaluates the
@@ -144,10 +164,24 @@ class Executor {
     Cycles not_taken;
     Cycles operator()(bool t) const { return t ? taken : not_taken; }
   };
+  /// Fused-window cost provider: charges nothing per instruction, because
+  /// the superblock loop adds the run's precomputed cycle sum once at the
+  /// end of the window (FuseRun::cycles). The `cycles_ += 0` in execute()
+  /// folds away, leaving the shared execute() as a pure semantic step.
+  struct ZeroCost {
+    Cycles operator()(bool) const { return 0; }
+  };
 
   template <typename Sinks, typename Cost>
   void execute(const isa::Instruction& instr, Address pc, const Sinks& sinks,
                const Cost& cost);
+  /// Retire `n` fusible slots starting at `slot`/`pc` as one superblock:
+  /// a reduced interpreter over exactly the isa::fusible_in_superblock()
+  /// subset (pure ALU/move/compare), semantically identical to execute()
+  /// per op but with the PC register written once at the window end instead
+  /// of per instruction. The caller has already done the sink decision,
+  /// batched trace tick, and cycle charge for the whole window.
+  void execute_fused_window(const isa::DecodedSlot* slot, u32 n, Address pc);
   template <typename Sinks>
   void branch_to(Address source, Address destination, isa::BranchKind kind,
                  const Sinks& sinks);
@@ -178,6 +212,7 @@ class Executor {
   Cycles cycles_ = 0;
   u64 instructions_ = 0;
   u64 oracle_dispatches_ = 0;
+  u64 fused_retired_ = 0;
   std::optional<mem::Fault> fault_;
   std::vector<TraceSink*> sinks_;
   SvcHandler svc_handler_;

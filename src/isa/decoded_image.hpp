@@ -43,13 +43,38 @@ struct alignas(32) DecodedSlot {
 };
 static_assert(sizeof(DecodedSlot) == 32);
 
+/// Superblock metadata for one slot: the length (in instructions) of the
+/// maximal straight-line run of fusible slots headed here, and the total
+/// taken-path cycle cost of that run. `cycles` is a suffix sum over the
+/// run, so the cost of executing only the first n instructions of a run
+/// headed at slot i is `fuse[i].cycles - fuse[i+n].cycles` (the slot one
+/// past a maximal run is never fusible, so its entry is zero and the
+/// formula holds for n == len too). Kept in a parallel array — not inside
+/// DecodedSlot — so the hot per-slot path stays within its 32-byte line and
+/// run lengths are not capped by a packed field width.
+struct FuseRun {
+  u32 len = 0;
+  u32 cycles = 0;
+};
+
+/// True when `instr` may be absorbed into a fused superblock: pure
+/// register/immediate ALU and move/compare work that cannot branch, touch
+/// memory or the bus, trap (SVC), halt, or fault. Executing such an
+/// instruction always advances pc by 4 and charges its taken-path cost, so
+/// a run of them can retire under a single bounds/MPU check with batched
+/// cycle accounting. Everything else (branches, loads/stores, PUSH/POP,
+/// SVC/HLT/BKPT) terminates a run and stays on the per-slot path.
+bool fusible_in_superblock(const Instruction& instr);
+
 class DecodedImage {
  public:
   /// Predecode `bytes` as they sit at `base` (word-aligned; a trailing
   /// partial word is excluded from the cached range). `model` must be the
   /// executing core's cycle model — per-slot costs are baked from it.
+  /// `superblocks` additionally builds the fused-run metadata; pass false
+  /// to force the per-slot path everywhere (ablation / debugging).
   DecodedImage(Address base, std::span<const u8> bytes,
-               const CycleModel& model = {});
+               const CycleModel& model = {}, bool superblocks = true);
 
   Address base() const { return base_; }
   Address end() const { return end_; }
@@ -65,8 +90,22 @@ class DecodedImage {
   /// in place, so held pointers stay valid (and observe invalidations).
   const DecodedSlot* slots_begin() const { return slots_.data(); }
 
+  /// Parallel superblock array (same indexing as slots_begin()), or nullptr
+  /// when the image was built with superblocks disabled. Like the slot
+  /// array it is never reallocated; invalidate() rewrites entries in place,
+  /// so a held pointer observes truncations.
+  const FuseRun* fuse_begin() const {
+    return fuse_.empty() ? nullptr : fuse_.data();
+  }
+
+  /// Fused run headed at an aligned, contained pc (superblocks enabled).
+  const FuseRun& fuse_run(Address pc) const { return fuse_[(pc - base_) >> 2]; }
+
   /// A write of `size` bytes at `addr` landed somewhere in memory: drop any
-  /// overlapping slots to Undecoded. Cheap no-op outside the range.
+  /// overlapping slots to Undecoded. Cheap no-op outside the range. Fused
+  /// runs covering an invalidated slot are truncated to end just before it
+  /// (their suffix cycle sums are recomputed), so the fast loop re-checks
+  /// the written slot per-slot and falls back losslessly.
   void invalidate(Address addr, u32 size);
 
   size_t slot_count() const { return slots_.size(); }
@@ -76,6 +115,7 @@ class DecodedImage {
   Address base_ = 0;
   Address end_ = 0;
   std::vector<DecodedSlot> slots_;
+  std::vector<FuseRun> fuse_;
   u64 invalidations_ = 0;
 };
 

@@ -68,6 +68,7 @@ void Machine::reset_cpu(Address entry) {
   // The executor's retirement counters restart from zero with it.
   flushed_instructions_ = 0;
   flushed_oracle_ = 0;
+  flushed_fused_ = 0;
 }
 
 void Machine::predecode(Address base, u32 size) {
@@ -78,7 +79,8 @@ void Machine::predecode(Address base, u32 size) {
     builds.inc();
   }
   const auto bytes = memory_.dump(base, size);
-  decoded_ = std::make_unique<isa::DecodedImage>(base, bytes, config_.cycle_model);
+  decoded_ = std::make_unique<isa::DecodedImage>(base, bytes, config_.cycle_model,
+                                                 config_.superblocks);
   isa::DecodedImage* image = decoded_.get();
   predecode_watch_ = bus_.watch_writes(
       base, size,
@@ -109,6 +111,7 @@ void Machine::flush_run_metrics() {
     obs::Counter instructions = obs::registry().counter("sim.instructions");
     obs::Counter fast = obs::registry().counter("sim.fast_dispatches");
     obs::Counter oracle = obs::registry().counter("sim.oracle_dispatches");
+    obs::Counter fused = obs::registry().counter("sim.fused_dispatches");
     obs::Counter invalidations =
         obs::registry().counter("sim.decode_cache_invalidations");
   };
@@ -116,12 +119,15 @@ void Machine::flush_run_metrics() {
 
   const u64 instructions = cpu_.instructions_retired();
   const u64 oracle = cpu_.oracle_dispatches();
+  const u64 fused = cpu_.fused_dispatches();
   counters.instructions.inc(instructions - flushed_instructions_);
   counters.oracle.inc(oracle - flushed_oracle_);
   counters.fast.inc((instructions - oracle) -
                     (flushed_instructions_ - flushed_oracle_));
+  counters.fused.inc(fused - flushed_fused_);
   flushed_instructions_ = instructions;
   flushed_oracle_ = oracle;
+  flushed_fused_ = fused;
   if (decoded_) {
     const u64 invalidations = decoded_->invalidations();
     counters.invalidations.inc(invalidations - flushed_invalidations_);

@@ -24,6 +24,11 @@ struct MachineConfig {
   /// predecode() (normally at H_MEM time, after the NS-MPU lock). Off =
   /// every run takes the decode-per-step oracle path.
   bool fast_path = true;
+  /// Fuse straight-line runs of the predecoded image into superblocks that
+  /// retire as one unit (see DESIGN.md §17). Off = the fast path executes
+  /// strictly per-slot; only meaningful when fast_path is on. The ablation
+  /// knob for bench_throughput's fused-vs-slot rows.
+  bool superblocks = true;
 };
 
 class Machine {
@@ -89,6 +94,7 @@ class Machine {
   // High-water marks of what flush_run_metrics() already published.
   u64 flushed_instructions_ = 0;
   u64 flushed_oracle_ = 0;
+  u64 flushed_fused_ = 0;
   u64 flushed_invalidations_ = 0;  ///< against the *current* decoded_ image
 };
 

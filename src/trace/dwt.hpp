@@ -67,6 +67,30 @@ class Dwt {
     }
   }
 
+  /// True when no comparator can fire for any pc in [lo, hi): no watchpoint
+  /// lands in the window and neither the TSTART nor the TSTOP range
+  /// intersects it. The executor's superblock path uses this to retire a
+  /// fused straight-line run without per-instruction observe() calls — a
+  /// window that overlaps any comparator simply stays on the per-slot path,
+  /// which evaluates every comparator exactly as before. Comparator
+  /// addresses need not be word-aligned; the check is conservative.
+  bool inert_window(Address lo, Address hi) const {
+    const Address last = hi - 4;  // pcs in the window are lo, lo+4, .., last
+    for (unsigned i = 0; i < resolved_.num_watchpoints; ++i) {
+      const Address w = resolved_.watchpoints[i];
+      if (w >= lo && w <= last) return false;
+    }
+    if (resolved_.has_stop && lo <= resolved_.stop_limit &&
+        last >= resolved_.stop_base) {
+      return false;
+    }
+    if (resolved_.has_start && lo <= resolved_.start_limit &&
+        last >= resolved_.start_base) {
+      return false;
+    }
+    return true;
+  }
+
   // -- register-level interface ----------------------------------------------
   //
   // Each comparator occupies a 16-byte bank, mirroring the DWT's

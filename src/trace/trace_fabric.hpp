@@ -29,6 +29,12 @@ class TraceFabric final : public cpu::TraceSink {
     mtb_->on_branch(source, destination, kind);
   }
 
+  /// Direct unit access for the executor's superblock fast path: inert-
+  /// window queries and batched retirement bypass the per-instruction sink
+  /// interface (see SinksFabric/SinksFabricOracle in executor.cpp).
+  Dwt& dwt() { return *dwt_; }
+  Mtb& mtb() { return *mtb_; }
+
  private:
   Dwt* dwt_;
   Mtb* mtb_;

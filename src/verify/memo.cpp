@@ -42,6 +42,10 @@ struct MemoObsMetrics {
       obs::registry().counter("verify.memo.prefetch.hits");
   obs::Counter prefetch_warmed =
       obs::registry().counter("verify.memo.prefetch.warmed");
+  /// A live chain-fingerprint entry was displaced by a different key (its
+  /// set was full). Fleet-sized runs watch this to size kChainFpSets.
+  obs::Counter fingerprint_evicted =
+      obs::registry().counter("verify.memo.fingerprint.evicted");
 
   static MemoObsMetrics& get() {
     static MemoObsMetrics metrics;
@@ -629,10 +633,16 @@ bool MemoCache::chain_fp_lookup(u64 key, u64* fp) const {
 #if RAP_MEMO_ENABLED
   if (g_memo_disabled) return false;
   std::lock_guard lock(chain_fp_mu_);
-  const ChainFpSlot& slot = chain_fp_slots_[key % kChainFpSlots];
-  if (!slot.valid || slot.key != key) return false;
-  if (fp != nullptr) *fp = slot.fp;
-  return true;
+  ChainFpSlot* const set = &chain_fp_slots_[(key % kChainFpSets) * kChainFpWays];
+  for (size_t way = 0; way < kChainFpWays; ++way) {
+    ChainFpSlot& slot = set[way];
+    if (slot.valid && slot.key == key) {
+      slot.tick = ++chain_fp_tick_;
+      if (fp != nullptr) *fp = slot.fp;
+      return true;
+    }
+  }
+  return false;
 #else
   (void)key;
   (void)fp;
@@ -644,7 +654,31 @@ void MemoCache::chain_fp_store(u64 key, u64 fp) {
 #if RAP_MEMO_ENABLED
   if (g_memo_disabled) return;
   std::lock_guard lock(chain_fp_mu_);
-  chain_fp_slots_[key % kChainFpSlots] = {key, fp, true};
+  ChainFpSlot* const set = &chain_fp_slots_[(key % kChainFpSets) * kChainFpWays];
+  // Same key refreshes in place; otherwise fill an empty way; otherwise
+  // displace the least-recently-touched way (and count the casualty — a
+  // fleet whose working set of live chains overflows the sets shows up
+  // here, not as silent hit-rate loss).
+  ChainFpSlot* victim = &set[0];
+  for (size_t way = 0; way < kChainFpWays; ++way) {
+    ChainFpSlot& slot = set[way];
+    if (slot.valid && slot.key == key) {
+      slot.fp = fp;
+      slot.tick = ++chain_fp_tick_;
+      return;
+    }
+    if (!slot.valid) {
+      victim = &slot;
+      break;
+    }
+    if (slot.tick < victim->tick) victim = &slot;
+  }
+  if (victim->valid && victim->key != key) {
+    if constexpr (obs::kEnabled) {
+      MemoObsMetrics::get().fingerprint_evicted.inc();
+    }
+  }
+  *victim = {key, fp, ++chain_fp_tick_, true};
 #else
   (void)key;
   (void)fp;

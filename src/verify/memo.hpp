@@ -309,8 +309,9 @@ class MemoCache {
   /// authenticated, so the key pins the evidence content). Repeated
   /// verifications of an identical chain (farm retries, re-deliveries) seed
   /// PathReplayer::seed_chain_fingerprint from here and skip the full-stream
-  /// hash pass. Fixed-size direct-mapped table; a collision merely replaces
-  /// the cached value.
+  /// hash pass. Fixed-size set-associative table (see ChainFpSlot below);
+  /// a full set displaces its least-recently-used entry and bumps the
+  /// verify.memo.fingerprint.evicted counter.
   bool chain_fp_lookup(u64 key, u64* fp) const;
   void chain_fp_store(u64 key, u64 fp);
 
@@ -411,15 +412,23 @@ class MemoCache {
   std::unordered_map<u64, DeviceTags> device_tags_;
   u64 device_stamp_ = 0;
 
-  /// Direct-mapped whole-chain fingerprint cache (chain_fp_lookup/store).
+  /// Set-associative whole-chain fingerprint cache (chain_fp_lookup/store):
+  /// kChainFpSets sets x kChainFpWays ways with per-slot LRU ticks, laid
+  /// out set-major in one flat array. Direct mapping lost fingerprints to
+  /// same-set collisions at fleet scale; with 4 ways a set only starts
+  /// displacing live keys when >4 concurrently live chains alias one set,
+  /// and every displacement is counted (verify.memo.fingerprint.evicted).
   struct ChainFpSlot {
     u64 key = 0;
     u64 fp = 0;
+    u64 tick = 0;  ///< LRU: bumped on hit/refresh under chain_fp_mu_
     bool valid = false;
   };
-  static constexpr size_t kChainFpSlots = 256;
+  static constexpr size_t kChainFpSets = 64;
+  static constexpr size_t kChainFpWays = 4;
   mutable std::mutex chain_fp_mu_;
-  std::array<ChainFpSlot, kChainFpSlots> chain_fp_slots_{};
+  mutable std::array<ChainFpSlot, kChainFpSets * kChainFpWays> chain_fp_slots_{};
+  mutable u64 chain_fp_tick_ = 0;
 
   mutable std::atomic<u64> hits_{0};
   mutable std::atomic<u64> misses_{0};

@@ -931,9 +931,12 @@ class ReplayEngine {
           // alternative. The failure memo skips decisions already proven
           // futile from an identical state. The decision depends on search
           // history (failed_states_), which is outside a memo segment's
-          // footprint — recording must abort on every exit below EXCEPT a
-          // frontier decision-hit, where the in-flight segment absorbs the
-          // decided branch under a splice-time-revalidated guard.
+          // footprint — recording must abort on the failure-memo-steered
+          // exits below. Two exits instead absorb the decided branch under
+          // a splice-time-revalidated guard: a frontier decision-hit, and
+          // the clean checkpoint commit (whose guard only becomes
+          // spliceable once this engine completes and promotes the
+          // journaled decision).
           const u64 here = state_hash();
           const u64 greedy_key = here ^ (logged_direction ? 1u : 0u);
           const u64 alt_key = here ^ (logged_direction ? 0u : 1u);
@@ -1019,20 +1022,59 @@ class ReplayEngine {
               ++frontier_futile_streak_;
             }
           }
-          // Every non-hit exit — fail, forced-greedy, checkpoint — depends
-          // on search history, so recording aborts as before.
-          rec_.active = false;
+          // Exits steered by failure memos (fail, forced-greedy) depend on
+          // search history, so recording aborts as before.
           if (greedy_failed && alt_failed) {
+            rec_.active = false;
             fail("no consistent parse from this state");
             return std::nullopt;
           }
           if (greedy_failed) {
+            rec_.active = false;
             journal_decision(!logged_direction,
                             have_guards ? &guards : nullptr);
             return !logged_direction;
           }
+          // Clean checkpoint commit (greedy not known-failed): absorb the
+          // decision into the in-flight segment under a guard, exactly as
+          // the frontier-hit path does — no prior frontier warm-up needed.
+          // The guard demands a resident frontier entry with this same
+          // decision at splice time; such an entry is only ever promoted
+          // from a journal that survived to completion (backtracking
+          // truncates it), so if this greedy stretch later fails, the
+          // stored segment is merely unspliceable — never wrong. The
+          // checkpoint itself still aborts recording across save/restore
+          // (save_checkpoint clears rec_.active; re-arm after).
+          const bool record_guard = rec_.active && have_guards &&
+                                    memo_->options().guarded_segments;
+          SegmentGuard commit_guard;
+          if (record_guard) {
+            commit_guard.pc = pc_;
+            commit_guard.val = guards.val;
+            commit_guard.d_packets =
+                static_cast<u32>(packet_cursor_ - rec_.entry_packets);
+            commit_guard.d_loops =
+                static_cast<u32>(loop_cursor_ - rec_.entry_loops);
+            commit_guard.d_bits =
+                static_cast<u32>(bit_cursor_ - rec_.entry_bits);
+            commit_guard.d_targets =
+                static_cast<u32>(target_cursor_ - rec_.entry_targets);
+            commit_guard.pops = static_cast<u32>(rec_.popped.size());
+            commit_guard.suffix.assign(shadow_stack_.begin() + rec_.min_stack,
+                                       shadow_stack_.end());
+            commit_guard.decision = logged_direction;
+            // No dead branch was proven at commit time; splice only needs
+            // an entry that (at least) recorded this decision.
+            commit_guard.failed_mask = 0;
+            commit_guard.steps_delta = result_.steps - rec_.entry_steps;
+          }
+          rec_.active = false;
           if (!alt_failed) save_checkpoint(/*alternative=*/!logged_direction);
           journal_decision(logged_direction, have_guards ? &guards : nullptr);
+          if (record_guard) {
+            rec_.active = true;
+            rec_.guards.push_back(std::move(commit_guard));
+          }
           return logged_direction;
         }
         return evaluate_shadow(in.cond, val_.flags);

@@ -21,6 +21,9 @@
 #include "isa/decoded_image.hpp"
 #include "mem/bus.hpp"
 #include "obs/metrics.hpp"
+#include "trace/dwt.hpp"
+#include "trace/mtb.hpp"
+#include "trace/trace_fabric.hpp"
 
 namespace raptrack {
 namespace {
@@ -52,6 +55,19 @@ class RecordingSink final : public cpu::TraceSink {
   std::vector<Event> events;
 };
 
+/// Seeded register file: base registers point into scratch RAM so the
+/// fuzzed loads/stores frequently hit backed memory.
+void seed_registers(cpu::Executor& cpu, u64 reg_seed) {
+  Xoshiro256 rng(reg_seed ^ 0x9e3779b97f4a7c15ull);
+  for (unsigned i = 0; i < 6; ++i) {
+    cpu.state().set_reg(static_cast<Reg>(i),
+                        apps::kScratchBase + static_cast<u32>(rng.next_below(256)) * 4);
+  }
+  for (unsigned i = 6; i < 11; ++i) {
+    cpu.state().set_reg(static_cast<Reg>(i), static_cast<Word>(rng.next()));
+  }
+}
+
 /// A bare simulated core (no Machine): map + bus + executor + one recording
 /// sink, with optional predecode over the loaded program.
 struct Core {
@@ -74,16 +90,7 @@ struct Core {
       cpu.attach_decoded_image(image.get());
     }
     cpu.reset(program.base(), mem::MapLayout::kNsRamBase + 0x8000);
-    // Seeded register file: base registers point into scratch RAM so the
-    // fuzzed loads/stores frequently hit backed memory.
-    Xoshiro256 rng(reg_seed ^ 0x9e3779b97f4a7c15ull);
-    for (unsigned i = 0; i < 6; ++i) {
-      cpu.state().set_reg(static_cast<Reg>(i),
-                          apps::kScratchBase + static_cast<u32>(rng.next_below(256)) * 4);
-    }
-    for (unsigned i = 6; i < 11; ++i) {
-      cpu.state().set_reg(static_cast<Reg>(i), static_cast<Word>(rng.next()));
-    }
+    seed_registers(cpu, reg_seed);
   }
 };
 
@@ -360,6 +367,238 @@ TEST(FastPathInvalidation, CachedSlotsAreActuallyExecutedFromTheImage) {
   cpu.reset(looping.base(), mem::MapLayout::kNsRamBase + 0x8000);
   EXPECT_EQ(cpu.run_fast(100), HaltReason::Halted);
   EXPECT_EQ(cpu.instructions_retired(), 1u);
+}
+
+// -- superblock fusion -------------------------------------------------------
+//
+// The sink-carrying fixtures above use RecordingSink (a generic TraceSink),
+// which the dispatcher must observe per instruction — fuse_window() answers
+// false and fusion never engages there. These tests run sinkless or through
+// a real TraceFabric, the two configurations where superblocks are live.
+
+/// Recompute the expected fused-run metadata from the image's *current* slot
+/// states with the same backward pass predecode uses, and demand the live
+/// array matches. After invalidate() this proves truncation is exactly
+/// equivalent to a full rebuild (lengths and suffix cycle sums).
+void expect_fuse_metadata_consistent(const isa::DecodedImage& image) {
+  const size_t n = image.slot_count();
+  std::vector<isa::FuseRun> expect(n);
+  for (size_t i = n; i-- > 0;) {
+    const isa::DecodedSlot& slot = image.slot(image.base() + 4 * i);
+    if (slot.kind != isa::SlotKind::Valid ||
+        !isa::fusible_in_superblock(slot.instr)) {
+      continue;
+    }
+    const isa::FuseRun next = (i + 1 < n) ? expect[i + 1] : isa::FuseRun{};
+    expect[i].len = next.len + 1;
+    expect[i].cycles = next.cycles + slot.cost_taken;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const isa::FuseRun& got = image.fuse_run(image.base() + 4 * i);
+    ASSERT_EQ(got.len, expect[i].len) << "fuse len, slot " << i;
+    ASSERT_EQ(got.cycles, expect[i].cycles) << "fuse cycles, slot " << i;
+  }
+}
+
+/// Sinkless core pair (fusion engages via SinksNone) for one fuzzed program.
+struct SinklessPair {
+  mem::MemoryMap oracle_map = mem::MemoryMap::make_default();
+  mem::Bus oracle_bus{oracle_map};
+  cpu::Executor oracle{oracle_bus};
+  mem::MemoryMap fast_map = mem::MemoryMap::make_default();
+  mem::Bus fast_bus{fast_map};
+  cpu::Executor fast{fast_bus};
+  std::unique_ptr<isa::DecodedImage> image;
+
+  SinklessPair(const Program& program, u64 reg_seed) {
+    oracle_map.load(program.base(), program.bytes());
+    oracle.reset(program.base(), mem::MapLayout::kNsRamBase + 0x8000);
+    seed_registers(oracle, reg_seed);
+
+    fast_map.load(program.base(), program.bytes());
+    image = std::make_unique<isa::DecodedImage>(program.base(),
+                                                program.bytes());
+    fast_bus.watch_writes(program.base(), program.size(),
+                          [img = image.get()](Address addr, u32 bytes) {
+                            img->invalidate(addr, bytes);
+                          });
+    fast.attach_decoded_image(image.get());
+    fast.reset(program.base(), mem::MapLayout::kNsRamBase + 0x8000);
+    seed_registers(fast, reg_seed);
+  }
+};
+
+TEST(Superblock, SinklessFuzzedProgramsMatchOracleAndActuallyFuse) {
+  u64 total_fused = 0;
+  for (u64 seed = 1; seed <= 300; ++seed) {
+    const Program program = testing::fuzz_program(seed);
+    SinklessPair pair(program, seed);
+    ASSERT_EQ(pair.oracle.run(kFuzzBudget), pair.fast.run_fast(kFuzzBudget))
+        << "seed " << seed;
+    ASSERT_TRUE(states_equal(pair.oracle, pair.fast)) << "seed " << seed;
+    expect_fuse_metadata_consistent(*pair.image);
+    total_fused += pair.fast.fused_dispatches();
+  }
+  // Engagement check: across the corpus a meaningful number of retirements
+  // must have gone through fused windows, or this test proves nothing. The
+  // fuzz mix is deliberately branch/fault-heavy, so runs of >= 2 fusible
+  // ALU ops are a minority of retirements (~3.5k of them across 300 seeds).
+  EXPECT_GT(total_fused, 1'000u);
+}
+
+/// Fuzzed self-patching program: a 3-instruction fused header materialises a
+/// patch word, a per-slot STR plants it at a random slot inside the long
+/// fused ALU run that follows, and execution then enters the truncated run
+/// and must fall back per-slot at the patched word — which is randomly a
+/// HLT (halts), NOP (falls through into the rest of the run), B .-4 (spins
+/// to the budget), or an undecodable word (UndefinedInstr fault).
+Program self_patching_program(u64 seed, u32 words) {
+  Xoshiro256 rng(seed ^ 0xa02bdbf7bb3c0a75ull);
+  Program program(mem::MapLayout::kNsFlashBase, std::vector<u8>(words * 4, 0));
+  const Address base = program.base();
+
+  const u32 patches[] = {
+      isa::encode(isa::Instruction{.op = Op::HLT}),
+      isa::encode(isa::Instruction{.op = Op::NOP}),
+      isa::encode(isa::make_branch(Op::B, -4)),
+      0xffff'ffffu,  // does not decode
+  };
+  const u32 patch = patches[rng.next_below(std::size(patches))];
+  const u32 target = 5 + static_cast<u32>(rng.next_below(words - 7));
+
+  program.set_word(base, isa::encode({.op = Op::MOVI, .rd = Reg::R0,
+                                      .imm = static_cast<i32>(patch & 0xffff)}));
+  program.set_word(base + 4, isa::encode({.op = Op::MOVT, .rd = Reg::R0,
+                                          .imm = static_cast<i32>(patch >> 16)}));
+  // r1 = pc + 4 = base + 12; STR [r1, 4*target - 12] patches slot `target`.
+  program.set_word(base + 8, isa::encode({.op = Op::MOV, .rd = Reg::R1,
+                                          .rm = Reg::PC}));
+  program.set_word(base + 12,
+                   isa::encode({.op = Op::STR, .rd = Reg::R0, .rn = Reg::R1,
+                                .imm = static_cast<i32>(4 * target - 12)}));
+  // Slots 4 .. words-2: one maximal fused ALU run crossing `target`.
+  const Op alu[] = {Op::ADDI, Op::SUBI, Op::ANDI, Op::ORRI, Op::EORI,
+                    Op::MOVI, Op::MOV,  Op::ADD,  Op::SUB,  Op::EOR};
+  for (u32 i = 4; i + 1 < words; ++i) {
+    isa::Instruction in;
+    in.op = alu[rng.next_below(std::size(alu))];
+    in.rd = static_cast<Reg>(2 + rng.next_below(8));  // R2..R9
+    in.rn = static_cast<Reg>(2 + rng.next_below(8));
+    in.rm = static_cast<Reg>(2 + rng.next_below(8));
+    in.set_flags = rng.chance(1, 2);
+    in.imm = static_cast<i32>(rng.next_below(256));
+    program.set_word(base + 4 * i, isa::encode(in));
+  }
+  program.set_word(base + 4 * (words - 1),
+                   isa::encode(isa::Instruction{.op = Op::HLT}));
+  return program;
+}
+
+TEST(Superblock, FuzzedSelfModifyingWriteInsideFusedRunFallsBackLosslessly) {
+  for (u64 seed = 1; seed <= 200; ++seed) {
+    const Program program = self_patching_program(seed, /*words=*/40);
+    SinklessPair pair(program, seed);
+    ASSERT_EQ(pair.oracle.run(500), pair.fast.run_fast(500))
+        << "seed " << seed;
+    ASSERT_TRUE(states_equal(pair.oracle, pair.fast)) << "seed " << seed;
+    // Every seed must (a) have fused at least the header run, (b) have
+    // invalidated the patched slot, and (c) leave truncated metadata that
+    // matches a from-scratch rebuild.
+    EXPECT_GT(pair.fast.fused_dispatches(), 0u) << "seed " << seed;
+    EXPECT_GT(pair.image->invalidations(), 0u) << "seed " << seed;
+    expect_fuse_metadata_consistent(*pair.image);
+  }
+}
+
+TEST(Superblock, RandomInvalidationsKeepFuseMetadataRebuildExact) {
+  for (u64 seed = 1; seed <= 100; ++seed) {
+    const Program program = testing::fuzz_program(seed);
+    isa::DecodedImage image(program.base(), program.bytes());
+    Xoshiro256 rng(seed * 0x2545f4914f6cdd1dull + 1);
+    for (int round = 0; round < 8; ++round) {
+      const Address at = program.base() - 8 +
+                         static_cast<Address>(rng.next_below(program.size() + 16));
+      image.invalidate(at, 1 + static_cast<u32>(rng.next_below(16)));
+      expect_fuse_metadata_consistent(image);
+    }
+  }
+}
+
+TEST(Superblock, DisabledSuperblocksPublishNoFuseMetadata) {
+  const Program program = testing::fuzz_program(7);
+  isa::DecodedImage fused(program.base(), program.bytes());
+  isa::DecodedImage plain(program.base(), program.bytes(), {},
+                          /*superblocks=*/false);
+  EXPECT_NE(fused.fuse_begin(), nullptr);
+  EXPECT_EQ(plain.fuse_begin(), nullptr);
+  // And invalidate() on the plain image must not touch fuse state.
+  plain.invalidate(program.base() + 8, 4);
+  EXPECT_EQ(plain.fuse_begin(), nullptr);
+}
+
+/// Core wired to a real TraceFabric (MTB in always-on mode over a small
+/// wrap-prone buffer + DWT), the configuration where the fast path defers
+/// MTB packet emission and fuses through DWT-inert windows.
+struct FabricCore {
+  mem::MemoryMap map = mem::MemoryMap::make_default();
+  mem::Bus bus{map};
+  cpu::Executor cpu{bus};
+  trace::Mtb mtb{map, mem::MapLayout::kMtbSramBase, 64};
+  trace::Dwt dwt{mtb};
+  trace::TraceFabric fabric{dwt, mtb};
+  std::unique_ptr<isa::DecodedImage> image;
+
+  FabricCore(const Program& program, u64 reg_seed, bool fast) {
+    mtb.set_enabled(true);
+    mtb.set_tstart_enable(true);
+    cpu.add_sink(&fabric);
+    map.load(program.base(), program.bytes());
+    if (fast) {
+      image = std::make_unique<isa::DecodedImage>(program.base(),
+                                                  program.bytes());
+      bus.watch_writes(program.base(), program.size(),
+                       [img = image.get()](Address addr, u32 bytes) {
+                         img->invalidate(addr, bytes);
+                       });
+      cpu.attach_decoded_image(image.get());
+    }
+    cpu.reset(program.base(), mem::MapLayout::kNsRamBase + 0x8000);
+    seed_registers(cpu, reg_seed);
+  }
+};
+
+TEST(Superblock, DeferredMtbEmissionIsByteIdenticalToEager) {
+  // The eager reference is the oracle run (per-step sink dispatch writes
+  // each packet straight to SRAM); the fast run batches emission in the
+  // deferral ring and flushes at window/drain boundaries. The paper's
+  // attestation evidence is the raw MTB SRAM content, so the comparison is
+  // at the byte level, wrap and A-bits included.
+  u64 total_fused = 0;
+  u64 total_packets = 0;
+  for (u64 seed = 1; seed <= 150; ++seed) {
+    const Program program = testing::fuzz_program(seed);
+    FabricCore oracle(program, seed, /*fast=*/false);
+    FabricCore fast(program, seed, /*fast=*/true);
+
+    ASSERT_EQ(oracle.cpu.run(kFuzzBudget), fast.cpu.run_fast(kFuzzBudget))
+        << "seed " << seed;
+    ASSERT_TRUE(states_equal(oracle.cpu, fast.cpu)) << "seed " << seed;
+
+    ASSERT_EQ(oracle.mtb.position(), fast.mtb.position()) << "seed " << seed;
+    ASSERT_EQ(oracle.mtb.wrapped(), fast.mtb.wrapped()) << "seed " << seed;
+    ASSERT_EQ(oracle.mtb.total_bytes_written(), fast.mtb.total_bytes_written())
+        << "seed " << seed;
+    for (u32 offset = 0; offset < 64; offset += 4) {
+      ASSERT_EQ(
+          oracle.map.raw_read32(mem::MapLayout::kMtbSramBase + offset),
+          fast.map.raw_read32(mem::MapLayout::kMtbSramBase + offset))
+          << "seed " << seed << ": MTB SRAM word at +" << offset;
+    }
+    total_fused += fast.cpu.fused_dispatches();
+    total_packets += oracle.mtb.packets_recorded();
+  }
+  EXPECT_GT(total_fused, 1'000u);    // fusion engaged through the fabric
+  EXPECT_GT(total_packets, 1'000u);  // and the corpus actually branched
 }
 
 // -- registry apps: end-to-end parity across all four methods ----------------

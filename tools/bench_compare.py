@@ -1,16 +1,37 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_verify_throughput.json runs and flag regressions.
+"""Compare two bench JSON runs and flag regressions.
 
 Usage:
   tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
                          [--require-speedup ROWSPEC:FACTOR]
+                         [--require-geomean FLOOR]
 
-Rows are matched on their identity key (app, method, mix, mode, memo,
-workers_requested); throughput is compared on reports_per_s. A row whose
-candidate throughput drops more than --threshold percent (default 10) below
-the baseline is a regression; the script prints every regressed row and
-exits nonzero so CI can gate on it. Rows present on only one side are
-reported but never fatal (the grid legitimately grows with new modes).
+Two bench schemas are understood, keyed on the top-level "bench" field
+(baseline and candidate must be the same kind):
+
+  verify_throughput  rows matched on (app, method, mix, mode, memo,
+                     workers_requested); throughput compared on
+                     reports_per_s.
+  sim_throughput     rows matched on (app, method, path) where path is
+                     oracle/slot/fast; throughput compared on mips.
+
+A row whose candidate throughput drops more than --threshold percent
+(default 10) below the baseline is a regression; the script prints every
+regressed row and exits nonzero so CI can gate on it. Rows present on only
+one side are reported but never fatal (the grid legitimately grows with new
+modes).
+
+Absolute MIPS/reports-per-s columns depend on the host the bench ran on, so
+cross-host comparisons can trip the percent gate spuriously. The
+ratio-based assertions (--require-speedup, --require-hit-rate,
+--require-geomean) are computed *within* the candidate file and are
+host-independent; CI leans on those for hard floors and on the percent gate
+for same-host drift.
+
+--require-geomean asserts that the candidate's geomean_speedup (the
+fast-over-oracle wall-clock ratio a sim_throughput run reports) is at least
+FLOOR, e.g. --require-geomean 3.0. Pass the candidate as both arguments to
+gate on the floor alone without a baseline.
 
 --require-speedup asserts a minimum ratio *within* the candidate file
 between a memo=on row and its memo=off sibling, e.g.:
@@ -48,7 +69,16 @@ import json
 import sys
 
 
-def row_key(row: dict) -> tuple:
+# Per-schema row identity and throughput metric.
+BENCH_KINDS = {
+    "verify_throughput": {"metric": "reports_per_s"},
+    "sim_throughput": {"metric": "mips"},
+}
+
+
+def row_key(row: dict, kind: str) -> tuple:
+    if kind == "sim_throughput":
+        return (row.get("app"), row.get("method"), row.get("path"))
     return (
         row.get("app"),
         row.get("method"),
@@ -60,6 +90,9 @@ def row_key(row: dict) -> tuple:
 
 
 def fmt_key(key: tuple) -> str:
+    if len(key) == 3:
+        app, method, path = key
+        return f"{app}/{method}/{path}"
     app, method, mix, mode, memo, workers = key
     return f"{app}/{method}/{mix}/{mode}/memo={memo}/w{workers}"
 
@@ -70,15 +103,17 @@ def load(path: str) -> dict:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"error: cannot read {path}: {err}")
-    if doc.get("bench") != "verify_throughput":
-        sys.exit(f"error: {path} is not a verify_throughput bench file")
+    if doc.get("bench") not in BENCH_KINDS:
+        sys.exit(f"error: {path} is not a recognised bench file "
+                 f"(want one of {sorted(BENCH_KINDS)})")
     return doc
 
 
 def index_rows(doc: dict, path: str) -> dict:
+    kind = doc.get("bench")
     rows = {}
     for row in doc.get("rows", []):
-        key = row_key(row)
+        key = row_key(row, kind)
         if key in rows:
             sys.exit(f"error: {path} has duplicate row {fmt_key(key)}")
         rows[key] = row
@@ -166,10 +201,26 @@ def main() -> int:
                         help="assert a segment_hit_rate floor on one "
                              "candidate row, e.g. leafamb/rap/clean/"
                              "serial_shared/on+frontier:0.5 (repeatable)")
+    parser.add_argument("--require-geomean", type=float, default=None,
+                        metavar="FLOOR",
+                        help="assert the candidate's geomean_speedup is at "
+                             "least FLOOR (sim_throughput files)")
     args = parser.parse_args()
 
     base_doc = load(args.baseline)
     cand_doc = load(args.candidate)
+    kind = base_doc.get("bench")
+    if cand_doc.get("bench") != kind:
+        sys.exit(f"error: bench kinds differ ({kind} vs "
+                 f"{cand_doc.get('bench')})")
+    metric = BENCH_KINDS[kind]["metric"]
+    if kind != "verify_throughput" and (args.require_speedup or
+                                        args.require_hit_rate):
+        sys.exit("error: --require-speedup/--require-hit-rate apply to "
+                 "verify_throughput files only")
+    if args.require_geomean is not None and kind != "sim_throughput":
+        sys.exit("error: --require-geomean applies to sim_throughput files "
+                 "only")
     for flag in ("release", "quick"):
         if base_doc.get(flag) != cand_doc.get(flag):
             sys.exit(f"error: refusing to compare: '{flag}' differs "
@@ -186,14 +237,14 @@ def main() -> int:
         if cand_row is None:
             print(f"note: row only in baseline: {fmt_key(key)}")
             continue
-        before = base_row["reports_per_s"]
-        after = cand_row["reports_per_s"]
+        before = base_row[metric]
+        after = cand_row[metric]
         if before <= 0:
             continue
         delta_pct = (after - before) * 100.0 / before
         if delta_pct < -args.threshold:
             regressions.append(
-                f"{fmt_key(key)}: {before:.0f} -> {after:.0f} reports/s "
+                f"{fmt_key(key)}: {before:.0f} -> {after:.0f} {metric} "
                 f"({delta_pct:+.1f}%)")
         elif delta_pct > args.threshold:
             improved += 1
@@ -206,6 +257,13 @@ def main() -> int:
     hit_rate_failures = []
     for spec in args.require_hit_rate:
         hit_rate_failures.extend(check_hit_rate(cand, spec))
+    geomean_failures = []
+    if args.require_geomean is not None:
+        geomean = cand_doc.get("geomean_speedup", 0.0)
+        if geomean < args.require_geomean:
+            geomean_failures.append(
+                f"candidate geomean_speedup {geomean:.2f}x below the "
+                f"required {args.require_geomean:.2f}x floor")
 
     print(f"compared {len(set(base) & set(cand))} rows: "
           f"{len(regressions)} regressed beyond {args.threshold:.0f}%, "
@@ -216,7 +274,10 @@ def main() -> int:
         print(f"SPEEDUP MISSED: {line}")
     for line in hit_rate_failures:
         print(f"HIT RATE MISSED: {line}")
-    return 1 if regressions or speedup_failures or hit_rate_failures else 0
+    for line in geomean_failures:
+        print(f"GEOMEAN MISSED: {line}")
+    return 1 if (regressions or speedup_failures or hit_rate_failures or
+                 geomean_failures) else 0
 
 
 if __name__ == "__main__":

@@ -37,6 +37,8 @@ FLOORS = {
     "src/crypto": 90.0,
     "src/tz": 85.0,
     "src/verify": 80.0,
+    "src/isa": 80.0,
+    "src/cpu": 80.0,
 }
 
 
